@@ -1,0 +1,61 @@
+// Shared setup for the table/figure benches: train the seven Table 2 evaluation jobs
+// once (Section 5.1's methodology — one training run each), derive the short/long
+// deadlines from the critical path, and provide small aggregation helpers.
+
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/experiment.h"
+#include "src/workload/job_generator.h"
+
+namespace jockey {
+
+struct BenchJob {
+  JobShapeSpec spec;
+  TrainedJob trained;
+  double deadline_short = 0.0;
+  double deadline_long = 0.0;
+};
+
+// Trains jobs A..G with the given progress indicator baked into the Jockey model.
+inline std::vector<BenchJob> TrainEvaluationJobs(
+    IndicatorKind indicator = IndicatorKind::kTotalWorkWithQ) {
+  std::vector<BenchJob> jobs;
+  for (const auto& spec : EvaluationJobSpecs()) {
+    TrainingOptions options;
+    options.seed = spec.seed + 500;
+    options.jockey.indicator = indicator;
+    BenchJob job{spec, TrainJob(GenerateJob(spec), options), 0.0, 0.0};
+    job.deadline_short = SuggestDeadlineSeconds(job.trained, /*tight=*/true);
+    job.deadline_long = SuggestDeadlineSeconds(job.trained, /*tight=*/false);
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+// Aggregate metrics over a set of experiment runs.
+struct PolicySummary {
+  int runs = 0;
+  int missed = 0;
+  double sum_latency_ratio = 0.0;
+  double sum_above_oracle = 0.0;
+  std::vector<double> latency_ratios;
+
+  void Add(const ExperimentResult& r) {
+    ++runs;
+    missed += r.met_deadline ? 0 : 1;
+    sum_latency_ratio += r.latency_ratio;
+    sum_above_oracle += r.frac_above_oracle;
+    latency_ratios.push_back(r.latency_ratio);
+  }
+  double FractionMissed() const { return runs > 0 ? static_cast<double>(missed) / runs : 0.0; }
+  double MeanLatencyRatio() const { return runs > 0 ? sum_latency_ratio / runs : 0.0; }
+  double MeanAboveOracle() const { return runs > 0 ? sum_above_oracle / runs : 0.0; }
+};
+
+}  // namespace jockey
+
+#endif  // BENCH_BENCH_COMMON_H_

@@ -1,0 +1,52 @@
+// Fig 4: fraction of deadlines missed vs fraction of allocation above the oracle,
+// one point per policy.
+//
+// Paper (94+ runs/policy): Jockey misses one deadline (~1%) at ~35% above-oracle;
+// "Jockey w/o adaptation" misses ~18% at slightly higher impact; "Jockey w/o
+// simulator" has the lowest impact (~27%) but misses ~16%; "max allocation" misses
+// none at ~78% above-oracle.
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "bench/bench_common.h"
+#include "src/util/table_printer.h"
+
+int main() {
+  using namespace jockey;
+  std::printf("Fig 4: deadline misses vs allocation above oracle, per policy\n");
+  std::printf("(7 jobs x 2 deadlines x 7 seeds = 98 runs per policy)\n\n");
+
+  std::vector<BenchJob> jobs = TrainEvaluationJobs();
+  std::vector<PolicyKind> policies = {PolicyKind::kJockey, PolicyKind::kJockeyNoAdapt,
+                                      PolicyKind::kJockeyNoSim, PolicyKind::kMaxAllocation};
+  std::map<PolicyKind, PolicySummary> summary;
+
+  for (const auto& job : jobs) {
+    for (bool tight : {true, false}) {
+      for (uint64_t seed = 1; seed <= 7; ++seed) {
+        for (PolicyKind policy : policies) {
+          ExperimentOptions options;
+          options.deadline_seconds = tight ? job.deadline_short : job.deadline_long;
+          options.policy = policy;
+          options.seed = seed * 131 + job.spec.seed + (tight ? 7 : 0);
+          summary[policy].Add(RunExperiment(job.trained, options));
+        }
+      }
+    }
+  }
+
+  TablePrinter table({"policy", "runs", "fraction missed", "fraction above oracle"});
+  for (PolicyKind policy : policies) {
+    const PolicySummary& s = summary[policy];
+    table.AddRow({PolicyName(policy), std::to_string(s.runs),
+                  FormatPercent(s.FractionMissed()), FormatPercent(s.MeanAboveOracle())});
+  }
+  table.Print(std::cout);
+  std::printf("\nExpected shape: Jockey misses ~none at modest impact; max allocation\n");
+  std::printf("misses none at far higher impact; the baselines sit in between (our\n");
+  std::printf("simulated divergence is milder than production, so the baselines miss\n");
+  std::printf("less often than the paper's 16-18%% — see EXPERIMENTS.md).\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Fig 5: CDFs of job completion time relative to the specified deadline, per policy,
+// plus the detail of the upper-right corner (late finishes).
+//
+// Paper: max-allocation jobs finish far too early (median ~70% early); the three
+// Jockey variants finish much closer to the deadline; full Jockey has the least
+// latency variance; late "w/o simulator" jobs finish just past the deadline while
+// late "w/o adaptation" jobs are ~10% late.
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "bench/bench_common.h"
+#include "src/util/stats.h"
+#include "src/util/table_printer.h"
+
+int main() {
+  using namespace jockey;
+  std::printf("Fig 5: CDF of completion time relative to deadline, per policy\n\n");
+
+  std::vector<BenchJob> jobs = TrainEvaluationJobs();
+  std::vector<PolicyKind> policies = {PolicyKind::kJockey, PolicyKind::kJockeyNoAdapt,
+                                      PolicyKind::kJockeyNoSim, PolicyKind::kMaxAllocation};
+  std::map<PolicyKind, std::vector<double>> ratios;
+
+  for (const auto& job : jobs) {
+    for (bool tight : {true, false}) {
+      for (uint64_t seed = 1; seed <= 7; ++seed) {
+        for (PolicyKind policy : policies) {
+          ExperimentOptions options;
+          options.deadline_seconds = tight ? job.deadline_short : job.deadline_long;
+          options.policy = policy;
+          options.seed = seed * 131 + job.spec.seed + (tight ? 7 : 0);
+          ratios[policy].push_back(RunExperiment(job.trained, options).latency_ratio);
+        }
+      }
+    }
+  }
+
+  // Main CDF: completion/deadline at each CDF level.
+  TablePrinter table({"CDF", "Jockey", "w/o adaptation", "w/o simulator", "max allocation"});
+  for (double q : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99, 1.0}) {
+    std::vector<std::string> row = {FormatPercent(q, 0)};
+    for (PolicyKind policy : policies) {
+      row.push_back(FormatPercent(Quantile(ratios[policy], q), 0));
+    }
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+
+  // Upper-right detail: how late are the late jobs?
+  std::printf("\nDetail: late runs (completion > 100%% of deadline)\n");
+  TablePrinter detail({"policy", "late runs", "median lateness", "max lateness"});
+  for (PolicyKind policy : policies) {
+    std::vector<double> late;
+    for (double r : ratios[policy]) {
+      if (r > 1.0) {
+        late.push_back(r - 1.0);
+      }
+    }
+    if (late.empty()) {
+      detail.AddRow({PolicyName(policy), "0", "-", "-"});
+    } else {
+      detail.AddRow({PolicyName(policy), std::to_string(late.size()),
+                     FormatPercent(Quantile(late, 0.5)),
+                     FormatPercent(*std::max_element(late.begin(), late.end()))});
+    }
+  }
+  detail.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Fig 9: the totalworkWithQ and CP progress indicators for job G, over time.
+//
+// Paper: the CP indicator gets "stuck" (constant) for long periods even while the job
+// makes progress, causing the estimated completion time T_t to climb and confusing
+// the control policy; totalworkWithQ increments smoothly.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace jockey {
+namespace {
+
+void PrintSeries(const char* name, const ExperimentResult& r) {
+  std::printf("%s (finished %.1f min)\n", name, r.completion_seconds / 60.0);
+  std::printf("  %8s %10s %14s\n", "t[min]", "progress", "Tt=est compl[min]");
+  size_t step = std::max<size_t>(1, r.control_log.size() / 22);
+  for (size_t i = 0; i < r.control_log.size(); i += step) {
+    const ControlTickLog& tick = r.control_log[i];
+    std::printf("  %8.1f %10.3f %14.1f\n", tick.elapsed_seconds / 60.0, tick.progress,
+                tick.estimated_completion_seconds / 60.0);
+  }
+  // Longest constant-progress interval, as a fraction of the run.
+  double longest = 0.0;
+  double start = 0.0;
+  for (size_t i = 1; i < r.control_log.size(); ++i) {
+    if (r.control_log[i].progress > r.control_log[i - 1].progress + 1e-9) {
+      start = r.control_log[i].elapsed_seconds;
+    } else {
+      longest = std::max(longest, r.control_log[i].elapsed_seconds - start);
+    }
+  }
+  std::printf("  longest constant interval: %.1f min (%.0f%% of the run)\n\n",
+              longest / 60.0, 100.0 * longest / r.completion_seconds);
+}
+
+}  // namespace
+}  // namespace jockey
+
+int main() {
+  using namespace jockey;
+  std::printf("Fig 9: progress-indicator time series for job G\n\n");
+
+  for (IndicatorKind kind : {IndicatorKind::kTotalWorkWithQ, IndicatorKind::kCriticalPath}) {
+    // Train job G with the indicator under test baked into the model.
+    TrainingOptions training;
+    training.seed = JobSpecG().seed + 500;
+    training.jockey.indicator = kind;
+    TrainedJob trained = TrainJob(GenerateJob(JobSpecG()), training);
+
+    ExperimentOptions options;
+    options.deadline_seconds = SuggestDeadlineSeconds(trained, /*tight=*/true);
+    options.policy = PolicyKind::kJockey;
+    options.jitter_input = false;
+    options.seed = 9;
+    ExperimentResult r = RunExperiment(trained, options);
+    PrintSeries(IndicatorName(kind), r);
+  }
+  std::printf("(paper: CP is stuck from t=20 to t=40 min, inflating Tt; totalworkWithQ\n");
+  std::printf(" increments smoothly)\n");
+  return 0;
+}

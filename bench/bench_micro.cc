@@ -1,0 +1,127 @@
+// Micro-benchmarks (google-benchmark): throughput of the building blocks.
+//
+// These measure the engineering claims behind Jockey's design: the offline C(p, a)
+// precomputation is cheap enough to run per job per day, and the online control-loop
+// step is microseconds — the reason the paper moved all simulation offline.
+
+#include <benchmark/benchmark.h>
+
+#include "src/cluster/cluster_simulator.h"
+#include "src/core/completion_model.h"
+#include "src/core/control_loop.h"
+#include "src/core/utility.h"
+#include "src/dag/profile.h"
+#include "src/sim/job_simulator.h"
+#include "src/util/event_queue.h"
+#include "src/workload/job_generator.h"
+
+namespace jockey {
+namespace {
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    EventQueue eq;
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+      eq.ScheduleAt(static_cast<double>(i % 100), [&fired]() { ++fired; });
+    }
+    eq.RunAll();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+// Shared fixture data built once.
+struct SimFixture {
+  JobTemplate tmpl = GenerateJob(JobSpecC());
+  JobProfile profile;
+  SimFixture() {
+    Rng rng(3);
+    RunTrace trace;
+    for (int s = 0; s < tmpl.graph.num_stages(); ++s) {
+      for (int i = 0; i < tmpl.graph.stage(s).num_tasks; ++i) {
+        double d = tmpl.runtime[static_cast<size_t>(s)].SampleSeconds(rng);
+        trace.tasks.push_back({{s, i}, 0.0, 1.0, 1.0 + d, 0, 0.0});
+      }
+    }
+    trace.finish_time = 1.0;
+    profile = JobProfile::FromTrace(tmpl.graph, trace);
+  }
+};
+
+SimFixture& Fixture() {
+  static SimFixture fixture;
+  return fixture;
+}
+
+void BM_JobSimulatorRun(benchmark::State& state) {
+  SimFixture& f = Fixture();
+  JobSimulator sim(f.tmpl.graph, f.profile);
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.Run(static_cast<int>(state.range(0)), rng).completion_seconds);
+  }
+  state.SetItemsProcessed(state.iterations() * f.tmpl.graph.num_tasks());
+}
+BENCHMARK(BM_JobSimulatorRun)->Arg(10)->Arg(40)->Arg(100);
+
+void BM_BuildCompletionTable(benchmark::State& state) {
+  SimFixture& f = Fixture();
+  auto indicator = MakeIndicator(IndicatorKind::kTotalWorkWithQ, f.tmpl.graph, f.profile);
+  CompletionModelConfig config;
+  config.runs_per_allocation = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    CompletionTable table = BuildCompletionTable(f.tmpl.graph, f.profile, *indicator, config);
+    benchmark::DoNotOptimize(table.TotalSamples());
+  }
+}
+BENCHMARK(BM_BuildCompletionTable)->Arg(2)->Arg(10)->Unit(benchmark::kMillisecond);
+
+void BM_ControlLoopTick(benchmark::State& state) {
+  SimFixture& f = Fixture();
+  auto indicator = std::shared_ptr<const ProgressIndicator>(
+      MakeIndicator(IndicatorKind::kTotalWorkWithQ, f.tmpl.graph, f.profile));
+  auto table = std::make_shared<CompletionTable>(BuildCompletionTable(
+      f.tmpl.graph, f.profile, *indicator, CompletionModelConfig()));
+  JockeyController controller(indicator, table, DeadlineUtility(3600.0), ControlLoopConfig());
+  JobRuntimeStatus status;
+  status.elapsed_seconds = 600.0;
+  status.frac_complete.assign(static_cast<size_t>(f.tmpl.graph.num_stages()), 0.4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(controller.OnTick(status).guaranteed_tokens);
+  }
+}
+BENCHMARK(BM_ControlLoopTick);
+
+void BM_IndicatorEvaluate(benchmark::State& state) {
+  SimFixture& f = Fixture();
+  auto indicator = MakeIndicator(IndicatorKind::kTotalWorkWithQ, f.tmpl.graph, f.profile);
+  std::vector<double> frac(static_cast<size_t>(f.tmpl.graph.num_stages()), 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(indicator->Evaluate(frac));
+  }
+}
+BENCHMARK(BM_IndicatorEvaluate);
+
+void BM_ClusterSimulatorRun(benchmark::State& state) {
+  SimFixture& f = Fixture();
+  for (auto _ : state) {
+    ClusterConfig config;
+    config.num_machines = 50;
+    config.seed = 11;
+    ClusterSimulator cluster(config);
+    JobSubmission submission;
+    submission.guaranteed_tokens = 40;
+    int id = cluster.SubmitJob(f.tmpl, submission);
+    cluster.Run();
+    benchmark::DoNotOptimize(cluster.result(id).CompletionSeconds());
+  }
+  state.SetItemsProcessed(state.iterations() * f.tmpl.graph.num_tasks());
+}
+BENCHMARK(BM_ClusterSimulatorRun)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace jockey
+
+BENCHMARK_MAIN();

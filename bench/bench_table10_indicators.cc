@@ -1,0 +1,79 @@
+// Fig 10 (table): comparison of the six progress indicators.
+//
+// Metrics, as in Section 5.4: the average delta-T (mean |T_t - T_{t+1}| relative to
+// the job duration — oscillation in the completion-time estimate) and the longest
+// constant interval (longest stretch of unchanged progress, relative to the job
+// duration). Paper: totalworkWithQ 2.0% / 8.5%; totalwork 2.3% / 9.3%; vertexfrac
+// 2.2% / 10.1%; CP 3.0% / 15.2%; minstage 3.3% / 19.9%; minstage-inf 3.9% / 26.7%.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/util/table_printer.h"
+
+namespace jockey {
+namespace {
+
+struct IndicatorMetrics {
+  double delta_t = 0.0;
+  double longest_constant = 0.0;
+  int runs = 0;
+};
+
+void Measure(const ExperimentResult& r, IndicatorMetrics* m) {
+  if (r.control_log.size() < 3 || r.completion_seconds <= 0.0) {
+    return;
+  }
+  double sum_dt = 0.0;
+  double longest = 0.0;
+  double start = r.control_log.front().elapsed_seconds;
+  for (size_t i = 1; i < r.control_log.size(); ++i) {
+    sum_dt += std::abs(r.control_log[i].estimated_completion_seconds -
+                       r.control_log[i - 1].estimated_completion_seconds);
+    if (r.control_log[i].progress > r.control_log[i - 1].progress + 1e-9) {
+      start = r.control_log[i].elapsed_seconds;
+    } else {
+      longest = std::max(longest, r.control_log[i].elapsed_seconds - start);
+    }
+  }
+  m->delta_t += sum_dt / static_cast<double>(r.control_log.size() - 1) / r.completion_seconds;
+  m->longest_constant += longest / r.completion_seconds;
+  ++m->runs;
+}
+
+}  // namespace
+}  // namespace jockey
+
+int main() {
+  using namespace jockey;
+  std::printf("Fig 10 (table): comparison of progress indicators\n");
+  std::printf("(7 jobs x 3 seeds per indicator; each run controlled by Jockey using\n");
+  std::printf(" a model trained with that indicator)\n\n");
+
+  std::vector<IndicatorKind> kinds = {
+      IndicatorKind::kTotalWorkWithQ, IndicatorKind::kTotalWork, IndicatorKind::kVertexFrac,
+      IndicatorKind::kCriticalPath,   IndicatorKind::kMinStage,  IndicatorKind::kMinStageInf};
+
+  TablePrinter table({"indicator", "avg dT", "longest constant interval"});
+  for (IndicatorKind kind : kinds) {
+    std::vector<BenchJob> jobs = TrainEvaluationJobs(kind);
+    IndicatorMetrics metrics;
+    for (const auto& job : jobs) {
+      for (uint64_t seed = 1; seed <= 3; ++seed) {
+        ExperimentOptions options;
+        options.deadline_seconds = job.deadline_short;
+        options.policy = PolicyKind::kJockey;
+        options.seed = seed * 211 + job.spec.seed;
+        Measure(RunExperiment(job.trained, options), &metrics);
+      }
+    }
+    table.AddRow({IndicatorName(kind), FormatPercent(metrics.delta_t / metrics.runs),
+                  FormatPercent(metrics.longest_constant / metrics.runs)});
+  }
+  table.Print(std::cout);
+  std::printf("\n(paper: totalworkWithQ best on both metrics — 2.0%% / 8.5%%; the\n");
+  std::printf(" structural indicators CP/minstage/minstage-inf are worst because they\n");
+  std::printf(" track only the least-advanced stage)\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Admission control: decide whether newly submitted SLO jobs "fit" the cluster.
+//
+// Section 1: "Jockey's job model can be used to check whether a newly submitted job
+// would 'fit' in the cluster — that is, that all previously accepted SLO jobs would
+// still be able to meet their deadlines — before permitting it to run."
+//
+// This example admits SLO jobs against a fixed guaranteed-token budget: a job is
+// admitted if its own deadline is achievable with the tokens left over AND every
+// previously admitted job still fits after setting aside the newcomer's worst-case
+// demand. Admitted jobs then run concurrently on one shared cluster to validate the
+// decisions.
+
+#include <cstdio>
+#include <vector>
+
+#include "src/cluster/cluster_simulator.h"
+#include "src/core/experiment.h"
+#include "src/workload/job_generator.h"
+
+namespace {
+
+struct Candidate {
+  jockey::TrainedJob trained;
+  double deadline;
+  int reserved_tokens = 0;  // worst-case tokens set aside when admitted
+  bool admitted = false;
+};
+
+}  // namespace
+
+int main() {
+  using namespace jockey;
+  const int kTokenBudget = 150;  // guaranteed tokens available for SLO jobs
+
+  // Five candidate SLO jobs of varying size.
+  std::vector<Candidate> candidates;
+  Rng rng(31);
+  for (int i = 0; i < 5; ++i) {
+    RandomJobParams params;
+    params.min_vertices = 400;
+    params.max_vertices = 2500;
+    TrainedJob trained = TrainJob(MakeRandomJob("slo" + std::to_string(i), rng));
+    double deadline = SuggestDeadlineSeconds(trained, /*tight=*/true);
+    candidates.push_back({std::move(trained), deadline, 0, false});
+  }
+
+  // Greedy admission: reserve each job's minimum token count whose slack-adjusted
+  // worst-case prediction meets its deadline.
+  int reserved = 0;
+  std::printf("admission against a %d-token guaranteed budget:\n", kTokenBudget);
+  for (auto& c : candidates) {
+    const Jockey& model = *c.trained.jockey;
+    int need = -1;
+    for (int tokens = 1; tokens <= kTokenBudget - reserved; ++tokens) {
+      if (model.WouldFit(c.deadline, tokens)) {
+        need = tokens;
+        break;
+      }
+    }
+    if (need > 0) {
+      c.admitted = true;
+      c.reserved_tokens = need;
+      reserved += need;
+      std::printf("  %-6s deadline %3.0f min -> ADMIT, reserve %3d tokens (%d/%d used)\n",
+                  c.trained.name().c_str(), c.deadline / 60.0, need, reserved, kTokenBudget);
+    } else {
+      std::printf("  %-6s deadline %3.0f min -> REJECT (would not fit)\n",
+                  c.trained.name().c_str(), c.deadline / 60.0);
+    }
+  }
+
+  // Validate: run every admitted job concurrently on one shared cluster, each under
+  // its own Jockey controller capped at its reservation.
+  ClusterConfig config = DefaultExperimentCluster(77);
+  ClusterSimulator cluster(config);
+  std::vector<std::unique_ptr<JockeyController>> controllers;
+  std::vector<int> ids;
+  std::vector<const Candidate*> admitted;
+  for (const auto& c : candidates) {
+    if (!c.admitted) {
+      continue;
+    }
+    ControlLoopConfig control = c.trained.jockey->config().control;
+    control.max_tokens = c.reserved_tokens;
+    controllers.push_back(
+        c.trained.jockey->MakeController(DeadlineUtility(c.deadline), control));
+    JobSubmission submission;
+    submission.controller = controllers.back().get();
+    submission.max_guaranteed_tokens = c.reserved_tokens;
+    submission.seed = 600 + ids.size();
+    ids.push_back(cluster.SubmitJob(*c.trained.tmpl, submission));
+    admitted.push_back(&c);
+  }
+  cluster.Run();
+
+  std::printf("\nconcurrent validation run:\n");
+  bool all_met = true;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const ClusterRunResult& r = cluster.result(ids[i]);
+    bool met = r.finished && r.CompletionSeconds() <= admitted[i]->deadline;
+    all_met = all_met && met;
+    std::printf("  %-6s finished %6.1f min vs %3.0f min deadline: %s\n",
+                admitted[i]->trained.name().c_str(), r.CompletionSeconds() / 60.0,
+                admitted[i]->deadline / 60.0, met ? "met" : "MISSED");
+  }
+  std::printf("%s\n", all_met ? "all admitted jobs met their SLOs"
+                              : "an admitted job missed its SLO");
+  return all_met ? 0 : 1;
+}

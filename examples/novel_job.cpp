@@ -1,0 +1,81 @@
+// Novel job onboarding: give an SLO to a job Jockey has never seen.
+//
+// Section 4.4 leaves novel-job support to "sampling or other methods". This example
+// shows the sampling path end-to-end:
+//   1. build a pilot copy of the job that processes 15% of the input;
+//   2. run the pilot on the shared cluster (cheap — a sixth of the work);
+//   3. extrapolate the pilot's trace into a full-job profile;
+//   4. build the Jockey model from the extrapolated profile, pick a feasible SLO,
+//      and run the full job under the control loop.
+
+#include <cstdio>
+
+#include "src/cluster/cluster_simulator.h"
+#include "src/core/experiment.h"
+#include "src/core/pilot.h"
+#include "src/workload/job_generator.h"
+
+int main() {
+  using namespace jockey;
+
+  // The "novel" job: nobody has run it before.
+  JobShapeSpec spec;
+  spec.name = "novel-etl";
+  spec.num_stages = 14;
+  spec.num_barriers = 3;
+  spec.num_vertices = 2200;
+  spec.job_median_seconds = 4.5;
+  spec.job_p90_seconds = 16.0;
+  spec.fastest_stage_p90 = 2.0;
+  spec.slowest_stage_p90 = 40.0;
+  spec.seed = 777;
+  JobTemplate full = GenerateJob(spec);
+  std::printf("novel job: %d stages, %d tasks — no prior runs available\n",
+              full.graph.num_stages(), full.graph.num_tasks());
+
+  // 1-2. Pilot at 15% of the input.
+  JobTemplate pilot = MakePilotJob(full, 0.15);
+  std::printf("pilot copy: %d tasks (%.0f%% of the input)\n", pilot.graph.num_tasks(),
+              100.0 * pilot.graph.num_tasks() / full.graph.num_tasks());
+
+  ClusterConfig config = DefaultExperimentCluster(808);
+  RunTrace pilot_trace;
+  {
+    ClusterSimulator cluster(config);
+    JobSubmission submission;
+    submission.guaranteed_tokens = 15;
+    submission.seed = 81;
+    int id = cluster.SubmitJob(pilot, submission);
+    cluster.Run();
+    pilot_trace = cluster.result(id).trace;
+  }
+  std::printf("pilot run: %.1f min, %.1f token-hours\n",
+              pilot_trace.CompletionSeconds() / 60.0, pilot_trace.TotalWorkSeconds() / 3600.0);
+
+  // 3-4. Extrapolate and build the model.
+  JobProfile estimated = ExtrapolateProfile(full.graph, pilot.graph, pilot_trace);
+  std::printf("extrapolated full-job work estimate: %.1f token-hours\n",
+              estimated.TotalWorkSeconds() / 3600.0);
+  Jockey jockey(full.graph, std::move(estimated));
+
+  double deadline = 60.0 * std::ceil(1.5 * jockey.PredictCompletionSeconds(40) / 60.0);
+  std::printf("chosen SLO: %.0f min (1.5x the worst-case prediction at 40 tokens)\n\n",
+              deadline / 60.0);
+
+  auto controller = jockey.MakeController(deadline);
+  ClusterSimulator cluster(config);
+  JobSubmission submission;
+  submission.controller = controller.get();
+  submission.seed = 82;
+  int id = cluster.SubmitJob(full, submission);
+  cluster.Run();
+  const ClusterRunResult& r = cluster.result(id);
+
+  bool met = r.finished && r.CompletionSeconds() <= deadline;
+  std::printf("full job finished in %.1f min vs %.0f min SLO: %s\n",
+              r.CompletionSeconds() / 60.0, deadline / 60.0, met ? "MET" : "MISSED");
+  std::printf("actual work: %.1f token-hours (pilot estimated %.1f)\n",
+              r.trace.TotalWorkSeconds() / 3600.0,
+              jockey.profile().TotalWorkSeconds() / 3600.0);
+  return met ? 0 : 1;
+}

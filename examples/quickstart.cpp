@@ -1,0 +1,77 @@
+// Quickstart: run one recurring job under a latency SLO with Jockey.
+//
+// The workflow mirrors the paper's Fig 2:
+//   1. obtain (or here: simulate) one prior execution of the recurring job;
+//   2. offline, build the Jockey model from its trace — per-stage statistics plus the
+//      precomputed completion-time distributions C(p, a);
+//   3. at runtime, attach a JockeyController to the job; every control period it
+//      observes progress and re-sizes the job's guaranteed-token allocation so the
+//      deadline is met with minimal cluster impact.
+
+#include <cstdio>
+
+#include "src/core/experiment.h"
+#include "src/workload/job_generator.h"
+
+int main() {
+  using namespace jockey;
+
+  // A recurring job: 12 stages, a couple of aggregation barriers, ~800 tasks.
+  JobShapeSpec spec;
+  spec.name = "nightly-report";
+  spec.num_stages = 12;
+  spec.num_barriers = 2;
+  spec.num_vertices = 800;
+  spec.job_median_seconds = 5.0;
+  spec.job_p90_seconds = 18.0;
+  spec.fastest_stage_p90 = 2.0;
+  spec.slowest_stage_p90 = 45.0;
+  spec.seed = 2718;
+  JobTemplate job = GenerateJob(spec);
+  std::printf("job %s: %d stages, %d tasks, %d barriers\n", job.name().c_str(),
+              job.graph.num_stages(), job.graph.num_tasks(), job.graph.num_barrier_stages());
+
+  // --- Offline phase: one training run on the shared cluster, then build the model.
+  TrainedJob trained = TrainJob(job);
+  std::printf("training run: %.1f min, %.1f token-hours of work\n",
+              trained.training_trace.CompletionSeconds() / 60.0,
+              trained.training_trace.TotalWorkSeconds() / 3600.0);
+
+  const Jockey& model = *trained.jockey;
+  std::printf("feasibility: critical path = %.1f min (no deadline below this)\n",
+              model.FeasibleDeadlineSeconds() / 60.0);
+  for (int tokens : {10, 20, 40, 80}) {
+    std::printf("  predicted worst-case completion at %3d tokens: %.1f min\n", tokens,
+                model.PredictCompletionSeconds(tokens) / 60.0);
+  }
+
+  // --- Pick an SLO and check admission.
+  double deadline = SuggestDeadlineSeconds(trained, /*tight=*/true);
+  std::printf("\nSLO deadline: %.0f min; fits within 100 guaranteed tokens: %s\n",
+              deadline / 60.0, model.WouldFit(deadline, 100) ? "yes" : "no");
+  std::printf("a-priori allocation for this deadline: %d tokens\n",
+              model.InitialAllocation(deadline));
+
+  // --- Runtime phase: execute on the shared cluster under Jockey's control loop.
+  ExperimentOptions options;
+  options.deadline_seconds = deadline;
+  options.policy = PolicyKind::kJockey;
+  options.seed = 42;
+  ExperimentResult result = RunExperiment(trained, options);
+
+  std::printf("\nrun finished in %.1f min (deadline %.0f min): SLO %s\n",
+              result.completion_seconds / 60.0, deadline / 60.0,
+              result.met_deadline ? "MET" : "MISSED");
+  std::printf("oracle allocation O(T,d) = %d tokens; requested %.1f token-hours "
+              "(%.0f%% above oracle)\n",
+              result.oracle_tokens, result.requested_token_seconds / 3600.0,
+              100.0 * result.frac_above_oracle);
+  std::printf("allocation trajectory (every ~5 min):\n");
+  size_t step = std::max<size_t>(1, result.run.timeline.size() / 10);
+  for (size_t i = 0; i < result.run.timeline.size(); i += step) {
+    const AllocationSample& s = result.run.timeline[i];
+    std::printf("  t=%5.1f min  guaranteed=%3d  running=%3d\n", s.time / 60.0, s.guaranteed,
+                s.running);
+  }
+  return result.met_deadline ? 0 : 1;
+}

@@ -1,0 +1,541 @@
+#include "src/cluster/cluster_simulator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace jockey {
+
+ClusterSimulator::ClusterSimulator(const ClusterConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      background_(config.background, Rng(config.seed).Fork()) {
+  machines_.resize(static_cast<size_t>(config_.num_machines));
+  for (auto& m : machines_) {
+    m.speed = rng_.LogNormal(0.0, config_.machine_speed_sigma);
+  }
+}
+
+ClusterSimulator::~ClusterSimulator() = default;
+
+int ClusterSimulator::TotalUpSlots() const { return UpSlots(); }
+
+int ClusterSimulator::UpSlots() const {
+  int up = 0;
+  for (const auto& m : machines_) {
+    if (m.up) {
+      ++up;
+    }
+  }
+  return up * config_.slots_per_machine;
+}
+
+int ClusterSimulator::SubmitJob(const JobTemplate& job, const JobSubmission& opts) {
+  int job_id = static_cast<int>(jobs_.size());
+  jobs_.emplace_back();
+  JobState& state = jobs_.back();
+  state.tmpl = &job;
+  state.opts = opts;
+  state.tracker = std::make_unique<DependencyTracker>(job.graph);
+  state.rng = Rng(opts.seed);
+  state.guaranteed_tokens = std::clamp(opts.guaranteed_tokens, 0, opts.max_guaranteed_tokens);
+  state.records.resize(static_cast<size_t>(state.tracker->total_tasks()));
+  state.ever_ready.assign(static_cast<size_t>(state.tracker->total_tasks()), false);
+  state.stage_exec_stats.resize(static_cast<size_t>(job.graph.num_stages()));
+  state.speculation_budget_used.assign(static_cast<size_t>(state.tracker->total_tasks()), 0);
+  for (int t = 0; t < state.tracker->total_tasks(); ++t) {
+    auto& rec = state.records[static_cast<size_t>(t)];
+    rec.id.stage = state.tracker->StageOf(t);
+    rec.id.index = state.tracker->IndexOf(t);
+  }
+  state.result.trace.job_name = job.name();
+  state.result.trace.submit_time = opts.submit_time;
+  ++unfinished_jobs_;
+  eq_.ScheduleAt(opts.submit_time, [this, job_id]() { StartJob(job_id); });
+  return job_id;
+}
+
+void ClusterSimulator::StartJob(int job_id) {
+  JobState& job = jobs_[static_cast<size_t>(job_id)];
+  job.dag = std::make_unique<DependencyTracker::State>(*job.tracker);
+  job.started = true;
+  job.last_alloc_change = eq_.now();
+  DrainReady(job);
+  if (job.opts.controller != nullptr) {
+    ControlTick(job_id);
+  } else {
+    Reschedule();
+  }
+}
+
+void ClusterSimulator::DrainReady(JobState& job) {
+  for (int t : job.dag->TakeNewlyReady()) {
+    if (!job.ever_ready[static_cast<size_t>(t)]) {
+      job.ever_ready[static_cast<size_t>(t)] = true;
+      job.records[static_cast<size_t>(t)].ready_time = eq_.now();
+    }
+    job.pending.push_back(t);
+  }
+  // Compact the FIFO when the dead prefix dominates.
+  if (job.pending_head > 1024 && job.pending_head * 2 > job.pending.size()) {
+    job.pending.erase(job.pending.begin(),
+                      job.pending.begin() + static_cast<int64_t>(job.pending_head));
+    job.pending_head = 0;
+  }
+}
+
+void ClusterSimulator::AccumulateGuaranteedSeconds(JobState& job) {
+  job.result.guaranteed_token_seconds +=
+      static_cast<double>(job.guaranteed_tokens) * (eq_.now() - job.last_alloc_change);
+  job.last_alloc_change = eq_.now();
+}
+
+void ClusterSimulator::ControlTick(int job_id) {
+  JobState& job = jobs_[static_cast<size_t>(job_id)];
+  if (job.finished) {
+    return;
+  }
+  JobRuntimeStatus status;
+  status.now = eq_.now();
+  status.elapsed_seconds = eq_.now() - job.opts.submit_time;
+  status.frac_complete = job.dag->FracCompleteAll();
+  status.guaranteed_tokens = job.guaranteed_tokens;
+  status.running_tasks = job.running_guaranteed + job.running_spare;
+  status.pending_tasks = static_cast<int>(job.pending.size() - job.pending_head);
+  status.completed_tasks = job.dag->done_total();
+  status.total_tasks = job.tracker->total_tasks();
+
+  ControlDecision decision = job.opts.controller->OnTick(status);
+  int new_g = std::clamp(decision.guaranteed_tokens, 0, job.opts.max_guaranteed_tokens);
+  AccumulateGuaranteedSeconds(job);
+  job.guaranteed_tokens = new_g;
+  job.result.timeline.push_back(AllocationSample{eq_.now(), new_g, decision.raw_allocation,
+                                                 status.running_tasks, job.running_spare});
+  Reschedule();
+  eq_.ScheduleAfter(job.opts.control_period_seconds, [this, job_id]() { ControlTick(job_id); });
+}
+
+double ClusterSimulator::CurrentUtilization() const {
+  // Contention pressure: slots actually running, plus a discounted term for queued
+  // background demand (work waiting for slots still hammers the network and disks,
+  // but less than running work). This is what makes an overloaded cluster slow every
+  // running task, not just shrink the spare pool.
+  double running = static_cast<double>(background_slots_);
+  for (const auto& job : jobs_) {
+    running += job.running_guaranteed + job.running_spare;
+    if (job.opts.priority == PriorityClass::kSuperHigh) {
+      // SuperHigh tasks win every local resource conflict, so each one degrades
+      // co-located work beyond its own slot (Section 3.1's contention downside).
+      running += (config_.superhigh_pressure_factor - 1.0) *
+                 (job.running_guaranteed + job.running_spare);
+    }
+  }
+  double queued = std::max(0, background_demand_ - background_slots_);
+  int up = UpSlots();
+  if (up == 0) {
+    return 1.5;
+  }
+  double pressure = (running + 0.3 * queued) / static_cast<double>(up);
+  return std::min(pressure, 1.5);
+}
+
+void ClusterSimulator::StartTask(JobState& job, int job_id, int flat_task, bool spare,
+                                 bool speculative) {
+  int stage = job.tracker->StageOf(flat_task);
+  const StageRuntimeModel& model = job.tmpl->runtime[static_cast<size_t>(stage)];
+
+  RunningTask running;
+  running.flat_task = flat_task;
+  running.attempt_start = eq_.now();
+  running.spare = spare;
+  running.speculative = speculative;
+  running.attempt = job.next_attempt++;
+  // Random placement across up machines; placement is for heterogeneity and failure
+  // domains, aggregate capacity is enforced by the token accounting in Reschedule().
+  int machine = -1;
+  do {
+    machine = static_cast<int>(rng_.UniformInt(0, config_.num_machines - 1));
+  } while (!machines_[static_cast<size_t>(machine)].up);
+  running.machine = machine;
+
+  double dispatch = config_.scheduling_delay_seconds * (0.5 + job.rng.Exponential(1.0));
+  double contention_excess = std::max(0.0, CurrentUtilization() - config_.contention_threshold);
+  if (job.opts.priority == PriorityClass::kSuperHigh) {
+    // SuperHigh tasks are largely shielded from contention: they run when ready and
+    // win local resource conflicts (Section 3.1).
+    contention_excess *= 0.25;
+  }
+  double contention = 1.0 + config_.contention_slope * contention_excess;
+  double exec = model.SampleSeconds(job.rng) * job.opts.input_scale *
+                machines_[static_cast<size_t>(machine)].speed * contention;
+  bool fails = job.rng.Bernoulli(model.failure_prob);
+  double lifetime = fails ? dispatch + exec * job.rng.Uniform() : dispatch + exec;
+  running.exec_start = eq_.now() + dispatch;
+  running.exec_end = eq_.now() + dispatch + exec;
+
+  uint64_t attempt = running.attempt;
+  job.running.emplace(attempt, running);
+  if (spare) {
+    ++job.running_spare;
+  } else {
+    ++job.running_guaranteed;
+  }
+  job.result.max_parallelism =
+      std::max(job.result.max_parallelism, job.running_guaranteed + job.running_spare);
+
+  if (fails) {
+    eq_.ScheduleAfter(lifetime, [this, job_id, attempt]() {
+      JobState& j = jobs_[static_cast<size_t>(job_id)];
+      auto it = j.running.find(attempt);
+      if (it == j.running.end()) {
+        return;  // stale event: the attempt was already killed or superseded
+      }
+      ++j.result.task_failures;
+      KillAttempt(j, attempt, /*is_eviction=*/false);
+      Reschedule();
+    });
+  } else {
+    eq_.ScheduleAfter(lifetime,
+                      [this, job_id, attempt]() { OnTaskComplete(job_id, attempt); });
+  }
+}
+
+bool ClusterSimulator::HasRunningCopy(const JobState& job, int flat_task, uint64_t excluding) {
+  for (const auto& [attempt, running] : job.running) {
+    if (running.flat_task == flat_task && attempt != excluding) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void ClusterSimulator::KillAttempt(JobState& job, uint64_t attempt, bool is_eviction) {
+  auto it = job.running.find(attempt);
+  assert(it != job.running.end());
+  const RunningTask& running = it->second;
+  int flat_task = running.flat_task;
+  if (running.spare) {
+    --job.running_spare;
+  } else {
+    --job.running_guaranteed;
+  }
+  auto& rec = job.records[static_cast<size_t>(flat_task)];
+  ++rec.failed_attempts;
+  rec.wasted_seconds += eq_.now() - running.attempt_start;
+  if (is_eviction) {
+    ++job.result.evictions;
+  }
+  job.running.erase(it);
+  // Requeue unless another copy of the task still runs (a killed duplicate must not
+  // resurrect a task its primary is already executing, and vice versa).
+  if (!HasRunningCopy(job, flat_task, /*excluding=*/0)) {
+    job.pending.push_back(flat_task);
+  }
+}
+
+void ClusterSimulator::OnTaskComplete(int job_id, uint64_t attempt) {
+  JobState& job = jobs_[static_cast<size_t>(job_id)];
+  auto it = job.running.find(attempt);
+  if (it == job.running.end()) {
+    return;  // stale event: killed, or the other copy won
+  }
+  RunningTask winner = it->second;
+  if (winner.spare) {
+    --job.running_spare;
+    ++job.spare_completions;
+  } else {
+    --job.running_guaranteed;
+  }
+  job.running.erase(it);
+  if (winner.speculative) {
+    ++job.result.speculative_wins;
+  }
+
+  // Cancel any other copy of the task; its time is wasted work.
+  for (auto other = job.running.begin(); other != job.running.end();) {
+    if (other->second.flat_task == winner.flat_task) {
+      if (other->second.spare) {
+        --job.running_spare;
+      } else {
+        --job.running_guaranteed;
+      }
+      job.records[static_cast<size_t>(winner.flat_task)].wasted_seconds +=
+          eq_.now() - other->second.attempt_start;
+      other = job.running.erase(other);
+    } else {
+      ++other;
+    }
+  }
+
+  auto& rec = job.records[static_cast<size_t>(winner.flat_task)];
+  rec.start_time = winner.exec_start;
+  rec.end_time = eq_.now();
+  int stage = job.tracker->StageOf(winner.flat_task);
+  job.stage_exec_stats[static_cast<size_t>(stage)].Add(eq_.now() - winner.exec_start);
+
+  ++job.completions;
+  job.dag->MarkDone(winner.flat_task);
+  DrainReady(job);
+  if (job.dag->AllDone()) {
+    FinishJob(job_id);
+  }
+  Reschedule();
+}
+
+void ClusterSimulator::FinishJob(int job_id) {
+  JobState& job = jobs_[static_cast<size_t>(job_id)];
+  assert(!job.finished);
+  job.finished = true;
+  --unfinished_jobs_;
+  AccumulateGuaranteedSeconds(job);
+  job.result.finished = true;
+  job.result.trace.finish_time = eq_.now();
+  job.result.trace.tasks = job.records;
+  job.result.spare_task_fraction =
+      job.completions > 0
+          ? static_cast<double>(job.spare_completions) / static_cast<double>(job.completions)
+          : 0.0;
+  job.result.timeline.push_back(AllocationSample{eq_.now(), job.guaranteed_tokens, 0.0, 0, 0});
+  if (job.opts.controller != nullptr) {
+    job.opts.controller->OnFinished(eq_.now());
+  }
+}
+
+void ClusterSimulator::Reschedule() {
+  int up = UpSlots();
+  // Background demand is sized against nominal capacity (background work does not
+  // vanish when machines fail), granted against what is left after guarantees.
+  int demanded = static_cast<int>(
+      std::lround(background_.UtilizationAt(eq_.now()) * config_.TotalSlots()));
+  background_demand_ = demanded;
+
+  // Phase 1: guaranteed tokens. Promote already-running spare tasks first (they keep
+  // their progress), then start pending tasks.
+  int guaranteed_total = 0;
+  for (auto& job : jobs_) {
+    if (!job.started || job.finished) {
+      continue;
+    }
+    // Demote newest guaranteed tasks to spare if the guarantee shrank below usage.
+    while (job.running_guaranteed > job.guaranteed_tokens) {
+      RunningTask* newest = nullptr;
+      for (auto& [attempt, running] : job.running) {
+        if (!running.spare &&
+            (newest == nullptr || running.attempt_start > newest->attempt_start)) {
+          newest = &running;
+        }
+      }
+      if (newest == nullptr) {
+        break;
+      }
+      newest->spare = true;
+      --job.running_guaranteed;
+      ++job.running_spare;
+    }
+    // Promote spare tasks up to the guarantee (oldest first: most progress saved).
+    while (job.running_guaranteed < job.guaranteed_tokens && job.running_spare > 0) {
+      RunningTask* oldest = nullptr;
+      for (auto& [attempt, running] : job.running) {
+        if (running.spare &&
+            (oldest == nullptr || running.attempt_start < oldest->attempt_start)) {
+          oldest = &running;
+        }
+      }
+      if (oldest == nullptr) {
+        break;
+      }
+      oldest->spare = false;
+      ++job.running_guaranteed;
+      --job.running_spare;
+    }
+    guaranteed_total += job.running_guaranteed;
+  }
+  // Start new guaranteed tasks while physical slots remain; SuperHigh guarantees are
+  // served strictly before normal ones (Section 3.1's priority ordering).
+  for (PriorityClass pass : {PriorityClass::kSuperHigh, PriorityClass::kNormal}) {
+    for (size_t id = 0; id < jobs_.size(); ++id) {
+      JobState& job = jobs_[id];
+      if (!job.started || job.finished || job.opts.priority != pass) {
+        continue;
+      }
+      while (job.running_guaranteed < job.guaranteed_tokens &&
+             job.pending_head < job.pending.size() && guaranteed_total < up) {
+        int task = job.pending[job.pending_head++];
+        StartTask(job, static_cast<int>(id), task, /*spare=*/false, /*speculative=*/false);
+        ++guaranteed_total;
+      }
+    }
+  }
+
+  // Phase 2: background demand squeezes what is left.
+  background_slots_ = std::clamp(demanded, 0, std::max(0, up - guaranteed_total));
+  int spare_budget = up - guaranteed_total - background_slots_;
+
+  // Phase 3: evict spare tasks (newest first) if the budget no longer covers them.
+  int spare_total = 0;
+  for (const auto& job : jobs_) {
+    spare_total += job.running_spare;
+  }
+  while (spare_total > std::max(0, spare_budget)) {
+    JobState* victim_job = nullptr;
+    uint64_t victim_attempt = 0;
+    SimTime victim_start = -1.0;
+    for (auto& job : jobs_) {
+      for (auto& [attempt, running] : job.running) {
+        if (running.spare && running.attempt_start > victim_start) {
+          victim_start = running.attempt_start;
+          victim_job = &job;
+          victim_attempt = attempt;
+        }
+      }
+    }
+    if (victim_job == nullptr) {
+      break;
+    }
+    KillAttempt(*victim_job, victim_attempt, /*is_eviction=*/true);
+    --spare_total;
+  }
+
+  // Phase 4: hand spare tokens to jobs with pending work, round-robin.
+  bool assigned = true;
+  while (spare_total < spare_budget && assigned) {
+    assigned = false;
+    for (size_t id = 0; id < jobs_.size() && spare_total < spare_budget; ++id) {
+      JobState& job = jobs_[id];
+      if (!job.started || job.finished || !job.opts.use_spare_tokens) {
+        continue;
+      }
+      if (job.pending_head < job.pending.size()) {
+        int task = job.pending[job.pending_head++];
+        StartTask(job, static_cast<int>(id), task, /*spare=*/true, /*speculative=*/false);
+        ++spare_total;
+        assigned = true;
+      }
+    }
+  }
+}
+
+void ClusterSimulator::SpeculationTick() {
+  if (unfinished_jobs_ == 0) {
+    return;
+  }
+  int up = UpSlots();
+  for (size_t id = 0; id < jobs_.size(); ++id) {
+    JobState& job = jobs_[id];
+    if (!job.started || job.finished) {
+      continue;
+    }
+    // Duplicates only launch into genuinely free spare headroom; launching into a
+    // saturated cluster just gets the copy evicted and churns.
+    int running_total = 0;
+    int guaranteed_total = 0;
+    for (const auto& j : jobs_) {
+      running_total += j.running_guaranteed + j.running_spare;
+      guaranteed_total += j.running_guaranteed;
+    }
+    int spare_headroom = up - guaranteed_total - background_slots_ -
+                         (running_total - guaranteed_total);
+    // Collect straggler candidates first; launching mutates job.running.
+    std::vector<int> stragglers;
+    for (const auto& [attempt, running] : job.running) {
+      if (running.speculative) {
+        continue;
+      }
+      const RunningStats& baseline =
+          job.stage_exec_stats[static_cast<size_t>(job.tracker->StageOf(running.flat_task))];
+      if (static_cast<int>(baseline.count()) < config_.speculation_min_samples) {
+        continue;
+      }
+      double elapsed = eq_.now() - running.exec_start;
+      if (elapsed < config_.speculation_slowdown * baseline.mean()) {
+        continue;
+      }
+      if (HasRunningCopy(job, running.flat_task, attempt)) {
+        continue;  // already has a duplicate
+      }
+      if (job.speculation_budget_used[static_cast<size_t>(running.flat_task)] >=
+          config_.speculation_max_per_task) {
+        continue;  // duplicate budget exhausted for this task
+      }
+      stragglers.push_back(running.flat_task);
+    }
+    for (int task : stragglers) {
+      if (running_total >= up || spare_headroom <= 0) {
+        break;  // no free headroom; launching would only trigger an eviction
+      }
+      ++job.speculation_budget_used[static_cast<size_t>(task)];
+      StartTask(job, static_cast<int>(id), task, /*spare=*/true, /*speculative=*/true);
+      ++job.result.speculative_launched;
+      ++running_total;
+      --spare_headroom;
+    }
+  }
+  eq_.ScheduleAfter(config_.speculation_check_period_seconds, [this]() { SpeculationTick(); });
+}
+
+void ClusterSimulator::ScheduleMachineFailure() {
+  if (config_.machine_failure_rate_per_hour <= 0.0) {
+    return;
+  }
+  double mean_gap = 3600.0 / (config_.machine_failure_rate_per_hour * config_.num_machines);
+  eq_.ScheduleAfter(rng_.Exponential(mean_gap), [this]() {
+    if (unfinished_jobs_ == 0) {
+      return;
+    }
+    int machine = static_cast<int>(rng_.UniformInt(0, config_.num_machines - 1));
+    if (machines_[static_cast<size_t>(machine)].up) {
+      machines_[static_cast<size_t>(machine)].up = false;
+      for (auto& job : jobs_) {
+        if (!job.started || job.finished) {
+          continue;
+        }
+        std::vector<uint64_t> victims;
+        for (const auto& [attempt, running] : job.running) {
+          if (running.machine == machine) {
+            victims.push_back(attempt);
+          }
+        }
+        for (uint64_t attempt : victims) {
+          ++job.result.machine_failure_kills;
+          KillAttempt(job, attempt, /*is_eviction=*/false);
+        }
+      }
+      eq_.ScheduleAfter(config_.machine_recovery_seconds, [this, machine]() {
+        machines_[static_cast<size_t>(machine)].up = true;
+        if (unfinished_jobs_ > 0) {
+          Reschedule();
+        }
+      });
+      Reschedule();
+    }
+    ScheduleMachineFailure();
+  });
+}
+
+void ClusterSimulator::ClusterTick() {
+  // Periodic cluster tick: refreshes background demand and triggers evictions even
+  // when no job event fires.
+  if (unfinished_jobs_ == 0) {
+    return;
+  }
+  Reschedule();
+  eq_.ScheduleAfter(config_.background.update_period_seconds, [this]() { ClusterTick(); });
+}
+
+void ClusterSimulator::Run(double max_seconds) {
+  ScheduleMachineFailure();
+  eq_.ScheduleAfter(config_.background.update_period_seconds, [this]() { ClusterTick(); });
+  if (config_.enable_speculation) {
+    eq_.ScheduleAfter(config_.speculation_check_period_seconds, [this]() { SpeculationTick(); });
+  }
+
+  while (unfinished_jobs_ > 0 && !eq_.empty() && eq_.now() < max_seconds) {
+    eq_.Step();
+  }
+}
+
+const ClusterRunResult& ClusterSimulator::result(int job_id) const {
+  return jobs_[static_cast<size_t>(job_id)].result;
+}
+
+}  // namespace jockey

@@ -1,0 +1,194 @@
+// The shared-cluster simulator: this reproduction's stand-in for production Cosmos.
+//
+// Models the environment of Section 2:
+//  * token-based scheduling — each job holds guaranteed tokens; one running task
+//    consumes one token, released on completion;
+//  * spare capacity — slots left over after guaranteed demand and background demand
+//    are handed to jobs with pending tasks at *spare* priority;
+//  * eviction — when background demand rises, spare-priority tasks are killed (their
+//    progress lost) to make room, the paper's main source of latency variance;
+//  * contention — tasks started on a busy cluster run slower;
+//  * heterogeneity — persistent per-machine speed factors;
+//  * failures — per-task failures (from the job's ground-truth model) and machine
+//    failures that kill everything running on the machine.
+//
+// SLO jobs attach a JobController, which the simulator ticks once per control period;
+// the controller's only actuator is the job's guaranteed-token count — exactly
+// Jockey's mechanism (Section 2.6).
+
+#ifndef SRC_CLUSTER_CLUSTER_SIMULATOR_H_
+#define SRC_CLUSTER_CLUSTER_SIMULATOR_H_
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cluster/cluster_config.h"
+#include "src/cluster/controller.h"
+#include "src/dag/dependency_tracker.h"
+#include "src/dag/trace.h"
+#include "src/util/event_queue.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+#include "src/workload/background_load.h"
+#include "src/workload/job_template.h"
+
+namespace jockey {
+
+// Token priority class of a job's guarantee (Section 3.1). Normal guaranteed tokens
+// serve after SuperHigh ones; SuperHigh tasks also intensify local contention for
+// everyone else — the downside that made the paper reject priority classes.
+enum class PriorityClass {
+  kNormal,
+  kSuperHigh,
+};
+
+// Per-job options at submission.
+struct JobSubmission {
+  SimTime submit_time = 0.0;
+  // Initial guaranteed tokens (a controller may change them at every tick).
+  int guaranteed_tokens = 10;
+  // Hard ceiling on the guarantee (the experiments use a 100-token slice).
+  int max_guaranteed_tokens = 100;
+  // Scales every task's execution time; models input-size variation across runs of a
+  // recurring job (Section 2.3 groups runs by input size).
+  double input_scale = 1.0;
+  // Whether the job may consume spare-priority tokens beyond its guarantee. The
+  // Section 2.4 experiment contrasts normal runs with guaranteed-capacity-only runs.
+  bool use_spare_tokens = true;
+  // Token priority class (Section 3.1's rejected design, implemented for the
+  // bench_ext_superhigh evaluation).
+  PriorityClass priority = PriorityClass::kNormal;
+  // Optional allocation policy, ticked every control_period_seconds.
+  JobController* controller = nullptr;
+  double control_period_seconds = 60.0;
+  // Per-job randomness; task durations for this job are drawn from a stream forked
+  // from this seed, so a job's luck is independent of other cluster activity.
+  uint64_t seed = 12345;
+};
+
+// Everything recorded about one job's execution on the cluster.
+struct ClusterRunResult {
+  RunTrace trace;
+  std::vector<AllocationSample> timeline;
+  // Integral of the guaranteed-token request over the job's lifetime, token-seconds.
+  // This is the "allocation requested by the policy" that Fig 4 compares against the
+  // oracle allocation.
+  double guaranteed_token_seconds = 0.0;
+  int evictions = 0;
+  int task_failures = 0;          // task-level failures (not evictions)
+  int machine_failure_kills = 0;  // tasks killed by machine failures
+  int speculative_launched = 0;   // duplicate copies started
+  int speculative_wins = 0;       // tasks whose duplicate finished first
+  int max_parallelism = 0;        // peak concurrently running tasks
+  double spare_task_fraction = 0.0;
+  bool finished = false;
+
+  double CompletionSeconds() const { return trace.CompletionSeconds(); }
+};
+
+class ClusterSimulator {
+ public:
+  explicit ClusterSimulator(const ClusterConfig& config);
+  ~ClusterSimulator();
+
+  ClusterSimulator(const ClusterSimulator&) = delete;
+  ClusterSimulator& operator=(const ClusterSimulator&) = delete;
+
+  // Registers a job. Must be called before Run(). Returns the job id.
+  int SubmitJob(const JobTemplate& job, const JobSubmission& opts);
+
+  // Runs until every submitted job finishes or the wall of simulated time is hit.
+  void Run(double max_seconds = 48.0 * 3600.0);
+
+  const ClusterRunResult& result(int job_id) const;
+  int num_jobs() const { return static_cast<int>(jobs_.size()); }
+
+  // The background-demand process; experiments inject overload episodes through it.
+  BackgroundLoad& background() { return background_; }
+
+  SimTime now() const { return eq_.now(); }
+  int TotalUpSlots() const;
+
+ private:
+  struct RunningTask {
+    int flat_task = -1;
+    int machine = -1;
+    SimTime attempt_start = 0.0;   // when the token was granted
+    SimTime exec_start = 0.0;      // after the dispatch delay
+    SimTime exec_end = 0.0;        // scheduled finish (if not killed)
+    bool spare = false;
+    bool speculative = false;      // a duplicate copy of a still-running task
+    uint64_t attempt = 0;
+  };
+
+  struct JobState {
+    const JobTemplate* tmpl = nullptr;
+    JobSubmission opts;
+    std::unique_ptr<DependencyTracker> tracker;
+    std::unique_ptr<DependencyTracker::State> dag;
+    Rng rng{0};
+    // Pending = ready but not running. FIFO with head index.
+    std::vector<int> pending;
+    size_t pending_head = 0;
+    // Running attempts keyed by attempt id; a task may have two attempts running at
+    // once when speculation launched a duplicate.
+    std::unordered_map<uint64_t, RunningTask> running;
+    // Mean observed execution time per stage (speculation baseline).
+    std::vector<RunningStats> stage_exec_stats;
+    // Speculative launches already spent per task (caps duplicate churn).
+    std::vector<uint8_t> speculation_budget_used;
+    int running_guaranteed = 0;
+    int running_spare = 0;
+    int guaranteed_tokens = 0;
+    uint64_t next_attempt = 1;
+    // Per-task records, indexed by flat task id.
+    std::vector<TaskRecord> records;
+    std::vector<bool> ever_ready;
+    int spare_completions = 0;
+    int completions = 0;
+    SimTime last_alloc_change = 0.0;
+    bool started = false;
+    bool finished = false;
+    ClusterRunResult result;
+  };
+
+  struct Machine {
+    double speed = 1.0;
+    bool up = true;
+  };
+
+  void StartJob(int job_id);
+  void ControlTick(int job_id);
+  void Reschedule();
+  void StartTask(JobState& job, int job_id, int flat_task, bool spare, bool speculative);
+  void OnTaskComplete(int job_id, uint64_t attempt);
+  // Kills a running attempt (eviction or machine failure); requeues the task unless
+  // another copy of it is still running. Invalidates the iterator.
+  void KillAttempt(JobState& job, uint64_t attempt, bool is_eviction);
+  // True if some running attempt of `job` executes `flat_task`.
+  static bool HasRunningCopy(const JobState& job, int flat_task, uint64_t excluding);
+  void SpeculationTick();
+  void FinishJob(int job_id);
+  void AccumulateGuaranteedSeconds(JobState& job);
+  void ScheduleMachineFailure();
+  void ClusterTick();
+  void DrainReady(JobState& job);
+  int UpSlots() const;
+  double CurrentUtilization() const;
+
+  ClusterConfig config_;
+  EventQueue eq_;
+  Rng rng_;
+  BackgroundLoad background_;
+  std::vector<Machine> machines_;
+  std::vector<JobState> jobs_;
+  int unfinished_jobs_ = 0;
+  int background_slots_ = 0;   // background demand currently granted
+  int background_demand_ = 0;  // background demand requested (may exceed capacity)
+};
+
+}  // namespace jockey
+
+#endif  // SRC_CLUSTER_CLUSTER_SIMULATOR_H_

@@ -1,0 +1,70 @@
+#include "src/core/admission.h"
+
+#include <algorithm>
+
+namespace jockey {
+
+AdmissionController::AdmissionController(int total_tokens) : total_tokens_(total_tokens) {}
+
+int AdmissionController::PeakReserved(SimTime start, SimTime end) const {
+  // Sweep over reservation boundaries inside [start, end). Reservation counts are
+  // small (one per admitted SLO job), so the quadratic sweep is fine.
+  std::vector<SimTime> points = {start};
+  for (const auto& r : reservations_) {
+    if (r.start > start && r.start < end) {
+      points.push_back(r.start);
+    }
+  }
+  int peak = 0;
+  for (SimTime t : points) {
+    int active = 0;
+    for (const auto& r : reservations_) {
+      if (r.start <= t && t < r.end) {
+        active += r.tokens;
+      }
+    }
+    peak = std::max(peak, active);
+  }
+  return peak;
+}
+
+AdmissionDecision AdmissionController::Admit(const std::string& job_name, const Jockey& model,
+                                             SimTime now, double deadline_seconds) {
+  AdmissionDecision decision;
+  SimTime end = now + deadline_seconds;
+  int available = total_tokens_ - PeakReserved(now, end);
+  if (available < 1) {
+    decision.reason = "no guaranteed tokens available in the deadline window";
+    return decision;
+  }
+  // Minimum reservation whose slack-adjusted worst-case prediction meets the
+  // deadline. WouldFit is monotone in tokens, so scan upward.
+  for (int tokens = 1; tokens <= available; ++tokens) {
+    if (model.WouldFit(deadline_seconds, tokens)) {
+      decision.admitted = true;
+      decision.reserved_tokens = tokens;
+      reservations_.push_back(Reservation{job_name, now, end, tokens});
+      return decision;
+    }
+  }
+  decision.reason = model.WouldFit(deadline_seconds, total_tokens_)
+                        ? "the job fits alone but not alongside existing reservations"
+                        : "deadline infeasible even with the whole budget";
+  return decision;
+}
+
+void AdmissionController::ReleaseExpired(SimTime now) {
+  reservations_.erase(
+      std::remove_if(reservations_.begin(), reservations_.end(),
+                     [now](const Reservation& r) { return r.end <= now; }),
+      reservations_.end());
+}
+
+void AdmissionController::Release(const std::string& job_name) {
+  reservations_.erase(
+      std::remove_if(reservations_.begin(), reservations_.end(),
+                     [&](const Reservation& r) { return r.job_name == job_name; }),
+      reservations_.end());
+}
+
+}  // namespace jockey

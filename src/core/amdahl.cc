@@ -1,0 +1,45 @@
+#include "src/core/amdahl.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace jockey {
+
+AmdahlModel::AmdahlModel(const JobGraph& graph, const JobProfile& profile) {
+  int s_count = graph.num_stages();
+  ls_.resize(static_cast<size_t>(s_count));
+  ts_.resize(static_cast<size_t>(s_count));
+  for (int s = 0; s < s_count; ++s) {
+    ls_[static_cast<size_t>(s)] = profile.stage(s).max_task_seconds;
+    ts_[static_cast<size_t>(s)] = profile.stage(s).total_exec_seconds;
+  }
+  auto inclusive = graph.LongestPathToEnd(ls_);
+  suffix_.resize(ls_.size());
+  for (size_t s = 0; s < ls_.size(); ++s) {
+    suffix_[s] = inclusive[s] - ls_[s];
+    s0_ = std::max(s0_, inclusive[s]);
+    p0_ += ts_[s];
+  }
+}
+
+double AmdahlModel::PredictRemaining(const std::vector<double>& frac_complete,
+                                     double allocation) const {
+  assert(allocation >= 1.0);
+  assert(frac_complete.size() == ls_.size());
+  double st = 0.0;
+  double pt = 0.0;
+  for (size_t s = 0; s < ls_.size(); ++s) {
+    if (frac_complete[s] < 1.0) {
+      st = std::max(st, (1.0 - frac_complete[s]) * ls_[s] + suffix_[s]);
+      pt += (1.0 - frac_complete[s]) * ts_[s];
+    }
+  }
+  return st + std::max(0.0, pt - st) / allocation;
+}
+
+double AmdahlModel::PredictTotal(double allocation) const {
+  assert(allocation >= 1.0);
+  return s0_ + std::max(0.0, p0_ - s0_) / allocation;
+}
+
+}  // namespace jockey

@@ -1,0 +1,53 @@
+// The Amdahl's-Law completion-time model (Section 4.1).
+//
+// "Amdahl's Law states that if the serial part of a program takes time S to execute
+// on a single processor, and the parallel part takes time P, then running the program
+// with N processors takes S + P/N time. In our case, we let S be the length of the
+// critical path of the job and P be the aggregate CPU time spent executing the job,
+// minus the time on the critical path."
+//
+// At runtime, with f_s the fraction of finished tasks in stage s,
+//   S_t = max_{s : f_s < 1} (1 - f_s) l_s + L_s        (remaining critical path)
+//   P_t = sum_{s : f_s < 1} (1 - f_s) T_s              (remaining total work)
+// and the remaining completion time at allocation a is S_t + max(0, P_t - S_t) / a.
+//
+// This is the predictor behind the "Jockey w/o simulator" baseline; the evaluation
+// (Fig 8) shows it is less accurate than the simulator at small allocations.
+
+#ifndef SRC_CORE_AMDAHL_H_
+#define SRC_CORE_AMDAHL_H_
+
+#include <vector>
+
+#include "src/dag/job_graph.h"
+#include "src/dag/profile.h"
+
+namespace jockey {
+
+class AmdahlModel {
+ public:
+  AmdahlModel(const JobGraph& graph, const JobProfile& profile);
+
+  // Remaining completion seconds at `allocation` tokens given per-stage completed
+  // fractions. Requires allocation >= 1.
+  double PredictRemaining(const std::vector<double>& frac_complete, double allocation) const;
+
+  // Prediction for a fresh job (no progress).
+  double PredictTotal(double allocation) const;
+
+  // Critical path of the whole job under the profile's longest tasks.
+  double CriticalPathSeconds() const { return s0_; }
+  // Aggregate CPU seconds of the whole job.
+  double TotalWorkSeconds() const { return p0_; }
+
+ private:
+  std::vector<double> ls_;      // longest task per stage
+  std::vector<double> suffix_;  // L_s: longest path strictly after stage s
+  std::vector<double> ts_;      // total CPU seconds per stage
+  double s0_ = 0.0;
+  double p0_ = 0.0;
+};
+
+}  // namespace jockey
+
+#endif  // SRC_CORE_AMDAHL_H_

@@ -1,0 +1,231 @@
+#include "src/core/arbiter.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace jockey {
+
+// Internal per-job state: the model, utility, the latest runtime status reported by
+// the cluster, and the smoothed assignment.
+struct MultiJobArbiter::ManagedJob {
+  std::shared_ptr<const Jockey> model;
+  PiecewiseLinear utility;
+  PiecewiseLinear shifted_utility;  // utility shifted left by the dead zone
+  double importance = 1.0;
+  std::unique_ptr<Adapter> adapter;
+
+  // Latest observation; valid once started.
+  bool started = false;
+  bool finished = false;
+  JobRuntimeStatus status;
+  double progress = 0.0;
+  double smoothed = -1.0;
+  // Tokens this job currently holds on the cluster (grants change only at the job's
+  // own tick, so the arbiter must respect what others are holding right now).
+  int last_granted = 0;
+};
+
+// The JobController the cluster ticks; it records the job's status, triggers a global
+// rebalance, and returns this job's share.
+class MultiJobArbiter::Adapter : public JobController {
+ public:
+  Adapter(MultiJobArbiter* arbiter, int index) : arbiter_(arbiter), index_(index) {}
+
+  ControlDecision OnTick(const JobRuntimeStatus& status) override {
+    ManagedJob& job = *arbiter_->jobs_[static_cast<size_t>(index_)];
+    job.started = true;
+    job.finished = status.total_tasks > 0 && status.completed_tasks == status.total_tasks;
+    job.status = status;
+    job.progress = job.model->indicator().Evaluate(status.frac_complete);
+    arbiter_->Rebalance();
+    // Other jobs' grants only change at their own ticks; never hand out more than the
+    // budget minus what the rest currently holds (floored at the per-job minimum, so
+    // the transient worst case overshoots by at most that floor).
+    int held_by_others = 0;
+    for (size_t k = 0; k < arbiter_->jobs_.size(); ++k) {
+      if (static_cast<int>(k) != index_ && !arbiter_->jobs_[k]->finished) {
+        held_by_others += arbiter_->jobs_[k]->last_granted;
+      }
+    }
+    int share = arbiter_->last_assignment_[static_cast<size_t>(index_)];
+    int granted = std::clamp(share, arbiter_->config_.min_tokens_per_job,
+                             std::max(arbiter_->config_.min_tokens_per_job,
+                                      arbiter_->config_.total_tokens - held_by_others));
+    job.last_granted = granted;
+    return ControlDecision{granted, static_cast<double>(share)};
+  }
+
+  void OnFinished(SimTime) override {
+    ManagedJob& job = *arbiter_->jobs_[static_cast<size_t>(index_)];
+    job.finished = true;
+    job.last_granted = 0;
+  }
+
+ private:
+  MultiJobArbiter* arbiter_;
+  int index_;
+};
+
+MultiJobArbiter::MultiJobArbiter(ArbiterConfig config) : config_(config) {}
+
+MultiJobArbiter::~MultiJobArbiter() = default;
+
+int MultiJobArbiter::AddJob(std::shared_ptr<const Jockey> model, PiecewiseLinear utility,
+                            double importance) {
+  assert(model != nullptr);
+  int index = static_cast<int>(jobs_.size());
+  auto job = std::make_unique<ManagedJob>();
+  job->model = std::move(model);
+  job->shifted_utility = utility.ShiftLeft(config_.control.dead_zone_seconds);
+  job->utility = std::move(utility);
+  job->importance = importance;
+  job->adapter = std::make_unique<Adapter>(this, index);
+  jobs_.push_back(std::move(job));
+  last_assignment_.push_back(0);
+  return index;
+}
+
+JobController* MultiJobArbiter::ControllerFor(int index) {
+  return jobs_[static_cast<size_t>(index)]->adapter.get();
+}
+
+void MultiJobArbiter::SetUtility(int index, PiecewiseLinear utility) {
+  ManagedJob& job = *jobs_[static_cast<size_t>(index)];
+  job.shifted_utility = utility.ShiftLeft(config_.control.dead_zone_seconds);
+  job.utility = std::move(utility);
+}
+
+double MultiJobArbiter::ExpectedUtility(const ManagedJob& job, double allocation) const {
+  double predicted = config_.control.slack *
+                     job.model->table().Predict(job.progress, allocation,
+                                                config_.control.prediction_quantile);
+  return job.importance * job.shifted_utility(job.status.elapsed_seconds + predicted);
+}
+
+void MultiJobArbiter::Rebalance() {
+  // Active = started and unfinished. Inactive jobs hold zero tokens.
+  std::vector<size_t> active;
+  for (size_t i = 0; i < jobs_.size(); ++i) {
+    if (jobs_[i]->started && !jobs_[i]->finished) {
+      active.push_back(i);
+    } else {
+      last_assignment_[i] = 0;
+    }
+  }
+  if (active.empty()) {
+    return;
+  }
+
+  // Greedy water-filling on raw allocations.
+  std::vector<int> raw(active.size(), config_.min_tokens_per_job);
+  int budget = config_.total_tokens -
+               config_.min_tokens_per_job * static_cast<int>(active.size());
+  std::vector<double> utility_now(active.size());
+  for (size_t k = 0; k < active.size(); ++k) {
+    utility_now[k] = ExpectedUtility(*jobs_[active[k]], raw[k]);
+  }
+  // Per-job "satisfaction point": the minimum allocation achieving the job's maximum
+  // attainable utility within the whole budget. Deadline utilities are flat-then-
+  // cliff (non-concave), so token-by-token water-filling would equalize lateness
+  // across jobs instead of pushing individual jobs over their deadline cliff; the
+  // jump to a_star is the move that meets a deadline outright.
+  std::vector<int> a_star(active.size());
+  for (size_t k = 0; k < active.size(); ++k) {
+    const ManagedJob& job = *jobs_[active[k]];
+    double best_u = 0.0;
+    int best_a = config_.min_tokens_per_job;
+    bool first = true;
+    for (int a = config_.min_tokens_per_job; a <= config_.total_tokens; ++a) {
+      double u = ExpectedUtility(job, a);
+      if (first || u > best_u + 1e-9) {
+        best_u = u;
+        best_a = a;
+        first = false;
+      }
+    }
+    a_star[k] = best_a;
+  }
+
+  // Greedy with multi-step lookahead. Fixed small blocks cross prediction plateaus
+  // (grid interpolation makes one-token gains zero); the a_star jump crosses utility
+  // cliffs. The per-token gain rate decides among them.
+  while (budget >= config_.grant_step) {
+    double best_rate = 1e-12;  // utility gain per token must be strictly positive
+    int best = -1;
+    int best_block = 0;
+    double best_next = 0.0;
+    for (size_t k = 0; k < active.size(); ++k) {
+      int jump = a_star[k] - raw[k];
+      for (int block : {config_.grant_step, 5 * config_.grant_step, 15 * config_.grant_step,
+                        jump}) {
+        if (block <= 0 || block > budget) {
+          continue;
+        }
+        double next = ExpectedUtility(*jobs_[active[k]], raw[k] + block);
+        double rate = (next - utility_now[k]) / static_cast<double>(block);
+        if (rate > best_rate) {
+          best_rate = rate;
+          best = static_cast<int>(k);
+          best_block = block;
+          best_next = next;
+        }
+      }
+    }
+    if (best < 0) {
+      break;  // nobody's utility improves: leave the rest of the budget unallocated
+    }
+    raw[static_cast<size_t>(best)] += best_block;
+    utility_now[static_cast<size_t>(best)] = best_next;
+    budget -= best_block;
+  }
+
+  // Per-job hysteresis with the snap-to-target convergence of the single-job loop.
+  for (size_t k = 0; k < active.size(); ++k) {
+    ManagedJob& job = *jobs_[active[k]];
+    if (job.smoothed < 0.0) {
+      job.smoothed = raw[k];
+    } else {
+      job.smoothed += config_.control.hysteresis_alpha * (raw[k] - job.smoothed);
+      if (std::abs(job.smoothed - raw[k]) < 0.5) {
+        job.smoothed = raw[k];
+      }
+    }
+    last_assignment_[active[k]] = static_cast<int>(std::ceil(job.smoothed - 1e-9));
+  }
+
+  // Smoothing can transiently overshoot the budget when one job releases and another
+  // grabs; trim the overshoot from the job most over-provisioned relative to the
+  // greedy solution (ties broken by highest current utility), so a job sitting at its
+  // computed need is never squeezed below it.
+  int total = 0;
+  for (size_t k = 0; k < active.size(); ++k) {
+    total += last_assignment_[active[k]];
+  }
+  while (total > config_.total_tokens) {
+    size_t best_k = active.size();
+    double best_surplus = -1e18;
+    double best_u = -1e18;
+    for (size_t k = 0; k < active.size(); ++k) {
+      if (last_assignment_[active[k]] <= config_.min_tokens_per_job) {
+        continue;
+      }
+      double surplus = static_cast<double>(last_assignment_[active[k]] - raw[k]);
+      double u = ExpectedUtility(*jobs_[active[k]], last_assignment_[active[k]]);
+      if (surplus > best_surplus + 1e-9 ||
+          (surplus > best_surplus - 1e-9 && u > best_u)) {
+        best_surplus = surplus;
+        best_u = u;
+        best_k = k;
+      }
+    }
+    if (best_k == active.size()) {
+      break;  // everyone is at the floor
+    }
+    --last_assignment_[active[best_k]];
+    jobs_[active[best_k]]->smoothed = last_assignment_[active[best_k]];
+    --total;
+  }
+}
+
+}  // namespace jockey

@@ -1,0 +1,35 @@
+#include "src/core/completion_model.h"
+
+namespace jockey {
+
+CompletionTable BuildCompletionTable(const JobGraph& graph, const JobProfile& profile,
+                                     const ProgressIndicator& indicator,
+                                     const CompletionModelConfig& config) {
+  CompletionTable table(config.allocation_grid, config.num_progress_buckets);
+  JobSimulator sim(graph, profile, config.simulator);
+  Rng rng(config.seed);
+
+  for (size_t ai = 0; ai < config.allocation_grid.size(); ++ai) {
+    int allocation = config.allocation_grid[ai];
+    for (int run = 0; run < config.runs_per_allocation; ++run) {
+      // Collect (progress, time) pairs during the run; remaining time is only known
+      // once the run completes.
+      std::vector<std::pair<double, double>> observations;
+      Rng run_rng = rng.Fork();
+      SimRunResult result = sim.Run(
+          allocation, run_rng, [&](SimTime now, const std::vector<double>& frac_complete) {
+            observations.emplace_back(indicator.Evaluate(frac_complete), now);
+          });
+      for (const auto& [progress, t] : observations) {
+        if (t <= result.completion_seconds) {
+          table.AddSample(progress, static_cast<int>(ai), result.completion_seconds - t);
+        }
+      }
+      // Completion itself: zero remaining time at full progress.
+      table.AddSample(1.0, static_cast<int>(ai), 0.0);
+    }
+  }
+  return table;
+}
+
+}  // namespace jockey

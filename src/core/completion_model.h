@@ -1,0 +1,42 @@
+// Offline estimation of C(p, a) (Section 4.1, "Job simulator and the offline
+// estimation").
+//
+// BuildCompletionTable() repeatedly simulates the job at every allocation on the grid
+// with Jockey's offline job simulator. During each simulated run, the progress
+// indicator is evaluated on the per-stage completion fractions at a fixed sampling
+// period, and each (progress, allocation, remaining-time) observation becomes one
+// sample of C(p, a). The resulting table is what the runtime control loop queries —
+// the simulator itself is never invoked online (the paper's key engineering choice
+// for a fast control loop).
+
+#ifndef SRC_CORE_COMPLETION_MODEL_H_
+#define SRC_CORE_COMPLETION_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/progress.h"
+#include "src/dag/job_graph.h"
+#include "src/dag/profile.h"
+#include "src/sim/completion_table.h"
+#include "src/sim/job_simulator.h"
+
+namespace jockey {
+
+struct CompletionModelConfig {
+  // Token grid simulated offline; runtime queries interpolate between grid points.
+  std::vector<int> allocation_grid = {2, 5, 10, 15, 20, 25, 30, 40, 50, 60, 70, 80, 90, 100};
+  // Monte Carlo runs per grid allocation.
+  int runs_per_allocation = 10;
+  int num_progress_buckets = 60;
+  JobSimulatorConfig simulator;
+  uint64_t seed = 7;
+};
+
+CompletionTable BuildCompletionTable(const JobGraph& graph, const JobProfile& profile,
+                                     const ProgressIndicator& indicator,
+                                     const CompletionModelConfig& config = CompletionModelConfig());
+
+}  // namespace jockey
+
+#endif  // SRC_CORE_COMPLETION_MODEL_H_

@@ -1,0 +1,180 @@
+#include "src/core/control_loop.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace jockey {
+
+JockeyController::JockeyController(std::shared_ptr<const ProgressIndicator> indicator,
+                                   std::shared_ptr<const CompletionTable> table,
+                                   PiecewiseLinear utility, ControlLoopConfig config)
+    : indicator_(std::move(indicator)),
+      table_(std::move(table)),
+      utility_(std::move(utility)),
+      config_(config) {
+  assert(indicator_ != nullptr);
+  assert(table_ != nullptr);
+}
+
+JockeyController::JockeyController(std::shared_ptr<const ProgressIndicator> indicator,
+                                   std::shared_ptr<const AmdahlModel> amdahl,
+                                   PiecewiseLinear utility, ControlLoopConfig config)
+    : indicator_(std::move(indicator)),
+      amdahl_(std::move(amdahl)),
+      utility_(std::move(utility)),
+      config_(config) {
+  assert(indicator_ != nullptr);
+  assert(amdahl_ != nullptr);
+}
+
+double JockeyController::PredictRemaining(double progress,
+                                          const std::vector<double>& frac_complete,
+                                          double allocation) const {
+  double raw = table_ != nullptr
+                   ? table_->Predict(progress, allocation, config_.prediction_quantile)
+                   : amdahl_->PredictRemaining(frac_complete, allocation);
+  if (config_.enable_model_correction && ticks_seen_ >= config_.correction_warmup_ticks) {
+    // speed < 1 means model time passes slower than wall clock; inflate accordingly.
+    raw /= speed_estimate_;
+  }
+  return raw;
+}
+
+void JockeyController::UpdateModelSpeed(double elapsed, double progress,
+                                        const std::vector<double>& frac) {
+  if (!config_.enable_model_correction) {
+    return;
+  }
+  // Remaining time under the *uncorrected* model at the previously held allocation;
+  // holding the allocation fixed across the two observations cancels the allocation
+  // term, isolating how fast model-time actually elapsed.
+  if (prev_allocation_ > 0.0 && elapsed > prev_elapsed_ + 1e-9) {
+    double now_remaining =
+        table_ != nullptr
+            ? table_->Predict(progress, prev_allocation_, config_.prediction_quantile)
+            : amdahl_->PredictRemaining(frac, prev_allocation_);
+    double speed = (prev_remaining_ - now_remaining) / (elapsed - prev_elapsed_);
+    speed = std::clamp(speed, config_.correction_min_speed, config_.correction_max_speed);
+    speed_estimate_ += config_.correction_ewma * (speed - speed_estimate_);
+  }
+  ++ticks_seen_;
+}
+
+int JockeyController::RawAllocation(double elapsed, double progress,
+                                    const std::vector<double>& frac_complete,
+                                    const PiecewiseLinear& shifted_utility) const {
+  double best_utility = 0.0;
+  int best_allocation = config_.max_tokens;
+  bool first = true;
+  for (int a = config_.min_tokens; a <= config_.max_tokens; ++a) {
+    double predicted = config_.slack * PredictRemaining(progress, frac_complete, a);
+    double u = shifted_utility(elapsed + predicted);
+    // Strictly-greater keeps the *minimum* allocation among utility maximizers, since
+    // we scan allocations in ascending order. A tiny epsilon absorbs interpolation
+    // noise so a large allocation must improve utility meaningfully to be chosen.
+    if (first || u > best_utility + 1e-9) {
+      best_utility = u;
+      best_allocation = a;
+      first = false;
+    }
+  }
+  return best_allocation;
+}
+
+ControlDecision JockeyController::OnTick(const JobRuntimeStatus& status) {
+  if (pending_change_at_ >= 0.0 && status.elapsed_seconds >= pending_change_at_) {
+    utility_ = pending_utility_;
+    pending_change_at_ = -1.0;
+  }
+
+  double progress = indicator_->Evaluate(status.frac_complete);
+  UpdateModelSpeed(status.elapsed_seconds, progress, status.frac_complete);
+  PiecewiseLinear shifted = utility_.ShiftLeft(config_.dead_zone_seconds);
+  int raw = RawAllocation(status.elapsed_seconds, progress, status.frac_complete, shifted);
+
+  if (smoothed_ < 0.0) {
+    // First tick: adopt the raw allocation outright (there is no history to smooth
+    // against); this is also the a-priori allocation of "Jockey w/o adaptation".
+    smoothed_ = raw;
+  } else if (raw > smoothed_) {
+    // Dead zone: only chase an increase when the current allocation is predicted to
+    // fall short of the best achievable utility, i.e. the job is at least D behind
+    // schedule (the utility is already shifted left by D).
+    double predicted_cur =
+        config_.slack * PredictRemaining(progress, status.frac_complete, smoothed_);
+    double u_cur = shifted(status.elapsed_seconds + predicted_cur);
+    double predicted_raw =
+        config_.slack * PredictRemaining(progress, status.frac_complete, raw);
+    double u_best = shifted(status.elapsed_seconds + predicted_raw);
+    if (u_cur < u_best - 1e-9) {
+      smoothed_ += config_.hysteresis_alpha * (raw - smoothed_);
+    }
+  } else {
+    smoothed_ += config_.hysteresis_alpha * (raw - smoothed_);
+  }
+  // Exponential smoothing approaches the raw value asymptotically; snap the final
+  // half-token so a steady raw target is actually reached.
+  if (std::abs(smoothed_ - raw) < 0.5) {
+    smoothed_ = raw;
+  }
+  smoothed_ = std::clamp(smoothed_, static_cast<double>(config_.min_tokens),
+                         static_cast<double>(config_.max_tokens));
+
+  int granted = static_cast<int>(std::ceil(smoothed_ - 1e-9));
+
+  ControlTickLog tick;
+  tick.elapsed_seconds = status.elapsed_seconds;
+  tick.progress = progress;
+  tick.estimated_completion_seconds =
+      status.elapsed_seconds + PredictRemaining(progress, status.frac_complete, granted);
+  tick.raw_allocation = raw;
+  tick.smoothed_allocation = smoothed_;
+  log_.push_back(tick);
+
+  if (config_.enable_model_correction) {
+    // Record the uncorrected remaining estimate at the allocation we are about to
+    // hold, for the next tick's speed measurement.
+    prev_elapsed_ = status.elapsed_seconds;
+    prev_allocation_ = granted;
+    prev_remaining_ =
+        table_ != nullptr
+            ? table_->Predict(progress, granted, config_.prediction_quantile)
+            : amdahl_->PredictRemaining(status.frac_complete, granted);
+  }
+
+  return ControlDecision{granted, static_cast<double>(raw)};
+}
+
+int JockeyController::InitialAllocation() const {
+  std::vector<double> zeros;
+  if (table_ != nullptr) {
+    // The table knows progress only, not fractions; pass an empty vector for the
+    // fractions (unused on the table path).
+    return RawAllocation(0.0, 0.0, zeros, utility_.ShiftLeft(config_.dead_zone_seconds));
+  }
+  zeros.assign(static_cast<size_t>(0), 0.0);
+  // Amdahl path needs the fraction vector; PredictTotal covers the fresh-job case.
+  double best_utility = 0.0;
+  int best_allocation = config_.max_tokens;
+  bool first = true;
+  PiecewiseLinear shifted = utility_.ShiftLeft(config_.dead_zone_seconds);
+  for (int a = config_.min_tokens; a <= config_.max_tokens; ++a) {
+    double u = shifted(config_.slack * amdahl_->PredictTotal(a));
+    if (first || u > best_utility + 1e-9) {
+      best_utility = u;
+      best_allocation = a;
+      first = false;
+    }
+  }
+  return best_allocation;
+}
+
+void JockeyController::SetUtility(PiecewiseLinear utility) { utility_ = std::move(utility); }
+
+void JockeyController::ScheduleUtilityChange(double at_elapsed_seconds, PiecewiseLinear utility) {
+  pending_change_at_ = at_elapsed_seconds;
+  pending_utility_ = std::move(utility);
+}
+
+}  // namespace jockey

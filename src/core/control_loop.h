@@ -1,0 +1,139 @@
+// The resource-allocation control loop (Section 4.3).
+//
+// Every control period the loop:
+//   1. computes progress p from the per-stage completed fractions via the progress
+//      indicator;
+//   2. for each candidate allocation a, predicts remaining time C(p, a) (simulator
+//      table) or via the Amdahl model, multiplied by the slack factor;
+//   3. evaluates expected utility U_a = U(t_r + prediction) with the utility function
+//      shifted left by the dead zone D;
+//   4. picks the raw allocation A_r = argmin_a { a : U_a = max_b U_b } — the minimum
+//      allocation that maximizes utility;
+//   5. moderates: increases are applied only when the job is at least D behind
+//      schedule at its current allocation (dead zone); the applied allocation follows
+//      A_s += alpha (A_r - A_s) (hysteresis).
+//
+// Decreases pass through the hysteresis unconditionally, which is how Jockey releases
+// resources when a job runs ahead of schedule (Fig 6(c)) while the dead zone prevents
+// chasing noise upward.
+
+#ifndef SRC_CORE_CONTROL_LOOP_H_
+#define SRC_CORE_CONTROL_LOOP_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/cluster/controller.h"
+#include "src/core/amdahl.h"
+#include "src/core/progress.h"
+#include "src/sim/completion_table.h"
+#include "src/util/piecewise_linear.h"
+
+namespace jockey {
+
+struct ControlLoopConfig {
+  // Multiplies every latency prediction: compensates model under-estimation.
+  double slack = 1.2;
+  // Exponential smoothing coefficient in (0, 1]; 1 disables smoothing.
+  double hysteresis_alpha = 0.2;
+  // Shift of the utility function; the loop only reacts to increases when the job is
+  // at least this far behind schedule. The paper's default is 3 minutes.
+  double dead_zone_seconds = 180.0;
+  // The quantile of C(p, a) used as "the" prediction. The paper cares about the
+  // worst-case completion time, so the default is the maximum observed sample; this
+  // pessimism about failures and outliers is the simulator's safety buffer.
+  double prediction_quantile = 1.0;
+  int min_tokens = 1;
+  int max_tokens = 100;
+  // Online model-error feedback (the extension Section 5.6 proposes: "we could
+  // quickly update the model by running the simulator at runtime, or simply fall back
+  // ... once the control loop detects large errors in model predictions"). When
+  // enabled, the controller measures how fast the model's remaining-time estimate
+  // actually shrinks per second of wall clock at a held allocation; a systematic
+  // shortfall (e.g. an input 1.4x larger than training making every task slower)
+  // rescales all predictions by the inverse of the estimated speed. Off by default,
+  // matching the system the paper evaluated.
+  bool enable_model_correction = false;
+  double correction_ewma = 0.15;      // smoothing of the speed estimator
+  double correction_min_speed = 0.4;  // clamp: at most 2.5x prediction inflation
+  // The correction only ever *inflates* predictions (speed clamped at 1): progress
+  // faster than modeled is usually spare-capacity luck that can evaporate, so it is
+  // not treated as evidence the model is pessimistic.
+  double correction_max_speed = 1.0;
+  int correction_warmup_ticks = 5;    // ticks before the correction engages
+};
+
+// One control decision, logged for the progress-indicator evaluation (Figs 9/10).
+struct ControlTickLog {
+  double elapsed_seconds = 0.0;
+  double progress = 0.0;
+  // T_t: estimated completion time (elapsed + predicted remaining at the current
+  // allocation), before slack.
+  double estimated_completion_seconds = 0.0;
+  double raw_allocation = 0.0;
+  double smoothed_allocation = 0.0;
+};
+
+// Jockey's allocation policy. With a CompletionTable this is full Jockey; with an
+// AmdahlModel it is the "Jockey w/o simulator" baseline.
+class JockeyController : public JobController {
+ public:
+  JockeyController(std::shared_ptr<const ProgressIndicator> indicator,
+                   std::shared_ptr<const CompletionTable> table, PiecewiseLinear utility,
+                   ControlLoopConfig config);
+
+  JockeyController(std::shared_ptr<const ProgressIndicator> indicator,
+                   std::shared_ptr<const AmdahlModel> amdahl, PiecewiseLinear utility,
+                   ControlLoopConfig config);
+
+  ControlDecision OnTick(const JobRuntimeStatus& status) override;
+
+  // The allocation the policy picks before the job starts (progress 0, elapsed 0).
+  // "Jockey w/o adaptation" runs the whole job at this fixed value.
+  int InitialAllocation() const;
+
+  // Replaces the utility function mid-run; models SLO changes after job submission
+  // (Fig 7). Takes effect at the next tick.
+  void SetUtility(PiecewiseLinear utility);
+
+  // Schedules a utility replacement once elapsed time reaches `at_elapsed_seconds`.
+  void ScheduleUtilityChange(double at_elapsed_seconds, PiecewiseLinear utility);
+
+  const std::vector<ControlTickLog>& log() const { return log_; }
+  const ControlLoopConfig& config() const { return config_; }
+
+  // Current model-speed estimate (1.0 = predictions on track, < 1 = the job runs
+  // slower than the model thinks). Meaningful when model correction is enabled.
+  double model_speed_estimate() const { return speed_estimate_; }
+
+ private:
+  // Predicted remaining seconds (before slack) at the given progress / fractions.
+  double PredictRemaining(double progress, const std::vector<double>& frac_complete,
+                          double allocation) const;
+  // The raw argmin-of-max-utility allocation.
+  int RawAllocation(double elapsed, double progress, const std::vector<double>& frac_complete,
+                    const PiecewiseLinear& shifted_utility) const;
+
+  // Updates the model-speed estimator from consecutive observations.
+  void UpdateModelSpeed(double elapsed, double progress, const std::vector<double>& frac);
+
+  std::shared_ptr<const ProgressIndicator> indicator_;
+  std::shared_ptr<const CompletionTable> table_;  // exactly one of table_/amdahl_ set
+  std::shared_ptr<const AmdahlModel> amdahl_;
+  PiecewiseLinear utility_;
+  ControlLoopConfig config_;
+  double smoothed_ = -1.0;  // < 0 until the first tick
+  std::vector<ControlTickLog> log_;
+  double pending_change_at_ = -1.0;
+  PiecewiseLinear pending_utility_;
+  // Model-correction state.
+  double speed_estimate_ = 1.0;
+  double prev_elapsed_ = -1.0;
+  double prev_remaining_ = -1.0;
+  double prev_allocation_ = -1.0;
+  int ticks_seen_ = 0;
+};
+
+}  // namespace jockey
+
+#endif  // SRC_CORE_CONTROL_LOOP_H_

@@ -1,0 +1,103 @@
+// The Jockey facade: the library's primary public entry point.
+//
+// Offline phase (Fig 2, left): construct a Jockey from the job's execution-plan graph
+// and a trace of a prior run. Construction extracts the JobProfile, builds the chosen
+// progress indicator, and precomputes the C(p, a) completion-time table with the
+// offline job simulator.
+//
+// Runtime phase (Fig 2, right): MakeController() produces a JockeyController for a
+// given utility function (or plain deadline); attach it to a job in the cluster and
+// the control loop takes over. MakeAmdahlController() gives the "Jockey w/o
+// simulator" variant; InitialAllocation() gives the quota for "Jockey w/o adaptation".
+//
+// Admission support (Section 1): WouldFit() checks whether a deadline is achievable
+// within a token budget, and FeasibleDeadline() (the critical path) is the absolute
+// lower bound of Section 2.2.
+
+#ifndef SRC_CORE_JOCKEY_H_
+#define SRC_CORE_JOCKEY_H_
+
+#include <memory>
+
+#include "src/core/amdahl.h"
+#include "src/core/completion_model.h"
+#include "src/core/control_loop.h"
+#include "src/core/progress.h"
+#include "src/core/utility.h"
+#include "src/dag/job_graph.h"
+#include "src/dag/profile.h"
+#include "src/dag/trace.h"
+#include "src/sim/completion_table.h"
+
+namespace jockey {
+
+struct JockeyConfig {
+  IndicatorKind indicator = IndicatorKind::kTotalWorkWithQ;
+  CompletionModelConfig model;
+  ControlLoopConfig control;
+  // Section 4.4: "In practice, we build Jockey's offline distributions using the
+  // largest observed input because Jockey automatically adapts the allocation based
+  // on the actual resource needs during the lifetime of the job." Task-runtime
+  // statistics are scaled by this factor before the model is built; runs smaller than
+  // the largest observed input cause the controller to release resources (Fig 6(c)).
+  double largest_input_scale = 1.3;
+};
+
+class Jockey {
+ public:
+  // Trains from one prior run. `graph` must outlive the Jockey instance.
+  Jockey(const JobGraph& graph, const RunTrace& training_trace,
+         JockeyConfig config = JockeyConfig());
+
+  // Trains from an already-extracted profile (no trace; minstage falls back to
+  // simulated stage schedules).
+  Jockey(const JobGraph& graph, JobProfile profile, JockeyConfig config = JockeyConfig());
+
+  // Full Jockey: simulator-table-driven controller for the given utility. The
+  // control-config overloads support the sensitivity experiments (Figs 11-13), which
+  // vary slack / hysteresis / dead zone without retraining the model.
+  std::unique_ptr<JockeyController> MakeController(PiecewiseLinear utility) const;
+  std::unique_ptr<JockeyController> MakeController(double deadline_seconds) const;
+  std::unique_ptr<JockeyController> MakeController(PiecewiseLinear utility,
+                                                   const ControlLoopConfig& control) const;
+
+  // "Jockey w/o simulator": Amdahl-model-driven controller.
+  std::unique_ptr<JockeyController> MakeAmdahlController(PiecewiseLinear utility) const;
+  std::unique_ptr<JockeyController> MakeAmdahlController(double deadline_seconds) const;
+  std::unique_ptr<JockeyController> MakeAmdahlController(PiecewiseLinear utility,
+                                                         const ControlLoopConfig& control) const;
+
+  // The a-priori allocation for a deadline ("Jockey w/o adaptation" runs at this).
+  int InitialAllocation(double deadline_seconds) const;
+
+  // Worst-case predicted completion at `allocation` tokens from a standing start.
+  double PredictCompletionSeconds(double allocation) const;
+
+  // Minimum feasible deadline: the job's critical path under the trained profile.
+  double FeasibleDeadlineSeconds() const;
+
+  // Admission check: true if the predicted (slack-adjusted, worst-case) completion at
+  // `available_tokens` meets the deadline.
+  bool WouldFit(double deadline_seconds, int available_tokens) const;
+
+  const JobGraph& graph() const { return *graph_; }
+  const JobProfile& profile() const { return profile_; }
+  const CompletionTable& table() const { return *table_; }
+  const AmdahlModel& amdahl() const { return *amdahl_; }
+  const ProgressIndicator& indicator() const { return *indicator_; }
+  const JockeyConfig& config() const { return config_; }
+
+ private:
+  void Build(const RunTrace* training_trace);
+
+  const JobGraph* graph_;
+  JobProfile profile_;
+  JockeyConfig config_;
+  std::shared_ptr<const ProgressIndicator> indicator_;
+  std::shared_ptr<const CompletionTable> table_;
+  std::shared_ptr<const AmdahlModel> amdahl_;
+};
+
+}  // namespace jockey
+
+#endif  // SRC_CORE_JOCKEY_H_

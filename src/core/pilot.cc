@@ -1,0 +1,49 @@
+#include "src/core/pilot.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace jockey {
+
+JobGraph MakePilotGraph(const JobGraph& full, double sample_fraction) {
+  assert(sample_fraction > 0.0 && sample_fraction <= 1.0);
+  std::vector<StageSpec> stages = full.stages();
+  for (auto& stage : stages) {
+    stage.num_tasks = std::max(
+        1, static_cast<int>(std::ceil(sample_fraction * stage.num_tasks)));
+  }
+  return JobGraph(full.name() + "-pilot", std::move(stages));
+}
+
+JobTemplate MakePilotJob(const JobTemplate& full, double sample_fraction) {
+  JobTemplate pilot;
+  pilot.graph = MakePilotGraph(full.graph, sample_fraction);
+  pilot.runtime = full.runtime;
+  pilot.data_read_gb = full.data_read_gb * sample_fraction;
+  return pilot;
+}
+
+JobProfile ExtrapolateProfile(const JobGraph& full, const JobGraph& pilot,
+                              const RunTrace& pilot_trace) {
+  assert(full.num_stages() == pilot.num_stages());
+  JobProfile profile = JobProfile::FromTrace(pilot, pilot_trace);
+
+  // Rebuild per-stage statistics scaled to the full task counts.
+  std::vector<StageProfile> scaled(static_cast<size_t>(full.num_stages()));
+  for (int s = 0; s < full.num_stages(); ++s) {
+    const StageProfile& p = profile.stage(s);
+    StageProfile& out = scaled[static_cast<size_t>(s)];
+    double ratio = static_cast<double>(full.stage(s).num_tasks) /
+                   static_cast<double>(std::max(1, pilot.stage(s).num_tasks));
+    out = p;
+    out.num_tasks = full.stage(s).num_tasks;
+    out.total_exec_seconds = p.total_exec_seconds * ratio;
+    out.total_queue_seconds = p.total_queue_seconds * ratio;
+    // Max of n samples from a heavy-tailed distribution grows roughly with log n.
+    out.max_task_seconds = p.max_task_seconds * (1.0 + 0.12 * std::log2(std::max(1.0, ratio)));
+  }
+  return JobProfile::FromStages(std::move(scaled));
+}
+
+}  // namespace jockey

@@ -1,0 +1,38 @@
+// Novel-job support via input sampling (Section 4.4).
+//
+// "At this time, Jockey is only capable of meeting SLOs for jobs it has seen before.
+// ... Extending Jockey to support novel jobs, either through sampling or other
+// methods, is left for future work."
+//
+// The sampling method implemented here: build a *pilot* copy of the job that
+// processes a fraction of the input — each stage keeps ceil(f * n_s) of its tasks —
+// run the pilot once (cheap: f of the work), and extrapolate its trace into a profile
+// for the full job. Totals (Ts, Qs) scale with the task-count ratio; per-task runtime
+// and queueing distributions carry over unchanged; the longest-task estimate ls is
+// inflated logarithmically in the ratio, since the maximum of more samples from a
+// heavy-tailed distribution is larger than the maximum of few.
+
+#ifndef SRC_CORE_PILOT_H_
+#define SRC_CORE_PILOT_H_
+
+#include "src/dag/job_graph.h"
+#include "src/dag/profile.h"
+#include "src/dag/trace.h"
+#include "src/workload/job_template.h"
+
+namespace jockey {
+
+// The scaled-down execution plan: same stages and edges, ceil(f * n_s) tasks each.
+// Requires 0 < sample_fraction <= 1.
+JobGraph MakePilotGraph(const JobGraph& full, double sample_fraction);
+
+// The pilot as a runnable job (same ground-truth runtime models, fewer tasks).
+JobTemplate MakePilotJob(const JobTemplate& full, double sample_fraction);
+
+// Extrapolates the pilot run's statistics to the full job.
+JobProfile ExtrapolateProfile(const JobGraph& full, const JobGraph& pilot,
+                              const RunTrace& pilot_trace);
+
+}  // namespace jockey
+
+#endif  // SRC_CORE_PILOT_H_

@@ -1,0 +1,14 @@
+#include "src/core/policies.h"
+
+#include <cmath>
+
+namespace jockey {
+
+int OracleAllocation(double total_work_seconds, double deadline_seconds) {
+  if (deadline_seconds <= 0.0) {
+    return 1;
+  }
+  return static_cast<int>(std::ceil(total_work_seconds / deadline_seconds));
+}
+
+}  // namespace jockey

@@ -1,0 +1,48 @@
+// Baseline allocation policies compared against Jockey in Section 5.
+//
+//   * max allocation — guarantees the full experiment slice (100 tokens) for the
+//     job's whole lifetime; meets every deadline at maximal cluster impact.
+//   * fixed allocation — "Jockey w/o adaptation": the a-priori allocation computed
+//     from the job model, never adjusted.
+//
+// The oracle allocation O(T, d) = ceil(T / d) is the theoretical minimum (Section
+// 5.1); it is a measuring stick, not a runnable policy, because it presumes the total
+// work is known in advance and that the job can hold that exact parallelism
+// throughout.
+
+#ifndef SRC_CORE_POLICIES_H_
+#define SRC_CORE_POLICIES_H_
+
+#include "src/cluster/controller.h"
+
+namespace jockey {
+
+// Grants a constant number of guaranteed tokens forever.
+class FixedAllocationController : public JobController {
+ public:
+  explicit FixedAllocationController(int tokens) : tokens_(tokens) {}
+
+  ControlDecision OnTick(const JobRuntimeStatus&) override {
+    return ControlDecision{tokens_, static_cast<double>(tokens_)};
+  }
+
+  int tokens() const { return tokens_; }
+
+ private:
+  int tokens_;
+};
+
+// The max-allocation policy: a fixed allocation at the full experiment slice.
+class MaxAllocationController : public FixedAllocationController {
+ public:
+  explicit MaxAllocationController(int max_tokens = 100)
+      : FixedAllocationController(max_tokens) {}
+};
+
+// O(T, d): minimum tokens that could theoretically finish aggregate work of
+// `total_work_seconds` within `deadline_seconds`.
+int OracleAllocation(double total_work_seconds, double deadline_seconds);
+
+}  // namespace jockey
+
+#endif  // SRC_CORE_POLICIES_H_

@@ -1,0 +1,231 @@
+#include "src/core/progress.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/sim/job_simulator.h"
+
+namespace jockey {
+namespace {
+
+// totalworkWithQ / totalwork / vertexfrac are all stage-weighted sums of f_s.
+class WeightedSumIndicator : public ProgressIndicator {
+ public:
+  WeightedSumIndicator(IndicatorKind kind, std::vector<double> weights)
+      : kind_(kind), weights_(std::move(weights)) {
+    total_ = 0.0;
+    for (double w : weights_) {
+      total_ += w;
+    }
+  }
+
+  IndicatorKind kind() const override { return kind_; }
+
+  double Evaluate(const std::vector<double>& frac_complete) const override {
+    assert(frac_complete.size() == weights_.size());
+    if (total_ <= 0.0) {
+      return 1.0;
+    }
+    double sum = 0.0;
+    for (size_t s = 0; s < weights_.size(); ++s) {
+      sum += frac_complete[s] * weights_[s];
+    }
+    return std::clamp(sum / total_, 0.0, 1.0);
+  }
+
+ private:
+  IndicatorKind kind_;
+  std::vector<double> weights_;
+  double total_;
+};
+
+// cp: fraction of the job's critical path no longer remaining. The remaining critical
+// path S_t = max over unfinished stages of (1 - f_s) l_s + L_s, where L_s is the
+// longest path strictly after stage s (Section 4.1's Amdahl notation).
+class CriticalPathIndicator : public ProgressIndicator {
+ public:
+  CriticalPathIndicator(const JobGraph& graph, const JobProfile& profile) {
+    ls_.resize(static_cast<size_t>(graph.num_stages()));
+    for (int s = 0; s < graph.num_stages(); ++s) {
+      ls_[static_cast<size_t>(s)] = profile.stage(s).max_task_seconds;
+    }
+    auto inclusive = graph.LongestPathToEnd(ls_);
+    suffix_.resize(ls_.size());
+    cp0_ = 0.0;
+    for (size_t s = 0; s < ls_.size(); ++s) {
+      suffix_[s] = inclusive[s] - ls_[s];
+      cp0_ = std::max(cp0_, inclusive[s]);
+    }
+  }
+
+  IndicatorKind kind() const override { return IndicatorKind::kCriticalPath; }
+
+  double Evaluate(const std::vector<double>& frac_complete) const override {
+    assert(frac_complete.size() == ls_.size());
+    if (cp0_ <= 0.0) {
+      return 1.0;
+    }
+    double remaining = 0.0;
+    for (size_t s = 0; s < ls_.size(); ++s) {
+      if (frac_complete[s] < 1.0) {
+        remaining = std::max(remaining, (1.0 - frac_complete[s]) * ls_[s] + suffix_[s]);
+      }
+    }
+    return std::clamp(1.0 - remaining / cp0_, 0.0, 1.0);
+  }
+
+ private:
+  std::vector<double> ls_;
+  std::vector<double> suffix_;  // L_s: longest path after s
+  double cp0_ = 0.0;
+};
+
+// minstage / minstage-inf: progress is the stage furthest behind its typical relative
+// schedule, min over unfinished stages of tb_s + f_s (te_s - tb_s).
+class MinStageIndicator : public ProgressIndicator {
+ public:
+  MinStageIndicator(IndicatorKind kind, std::vector<double> rel_start, std::vector<double> rel_end)
+      : kind_(kind), rel_start_(std::move(rel_start)), rel_end_(std::move(rel_end)) {}
+
+  IndicatorKind kind() const override { return kind_; }
+
+  double Evaluate(const std::vector<double>& frac_complete) const override {
+    assert(frac_complete.size() == rel_start_.size());
+    double progress = 1.0;
+    bool any_unfinished = false;
+    for (size_t s = 0; s < rel_start_.size(); ++s) {
+      if (frac_complete[s] < 1.0) {
+        any_unfinished = true;
+        double p = rel_start_[s] + frac_complete[s] * (rel_end_[s] - rel_start_[s]);
+        progress = std::min(progress, p);
+      }
+    }
+    if (!any_unfinished) {
+      return 1.0;
+    }
+    return std::clamp(progress, 0.0, 1.0);
+  }
+
+ private:
+  IndicatorKind kind_;
+  std::vector<double> rel_start_;
+  std::vector<double> rel_end_;
+};
+
+// Relative stage schedules observed in the training trace.
+void RelativeTimesFromTrace(const JobGraph& graph, const RunTrace& trace,
+                            std::vector<double>* rel_start, std::vector<double>* rel_end) {
+  int s_count = graph.num_stages();
+  rel_start->assign(static_cast<size_t>(s_count), 0.0);
+  rel_end->assign(static_cast<size_t>(s_count), 1.0);
+  double duration = trace.CompletionSeconds();
+  if (duration <= 0.0) {
+    return;
+  }
+  std::vector<double> first(static_cast<size_t>(s_count), -1.0);
+  std::vector<double> last(static_cast<size_t>(s_count), 0.0);
+  for (const auto& t : trace.tasks) {
+    auto s = static_cast<size_t>(t.id.stage);
+    if (first[s] < 0.0 || t.start_time < first[s]) {
+      first[s] = t.start_time;
+    }
+    last[s] = std::max(last[s], t.end_time);
+  }
+  for (int s = 0; s < s_count; ++s) {
+    auto i = static_cast<size_t>(s);
+    (*rel_start)[i] = first[i] < 0.0 ? 0.0 : (first[i] - trace.submit_time) / duration;
+    (*rel_end)[i] = (last[i] - trace.submit_time) / duration;
+  }
+}
+
+// Relative stage schedules from an unconstrained (infinite-allocation) simulation.
+void RelativeTimesFromSim(const JobGraph& graph, const JobProfile& profile,
+                          std::vector<double>* rel_start, std::vector<double>* rel_end) {
+  JobSimulatorConfig config;
+  config.inject_failures = false;
+  JobSimulator sim(graph, profile, config);
+  Rng rng(42);
+  SimRunResult run = sim.Run(std::max(1, graph.num_tasks()), rng);
+  double duration = std::max(1e-9, run.completion_seconds);
+  int s_count = graph.num_stages();
+  rel_start->resize(static_cast<size_t>(s_count));
+  rel_end->resize(static_cast<size_t>(s_count));
+  for (int s = 0; s < s_count; ++s) {
+    auto i = static_cast<size_t>(s);
+    (*rel_start)[i] = std::max(0.0, run.stage_first_start[i]) / duration;
+    (*rel_end)[i] = run.stage_last_end[i] / duration;
+  }
+}
+
+}  // namespace
+
+const char* IndicatorName(IndicatorKind kind) {
+  switch (kind) {
+    case IndicatorKind::kTotalWorkWithQ:
+      return "totalworkWithQ";
+    case IndicatorKind::kTotalWork:
+      return "totalwork";
+    case IndicatorKind::kVertexFrac:
+      return "vertexfrac";
+    case IndicatorKind::kCriticalPath:
+      return "cp";
+    case IndicatorKind::kMinStage:
+      return "minstage";
+    case IndicatorKind::kMinStageInf:
+      return "minstage-inf";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<ProgressIndicator> MakeIndicator(IndicatorKind kind, const JobGraph& graph,
+                                                 const JobProfile& profile,
+                                                 const RunTrace* training_trace) {
+  int s_count = graph.num_stages();
+  switch (kind) {
+    case IndicatorKind::kTotalWorkWithQ: {
+      std::vector<double> w(static_cast<size_t>(s_count));
+      for (int s = 0; s < s_count; ++s) {
+        w[static_cast<size_t>(s)] =
+            profile.stage(s).total_exec_seconds + profile.stage(s).total_queue_seconds;
+      }
+      return std::make_unique<WeightedSumIndicator>(kind, std::move(w));
+    }
+    case IndicatorKind::kTotalWork: {
+      std::vector<double> w(static_cast<size_t>(s_count));
+      for (int s = 0; s < s_count; ++s) {
+        w[static_cast<size_t>(s)] = profile.stage(s).total_exec_seconds;
+      }
+      return std::make_unique<WeightedSumIndicator>(kind, std::move(w));
+    }
+    case IndicatorKind::kVertexFrac: {
+      std::vector<double> w(static_cast<size_t>(s_count));
+      for (int s = 0; s < s_count; ++s) {
+        w[static_cast<size_t>(s)] = static_cast<double>(graph.stage(s).num_tasks);
+      }
+      return std::make_unique<WeightedSumIndicator>(kind, std::move(w));
+    }
+    case IndicatorKind::kCriticalPath:
+      return std::make_unique<CriticalPathIndicator>(graph, profile);
+    case IndicatorKind::kMinStage: {
+      std::vector<double> rel_start;
+      std::vector<double> rel_end;
+      if (training_trace != nullptr) {
+        RelativeTimesFromTrace(graph, *training_trace, &rel_start, &rel_end);
+      } else {
+        // No trace available: fall back to simulated relative times.
+        RelativeTimesFromSim(graph, profile, &rel_start, &rel_end);
+      }
+      return std::make_unique<MinStageIndicator>(kind, std::move(rel_start), std::move(rel_end));
+    }
+    case IndicatorKind::kMinStageInf: {
+      std::vector<double> rel_start;
+      std::vector<double> rel_end;
+      RelativeTimesFromSim(graph, profile, &rel_start, &rel_end);
+      return std::make_unique<MinStageIndicator>(kind, std::move(rel_start), std::move(rel_end));
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace jockey

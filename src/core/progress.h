@@ -1,0 +1,62 @@
+// Job progress indicators (Sections 4.2 and 5.4).
+//
+// A progress indicator maps the per-stage completed-task fractions f_s to a scalar in
+// [0, 1] that indexes into the precomputed C(p, a) distributions. The paper builds six
+// and ships totalworkWithQ; all six are implemented here and compared in
+// bench_table10_indicators:
+//
+//   totalworkWithQ  sum_s f_s * (Q_s + T_s), normalized        (the one Jockey uses)
+//   totalwork       sum_s f_s * T_s, normalized
+//   vertexfrac      fraction of completed vertices (ParaTimer-like)
+//   cp              fraction of the critical path no longer remaining
+//   minstage        stage furthest from its typical relative completion time, with
+//                   typical times taken from the prior run
+//   minstage-inf    same, with typical times from an unconstrained simulation
+//
+// Indicators are pure functions of f_s once constructed; construction bakes in the
+// profile-derived constants.
+
+#ifndef SRC_CORE_PROGRESS_H_
+#define SRC_CORE_PROGRESS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/dag/job_graph.h"
+#include "src/dag/profile.h"
+
+namespace jockey {
+
+enum class IndicatorKind {
+  kTotalWorkWithQ,
+  kTotalWork,
+  kVertexFrac,
+  kCriticalPath,
+  kMinStage,
+  kMinStageInf,
+};
+
+const char* IndicatorName(IndicatorKind kind);
+
+class ProgressIndicator {
+ public:
+  virtual ~ProgressIndicator() = default;
+  virtual IndicatorKind kind() const = 0;
+  std::string name() const { return IndicatorName(kind()); }
+  // Progress in [0, 1] given the per-stage completed fractions f_s.
+  virtual double Evaluate(const std::vector<double>& frac_complete) const = 0;
+};
+
+// Builds an indicator of the given kind for one job.
+//
+// For kMinStage the typical relative stage start/end times come from
+// `profile`/`training_trace`; for kMinStageInf they come from an unconstrained run of
+// the offline job simulator (the factory runs it internally, deterministically).
+std::unique_ptr<ProgressIndicator> MakeIndicator(IndicatorKind kind, const JobGraph& graph,
+                                                 const JobProfile& profile,
+                                                 const RunTrace* training_trace = nullptr);
+
+}  // namespace jockey
+
+#endif  // SRC_CORE_PROGRESS_H_

@@ -1,0 +1,106 @@
+#include "src/core/recurring_workload.h"
+
+#include <algorithm>
+
+#include "src/cluster/cluster_simulator.h"
+#include "src/core/experiment.h"
+#include "src/util/stats.h"
+
+namespace jockey {
+
+RecurringWorkload::RecurringWorkload(const RecurringWorkloadConfig& config) : config_(config) {
+  Rng rng(config_.seed);
+  for (int j = 0; j < config_.num_jobs; ++j) {
+    jobs_.push_back(MakeRandomJob("recurring" + std::to_string(j), rng, config_.job_params));
+    quotas_.push_back(std::max(
+        4, static_cast<int>(jobs_.back().ExpectedTotalWorkSeconds() / config_.quota_target_seconds)));
+  }
+}
+
+double RecurringWorkload::InputScaleFor(uint64_t seed) const {
+  Rng jitter(seed * 48271 + 9);
+  if (jitter.Bernoulli(config_.growth_prob)) {
+    return jitter.Uniform(config_.growth_lo, config_.growth_hi);
+  }
+  return std::clamp(jitter.LogNormal(0.02, config_.jitter_sigma), 0.85, 1.35);
+}
+
+std::vector<RecurringRun> RecurringWorkload::Execute(bool use_spare_tokens) const {
+  std::vector<RecurringRun> runs;
+  runs.reserve(static_cast<size_t>(config_.num_jobs) * config_.runs_per_job);
+  for (int j = 0; j < config_.num_jobs; ++j) {
+    for (int run = 0; run < config_.runs_per_job; ++run) {
+      uint64_t seed = static_cast<uint64_t>(j) * 1000 + static_cast<uint64_t>(run) +
+                      config_.seed * 7919;
+      ClusterConfig cluster_config = DefaultExperimentCluster(seed * 2654435761ULL + 3);
+      Rng weather(seed * 7777 + 1);
+      cluster_config.background.mean_utilization =
+          weather.Uniform(config_.min_utilization, config_.max_utilization);
+
+      RecurringRun record;
+      record.job_index = j;
+      record.input_scale = InputScaleFor(seed);
+
+      ClusterSimulator cluster(cluster_config);
+      JobSubmission submission;
+      submission.guaranteed_tokens = quotas_[static_cast<size_t>(j)];
+      submission.input_scale = record.input_scale;
+      submission.use_spare_tokens = use_spare_tokens;
+      submission.seed = seed * 104729 + 5;
+      int id = cluster.SubmitJob(jobs_[static_cast<size_t>(j)], submission);
+      cluster.Run();
+      const ClusterRunResult& result = cluster.result(id);
+      record.completion_seconds = result.CompletionSeconds();
+      record.spare_task_fraction = result.spare_task_fraction;
+      record.max_parallelism = result.max_parallelism;
+      runs.push_back(record);
+    }
+  }
+  return runs;
+}
+
+std::vector<double> RecurringWorkload::CompletionCov(const std::vector<RecurringRun>& runs) {
+  int max_job = -1;
+  for (const auto& run : runs) {
+    max_job = std::max(max_job, run.job_index);
+  }
+  std::vector<std::vector<double>> per_job(static_cast<size_t>(max_job + 1));
+  for (const auto& run : runs) {
+    per_job[static_cast<size_t>(run.job_index)].push_back(run.completion_seconds);
+  }
+  std::vector<double> covs;
+  for (const auto& completions : per_job) {
+    if (completions.size() >= 2) {
+      covs.push_back(CoefficientOfVariation(completions));
+    }
+  }
+  return covs;
+}
+
+std::vector<double> RecurringWorkload::CompletionCovSimilarInputs(
+    const std::vector<RecurringRun>& runs) {
+  std::vector<RecurringRun> similar;
+  for (const auto& run : runs) {
+    if (run.input_scale > 0.9 && run.input_scale < 1.1) {
+      similar.push_back(run);
+    }
+  }
+  // Require enough similar runs per job for a meaningful CoV.
+  int max_job = -1;
+  for (const auto& run : similar) {
+    max_job = std::max(max_job, run.job_index);
+  }
+  std::vector<std::vector<double>> per_job(static_cast<size_t>(max_job + 1));
+  for (const auto& run : similar) {
+    per_job[static_cast<size_t>(run.job_index)].push_back(run.completion_seconds);
+  }
+  std::vector<double> covs;
+  for (const auto& completions : per_job) {
+    if (completions.size() >= 5) {
+      covs.push_back(CoefficientOfVariation(completions));
+    }
+  }
+  return covs;
+}
+
+}  // namespace jockey

@@ -1,0 +1,77 @@
+// A fleet of recurring jobs and their repeated executions (Section 2.3's
+// measurement population).
+//
+// Production SLO jobs are overwhelmingly recurring ("recurring jobs ... account for
+// over 40% of runs in our cluster"). RecurringWorkload synthesizes such a fleet:
+// each member job re-executes under fresh cluster weather and input-size variation,
+// exactly the conditions behind Table 1's completion-time variance. The bench for
+// Table 1 and any study needing a population of runs build on this class.
+
+#ifndef SRC_CORE_RECURRING_WORKLOAD_H_
+#define SRC_CORE_RECURRING_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster_config.h"
+#include "src/util/rng.h"
+#include "src/workload/job_generator.h"
+#include "src/workload/job_template.h"
+
+namespace jockey {
+
+struct RecurringWorkloadConfig {
+  int num_jobs = 60;
+  int runs_per_job = 12;
+  uint64_t seed = 2024;
+  RandomJobParams job_params;
+  // Weather range for each run's mean background utilization.
+  double min_utilization = 0.88;
+  double max_utilization = 1.12;
+  // Input variation across runs: probability and range of the "input grew" mode,
+  // plus the mild log-normal jitter otherwise (Section 2.3).
+  double growth_prob = 0.25;
+  double growth_lo = 1.2;
+  double growth_hi = 1.4;
+  double jitter_sigma = 0.10;
+  // Guaranteed tokens per job: sized as work / this many seconds.
+  double quota_target_seconds = 35.0 * 60.0;
+};
+
+// One execution of one recurring job.
+struct RecurringRun {
+  int job_index = 0;
+  double input_scale = 1.0;
+  double completion_seconds = 0.0;
+  double spare_task_fraction = 0.0;
+  int max_parallelism = 0;
+};
+
+// The fleet and its executions.
+class RecurringWorkload {
+ public:
+  explicit RecurringWorkload(const RecurringWorkloadConfig& config);
+
+  // Executes every job `runs_per_job` times. `use_spare_tokens=false` reproduces the
+  // Section 2.4 guaranteed-capacity-only contrast.
+  std::vector<RecurringRun> Execute(bool use_spare_tokens = true) const;
+
+  // Per-job CoV of completion time over a set of runs; one entry per job.
+  static std::vector<double> CompletionCov(const std::vector<RecurringRun>& runs);
+  // Same, restricted to runs whose input scale lies within +-10% of 1.
+  static std::vector<double> CompletionCovSimilarInputs(const std::vector<RecurringRun>& runs);
+
+  const std::vector<JobTemplate>& jobs() const { return jobs_; }
+  const RecurringWorkloadConfig& config() const { return config_; }
+
+ private:
+  double InputScaleFor(uint64_t seed) const;
+
+  RecurringWorkloadConfig config_;
+  std::vector<JobTemplate> jobs_;
+  std::vector<int> quotas_;
+};
+
+}  // namespace jockey
+
+#endif  // SRC_CORE_RECURRING_WORKLOAD_H_

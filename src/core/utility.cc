@@ -1,0 +1,19 @@
+#include "src/core/utility.h"
+
+namespace jockey {
+
+PiecewiseLinear DeadlineUtility(double deadline_seconds) {
+  return PiecewiseLinear({{0.0, 1.0},
+                          {deadline_seconds, 1.0},
+                          {deadline_seconds + 600.0, -1.0},
+                          {deadline_seconds + 60000.0, -1000.0}});
+}
+
+PiecewiseLinear SoftDeadlineUtility(double deadline_seconds, double grace_seconds) {
+  return PiecewiseLinear({{0.0, 1.0},
+                          {deadline_seconds, 1.0},
+                          {deadline_seconds + grace_seconds, 0.0},
+                          {deadline_seconds + 10.0 * grace_seconds, -1.0}});
+}
+
+}  // namespace jockey

@@ -1,0 +1,25 @@
+// Utility functions over job completion time (Sections 2.2 and 5.1).
+//
+// "A deadline of d minutes translates to a piecewise-linear utility function going
+// through these points: (0, 1), (d, 1), (d+10, -1), (d+1000, -1000)." Utility keeps
+// dropping past the last knot (extrapolated), penalizing very late finishes.
+
+#ifndef SRC_CORE_UTILITY_H_
+#define SRC_CORE_UTILITY_H_
+
+#include "src/util/piecewise_linear.h"
+
+namespace jockey {
+
+// The paper's standard deadline utility, in seconds (d+10 minutes and d+1000 minutes
+// become d+600 s and d+60000 s).
+PiecewiseLinear DeadlineUtility(double deadline_seconds);
+
+// A soft-deadline variant: utility degrades gently after the deadline instead of
+// falling off a cliff; used by examples to express "finishing at four hours instead
+// of three is undesirable but not penalized" (Section 2.2).
+PiecewiseLinear SoftDeadlineUtility(double deadline_seconds, double grace_seconds);
+
+}  // namespace jockey
+
+#endif  // SRC_CORE_UTILITY_H_

@@ -1,0 +1,147 @@
+#include "src/dag/profile.h"
+
+#include <algorithm>
+#include <cassert>
+#include <istream>
+#include <ostream>
+
+namespace jockey {
+
+JobProfile JobProfile::FromTrace(const JobGraph& graph, const RunTrace& trace) {
+  return FromTraces(graph, {trace});
+}
+
+JobProfile JobProfile::FromTraces(const JobGraph& graph, const std::vector<RunTrace>& traces) {
+  JobProfile profile;
+  profile.stages_.resize(static_cast<size_t>(graph.num_stages()));
+  std::vector<int64_t> attempts(profile.stages_.size(), 0);
+  std::vector<int64_t> failures(profile.stages_.size(), 0);
+  for (size_t s = 0; s < profile.stages_.size(); ++s) {
+    profile.stages_[s].num_tasks = graph.stage(static_cast<int>(s)).num_tasks;
+  }
+  for (const auto& trace : traces) {
+    for (const auto& t : trace.tasks) {
+      assert(t.id.stage >= 0 && t.id.stage < graph.num_stages());
+      auto& sp = profile.stages_[static_cast<size_t>(t.id.stage)];
+      double run = t.RunSeconds();
+      double queue = std::max(0.0, t.QueueSeconds());
+      sp.total_exec_seconds += run;
+      sp.total_queue_seconds += queue;
+      sp.max_task_seconds = std::max(sp.max_task_seconds, run);
+      sp.task_runtimes.Add(run);
+      sp.queue_times.Add(queue);
+      attempts[static_cast<size_t>(t.id.stage)] += 1 + t.failed_attempts;
+      failures[static_cast<size_t>(t.id.stage)] += t.failed_attempts;
+    }
+  }
+  double n_traces = static_cast<double>(traces.size());
+  for (size_t s = 0; s < profile.stages_.size(); ++s) {
+    auto& sp = profile.stages_[s];
+    // Ts and Qs are per-run quantities; average over the merged traces.
+    sp.total_exec_seconds /= n_traces;
+    sp.total_queue_seconds /= n_traces;
+    if (attempts[s] > 0) {
+      sp.failure_prob = static_cast<double>(failures[s]) / static_cast<double>(attempts[s]);
+    }
+  }
+  return profile;
+}
+
+JobProfile JobProfile::FromStages(std::vector<StageProfile> stages) {
+  JobProfile profile;
+  profile.stages_ = std::move(stages);
+  return profile;
+}
+
+double JobProfile::TotalWorkSeconds() const {
+  double total = 0.0;
+  for (const auto& s : stages_) {
+    total += s.total_exec_seconds;
+  }
+  return total;
+}
+
+double JobProfile::TotalQueueSeconds() const {
+  double total = 0.0;
+  for (const auto& s : stages_) {
+    total += s.total_queue_seconds;
+  }
+  return total;
+}
+
+std::vector<double> JobProfile::LongestPathsToEnd(const JobGraph& graph) const {
+  std::vector<double> cost(stages_.size());
+  for (size_t s = 0; s < stages_.size(); ++s) {
+    cost[s] = stages_[s].max_task_seconds;
+  }
+  return graph.LongestPathToEnd(cost);
+}
+
+double JobProfile::CriticalPathSeconds(const JobGraph& graph) const {
+  std::vector<double> cost(stages_.size());
+  for (size_t s = 0; s < stages_.size(); ++s) {
+    cost[s] = stages_[s].max_task_seconds;
+  }
+  return graph.CriticalPath(cost);
+}
+
+JobProfile JobProfile::ScaledBy(double factor) const {
+  JobProfile scaled = *this;
+  for (auto& s : scaled.stages_) {
+    s.total_exec_seconds *= factor;
+    s.max_task_seconds *= factor;
+    std::vector<double> runtimes = s.task_runtimes.samples();
+    for (double& r : runtimes) {
+      r *= factor;
+    }
+    s.task_runtimes = EmpiricalDistribution(std::move(runtimes));
+  }
+  return scaled;
+}
+
+void JobProfile::Save(std::ostream& os) const {
+  os.precision(17);  // round-trip doubles exactly
+  os << "jockey_profile_v1 " << stages_.size() << "\n";
+  for (const auto& s : stages_) {
+    os << s.num_tasks << " " << s.total_exec_seconds << " " << s.total_queue_seconds << " "
+       << s.max_task_seconds << " " << s.failure_prob << "\n";
+    os << s.task_runtimes.count();
+    for (double x : s.task_runtimes.samples()) {
+      os << " " << x;
+    }
+    os << "\n" << s.queue_times.count();
+    for (double x : s.queue_times.samples()) {
+      os << " " << x;
+    }
+    os << "\n";
+  }
+}
+
+JobProfile JobProfile::Load(std::istream& is) {
+  JobProfile profile;
+  std::string magic;
+  size_t n = 0;
+  is >> magic >> n;
+  assert(magic == "jockey_profile_v1");
+  profile.stages_.resize(n);
+  for (auto& s : profile.stages_) {
+    is >> s.num_tasks >> s.total_exec_seconds >> s.total_queue_seconds >> s.max_task_seconds >>
+        s.failure_prob;
+    size_t count = 0;
+    is >> count;
+    std::vector<double> runtimes(count);
+    for (double& x : runtimes) {
+      is >> x;
+    }
+    s.task_runtimes = EmpiricalDistribution(std::move(runtimes));
+    is >> count;
+    std::vector<double> queues(count);
+    for (double& x : queues) {
+      is >> x;
+    }
+    s.queue_times = EmpiricalDistribution(std::move(queues));
+  }
+  return profile;
+}
+
+}  // namespace jockey

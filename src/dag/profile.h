@@ -1,0 +1,89 @@
+// Job profiles: the per-stage statistics Jockey extracts from prior runs.
+//
+// Section 4.1: "These estimates are based on one or more previous runs of the job,
+// from which we extract performance statistics such as the per-stage distributions of
+// task runtimes and initialization latencies, and the probabilities of single and
+// multiple task failures."
+//
+// The profile feeds both predictors:
+//   * the offline job simulator samples task runtimes / queueing delays / failures
+//     from the per-stage empirical distributions, and
+//   * the Amdahl model uses Ts (total CPU time per stage), ls (longest task), and
+//     Ls (longest path from the stage to the end of the job).
+// The totalworkWithQ progress indicator additionally uses Qs (total queueing time).
+
+#ifndef SRC_DAG_PROFILE_H_
+#define SRC_DAG_PROFILE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/dag/job_graph.h"
+#include "src/dag/trace.h"
+#include "src/util/stats.h"
+
+namespace jockey {
+
+// Statistics for one stage, aggregated over the tasks of one or more prior runs.
+struct StageProfile {
+  int num_tasks = 0;
+  double total_exec_seconds = 0.0;   // Ts: sum of task execution times
+  double total_queue_seconds = 0.0;  // Qs: sum of task queueing times
+  double max_task_seconds = 0.0;     // ls: longest observed task execution
+  double failure_prob = 0.0;         // per-attempt probability a task fails
+  EmpiricalDistribution task_runtimes;
+  EmpiricalDistribution queue_times;
+};
+
+// Per-stage statistics plus job-level derived quantities for one job.
+class JobProfile {
+ public:
+  JobProfile() = default;
+
+  // Aggregates one prior run into a profile. The trace must cover every task of
+  // `graph` exactly once.
+  static JobProfile FromTrace(const JobGraph& graph, const RunTrace& trace);
+
+  // Merges statistics from several runs of the same job (same graph).
+  static JobProfile FromTraces(const JobGraph& graph, const std::vector<RunTrace>& traces);
+
+  // Assembles a profile from externally built per-stage statistics (used by the
+  // pilot-run extrapolation for novel jobs).
+  static JobProfile FromStages(std::vector<StageProfile> stages);
+
+  const std::vector<StageProfile>& stages() const { return stages_; }
+  const StageProfile& stage(int id) const { return stages_[static_cast<size_t>(id)]; }
+  int num_stages() const { return static_cast<int>(stages_.size()); }
+
+  // Aggregate CPU seconds over all stages (the P in the Amdahl model, before any
+  // progress has been made).
+  double TotalWorkSeconds() const;
+
+  // Total queueing seconds over all stages.
+  double TotalQueueSeconds() const;
+
+  // Ls for each stage: longest path (weighted by ls) from the stage to job end.
+  std::vector<double> LongestPathsToEnd(const JobGraph& graph) const;
+
+  // Critical-path length of the job under this profile's per-stage longest tasks:
+  // the minimum feasible completion time with infinite resources (Section 2.2).
+  double CriticalPathSeconds(const JobGraph& graph) const;
+
+  // Returns a copy with every task-runtime statistic multiplied by `factor`.
+  // Used by the divergence experiments (Table 3) to model runs that need more work
+  // than the training run.
+  JobProfile ScaledBy(double factor) const;
+
+  // Text serialization: profiles are the historical artifact Jockey persists between
+  // the offline and runtime phases.
+  void Save(std::ostream& os) const;
+  static JobProfile Load(std::istream& is);
+
+ private:
+  std::vector<StageProfile> stages_;
+};
+
+}  // namespace jockey
+
+#endif  // SRC_DAG_PROFILE_H_

@@ -1,0 +1,63 @@
+#include "src/dag/trace.h"
+
+#include <algorithm>
+#include <cassert>
+#include <istream>
+#include <ostream>
+
+namespace jockey {
+
+double RunTrace::TotalWorkSeconds() const {
+  double total = 0.0;
+  for (const auto& t : tasks) {
+    total += t.RunSeconds();
+  }
+  return total;
+}
+
+double RunTrace::TotalQueueSeconds() const {
+  double total = 0.0;
+  for (const auto& t : tasks) {
+    total += t.QueueSeconds();
+  }
+  return total;
+}
+
+void RunTrace::Save(std::ostream& os) const {
+  os.precision(17);
+  os << "jockey_trace_v1 " << job_name << " " << submit_time << " " << finish_time << " "
+     << tasks.size() << "\n";
+  for (const auto& t : tasks) {
+    os << t.id.stage << " " << t.id.index << " " << t.ready_time << " " << t.start_time
+       << " " << t.end_time << " " << t.failed_attempts << " " << t.wasted_seconds << "\n";
+  }
+}
+
+RunTrace RunTrace::Load(std::istream& is) {
+  RunTrace trace;
+  std::string magic;
+  size_t n = 0;
+  is >> magic >> trace.job_name >> trace.submit_time >> trace.finish_time >> n;
+  assert(magic == "jockey_trace_v1");
+  trace.tasks.resize(n);
+  for (auto& t : trace.tasks) {
+    is >> t.id.stage >> t.id.index >> t.ready_time >> t.start_time >> t.end_time >>
+        t.failed_attempts >> t.wasted_seconds;
+  }
+  return trace;
+}
+
+std::vector<const TaskRecord*> RunTrace::StageRecords(int stage_id) const {
+  std::vector<const TaskRecord*> out;
+  for (const auto& t : tasks) {
+    if (t.id.stage == stage_id) {
+      out.push_back(&t);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const TaskRecord* a, const TaskRecord* b) {
+    return a->id.index < b->id.index;
+  });
+  return out;
+}
+
+}  // namespace jockey

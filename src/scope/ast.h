@@ -1,0 +1,65 @@
+// Abstract syntax of the SCOPE-like job language.
+//
+// A script is a sequence of statements. Dataset statements bind a name to a
+// relational operator over previously bound names; OUTPUT statements mark sinks.
+//
+//   clicks  = EXTRACT FROM "store://logs/clicks" PARTITIONS 400 COST 3.5;
+//   valid   = SELECT clicks COST 1.2;                      -- one-to-one
+//   joined  = JOIN valid, users ON key PARTITIONS 120 COST 6;  -- full shuffle
+//   daily   = REDUCE joined PARTITIONS 20 COST 12 SKEW 0.9;   -- full shuffle
+//   summary = AGGREGATE daily COST 40;                         -- global, 1 task
+//   OUTPUT summary TO "store://out/daily";
+//
+// COST is the median task runtime in seconds, SKEW the log-normal sigma, FAILPROB the
+// per-attempt failure probability — the knobs the rest of the library models.
+
+#ifndef SRC_SCOPE_AST_H_
+#define SRC_SCOPE_AST_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace jockey {
+
+enum class ScopeOp {
+  kExtract,    // leaf: reads an input path; wide
+  kSelect,     // one-to-one over a single input, inherits partitioning
+  kProcess,    // one-to-one over a single input, may repartition
+  kJoin,       // two inputs, full shuffle (barrier) on both
+  kReduce,     // one input, full shuffle (barrier)
+  kAggregate,  // one input, full shuffle into a single task
+  kUnion,      // two inputs, one-to-one from both
+};
+
+const char* ScopeOpName(ScopeOp op);
+
+// Common operator attributes (COST / SKEW / FAILPROB / PARTITIONS clauses).
+struct ScopeClauses {
+  std::optional<int> partitions;
+  std::optional<double> cost_seconds;
+  std::optional<double> skew_sigma;
+  std::optional<double> failure_prob;
+};
+
+struct ScopeStatement {
+  int line = 1;
+
+  // Dataset statement: `name = OP ...`. For OUTPUT statements name is empty.
+  bool is_output = false;
+  std::string name;
+
+  ScopeOp op = ScopeOp::kExtract;
+  std::vector<std::string> inputs;  // dataset names consumed (0 for EXTRACT)
+  std::string path;                 // EXTRACT FROM / OUTPUT TO path
+  std::string join_key;             // JOIN ... ON key (informational)
+  ScopeClauses clauses;
+};
+
+struct ScopeScript {
+  std::vector<ScopeStatement> statements;
+};
+
+}  // namespace jockey
+
+#endif  // SRC_SCOPE_AST_H_

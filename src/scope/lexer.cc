@@ -1,0 +1,206 @@
+#include "src/scope/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace jockey {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdentifier:
+      return "identifier";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kNumber:
+      return "number";
+    case TokenKind::kEquals:
+      return "'='";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kSemicolon:
+      return "';'";
+    case TokenKind::kExtract:
+      return "EXTRACT";
+    case TokenKind::kFrom:
+      return "FROM";
+    case TokenKind::kSelect:
+      return "SELECT";
+    case TokenKind::kProcess:
+      return "PROCESS";
+    case TokenKind::kJoin:
+      return "JOIN";
+    case TokenKind::kOn:
+      return "ON";
+    case TokenKind::kReduce:
+      return "REDUCE";
+    case TokenKind::kAggregate:
+      return "AGGREGATE";
+    case TokenKind::kUnion:
+      return "UNION";
+    case TokenKind::kOutput:
+      return "OUTPUT";
+    case TokenKind::kTo:
+      return "TO";
+    case TokenKind::kPartitions:
+      return "PARTITIONS";
+    case TokenKind::kCost:
+      return "COST";
+    case TokenKind::kSkew:
+      return "SKEW";
+    case TokenKind::kFailprob:
+      return "FAILPROB";
+    case TokenKind::kEnd:
+      return "end of input";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::string Upper(std::string s) {
+  for (char& c : s) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+const std::unordered_map<std::string, TokenKind>& Keywords() {
+  static const auto* kMap = new std::unordered_map<std::string, TokenKind>{
+      {"EXTRACT", TokenKind::kExtract},     {"FROM", TokenKind::kFrom},
+      {"SELECT", TokenKind::kSelect},       {"PROCESS", TokenKind::kProcess},
+      {"JOIN", TokenKind::kJoin},           {"ON", TokenKind::kOn},
+      {"REDUCE", TokenKind::kReduce},       {"AGGREGATE", TokenKind::kAggregate},
+      {"UNION", TokenKind::kUnion},         {"OUTPUT", TokenKind::kOutput},
+      {"TO", TokenKind::kTo},               {"PARTITIONS", TokenKind::kPartitions},
+      {"COST", TokenKind::kCost},           {"SKEW", TokenKind::kSkew},
+      {"FAILPROB", TokenKind::kFailprob},
+  };
+  return *kMap;
+}
+
+struct Cursor {
+  const std::string& src;
+  size_t pos = 0;
+  int line = 1;
+  int column = 1;
+
+  bool AtEnd() const { return pos >= src.size(); }
+  char Peek() const { return src[pos]; }
+  char Advance() {
+    char c = src[pos++];
+    if (c == '\n') {
+      ++line;
+      column = 1;
+    } else {
+      ++column;
+    }
+    return c;
+  }
+};
+
+std::string LocError(int line, int column, const std::string& message) {
+  return "line " + std::to_string(line) + ", column " + std::to_string(column) + ": " + message;
+}
+
+}  // namespace
+
+LexResult Tokenize(const std::string& source) {
+  LexResult result;
+  Cursor cur{source};
+  while (!cur.AtEnd()) {
+    char c = cur.Peek();
+    int line = cur.line;
+    int column = cur.column;
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      cur.Advance();
+      continue;
+    }
+    if (c == '-' && cur.pos + 1 < source.size() && source[cur.pos + 1] == '-') {
+      while (!cur.AtEnd() && cur.Peek() != '\n') {
+        cur.Advance();
+      }
+      continue;
+    }
+    Token token;
+    token.line = line;
+    token.column = column;
+    if (c == '=') {
+      cur.Advance();
+      token.kind = TokenKind::kEquals;
+    } else if (c == ',') {
+      cur.Advance();
+      token.kind = TokenKind::kComma;
+    } else if (c == ';') {
+      cur.Advance();
+      token.kind = TokenKind::kSemicolon;
+    } else if (c == '"') {
+      cur.Advance();
+      std::string text;
+      bool closed = false;
+      while (!cur.AtEnd()) {
+        char d = cur.Advance();
+        if (d == '"') {
+          closed = true;
+          break;
+        }
+        if (d == '\n') {
+          break;
+        }
+        text.push_back(d);
+      }
+      if (!closed) {
+        result.error = LocError(line, column, "unterminated string literal");
+        return result;
+      }
+      token.kind = TokenKind::kString;
+      token.text = std::move(text);
+    } else if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+      std::string text;
+      while (!cur.AtEnd() && (std::isdigit(static_cast<unsigned char>(cur.Peek())) ||
+                              cur.Peek() == '.' || cur.Peek() == 'e' || cur.Peek() == 'E' ||
+                              cur.Peek() == '+' || cur.Peek() == '-')) {
+        // Stop a trailing +/- unless it follows an exponent marker.
+        if ((cur.Peek() == '+' || cur.Peek() == '-') &&
+            !(text.size() > 0 && (text.back() == 'e' || text.back() == 'E'))) {
+          break;
+        }
+        text.push_back(cur.Advance());
+      }
+      char* end = nullptr;
+      token.number = std::strtod(text.c_str(), &end);
+      if (end == nullptr || *end != '\0') {
+        result.error = LocError(line, column, "malformed number '" + text + "'");
+        return result;
+      }
+      token.kind = TokenKind::kNumber;
+      token.text = std::move(text);
+    } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string text;
+      while (!cur.AtEnd() && (std::isalnum(static_cast<unsigned char>(cur.Peek())) ||
+                              cur.Peek() == '_')) {
+        text.push_back(cur.Advance());
+      }
+      auto it = Keywords().find(Upper(text));
+      if (it != Keywords().end()) {
+        token.kind = it->second;
+      } else {
+        token.kind = TokenKind::kIdentifier;
+      }
+      token.text = std::move(text);
+    } else {
+      result.error = LocError(line, column, std::string("unexpected character '") + c + "'");
+      return result;
+    }
+    result.tokens.push_back(std::move(token));
+  }
+  Token end_token;
+  end_token.kind = TokenKind::kEnd;
+  end_token.line = cur.line;
+  end_token.column = cur.column;
+  result.tokens.push_back(end_token);
+  result.ok = true;
+  return result;
+}
+
+}  // namespace jockey

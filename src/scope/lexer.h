@@ -1,0 +1,27 @@
+// Tokenizer for the SCOPE-like job language.
+
+#ifndef SRC_SCOPE_LEXER_H_
+#define SRC_SCOPE_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/scope/token.h"
+
+namespace jockey {
+
+// Result of tokenizing a script: either a token stream (terminated by kEnd) or a
+// diagnostic with the offending location.
+struct LexResult {
+  bool ok = false;
+  std::string error;  // "line L, column C: message" when !ok
+  std::vector<Token> tokens;
+};
+
+// Tokenizes `source`. Keywords are case-insensitive; `--` starts a comment that runs
+// to end of line; strings are double-quoted without escapes.
+LexResult Tokenize(const std::string& source);
+
+}  // namespace jockey
+
+#endif  // SRC_SCOPE_LEXER_H_

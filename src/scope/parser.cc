@@ -1,0 +1,260 @@
+#include "src/scope/parser.h"
+
+#include <cmath>
+
+#include "src/scope/lexer.h"
+
+namespace jockey {
+
+const char* ScopeOpName(ScopeOp op) {
+  switch (op) {
+    case ScopeOp::kExtract:
+      return "EXTRACT";
+    case ScopeOp::kSelect:
+      return "SELECT";
+    case ScopeOp::kProcess:
+      return "PROCESS";
+    case ScopeOp::kJoin:
+      return "JOIN";
+    case ScopeOp::kReduce:
+      return "REDUCE";
+    case ScopeOp::kAggregate:
+      return "AGGREGATE";
+    case ScopeOp::kUnion:
+      return "UNION";
+  }
+  return "unknown";
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  ParseResult Run() {
+    ParseResult result;
+    while (!Check(TokenKind::kEnd) && ok_) {
+      ParseStatement(&result.script);
+    }
+    result.ok = ok_;
+    result.error = error_;
+    return result;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Check(TokenKind kind) const { return Peek().kind == kind; }
+
+  bool Match(TokenKind kind) {
+    if (Check(kind)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  void Fail(const std::string& message) {
+    if (ok_) {
+      ok_ = false;
+      error_ = "line " + std::to_string(Peek().line) + ", column " +
+               std::to_string(Peek().column) + ": " + message + " (got " +
+               TokenKindName(Peek().kind) +
+               (Peek().text.empty() ? std::string() : " '" + Peek().text + "'") + ")";
+    }
+  }
+
+  const Token* Expect(TokenKind kind, const std::string& what) {
+    if (!Check(kind)) {
+      Fail("expected " + what);
+      return nullptr;
+    }
+    return &Advance();
+  }
+
+  void ParseStatement(ScopeScript* script) {
+    ScopeStatement statement;
+    statement.line = Peek().line;
+    if (Match(TokenKind::kOutput)) {
+      statement.is_output = true;
+      const Token* dataset = Expect(TokenKind::kIdentifier, "a dataset name after OUTPUT");
+      if (dataset == nullptr) {
+        return;
+      }
+      statement.inputs.push_back(dataset->text);
+      if (Expect(TokenKind::kTo, "TO") == nullptr) {
+        return;
+      }
+      const Token* path = Expect(TokenKind::kString, "an output path string");
+      if (path == nullptr) {
+        return;
+      }
+      statement.path = path->text;
+      if (Expect(TokenKind::kSemicolon, "';'") == nullptr) {
+        return;
+      }
+      script->statements.push_back(std::move(statement));
+      return;
+    }
+
+    const Token* name = Expect(TokenKind::kIdentifier, "a dataset name or OUTPUT");
+    if (name == nullptr) {
+      return;
+    }
+    statement.name = name->text;
+    if (Expect(TokenKind::kEquals, "'='") == nullptr) {
+      return;
+    }
+    if (!ParseOperator(&statement)) {
+      return;
+    }
+    ParseClauses(&statement.clauses);
+    if (Expect(TokenKind::kSemicolon, "';'") == nullptr) {
+      return;
+    }
+    script->statements.push_back(std::move(statement));
+  }
+
+  bool ParseOperator(ScopeStatement* statement) {
+    if (Match(TokenKind::kExtract)) {
+      statement->op = ScopeOp::kExtract;
+      if (Expect(TokenKind::kFrom, "FROM") == nullptr) {
+        return false;
+      }
+      const Token* path = Expect(TokenKind::kString, "an input path string");
+      if (path == nullptr) {
+        return false;
+      }
+      statement->path = path->text;
+      return true;
+    }
+    if (Match(TokenKind::kSelect)) {
+      statement->op = ScopeOp::kSelect;
+      return ParseInputs(statement, 1);
+    }
+    if (Match(TokenKind::kProcess)) {
+      statement->op = ScopeOp::kProcess;
+      return ParseInputs(statement, 1);
+    }
+    if (Match(TokenKind::kJoin)) {
+      statement->op = ScopeOp::kJoin;
+      if (!ParseInputs(statement, 2)) {
+        return false;
+      }
+      if (Match(TokenKind::kOn)) {
+        const Token* key = Expect(TokenKind::kIdentifier, "a join key after ON");
+        if (key == nullptr) {
+          return false;
+        }
+        statement->join_key = key->text;
+      }
+      return true;
+    }
+    if (Match(TokenKind::kReduce)) {
+      statement->op = ScopeOp::kReduce;
+      if (!ParseInputs(statement, 1)) {
+        return false;
+      }
+      if (Match(TokenKind::kOn)) {
+        const Token* key = Expect(TokenKind::kIdentifier, "a key after ON");
+        if (key == nullptr) {
+          return false;
+        }
+        statement->join_key = key->text;
+      }
+      return true;
+    }
+    if (Match(TokenKind::kAggregate)) {
+      statement->op = ScopeOp::kAggregate;
+      return ParseInputs(statement, 1);
+    }
+    if (Match(TokenKind::kUnion)) {
+      statement->op = ScopeOp::kUnion;
+      return ParseInputs(statement, 2);
+    }
+    Fail("expected an operator (EXTRACT, SELECT, PROCESS, JOIN, REDUCE, AGGREGATE, UNION)");
+    return false;
+  }
+
+  bool ParseInputs(ScopeStatement* statement, int count) {
+    for (int i = 0; i < count; ++i) {
+      if (i > 0 && Expect(TokenKind::kComma, "','") == nullptr) {
+        return false;
+      }
+      const Token* input = Expect(TokenKind::kIdentifier, "an input dataset name");
+      if (input == nullptr) {
+        return false;
+      }
+      statement->inputs.push_back(input->text);
+    }
+    return true;
+  }
+
+  void ParseClauses(ScopeClauses* clauses) {
+    while (true) {
+      if (Match(TokenKind::kPartitions)) {
+        const Token* n = Expect(TokenKind::kNumber, "a partition count");
+        if (n == nullptr) {
+          return;
+        }
+        if (n->number < 1.0 || n->number != std::floor(n->number)) {
+          Fail("PARTITIONS must be a positive integer");
+          return;
+        }
+        clauses->partitions = static_cast<int>(n->number);
+      } else if (Match(TokenKind::kCost)) {
+        const Token* n = Expect(TokenKind::kNumber, "a task cost in seconds");
+        if (n == nullptr) {
+          return;
+        }
+        if (n->number <= 0.0) {
+          Fail("COST must be positive");
+          return;
+        }
+        clauses->cost_seconds = n->number;
+      } else if (Match(TokenKind::kSkew)) {
+        const Token* n = Expect(TokenKind::kNumber, "a log-normal sigma");
+        if (n == nullptr) {
+          return;
+        }
+        if (n->number < 0.0) {
+          Fail("SKEW must be non-negative");
+          return;
+        }
+        clauses->skew_sigma = n->number;
+      } else if (Match(TokenKind::kFailprob)) {
+        const Token* n = Expect(TokenKind::kNumber, "a failure probability");
+        if (n == nullptr) {
+          return;
+        }
+        if (n->number < 0.0 || n->number >= 1.0) {
+          Fail("FAILPROB must be in [0, 1)");
+          return;
+        }
+        clauses->failure_prob = n->number;
+      } else {
+        return;
+      }
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+  std::string error_;
+};
+
+}  // namespace
+
+ParseResult ParseScopeScript(const std::string& source) {
+  LexResult lexed = Tokenize(source);
+  if (!lexed.ok) {
+    ParseResult result;
+    result.error = lexed.error;
+    return result;
+  }
+  return Parser(std::move(lexed.tokens)).Run();
+}
+
+}  // namespace jockey

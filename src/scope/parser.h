@@ -1,0 +1,23 @@
+// Recursive-descent parser for the SCOPE-like job language.
+
+#ifndef SRC_SCOPE_PARSER_H_
+#define SRC_SCOPE_PARSER_H_
+
+#include <string>
+
+#include "src/scope/ast.h"
+
+namespace jockey {
+
+struct ParseResult {
+  bool ok = false;
+  std::string error;  // "line L, column C: message" when !ok
+  ScopeScript script;
+};
+
+// Parses a complete script. Returns the first diagnostic on failure.
+ParseResult ParseScopeScript(const std::string& source);
+
+}  // namespace jockey
+
+#endif  // SRC_SCOPE_PARSER_H_

@@ -1,0 +1,269 @@
+#include "src/scope/planner.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/scope/parser.h"
+
+namespace jockey {
+namespace {
+
+// Planner-internal stage representation before emission.
+struct PlanStage {
+  std::string name;
+  ScopeOp op = ScopeOp::kSelect;
+  std::vector<int> inputs;  // plan-stage indices
+  CommPattern pattern = CommPattern::kOneToOne;  // pattern of every input edge
+  int partitions = 1;
+  double cost_seconds = 0.0;
+  double skew_sigma = 0.6;
+  double failure_prob = 0.005;
+  bool is_sink = false;  // target of an OUTPUT
+};
+
+std::string StatementError(const ScopeStatement& statement, const std::string& message) {
+  return "line " + std::to_string(statement.line) + ": " + message;
+}
+
+}  // namespace
+
+PlanResult PlanScopeScript(const ScopeScript& script, const PlannerOptions& options) {
+  PlanResult result;
+  std::vector<PlanStage> stages;
+  std::unordered_map<std::string, int> bindings;
+  int num_outputs = 0;
+
+  for (const auto& statement : script.statements) {
+    if (statement.is_output) {
+      auto it = bindings.find(statement.inputs[0]);
+      if (it == bindings.end()) {
+        result.error = StatementError(
+            statement, "OUTPUT of undefined dataset '" + statement.inputs[0] + "'");
+        return result;
+      }
+      stages[static_cast<size_t>(it->second)].is_sink = true;
+      ++num_outputs;
+      continue;
+    }
+    if (bindings.count(statement.name) > 0) {
+      result.error =
+          StatementError(statement, "dataset '" + statement.name + "' is bound twice");
+      return result;
+    }
+
+    PlanStage stage;
+    stage.name = statement.name;
+    stage.op = statement.op;
+    for (const auto& input : statement.inputs) {
+      auto it = bindings.find(input);
+      if (it == bindings.end()) {
+        result.error = StatementError(statement, "undefined input dataset '" + input + "'");
+        return result;
+      }
+      stage.inputs.push_back(it->second);
+    }
+
+    // Partitioning.
+    switch (statement.op) {
+      case ScopeOp::kExtract:
+        stage.partitions =
+            statement.clauses.partitions.value_or(options.default_extract_partitions);
+        break;
+      case ScopeOp::kSelect: {
+        if (statement.clauses.partitions.has_value()) {
+          result.error = StatementError(
+              statement, "SELECT inherits its input's partitioning; use PROCESS to repartition");
+          return result;
+        }
+        stage.partitions = stages[static_cast<size_t>(stage.inputs[0])].partitions;
+        break;
+      }
+      case ScopeOp::kProcess:
+        stage.partitions = statement.clauses.partitions.value_or(
+            stages[static_cast<size_t>(stage.inputs[0])].partitions);
+        break;
+      case ScopeOp::kJoin:
+      case ScopeOp::kReduce: {
+        // Shuffles default to a reduction of the (max) input width.
+        int widest = 1;
+        for (int input : stage.inputs) {
+          widest = std::max(widest, stages[static_cast<size_t>(input)].partitions);
+        }
+        stage.partitions = statement.clauses.partitions.value_or(std::max(1, widest / 4));
+        break;
+      }
+      case ScopeOp::kAggregate:
+        if (statement.clauses.partitions.has_value() && *statement.clauses.partitions != 1) {
+          result.error =
+              StatementError(statement, "AGGREGATE produces a single task; drop PARTITIONS");
+          return result;
+        }
+        stage.partitions = 1;
+        break;
+      case ScopeOp::kUnion: {
+        int total = 0;
+        for (int input : stage.inputs) {
+          total += stages[static_cast<size_t>(input)].partitions;
+        }
+        stage.partitions = statement.clauses.partitions.value_or(total);
+        break;
+      }
+    }
+
+    // Communication pattern.
+    stage.pattern = (statement.op == ScopeOp::kJoin || statement.op == ScopeOp::kReduce ||
+                     statement.op == ScopeOp::kAggregate)
+                        ? CommPattern::kAllToAll
+                        : CommPattern::kOneToOne;
+
+    stage.cost_seconds = statement.clauses.cost_seconds.value_or(options.default_cost_seconds);
+    stage.skew_sigma = statement.clauses.skew_sigma.value_or(options.default_skew_sigma);
+    stage.failure_prob =
+        statement.clauses.failure_prob.value_or(options.default_failure_prob);
+
+    bindings.emplace(statement.name, static_cast<int>(stages.size()));
+    stages.push_back(std::move(stage));
+  }
+
+  if (num_outputs == 0) {
+    result.error = "script has no OUTPUT statement";
+    return result;
+  }
+
+  // Dead-stage pruning: keep only stages that transitively feed a sink.
+  std::vector<bool> live(stages.size(), false);
+  if (options.prune_dead_stages) {
+    std::vector<int> frontier;
+    for (size_t i = 0; i < stages.size(); ++i) {
+      if (stages[i].is_sink) {
+        frontier.push_back(static_cast<int>(i));
+      }
+    }
+    while (!frontier.empty()) {
+      int s = frontier.back();
+      frontier.pop_back();
+      if (live[static_cast<size_t>(s)]) {
+        continue;
+      }
+      live[static_cast<size_t>(s)] = true;
+      for (int input : stages[static_cast<size_t>(s)].inputs) {
+        frontier.push_back(input);
+      }
+    }
+    for (size_t i = 0; i < stages.size(); ++i) {
+      if (!live[i]) {
+        result.notes.push_back("pruned dead stage '" + stages[i].name + "'");
+      }
+    }
+  } else {
+    std::fill(live.begin(), live.end(), true);
+  }
+
+  // Select fusion: a live SELECT whose single producer is a live one-to-one stage
+  // with the same partition count and no other live consumer merges into it.
+  std::vector<int> fused_into(stages.size(), -1);  // stage -> surviving stage
+  if (options.fuse_selects) {
+    // Count live consumers per stage.
+    std::vector<int> live_consumers(stages.size(), 0);
+    for (size_t i = 0; i < stages.size(); ++i) {
+      if (!live[i]) {
+        continue;
+      }
+      for (int input : stages[i].inputs) {
+        ++live_consumers[static_cast<size_t>(input)];
+      }
+    }
+    for (size_t i = 0; i < stages.size(); ++i) {
+      if (!live[i] || stages[i].op != ScopeOp::kSelect) {
+        continue;
+      }
+      int producer = stages[i].inputs[0];
+      // Resolve the producer through earlier fusions.
+      while (fused_into[static_cast<size_t>(producer)] >= 0) {
+        producer = fused_into[static_cast<size_t>(producer)];
+      }
+      PlanStage& p = stages[static_cast<size_t>(producer)];
+      bool producer_one_to_one = p.pattern == CommPattern::kOneToOne ||
+                                 p.op == ScopeOp::kExtract;
+      if (!live[static_cast<size_t>(producer)] || !producer_one_to_one || p.is_sink ||
+          p.partitions != stages[i].partitions ||
+          live_consumers[static_cast<size_t>(producer)] != 1) {
+        continue;
+      }
+      // Merge: the select's work runs inside the producer's tasks.
+      p.cost_seconds += stages[i].cost_seconds;
+      p.skew_sigma = std::max(p.skew_sigma, stages[i].skew_sigma);
+      p.failure_prob = std::min(0.5, p.failure_prob + stages[i].failure_prob);
+      p.is_sink = p.is_sink || stages[i].is_sink;
+      p.name += "+" + stages[i].name;
+      fused_into[i] = producer;
+      live[i] = false;
+      result.notes.push_back("fused SELECT '" + stages[i].name + "' into '" + p.name + "'");
+    }
+  }
+
+  // Emit the JobGraph over surviving stages.
+  std::vector<int> emit_index(stages.size(), -1);
+  std::vector<StageSpec> specs;
+  std::vector<StageRuntimeModel> models;
+  for (size_t i = 0; i < stages.size(); ++i) {
+    if (!live[i]) {
+      continue;
+    }
+    emit_index[i] = static_cast<int>(specs.size());
+    StageSpec spec;
+    spec.name = stages[i].name;
+    spec.num_tasks = stages[i].partitions;
+    specs.push_back(std::move(spec));
+    StageRuntimeModel model;
+    model.median_seconds = stages[i].cost_seconds;
+    model.sigma = stages[i].skew_sigma;
+    model.failure_prob = stages[i].failure_prob;
+    model.outlier_prob = 0.02;
+    model.outlier_cap = 6.0;
+    model.task_cap_seconds = std::max(60.0, 20.0 * stages[i].cost_seconds);
+    models.push_back(model);
+  }
+  auto resolve = [&](int stage) {
+    while (fused_into[static_cast<size_t>(stage)] >= 0) {
+      stage = fused_into[static_cast<size_t>(stage)];
+    }
+    return emit_index[static_cast<size_t>(stage)];
+  };
+  for (size_t i = 0; i < stages.size(); ++i) {
+    if (!live[i]) {
+      continue;
+    }
+    for (int input : stages[i].inputs) {
+      int from = resolve(input);
+      int to = emit_index[i];
+      if (from < 0 || from == to) {
+        continue;  // the input fused into this stage
+      }
+      specs[static_cast<size_t>(to)].inputs.push_back(
+          StageEdge{from, stages[i].pattern});
+    }
+  }
+
+  result.job.graph = JobGraph(options.job_name, std::move(specs));
+  result.job.runtime = std::move(models);
+  std::string graph_error;
+  if (!result.job.graph.Validate(&graph_error)) {
+    result.error = "internal planner error: " + graph_error;
+    return result;
+  }
+  result.ok = true;
+  return result;
+}
+
+PlanResult CompileScopeScript(const std::string& source, const PlannerOptions& options) {
+  ParseResult parsed = ParseScopeScript(source);
+  if (!parsed.ok) {
+    PlanResult result;
+    result.error = parsed.error;
+    return result;
+  }
+  return PlanScopeScript(parsed.script, options);
+}
+
+}  // namespace jockey

@@ -1,0 +1,63 @@
+// Planner: lowers a parsed SCOPE-like script to the execution-plan graph.
+//
+// Semantic checks: every input name must be bound earlier (no forward references, so
+// plans are acyclic by construction), names bind exactly once, and at least one
+// OUTPUT must exist. Lowering rules:
+//
+//   EXTRACT    -> wide leaf stage (default partitions from a planner heuristic)
+//   SELECT     -> one-to-one stage inheriting the input's partition count
+//   PROCESS    -> one-to-one stage, optionally repartitioned
+//   JOIN       -> full-shuffle (barrier) stage over both inputs
+//   REDUCE     -> full-shuffle (barrier) stage
+//   AGGREGATE  -> full-shuffle stage with a single task
+//   UNION      -> one-to-one stage over both inputs
+//
+// Optimization passes (both on by default):
+//   * dead-stage pruning — stages that do not transitively feed an OUTPUT are
+//     removed (with a note in PlanResult::notes);
+//   * select fusion — a chain of one-to-one SELECT stages with equal partitioning
+//     collapses into its consumer, summing task costs, mirroring the operator fusion
+//     real plan compilers perform.
+//
+// COST / SKEW / FAILPROB clauses populate the per-stage StageRuntimeModel, so a
+// compiled script is directly runnable on the cluster simulator and trainable by
+// Jockey.
+
+#ifndef SRC_SCOPE_PLANNER_H_
+#define SRC_SCOPE_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/scope/ast.h"
+#include "src/workload/job_template.h"
+
+namespace jockey {
+
+struct PlannerOptions {
+  std::string job_name = "scope-job";
+  int default_extract_partitions = 100;
+  double default_cost_seconds = 4.0;
+  double default_skew_sigma = 0.6;
+  double default_failure_prob = 0.005;
+  bool prune_dead_stages = true;
+  bool fuse_selects = true;
+};
+
+struct PlanResult {
+  bool ok = false;
+  std::string error;
+  JobTemplate job;
+  std::vector<std::string> notes;  // optimizer actions (pruned / fused stages)
+};
+
+PlanResult PlanScopeScript(const ScopeScript& script,
+                           const PlannerOptions& options = PlannerOptions());
+
+// Convenience: parse + plan in one step.
+PlanResult CompileScopeScript(const std::string& source,
+                              const PlannerOptions& options = PlannerOptions());
+
+}  // namespace jockey
+
+#endif  // SRC_SCOPE_PLANNER_H_

@@ -1,0 +1,56 @@
+// Tokens of the miniature SCOPE-like job language.
+//
+// Section 2.1: "Jobs are written in SCOPE, a mash-up language with both declarative
+// and imperative elements similar to Pig or HIVE. A compiler translates the job into
+// an execution plan graph wherein nodes represent stages such as map, reduce or join,
+// and edges represent dataflow." This directory implements that frontend for a small
+// dialect: scripts declare named datasets produced by relational operators, and the
+// planner emits the JobGraph + per-stage runtime models the rest of the library
+// consumes.
+
+#ifndef SRC_SCOPE_TOKEN_H_
+#define SRC_SCOPE_TOKEN_H_
+
+#include <string>
+
+namespace jockey {
+
+enum class TokenKind {
+  kIdentifier,
+  kString,   // "quoted path"
+  kNumber,   // double literal
+  kEquals,   // =
+  kComma,    // ,
+  kSemicolon,
+  // Keywords.
+  kExtract,
+  kFrom,
+  kSelect,
+  kProcess,
+  kJoin,
+  kOn,
+  kReduce,
+  kAggregate,
+  kUnion,
+  kOutput,
+  kTo,
+  kPartitions,
+  kCost,
+  kSkew,
+  kFailprob,
+  kEnd,  // end of input
+};
+
+const char* TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;    // identifier / string contents
+  double number = 0.0; // kNumber value
+  int line = 1;
+  int column = 1;
+};
+
+}  // namespace jockey
+
+#endif  // SRC_SCOPE_TOKEN_H_

@@ -1,0 +1,105 @@
+#include "src/sim/completion_table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <ostream>
+
+namespace jockey {
+
+CompletionTable::CompletionTable(std::vector<int> allocations, int num_buckets)
+    : allocations_(std::move(allocations)), num_buckets_(num_buckets) {
+  assert(!allocations_.empty());
+  assert(num_buckets_ >= 1);
+  for (size_t i = 1; i < allocations_.size(); ++i) {
+    assert(allocations_[i] > allocations_[i - 1] && "allocation grid must increase");
+  }
+  cells_.resize(static_cast<size_t>(num_buckets_) * allocations_.size());
+}
+
+int CompletionTable::BucketOf(double p) const {
+  p = std::clamp(p, 0.0, 1.0);
+  int b = static_cast<int>(p * num_buckets_);
+  return std::min(b, num_buckets_ - 1);
+}
+
+void CompletionTable::AddSample(double p, int alloc_index, double remaining_seconds) {
+  assert(alloc_index >= 0 && alloc_index < static_cast<int>(allocations_.size()));
+  cells_[static_cast<size_t>(BucketOf(p)) * allocations_.size() +
+         static_cast<size_t>(alloc_index)]
+      .Add(remaining_seconds);
+}
+
+double CompletionTable::CellQuantile(int bucket, int ai, double quantile) const {
+  auto cell = [&](int b) -> const EmpiricalDistribution& {
+    return cells_[static_cast<size_t>(b) * allocations_.size() + static_cast<size_t>(ai)];
+  };
+  if (cell(bucket).count() > 0) {
+    return cell(bucket).Quantile(quantile);
+  }
+  // The bucket may be unobserved at this allocation (e.g. very late progress at a
+  // tiny allocation between two samples). Search outward; a lower bucket's remaining
+  // time over-estimates (safe), a higher bucket's under-estimates, so prefer lower.
+  for (int d = 1; d < num_buckets_; ++d) {
+    if (bucket - d >= 0 && cell(bucket - d).count() > 0) {
+      return cell(bucket - d).Quantile(quantile);
+    }
+    if (bucket + d < num_buckets_ && cell(bucket + d).count() > 0) {
+      return cell(bucket + d).Quantile(quantile);
+    }
+  }
+  return 0.0;  // column is completely empty
+}
+
+double CompletionTable::Predict(double p, double allocation, double quantile) const {
+  int bucket = BucketOf(p);
+  double a = std::clamp(allocation, static_cast<double>(allocations_.front()),
+                        static_cast<double>(allocations_.back()));
+  // Locate the surrounding grid columns.
+  size_t hi = 0;
+  while (hi < allocations_.size() && static_cast<double>(allocations_[hi]) < a) {
+    ++hi;
+  }
+  if (hi == 0) {
+    return CellQuantile(bucket, 0, quantile);
+  }
+  if (hi >= allocations_.size()) {
+    return CellQuantile(bucket, static_cast<int>(allocations_.size()) - 1, quantile);
+  }
+  size_t lo = hi - 1;
+  double a_lo = static_cast<double>(allocations_[lo]);
+  double a_hi = static_cast<double>(allocations_[hi]);
+  double frac = (a - a_lo) / (a_hi - a_lo);
+  double q_lo = CellQuantile(bucket, static_cast<int>(lo), quantile);
+  double q_hi = CellQuantile(bucket, static_cast<int>(hi), quantile);
+  return q_lo * (1.0 - frac) + q_hi * frac;
+}
+
+size_t CompletionTable::TotalSamples() const {
+  size_t total = 0;
+  for (const auto& c : cells_) {
+    total += c.count();
+  }
+  return total;
+}
+
+void CompletionTable::SaveSummary(std::ostream& os, const std::vector<double>& quantiles) const {
+  os << "bucket";
+  for (int a : allocations_) {
+    for (double q : quantiles) {
+      os << ",a" << a << "_q" << q;
+    }
+  }
+  os << "\n";
+  for (int b = 0; b < num_buckets_; ++b) {
+    os << b;
+    for (size_t ai = 0; ai < allocations_.size(); ++ai) {
+      for (double q : quantiles) {
+        os << "," << CellQuantile(b, static_cast<int>(ai), q);
+      }
+    }
+    os << "\n";
+  }
+}
+
+}  // namespace jockey

@@ -1,0 +1,65 @@
+// The precomputed completion-time distributions C(p, a) (Section 4.1).
+//
+// "For each SLO job, we estimate C(p, a) — a random variable denoting the remaining
+// time to complete the job when the job has made progress p and is allocated a
+// tokens. ... From each simulation, say at allocation a that finishes in time T, we
+// compute for all discrete t in [0, T] the progress of the job p_t at time t and the
+// remaining time to completion t_c = T - t. ... Iterating over all t in a run and
+// simulating the job many times with different values of a provides many more
+// samples, allowing us to estimate the distribution well."
+//
+// The table discretizes progress into buckets and stores a remaining-time sample set
+// per (bucket, allocation) cell. Queries interpolate linearly between allocation grid
+// points and fall back to the nearest populated bucket when a cell is empty (late
+// progress values may never be observed at tiny allocations within a run's samples).
+
+#ifndef SRC_SIM_COMPLETION_TABLE_H_
+#define SRC_SIM_COMPLETION_TABLE_H_
+
+#include <iosfwd>
+#include <vector>
+
+#include "src/util/stats.h"
+
+namespace jockey {
+
+class CompletionTable {
+ public:
+  // `allocations` is the token grid simulated offline (strictly increasing, >= 1
+  // each); progress is bucketed into `num_buckets` cells over [0, 1].
+  CompletionTable(std::vector<int> allocations, int num_buckets = 50);
+
+  // Records one observation: at progress `p` with grid allocation index `alloc_index`,
+  // `remaining_seconds` remained until completion.
+  void AddSample(double p, int alloc_index, double remaining_seconds);
+
+  // Predicted remaining seconds at progress `p` under `allocation` tokens, at the
+  // given sample quantile (the paper cares about worst-case-ish completion, so the
+  // control loop queries a high quantile). Allocation is clamped to the grid range
+  // and interpolated linearly between grid points.
+  double Predict(double p, double allocation, double quantile) const;
+
+  const std::vector<int>& allocations() const { return allocations_; }
+  int num_buckets() const { return num_buckets_; }
+
+  // Total samples stored (diagnostics).
+  size_t TotalSamples() const;
+
+  // Text serialization of the quantile summaries actually used at runtime.
+  void SaveSummary(std::ostream& os, const std::vector<double>& quantiles) const;
+
+ private:
+  int BucketOf(double p) const;
+  // Remaining-time quantile at exactly grid column `ai`, searching nearby buckets if
+  // the target bucket holds no samples.
+  double CellQuantile(int bucket, int ai, double quantile) const;
+
+  std::vector<int> allocations_;
+  int num_buckets_;
+  // cells_[bucket * allocations_.size() + alloc_index]
+  std::vector<EmpiricalDistribution> cells_;
+};
+
+}  // namespace jockey
+
+#endif  // SRC_SIM_COMPLETION_TABLE_H_

@@ -1,0 +1,46 @@
+#include "src/util/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace jockey {
+
+void EventQueue::ScheduleAt(SimTime when, Callback cb) {
+  assert(when >= now_ && "cannot schedule events in the past");
+  heap_.push(Event{when, next_seq_++, std::move(cb)});
+}
+
+bool EventQueue::Step() {
+  if (heap_.empty()) {
+    return false;
+  }
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent, so copy
+  // the callback handle instead (std::function copy is cheap relative to sim work).
+  Event ev = heap_.top();
+  heap_.pop();
+  now_ = ev.when;
+  ev.cb();
+  return true;
+}
+
+size_t EventQueue::RunUntil(SimTime until) {
+  size_t executed = 0;
+  while (!heap_.empty() && heap_.top().when <= until) {
+    Step();
+    ++executed;
+  }
+  if (now_ < until) {
+    now_ = until;
+  }
+  return executed;
+}
+
+size_t EventQueue::RunAll() {
+  size_t executed = 0;
+  while (Step()) {
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace jockey

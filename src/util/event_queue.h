@@ -1,0 +1,68 @@
+// Discrete-event simulation core.
+//
+// Both simulators in this reproduction — the cluster simulator that plays the role of
+// the production Cosmos cluster (src/cluster/) and Jockey's offline job simulator
+// (src/sim/) — are built on this queue. Events at equal timestamps fire in insertion
+// order, which keeps runs deterministic for a fixed seed.
+
+#ifndef SRC_UTIL_EVENT_QUEUE_H_
+#define SRC_UTIL_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace jockey {
+
+// Simulated time, in seconds since the start of the simulation.
+using SimTime = double;
+
+// A time-ordered queue of callbacks with a simulation clock.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  // Schedules `cb` to run at absolute time `when`. Requires when >= now().
+  void ScheduleAt(SimTime when, Callback cb);
+
+  // Schedules `cb` to run `delay` seconds from now. Requires delay >= 0.
+  void ScheduleAfter(SimTime delay, Callback cb) { ScheduleAt(now_ + delay, std::move(cb)); }
+
+  // Runs events until the queue is empty or `until` is passed (events exactly at
+  // `until` still run). Returns the number of events executed.
+  size_t RunUntil(SimTime until);
+
+  // Runs events until the queue is empty. Returns the number of events executed.
+  size_t RunAll();
+
+  // Pops and runs a single event; returns false if the queue is empty.
+  bool Step();
+
+  SimTime now() const { return now_; }
+  bool empty() const { return heap_.empty(); }
+  size_t pending() const { return heap_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    uint64_t seq;  // tie-breaker: equal-time events fire in insertion order
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+};
+
+}  // namespace jockey
+
+#endif  // SRC_UTIL_EVENT_QUEUE_H_

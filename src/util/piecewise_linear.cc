@@ -1,0 +1,55 @@
+#include "src/util/piecewise_linear.h"
+
+#include <cassert>
+#include <cstddef>
+
+namespace jockey {
+
+PiecewiseLinear::PiecewiseLinear(std::vector<std::pair<double, double>> knots)
+    : knots_(std::move(knots)) {
+  for (size_t i = 1; i < knots_.size(); ++i) {
+    assert(knots_[i].first > knots_[i - 1].first && "knots must have increasing x");
+  }
+}
+
+double PiecewiseLinear::operator()(double x) const {
+  assert(!knots_.empty());
+  if (x <= knots_.front().first) {
+    return knots_.front().second;
+  }
+  if (x >= knots_.back().first) {
+    if (knots_.size() == 1) {
+      return knots_.back().second;
+    }
+    // Extrapolate the final segment so utility keeps dropping after the last knot.
+    const auto& [x0, y0] = knots_[knots_.size() - 2];
+    const auto& [x1, y1] = knots_.back();
+    double slope = (y1 - y0) / (x1 - x0);
+    return y1 + slope * (x - x1);
+  }
+  // Binary search for the segment containing x.
+  size_t lo = 0;
+  size_t hi = knots_.size() - 1;
+  while (hi - lo > 1) {
+    size_t mid = (lo + hi) / 2;
+    if (knots_[mid].first <= x) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const auto& [x0, y0] = knots_[lo];
+  const auto& [x1, y1] = knots_[hi];
+  double frac = (x - x0) / (x1 - x0);
+  return y0 * (1.0 - frac) + y1 * frac;
+}
+
+PiecewiseLinear PiecewiseLinear::ShiftLeft(double dx) const {
+  std::vector<std::pair<double, double>> shifted = knots_;
+  for (auto& [x, y] : shifted) {
+    x -= dx;
+  }
+  return PiecewiseLinear(std::move(shifted));
+}
+
+}  // namespace jockey

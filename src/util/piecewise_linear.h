@@ -1,0 +1,43 @@
+// Piecewise-linear functions.
+//
+// Jockey expresses a job's deadline and importance as a utility function U(t): the
+// paper's construction is piecewise linear through (0,1), (d,1), (d+10,-1),
+// (d+1000,-1000) for a deadline of d minutes (Section 5.1). This class provides the
+// general mechanism; utility-specific construction lives in src/core/utility.h.
+
+#ifndef SRC_UTIL_PIECEWISE_LINEAR_H_
+#define SRC_UTIL_PIECEWISE_LINEAR_H_
+
+#include <utility>
+#include <vector>
+
+namespace jockey {
+
+// A piecewise-linear function defined by (x, y) knots with strictly increasing x.
+//
+// Evaluation clamps outside the knot range on the left and extrapolates the final
+// segment's slope on the right, matching the paper's utility semantics (utility keeps
+// dropping well past the deadline).
+class PiecewiseLinear {
+ public:
+  PiecewiseLinear() = default;
+
+  // Knots must be sorted by strictly increasing x; asserts otherwise.
+  explicit PiecewiseLinear(std::vector<std::pair<double, double>> knots);
+
+  double operator()(double x) const;
+
+  // Returns a copy of this function shifted left by dx: g(x) = f(x + dx).
+  // Used by the control loop's dead zone, which treats a deadline of d as d - D.
+  PiecewiseLinear ShiftLeft(double dx) const;
+
+  bool empty() const { return knots_.empty(); }
+  const std::vector<std::pair<double, double>>& knots() const { return knots_; }
+
+ private:
+  std::vector<std::pair<double, double>> knots_;
+};
+
+}  // namespace jockey
+
+#endif  // SRC_UTIL_PIECEWISE_LINEAR_H_

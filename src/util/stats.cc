@@ -1,0 +1,125 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace jockey {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::cov() const {
+  if (count_ < 2 || mean_ == 0.0) {
+    return 0.0;
+  }
+  return stddev() / mean_;
+}
+
+EmpiricalDistribution::EmpiricalDistribution(std::vector<double> samples)
+    : samples_(std::move(samples)) {}
+
+void EmpiricalDistribution::Add(double x) {
+  samples_.push_back(x);
+  sorted_valid_ = false;
+}
+
+void EmpiricalDistribution::AddAll(const std::vector<double>& xs) {
+  samples_.insert(samples_.end(), xs.begin(), xs.end());
+  sorted_valid_ = false;
+}
+
+double EmpiricalDistribution::mean() const {
+  RunningStats s;
+  for (double x : samples_) {
+    s.Add(x);
+  }
+  return s.mean();
+}
+
+double EmpiricalDistribution::stddev() const {
+  RunningStats s;
+  for (double x : samples_) {
+    s.Add(x);
+  }
+  return s.stddev();
+}
+
+double EmpiricalDistribution::min() const {
+  RunningStats s;
+  for (double x : samples_) {
+    s.Add(x);
+  }
+  return s.min();
+}
+
+double EmpiricalDistribution::max() const {
+  RunningStats s;
+  for (double x : samples_) {
+    s.Add(x);
+  }
+  return s.max();
+}
+
+void EmpiricalDistribution::EnsureSorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double EmpiricalDistribution::Quantile(double q) const {
+  assert(!samples_.empty());
+  EnsureSorted();
+  q = std::clamp(q, 0.0, 1.0);
+  if (sorted_.size() == 1) {
+    return sorted_[0];
+  }
+  double pos = q * static_cast<double>(sorted_.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+double EmpiricalDistribution::Sample(Rng& rng) const {
+  assert(!samples_.empty());
+  return samples_[static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(samples_.size()) - 1))];
+}
+
+double Quantile(std::vector<double> xs, double q) {
+  return EmpiricalDistribution(std::move(xs)).Quantile(q);
+}
+
+double CoefficientOfVariation(const std::vector<double>& xs) {
+  RunningStats s;
+  for (double x : xs) {
+    s.Add(x);
+  }
+  return s.cov();
+}
+
+}  // namespace jockey

@@ -1,0 +1,86 @@
+// Summary statistics and empirical distributions.
+//
+// Used throughout the reproduction: job-profile extraction computes per-stage task
+// runtime distributions, the completion-time table C(p, a) stores remaining-time
+// samples and answers quantile queries, and the benches report CoV percentiles
+// (Table 1) and latency CDFs (Fig 5).
+
+#ifndef SRC_UTIL_STATS_H_
+#define SRC_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace jockey {
+
+// Incremental mean / variance / min / max accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  // Sample variance (n-1 denominator); 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+  // Coefficient of variation: stddev / mean. 0 when mean is 0.
+  double cov() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// A set of samples supporting quantiles, resampling, and summary statistics.
+//
+// Samples are stored explicitly; Quantile() sorts lazily. Suitable for the sample
+// counts used here (up to ~1e6 per distribution).
+class EmpiricalDistribution {
+ public:
+  EmpiricalDistribution() = default;
+  explicit EmpiricalDistribution(std::vector<double> samples);
+
+  void Add(double x);
+  void AddAll(const std::vector<double>& xs);
+
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double mean() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+  // Linear-interpolated quantile, q in [0, 1]. Requires at least one sample.
+  double Quantile(double q) const;
+
+  // Draws one stored sample uniformly at random. Requires at least one sample.
+  double Sample(Rng& rng) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+// Linear-interpolated quantile of an unsorted vector (convenience; copies the data).
+double Quantile(std::vector<double> xs, double q);
+
+// Coefficient of variation of a vector; 0 if fewer than 2 samples or zero mean.
+double CoefficientOfVariation(const std::vector<double>& xs);
+
+}  // namespace jockey
+
+#endif  // SRC_UTIL_STATS_H_

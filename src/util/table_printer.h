@@ -1,0 +1,45 @@
+// Console table and CSV output for the benchmark harnesses.
+//
+// Every bench binary regenerates one of the paper's tables or figures; this printer
+// renders the rows both as an aligned console table (for reading) and optionally as
+// CSV (for plotting).
+
+#ifndef SRC_UTIL_TABLE_PRINTER_H_
+#define SRC_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace jockey {
+
+// Collects rows of string cells and prints them column-aligned.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  // Appends a row; may have fewer cells than the header (padded with empty cells).
+  void AddRow(std::vector<std::string> row);
+
+  // Prints the header, a separator, and all rows, space-aligned.
+  void Print(std::ostream& os) const;
+
+  // Prints header and rows as CSV (no quoting; cells must not contain commas).
+  void PrintCsv(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with `digits` decimal places.
+std::string FormatDouble(double value, int digits = 2);
+
+// Formats a fraction in [0,1] as a percentage string, e.g. 0.253 -> "25.3%".
+std::string FormatPercent(double fraction, int digits = 1);
+
+}  // namespace jockey
+
+#endif  // SRC_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,47 @@
+#include "src/workload/background_load.h"
+
+#include <algorithm>
+
+namespace jockey {
+
+BackgroundLoad::BackgroundLoad(const BackgroundLoadParams& params, Rng rng)
+    : params_(params), rng_(rng), current_(params.mean_utilization) {
+  if (params_.overload_rate_per_hour > 0.0) {
+    next_random_overload_ = rng_.Exponential(3600.0 / params_.overload_rate_per_hour);
+  } else {
+    next_random_overload_ = -1.0;
+  }
+}
+
+void BackgroundLoad::StepTo(SimTime now) {
+  while (stepped_until_ + params_.update_period_seconds <= now) {
+    stepped_until_ += params_.update_period_seconds;
+    double shock = rng_.Normal(0.0, params_.volatility);
+    current_ += params_.reversion * (params_.mean_utilization - current_) + shock;
+    current_ = std::clamp(current_, params_.min_utilization, params_.max_utilization);
+    if (next_random_overload_ >= 0.0 && stepped_until_ >= next_random_overload_) {
+      episodes_.push_back(Episode{next_random_overload_,
+                                  next_random_overload_ + params_.overload_duration_seconds,
+                                  params_.overload_utilization});
+      next_random_overload_ += rng_.Exponential(3600.0 / params_.overload_rate_per_hour) +
+                               params_.overload_duration_seconds;
+    }
+  }
+}
+
+double BackgroundLoad::UtilizationAt(SimTime now) {
+  StepTo(now);
+  double u = current_;
+  for (const auto& e : episodes_) {
+    if (now >= e.start && now < e.end) {
+      u = std::max(u, e.utilization);
+    }
+  }
+  return u;
+}
+
+void BackgroundLoad::AddEpisode(SimTime start, double duration, double utilization) {
+  episodes_.push_back(Episode{start, start + duration, utilization});
+}
+
+}  // namespace jockey

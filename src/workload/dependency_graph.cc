@@ -1,0 +1,165 @@
+#include "src/workload/dependency_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace jockey {
+
+DependencyGraph DependencyGraph::Generate(const DependencyGraphParams& params, Rng& rng) {
+  DependencyGraph g;
+  g.jobs_.reserve(static_cast<size_t>(params.num_jobs));
+  double window_seconds = params.window_hours * 3600.0;
+  // Flat list of (producer) endpoints of existing edges; picking a uniform element is
+  // the O(1) preferential-attachment trick (probability proportional to out-degree).
+  std::vector<int> edge_producers;
+  // Jobs that themselves consume inputs; chain edges extend these into pipelines.
+  std::vector<int> consumers;
+
+  for (int j = 0; j < params.num_jobs; ++j) {
+    DependencyJobNode node;
+    // Zipf-ish group popularity: a few groups own most jobs.
+    double z = rng.Uniform();
+    node.group = static_cast<int>(std::pow(z, 2.0) * params.num_groups);
+    node.group = std::min(node.group, params.num_groups - 1);
+    node.start = rng.Uniform(0.0, window_seconds);
+    double duration = rng.LogNormal(std::log(20.0 * 60.0), 1.0);  // median 20 min
+    bool has_inputs = j > 0 && rng.Bernoulli(params.frac_with_inputs);
+    if (has_inputs) {
+      int n_inputs = static_cast<int>(rng.UniformInt(1, params.max_inputs));
+      std::set<int> chosen;
+      for (int k = 0; k < n_inputs; ++k) {
+        int producer;
+        if (!consumers.empty() && rng.Bernoulli(params.chain_prob)) {
+          // Extend a pipeline: depend on a recent job that itself has inputs.
+          size_t lo = consumers.size() > 50 ? consumers.size() - 50 : 0;
+          producer = consumers[static_cast<size_t>(
+              rng.UniformInt(static_cast<int64_t>(lo),
+                             static_cast<int64_t>(consumers.size()) - 1))];
+        } else if (!edge_producers.empty() && rng.Bernoulli(params.pref_attach_prob)) {
+          producer = edge_producers[static_cast<size_t>(
+              rng.UniformInt(0, static_cast<int64_t>(edge_producers.size()) - 1))];
+        } else {
+          producer = static_cast<int>(rng.UniformInt(0, j - 1));
+        }
+        chosen.insert(producer);
+      }
+      consumers.push_back(j);
+      double latest_finish = 0.0;
+      for (int producer : chosen) {
+        node.inputs.push_back(producer);
+        edge_producers.push_back(producer);
+        latest_finish = std::max(latest_finish, g.jobs_[static_cast<size_t>(producer)].finish);
+      }
+      // Dependents start shortly after their inputs are ready (Fig 1: median 10 min).
+      double gap = rng.LogNormal(std::log(params.median_gap_minutes * 60.0), params.gap_sigma);
+      node.start = latest_finish + gap;
+    }
+    node.finish = node.start + duration;
+    g.jobs_.push_back(std::move(node));
+  }
+  return g;
+}
+
+std::vector<std::vector<int>> DependencyGraph::DependentLists() const {
+  std::vector<std::vector<int>> dependents(jobs_.size());
+  for (size_t j = 0; j < jobs_.size(); ++j) {
+    for (int producer : jobs_[j].inputs) {
+      dependents[static_cast<size_t>(producer)].push_back(static_cast<int>(j));
+    }
+  }
+  return dependents;
+}
+
+std::vector<double> DependencyGraph::DependentGapsMinutes() const {
+  // Gap between a dependent's start and the moment its inputs were complete, i.e.
+  // against the latest-finishing (binding) producer. Non-binding producers finished
+  // earlier by construction and would only measure the consumer's input skew.
+  std::vector<double> gaps;
+  for (const auto& job : jobs_) {
+    if (job.inputs.empty()) {
+      continue;
+    }
+    double latest = 0.0;
+    for (int producer : job.inputs) {
+      latest = std::max(latest, jobs_[static_cast<size_t>(producer)].finish);
+    }
+    double gap = job.start - latest;
+    if (gap >= 0.0) {
+      gaps.push_back(gap / 60.0);
+    }
+  }
+  return gaps;
+}
+
+std::vector<double> DependencyGraph::ChainLengths() const {
+  auto dependents = DependentLists();
+  // Jobs are created in index order and edges always point backwards, so ascending
+  // index is a reverse-topological order for the dependents relation.
+  std::vector<int> longest(jobs_.size(), 0);
+  for (size_t j = jobs_.size(); j-- > 0;) {
+    for (int d : dependents[j]) {
+      longest[j] = std::max(longest[j], 1 + longest[static_cast<size_t>(d)]);
+    }
+  }
+  std::vector<double> out;
+  for (size_t j = 0; j < jobs_.size(); ++j) {
+    if (!dependents[j].empty()) {
+      out.push_back(static_cast<double>(1 + longest[j]));
+    }
+  }
+  return out;
+}
+
+std::vector<double> DependencyGraph::TransitiveDependentCounts() const {
+  auto dependents = DependentLists();
+  std::vector<double> out;
+  for (size_t j = 0; j < jobs_.size(); ++j) {
+    if (dependents[j].empty()) {
+      continue;
+    }
+    // BFS over dependents; graphs here are sparse so this is fast enough.
+    std::set<int> seen;
+    std::vector<int> frontier = dependents[j];
+    while (!frontier.empty()) {
+      int cur = frontier.back();
+      frontier.pop_back();
+      if (!seen.insert(cur).second) {
+        continue;
+      }
+      for (int d : dependents[static_cast<size_t>(cur)]) {
+        frontier.push_back(d);
+      }
+    }
+    out.push_back(static_cast<double>(seen.size()));
+  }
+  return out;
+}
+
+std::vector<double> DependencyGraph::DependentGroupCounts() const {
+  auto dependents = DependentLists();
+  std::vector<double> out;
+  for (size_t j = 0; j < jobs_.size(); ++j) {
+    if (dependents[j].empty()) {
+      continue;
+    }
+    std::set<int> seen;
+    std::set<int> groups;
+    std::vector<int> frontier = dependents[j];
+    while (!frontier.empty()) {
+      int cur = frontier.back();
+      frontier.pop_back();
+      if (!seen.insert(cur).second) {
+        continue;
+      }
+      groups.insert(jobs_[static_cast<size_t>(cur)].group);
+      for (int d : dependents[static_cast<size_t>(cur)]) {
+        frontier.push_back(d);
+      }
+    }
+    out.push_back(static_cast<double>(groups.size()));
+  }
+  return out;
+}
+
+}  // namespace jockey

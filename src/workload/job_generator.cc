@@ -1,0 +1,283 @@
+#include "src/workload/job_generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "src/util/stats.h"
+
+namespace jockey {
+namespace {
+
+// z-score of the 90th percentile of a standard normal; p90 = median * exp(kZ90 * sigma)
+// for a log-normal.
+constexpr double kZ90 = 1.2815515655;
+
+// Builds the DAG topology: a recency-biased chain with occasional joins, several
+// source branches, and `num_barriers` full-shuffle (aggregation) stages.
+std::vector<StageSpec> BuildTopology(const JobShapeSpec& spec, Rng& rng) {
+  int s_count = spec.num_stages;
+  std::vector<StageSpec> stages(static_cast<size_t>(s_count));
+  int num_sources = std::clamp(spec.num_sources, 1, std::max(1, s_count / 3));
+
+  // Choose source stage ids: stage 0 plus (num_sources - 1) others in the first half,
+  // so branches have room to merge back.
+  std::vector<bool> is_source(static_cast<size_t>(s_count), false);
+  is_source[0] = true;
+  int placed = 1;
+  while (placed < num_sources) {
+    int candidate = static_cast<int>(rng.UniformInt(1, std::max(1, s_count / 2)));
+    if (!is_source[static_cast<size_t>(candidate)]) {
+      is_source[static_cast<size_t>(candidate)] = true;
+      ++placed;
+    }
+  }
+
+  for (int i = 0; i < s_count; ++i) {
+    auto& st = stages[static_cast<size_t>(i)];
+    st.name = spec.name + "_s" + std::to_string(i);
+    if (is_source[static_cast<size_t>(i)]) {
+      continue;
+    }
+    // Primary input: a recent non-self stage. The window width controls DAG depth
+    // (wider window -> more parallel branches -> shorter critical path).
+    int lo = std::max(0, i - 7);
+    int primary = static_cast<int>(rng.UniformInt(lo, i - 1));
+    st.inputs.push_back(StageEdge{primary, CommPattern::kOneToOne});
+    // Occasional second input creates joins (Fig 3 shows diamond shapes).
+    if (i >= 2 && rng.Bernoulli(0.30)) {
+      int secondary = static_cast<int>(rng.UniformInt(0, i - 1));
+      if (secondary != primary) {
+        st.inputs.push_back(StageEdge{secondary, CommPattern::kOneToOne});
+      }
+    }
+  }
+
+  // Mark barrier stages: turn every input of the chosen stages into a full shuffle.
+  std::vector<int> non_source;
+  for (int i = 0; i < s_count; ++i) {
+    if (!is_source[static_cast<size_t>(i)]) {
+      non_source.push_back(i);
+    }
+  }
+  int barriers = std::min<int>(spec.num_barriers, static_cast<int>(non_source.size()));
+  for (int b = 0; b < barriers; ++b) {
+    // Sample without replacement.
+    size_t pick = static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(non_source.size()) - 1));
+    int stage_id = non_source[pick];
+    non_source.erase(non_source.begin() + static_cast<int64_t>(pick));
+    for (auto& e : stages[static_cast<size_t>(stage_id)].inputs) {
+      e.pattern = CommPattern::kAllToAll;
+    }
+  }
+  return stages;
+}
+
+// Distributes `total` tasks over stages: heavy-tailed weights, with aggregation
+// (barrier) stages kept small, as in real plans where reducers follow wide maps.
+void AssignTaskCounts(std::vector<StageSpec>& stages, int total, Rng& rng) {
+  std::vector<double> weights(stages.size());
+  for (size_t i = 0; i < stages.size(); ++i) {
+    double w = std::exp(rng.Normal(0.0, 1.2));
+    if (stages[i].IsBarrier()) {
+      w *= 0.08;  // aggregations are narrow
+    }
+    if (stages[i].inputs.empty()) {
+      w *= 2.0;  // extract stages over the input data are wide
+    }
+    weights[i] = w;
+  }
+  double sum = std::accumulate(weights.begin(), weights.end(), 0.0);
+  int assigned = 0;
+  size_t largest = 0;
+  for (size_t i = 0; i < stages.size(); ++i) {
+    int n = std::max(1, static_cast<int>(std::floor(weights[i] / sum * total)));
+    stages[i].num_tasks = n;
+    assigned += n;
+    if (stages[i].num_tasks > stages[largest].num_tasks) {
+      largest = i;
+    }
+  }
+  // Fix rounding drift on the widest stage, keeping every stage at >= 1 task.
+  int drift = total - assigned;
+  stages[largest].num_tasks = std::max(1, stages[largest].num_tasks + drift);
+}
+
+// Measures the task-runtime median and p90 of the whole job under the given models
+// by sampling (the job-level distribution is a task-count-weighted mixture).
+std::pair<double, double> SampleJobQuantiles(const std::vector<StageSpec>& stages,
+                                             const std::vector<StageRuntimeModel>& models,
+                                             Rng& rng) {
+  EmpiricalDistribution dist;
+  int total = 0;
+  for (const auto& s : stages) {
+    total += s.num_tasks;
+  }
+  // Sample proportionally, at least 1 draw per stage, ~4000 draws overall.
+  for (size_t i = 0; i < stages.size(); ++i) {
+    int draws = std::max(1, stages[i].num_tasks * 4000 / std::max(1, total));
+    for (int d = 0; d < draws; ++d) {
+      dist.Add(models[i].SampleSeconds(rng));
+    }
+  }
+  return {dist.Quantile(0.5), dist.Quantile(0.9)};
+}
+
+}  // namespace
+
+JobTemplate GenerateJob(const JobShapeSpec& spec) {
+  assert(spec.num_stages >= 1);
+  assert(spec.num_vertices >= spec.num_stages);
+  Rng rng(spec.seed);
+
+  std::vector<StageSpec> stages = BuildTopology(spec, rng);
+  AssignTaskCounts(stages, spec.num_vertices, rng);
+
+  // Per-stage models: spread stage p90 targets log-uniformly between the fastest and
+  // slowest published stage p90s, then derive medians from per-stage sigmas.
+  std::vector<StageRuntimeModel> models(stages.size());
+  double ln_fast = std::log(spec.fastest_stage_p90);
+  double ln_slow = std::log(spec.slowest_stage_p90);
+  // Wide stages are fast, narrow stages slow — as in real plans, where wide extract /
+  // map stages stream cheap records while narrow aggregations grind. This correlation
+  // is what lets a job have a slowest-stage p90 far above its overall p90 (Table 2):
+  // the slow stages hold few of the vertices.
+  std::vector<size_t> by_width(stages.size());
+  for (size_t i = 0; i < stages.size(); ++i) {
+    by_width[i] = i;
+  }
+  std::sort(by_width.begin(), by_width.end(), [&](size_t a, size_t b) {
+    return stages[a].num_tasks > stages[b].num_tasks;
+  });
+  std::vector<double> speed_rank(stages.size());
+  for (size_t rank = 0; rank < by_width.size(); ++rank) {
+    speed_rank[by_width[rank]] =
+        static_cast<double>(rank) / std::max<size_t>(1, stages.size() - 1);
+  }
+  for (size_t i = 0; i < stages.size(); ++i) {
+    double u = std::clamp(speed_rank[i] + rng.Uniform(-0.15, 0.15), 0.0, 1.0);
+    if (i == by_width.front()) {
+      u = 0.0;  // the widest stage anchors the fastest-stage p90
+    }
+    if (i == by_width.back()) {
+      u = 1.0;  // the narrowest anchors the slowest-stage p90
+    }
+    // Convex mapping: only the very narrowest stages approach the slowest-stage p90;
+    // a chain of uniformly slow stages would otherwise blow up the critical path far
+    // beyond anything in the paper's jobs.
+    u = std::pow(u, 4.0);
+    double stage_p90 = std::exp(ln_fast + u * (ln_slow - ln_fast));
+    auto& m = models[i];
+    m.sigma = rng.Uniform(0.45, 0.85);
+    m.median_seconds = stage_p90 / std::exp(kZ90 * m.sigma);
+    m.outlier_prob = rng.Uniform(0.01, 0.05);
+    m.outlier_alpha = rng.Uniform(1.6, 2.4);
+    // Keep any single straggler under ~10 simulated minutes: stages whose p90 is
+    // already large get a tighter multiplier cap, otherwise one outlier in a slow
+    // stage would dominate the whole job's critical path.
+    m.outlier_cap = std::clamp(450.0 / stage_p90, 1.5, 6.0);
+    m.failure_prob = rng.Uniform(0.002, 0.01);
+  }
+
+  // Calibrate against the job-level median and p90 (two fixed-point passes).
+  for (int pass = 0; pass < 2; ++pass) {
+    Rng probe = rng.Fork();
+    auto [median, p90] = SampleJobQuantiles(stages, models, probe);
+    double median_scale = spec.job_median_seconds / std::max(1e-9, median);
+    double tail_target = std::log(spec.job_p90_seconds / spec.job_median_seconds);
+    double tail_actual = std::log(std::max(1.001, p90 / median));
+    double sigma_scale = std::clamp(tail_target / tail_actual, 0.5, 2.0);
+    for (auto& m : models) {
+      m.median_seconds *= median_scale;
+      m.sigma = std::clamp(m.sigma * sigma_scale, 0.15, 1.3);
+    }
+  }
+
+  // Re-anchor after calibration: no stage may be slower than the published
+  // slowest-stage p90 (the global median rescale can push narrow stages past it; the
+  // 1.15 discount offsets outlier inflation of the sampled p90), and single tasks are
+  // truncated a little above their stage's p90.
+  for (auto& m : models) {
+    double p90 = m.BodyQuantile(0.9);
+    double ceiling = spec.slowest_stage_p90 / 1.15;
+    if (p90 > ceiling) {
+      m.median_seconds *= ceiling / p90;
+      p90 = ceiling;
+    }
+    m.task_cap_seconds = std::max(60.0, 3.0 * p90);
+  }
+  // Anchor the fastest-stage p90 on a narrow stage: wide stages carry the job's
+  // overall quantiles (which the calibration owns), while in the published jobs the
+  // fastest stage is typically a tiny auxiliary stage.
+  if (stages.size() >= 3) {
+    auto& fast = models[by_width[by_width.size() - 2]];
+    fast.median_seconds = spec.fastest_stage_p90 / std::exp(kZ90 * fast.sigma);
+    fast.outlier_prob = 0.005;
+    fast.task_cap_seconds = std::max(60.0, 3.0 * spec.fastest_stage_p90);
+  }
+
+  JobTemplate tmpl;
+  tmpl.graph = JobGraph(spec.name, std::move(stages));
+  tmpl.runtime = std::move(models);
+  tmpl.data_read_gb = spec.data_read_gb;
+  std::string error;
+  bool ok = tmpl.graph.Validate(&error);
+  assert(ok && "generated graph must validate");
+  (void)ok;
+  return tmpl;
+}
+
+// Table 2 of the paper, one spec per column.
+JobShapeSpec JobSpecA() {
+  return JobShapeSpec{"jobA", 23, 6, 681, 16.3, 61.5, 4.0, 126.3, 222.5, /*seed=*/101, 2};
+}
+JobShapeSpec JobSpecB() {
+  return JobShapeSpec{"jobB", 14, 0, 1605, 4.0, 54.1, 3.3, 116.7, 114.3, /*seed=*/102, 2};
+}
+JobShapeSpec JobSpecC() {
+  return JobShapeSpec{"jobC", 16, 3, 5751, 2.6, 5.7, 1.7, 21.9, 151.1, /*seed=*/103, 3};
+}
+JobShapeSpec JobSpecD() {
+  return JobShapeSpec{"jobD", 24, 3, 3897, 6.1, 25.1, 1.4, 72.6, 268.7, /*seed=*/104, 2};
+}
+JobShapeSpec JobSpecE() {
+  return JobShapeSpec{"jobE", 11, 1, 2033, 8.0, 130.0, 3.9, 320.6, 195.7, /*seed=*/105, 2};
+}
+JobShapeSpec JobSpecF() {
+  return JobShapeSpec{"jobF", 26, 1, 6139, 3.6, 17.4, 3.3, 110.4, 285.6, /*seed=*/106, 3};
+}
+JobShapeSpec JobSpecG() {
+  return JobShapeSpec{"jobG", 110, 15, 8496, 3.0, 7.7, 1.6, 68.3, 155.3, /*seed=*/107, 4};
+}
+
+std::vector<JobShapeSpec> EvaluationJobSpecs() {
+  return {JobSpecA(), JobSpecB(), JobSpecC(), JobSpecD(), JobSpecE(), JobSpecF(), JobSpecG()};
+}
+
+std::vector<JobTemplate> MakeEvaluationJobs() {
+  std::vector<JobTemplate> jobs;
+  for (const auto& spec : EvaluationJobSpecs()) {
+    jobs.push_back(GenerateJob(spec));
+  }
+  return jobs;
+}
+
+JobTemplate MakeRandomJob(const std::string& name, Rng& rng, const RandomJobParams& params) {
+  JobShapeSpec spec;
+  spec.name = name;
+  spec.seed = rng.engine()();
+  spec.num_stages = static_cast<int>(rng.UniformInt(params.min_stages, params.max_stages));
+  spec.num_barriers = static_cast<int>(rng.UniformInt(0, std::max(1, spec.num_stages / 6)));
+  spec.num_vertices = static_cast<int>(rng.UniformInt(
+      std::max(params.min_vertices, spec.num_stages), params.max_vertices));
+  spec.job_median_seconds = rng.Uniform(params.min_median_seconds, params.max_median_seconds);
+  spec.job_p90_seconds = spec.job_median_seconds * rng.Uniform(2.0, 12.0);
+  spec.fastest_stage_p90 = spec.job_median_seconds * rng.Uniform(0.3, 0.9);
+  spec.slowest_stage_p90 = spec.job_p90_seconds * rng.Uniform(2.0, 5.0);
+  spec.data_read_gb = rng.Uniform(20.0, 400.0);
+  spec.num_sources = static_cast<int>(rng.UniformInt(1, 3));
+  return GenerateJob(spec);
+}
+
+}  // namespace jockey

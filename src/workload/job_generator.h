@@ -1,0 +1,70 @@
+// Generator for evaluation jobs.
+//
+// The paper's evaluation uses 21 recurring production jobs, of which seven (A-G) are
+// characterized in detail in Table 2 and Fig 3. Those jobs are proprietary, so we
+// synthesize structurally equivalent jobs: GenerateJob() builds a DAG with the target
+// stage / barrier / vertex counts and calibrates per-stage log-normal runtime models
+// against the target vertex-runtime median, 90th percentile, and fastest/slowest-stage
+// 90th percentiles. JobSpecA()..JobSpecG() carry Table 2's published numbers.
+
+#ifndef SRC_WORKLOAD_JOB_GENERATOR_H_
+#define SRC_WORKLOAD_JOB_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/workload/job_template.h"
+
+namespace jockey {
+
+// Target shape of a generated job (Table 2 row).
+struct JobShapeSpec {
+  std::string name;
+  int num_stages = 10;
+  int num_barriers = 2;
+  int num_vertices = 1000;
+  double job_median_seconds = 5.0;   // median task runtime across the whole job
+  double job_p90_seconds = 25.0;     // p90 task runtime across the whole job
+  double fastest_stage_p90 = 2.0;    // p90 of the fastest stage
+  double slowest_stage_p90 = 100.0;  // p90 of the slowest stage
+  double data_read_gb = 100.0;
+  uint64_t seed = 1;
+  int num_sources = 2;  // number of input branches (stages with no inputs)
+};
+
+// Builds a job matching `spec`. Deterministic for a fixed spec (including seed).
+JobTemplate GenerateJob(const JobShapeSpec& spec);
+
+// Table 2 rows for the seven detailed evaluation jobs.
+JobShapeSpec JobSpecA();
+JobShapeSpec JobSpecB();
+JobShapeSpec JobSpecC();
+JobShapeSpec JobSpecD();
+JobShapeSpec JobSpecE();
+JobShapeSpec JobSpecF();
+JobShapeSpec JobSpecG();
+
+// All seven detailed jobs, in order A..G.
+std::vector<JobShapeSpec> EvaluationJobSpecs();
+std::vector<JobTemplate> MakeEvaluationJobs();
+
+// Parameters for randomized recurring jobs (Table 1 fleet and the additional 14 of
+// the 21 evaluation jobs).
+struct RandomJobParams {
+  int min_stages = 6;
+  int max_stages = 30;
+  int min_vertices = 150;
+  int max_vertices = 2500;
+  double min_median_seconds = 2.0;
+  double max_median_seconds = 15.0;
+};
+
+// Builds a random job whose shape is drawn from `params` using `rng`.
+JobTemplate MakeRandomJob(const std::string& name, Rng& rng,
+                          const RandomJobParams& params = RandomJobParams());
+
+}  // namespace jockey
+
+#endif  // SRC_WORKLOAD_JOB_GENERATOR_H_

@@ -1,0 +1,21 @@
+#include "src/workload/job_template.h"
+
+#include <cmath>
+
+namespace jockey {
+
+double JobTemplate::ExpectedTotalWorkSeconds() const {
+  double total = 0.0;
+  for (int s = 0; s < graph.num_stages(); ++s) {
+    const auto& m = runtime[static_cast<size_t>(s)];
+    double body_mean = m.median_seconds * std::exp(m.sigma * m.sigma / 2.0);
+    // E[min(Pareto(1, alpha), cap)] for alpha > 1 is alpha/(alpha-1) minus the tail
+    // mass beyond the cap; the cap correction is small, so use the uncapped mean.
+    double outlier_mean = m.outlier_alpha > 1.0 ? m.outlier_alpha / (m.outlier_alpha - 1.0) : 2.0;
+    double mean = body_mean * (1.0 - m.outlier_prob + m.outlier_prob * outlier_mean);
+    total += mean * graph.stage(s).num_tasks;
+  }
+  return total;
+}
+
+}  // namespace jockey

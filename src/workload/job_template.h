@@ -1,0 +1,33 @@
+// JobTemplate: a job's structure plus its ground-truth runtime behaviour.
+//
+// Templates are what the workload generator produces and what the cluster simulator
+// executes. Jockey itself never reads the ground truth — it trains on traces.
+
+#ifndef SRC_WORKLOAD_JOB_TEMPLATE_H_
+#define SRC_WORKLOAD_JOB_TEMPLATE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/dag/job_graph.h"
+#include "src/workload/runtime_model.h"
+
+namespace jockey {
+
+// One generated job: execution-plan graph plus per-stage ground-truth models.
+struct JobTemplate {
+  JobGraph graph;
+  std::vector<StageRuntimeModel> runtime;  // one per stage
+  double data_read_gb = 0.0;               // reported in Table 2; not simulated
+
+  const std::string& name() const { return graph.name(); }
+
+  // Expected aggregate CPU seconds: sum over stages of num_tasks * E[task seconds].
+  // E[lognormal] = median * exp(sigma^2 / 2); the outlier mixture adds its expected
+  // multiplier mass.
+  double ExpectedTotalWorkSeconds() const;
+};
+
+}  // namespace jockey
+
+#endif  // SRC_WORKLOAD_JOB_TEMPLATE_H_

@@ -1,0 +1,45 @@
+// Ground-truth task runtime models.
+//
+// The cluster simulator plays the role of the production Cosmos cluster, so each
+// generated job carries a *ground-truth* stochastic model of its task behaviour:
+// log-normal execution times with a heavy-tailed outlier mixture (stragglers, the
+// paper's "tasks with unusually high latency") and a per-attempt failure probability.
+// Jockey never sees this model — it only sees traces of prior runs, exactly as the
+// real system only sees prior executions.
+
+#ifndef SRC_WORKLOAD_RUNTIME_MODEL_H_
+#define SRC_WORKLOAD_RUNTIME_MODEL_H_
+
+#include "src/util/rng.h"
+
+namespace jockey {
+
+// Stochastic runtime behaviour of one stage's tasks.
+struct StageRuntimeModel {
+  // Median of the log-normal body, seconds. The log-normal's mu = ln(median).
+  double median_seconds = 5.0;
+  // Shape of the log-normal body; p90/median = exp(1.2816 * sigma).
+  double sigma = 0.6;
+  // Probability a task is an outlier (straggler).
+  double outlier_prob = 0.03;
+  // Outlier multiplier: Pareto(1, outlier_alpha), clamped to outlier_cap.
+  double outlier_alpha = 1.8;
+  double outlier_cap = 12.0;
+  // Probability that one execution attempt fails and the task must re-run.
+  double failure_prob = 0.01;
+  // Hard truncation of a single task's execution time. Data-parallel tasks are
+  // seconds-to-minutes scale; an unbounded log-normal tail would otherwise
+  // manufacture hour-long stragglers that dominate the critical path.
+  double task_cap_seconds = 1e9;
+
+  // Draws one task execution time, seconds.
+  double SampleSeconds(Rng& rng) const;
+
+  // Closed-form quantile of the body (ignores the outlier mixture); used by the
+  // generator to calibrate stage parameters against the paper's Table 2 targets.
+  double BodyQuantile(double q) const;
+};
+
+}  // namespace jockey
+
+#endif  // SRC_WORKLOAD_RUNTIME_MODEL_H_

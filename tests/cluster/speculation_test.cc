@@ -1,0 +1,132 @@
+// Tests for speculative execution of stragglers in the cluster simulator.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/cluster/cluster_simulator.h"
+#include "src/workload/job_generator.h"
+
+namespace jockey {
+namespace {
+
+// A job with a pronounced straggler problem: frequent heavy outliers.
+JobTemplate StragglerJob(uint64_t seed = 61) {
+  JobShapeSpec spec;
+  spec.name = "straggly";
+  spec.num_stages = 4;
+  spec.num_barriers = 1;
+  spec.num_vertices = 200;
+  spec.job_median_seconds = 5.0;
+  spec.job_p90_seconds = 15.0;
+  spec.fastest_stage_p90 = 3.0;
+  spec.slowest_stage_p90 = 25.0;
+  spec.seed = seed;
+  JobTemplate job = GenerateJob(spec);
+  for (auto& model : job.runtime) {
+    model.outlier_prob = 0.12;
+    model.outlier_alpha = 1.4;
+    model.outlier_cap = 20.0;
+    model.task_cap_seconds = 1e9;
+  }
+  return job;
+}
+
+ClusterConfig SpeculatingCluster(uint64_t seed, bool speculate) {
+  ClusterConfig config;
+  config.num_machines = 30;
+  config.slots_per_machine = 4;
+  config.seed = seed;
+  config.machine_failure_rate_per_hour = 0.0;
+  config.background.mean_utilization = 0.5;
+  config.background.volatility = 0.0;
+  config.enable_speculation = speculate;
+  config.speculation_check_period_seconds = 10.0;
+  return config;
+}
+
+TEST(SpeculationTest, LaunchesDuplicatesForStragglers) {
+  JobTemplate job = StragglerJob();
+  ClusterSimulator cluster(SpeculatingCluster(1, true));
+  JobSubmission submission;
+  submission.guaranteed_tokens = 30;
+  submission.seed = 5;
+  int id = cluster.SubmitJob(job, submission);
+  cluster.Run();
+  const ClusterRunResult& r = cluster.result(id);
+  EXPECT_TRUE(r.finished);
+  EXPECT_GT(r.speculative_launched, 0);
+}
+
+TEST(SpeculationTest, TraceStillCoversEveryTaskOnce) {
+  JobTemplate job = StragglerJob();
+  ClusterSimulator cluster(SpeculatingCluster(2, true));
+  JobSubmission submission;
+  submission.guaranteed_tokens = 30;
+  submission.seed = 6;
+  int id = cluster.SubmitJob(job, submission);
+  cluster.Run();
+  const RunTrace& trace = cluster.result(id).trace;
+  ASSERT_EQ(static_cast<int>(trace.tasks.size()), job.graph.num_tasks());
+  std::set<std::pair<int, int>> seen;
+  for (const auto& t : trace.tasks) {
+    EXPECT_TRUE(seen.insert({t.id.stage, t.id.index}).second);
+    EXPECT_GT(t.end_time, t.start_time);
+  }
+}
+
+TEST(SpeculationTest, SpeculationShortensTheStragglerTail) {
+  JobTemplate job = StragglerJob();
+  double with_total = 0.0;
+  double without_total = 0.0;
+  int wins = 0;
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    for (bool speculate : {true, false}) {
+      ClusterSimulator cluster(SpeculatingCluster(seed * 11, speculate));
+      JobSubmission submission;
+      submission.guaranteed_tokens = 30;
+      submission.use_spare_tokens = false;  // duplicates still allowed (spare class)
+      submission.seed = 100 + seed;
+      int id = cluster.SubmitJob(job, submission);
+      cluster.Run();
+      if (speculate) {
+        with_total += cluster.result(id).CompletionSeconds();
+        wins += cluster.result(id).speculative_wins;
+      } else {
+        without_total += cluster.result(id).CompletionSeconds();
+      }
+    }
+  }
+  EXPECT_GT(wins, 0);
+  EXPECT_LT(with_total, without_total);
+}
+
+TEST(SpeculationTest, DisabledClusterNeverSpeculates) {
+  JobTemplate job = StragglerJob();
+  ClusterSimulator cluster(SpeculatingCluster(3, false));
+  JobSubmission submission;
+  submission.guaranteed_tokens = 30;
+  submission.seed = 7;
+  int id = cluster.SubmitJob(job, submission);
+  cluster.Run();
+  EXPECT_EQ(cluster.result(id).speculative_launched, 0);
+  EXPECT_EQ(cluster.result(id).speculative_wins, 0);
+}
+
+TEST(SpeculationTest, DeterministicWithSpeculation) {
+  JobTemplate job = StragglerJob();
+  double completions[2];
+  for (int round = 0; round < 2; ++round) {
+    ClusterSimulator cluster(SpeculatingCluster(4, true));
+    JobSubmission submission;
+    submission.guaranteed_tokens = 25;
+    submission.seed = 8;
+    int id = cluster.SubmitJob(job, submission);
+    cluster.Run();
+    completions[round] = cluster.result(id).CompletionSeconds();
+  }
+  EXPECT_DOUBLE_EQ(completions[0], completions[1]);
+}
+
+}  // namespace
+}  // namespace jockey

@@ -1,0 +1,147 @@
+#include "src/core/admission.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/experiment.h"
+#include "src/workload/job_generator.h"
+
+namespace jockey {
+namespace {
+
+class AdmissionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    JobShapeSpec spec;
+    spec.name = "adm";
+    spec.num_stages = 8;
+    spec.num_barriers = 1;
+    spec.num_vertices = 400;
+    spec.job_median_seconds = 4.0;
+    spec.job_p90_seconds = 14.0;
+    spec.fastest_stage_p90 = 2.0;
+    spec.slowest_stage_p90 = 30.0;
+    spec.seed = 91;
+    trained_ = new TrainedJob(TrainJob(GenerateJob(spec)));
+  }
+  static void TearDownTestSuite() {
+    delete trained_;
+    trained_ = nullptr;
+  }
+  static TrainedJob* trained_;
+};
+
+TrainedJob* AdmissionTest::trained_ = nullptr;
+
+TEST_F(AdmissionTest, AdmitsFeasibleJobAndReserves) {
+  AdmissionController controller(100);
+  double deadline = SuggestDeadlineSeconds(*trained_, /*tight=*/false);
+  AdmissionDecision d = controller.Admit("job1", *trained_->jockey, 0.0, deadline);
+  EXPECT_TRUE(d.admitted) << d.reason;
+  EXPECT_GE(d.reserved_tokens, 1);
+  EXPECT_LE(d.reserved_tokens, 100);
+  ASSERT_EQ(controller.reservations().size(), 1u);
+  EXPECT_EQ(controller.reservations()[0].tokens, d.reserved_tokens);
+}
+
+TEST_F(AdmissionTest, RejectsInfeasibleDeadline) {
+  AdmissionController controller(100);
+  AdmissionDecision d = controller.Admit("hopeless", *trained_->jockey, 0.0, 1.0);
+  EXPECT_FALSE(d.admitted);
+  EXPECT_NE(d.reason.find("infeasible"), std::string::npos);
+  EXPECT_TRUE(controller.reservations().empty());
+}
+
+TEST_F(AdmissionTest, ReservationsConsumeBudget) {
+  double deadline = SuggestDeadlineSeconds(*trained_, /*tight=*/true);
+  AdmissionController generous(400);
+  AdmissionDecision first = generous.Admit("a", *trained_->jockey, 0.0, deadline);
+  ASSERT_TRUE(first.admitted);
+  // Budget that fits exactly one such reservation: the second identical job must be
+  // rejected in the same window.
+  AdmissionController tight(first.reserved_tokens);
+  ASSERT_TRUE(tight.Admit("a", *trained_->jockey, 0.0, deadline).admitted);
+  AdmissionDecision second = tight.Admit("b", *trained_->jockey, 0.0, deadline);
+  EXPECT_FALSE(second.admitted);
+}
+
+TEST_F(AdmissionTest, NonOverlappingWindowsShareTokens) {
+  double deadline = SuggestDeadlineSeconds(*trained_, /*tight=*/true);
+  AdmissionController controller(0);
+  (void)controller;
+  AdmissionController budget(
+      AdmissionController(400).Admit("probe", *trained_->jockey, 0.0, deadline)
+          .reserved_tokens);
+  ASSERT_TRUE(budget.Admit("a", *trained_->jockey, 0.0, deadline).admitted);
+  // Same tokens again, but in a disjoint future window: fits.
+  EXPECT_TRUE(budget.Admit("b", *trained_->jockey, deadline + 1.0, deadline).admitted);
+}
+
+TEST_F(AdmissionTest, ReleaseExpiredFreesTokens) {
+  double deadline = SuggestDeadlineSeconds(*trained_, /*tight=*/true);
+  int need = AdmissionController(400).Admit("probe", *trained_->jockey, 0.0, deadline)
+                 .reserved_tokens;
+  AdmissionController controller(need);
+  ASSERT_TRUE(controller.Admit("a", *trained_->jockey, 0.0, deadline).admitted);
+  EXPECT_FALSE(controller.Admit("b", *trained_->jockey, 10.0, deadline).admitted);
+  controller.ReleaseExpired(deadline + 1.0);
+  EXPECT_TRUE(controller.reservations().empty());
+  EXPECT_TRUE(
+      controller.Admit("b", *trained_->jockey, deadline + 1.0, deadline).admitted);
+}
+
+TEST_F(AdmissionTest, ExplicitReleaseFreesTokens) {
+  double deadline = SuggestDeadlineSeconds(*trained_, /*tight=*/true);
+  int need = AdmissionController(400).Admit("probe", *trained_->jockey, 0.0, deadline)
+                 .reserved_tokens;
+  AdmissionController controller(need);
+  ASSERT_TRUE(controller.Admit("a", *trained_->jockey, 0.0, deadline).admitted);
+  controller.Release("a");
+  EXPECT_TRUE(controller.Admit("b", *trained_->jockey, 0.0, deadline).admitted);
+}
+
+TEST_F(AdmissionTest, PeakReservedSeesOverlapsOnly) {
+  AdmissionController controller(1000);
+  double deadline = SuggestDeadlineSeconds(*trained_, /*tight=*/true);
+  AdmissionDecision a = controller.Admit("a", *trained_->jockey, 0.0, deadline);
+  AdmissionDecision b = controller.Admit("b", *trained_->jockey, 0.0, deadline);
+  ASSERT_TRUE(a.admitted);
+  ASSERT_TRUE(b.admitted);
+  EXPECT_EQ(controller.PeakReserved(0.0, deadline), a.reserved_tokens + b.reserved_tokens);
+  EXPECT_EQ(controller.PeakReserved(deadline + 1.0, deadline + 100.0), 0);
+}
+
+TEST_F(AdmissionTest, AdmittedJobsMeetDeadlinesWhenRun) {
+  // End-to-end: admit two jobs against a budget, run them concurrently with their
+  // reservations as caps, and confirm the admission promise held.
+  AdmissionController controller(150);
+  double deadline = SuggestDeadlineSeconds(*trained_, /*tight=*/false);
+  AdmissionDecision a = controller.Admit("a", *trained_->jockey, 0.0, deadline);
+  AdmissionDecision b = controller.Admit("b", *trained_->jockey, 0.0, deadline);
+  ASSERT_TRUE(a.admitted);
+  ASSERT_TRUE(b.admitted);
+
+  ClusterConfig config = DefaultExperimentCluster(77);
+  config.background.overload_rate_per_hour = 0.0;
+  ClusterSimulator cluster(config);
+  ControlLoopConfig control_a = trained_->jockey->config().control;
+  control_a.max_tokens = a.reserved_tokens;
+  ControlLoopConfig control_b = trained_->jockey->config().control;
+  control_b.max_tokens = b.reserved_tokens;
+  auto ctl_a = trained_->jockey->MakeController(DeadlineUtility(deadline), control_a);
+  auto ctl_b = trained_->jockey->MakeController(DeadlineUtility(deadline), control_b);
+  JobSubmission submission;
+  submission.controller = ctl_a.get();
+  submission.max_guaranteed_tokens = a.reserved_tokens;
+  submission.seed = 501;
+  int id_a = cluster.SubmitJob(*trained_->tmpl, submission);
+  submission.controller = ctl_b.get();
+  submission.max_guaranteed_tokens = b.reserved_tokens;
+  submission.seed = 502;
+  int id_b = cluster.SubmitJob(*trained_->tmpl, submission);
+  cluster.Run();
+  EXPECT_LE(cluster.result(id_a).CompletionSeconds(), deadline);
+  EXPECT_LE(cluster.result(id_b).CompletionSeconds(), deadline);
+}
+
+}  // namespace
+}  // namespace jockey

@@ -1,0 +1,86 @@
+#include "src/core/amdahl.h"
+
+#include <gtest/gtest.h>
+
+namespace jockey {
+namespace {
+
+JobGraph Chain3() {
+  std::vector<StageSpec> stages(3);
+  stages[0] = {"a", 10, {}};
+  stages[1] = {"b", 10, {{0, CommPattern::kAllToAll}}};
+  stages[2] = {"c", 5, {{1, CommPattern::kAllToAll}}};
+  return JobGraph("chain3", std::move(stages));
+}
+
+JobProfile ChainProfile(const JobGraph& g) {
+  RunTrace trace;
+  // Stage a: tasks of 10s (ls=10, Ts=100); b: 5s (ls=5, Ts=50); c: 20s (ls=20, Ts=100).
+  double durations[3] = {10.0, 5.0, 20.0};
+  double t = 0.0;
+  for (int s = 0; s < g.num_stages(); ++s) {
+    for (int i = 0; i < g.stage(s).num_tasks; ++i) {
+      trace.tasks.push_back({{s, i}, t, t, t + durations[s], 0, 0.0});
+      t += durations[s];
+    }
+  }
+  trace.finish_time = t;
+  return JobProfile::FromTrace(g, trace);
+}
+
+TEST(AmdahlModelTest, TotalsMatchProfile) {
+  JobGraph g = Chain3();
+  AmdahlModel m(g, ChainProfile(g));
+  EXPECT_DOUBLE_EQ(m.CriticalPathSeconds(), 35.0);  // 10 + 5 + 20
+  EXPECT_DOUBLE_EQ(m.TotalWorkSeconds(), 250.0);
+}
+
+TEST(AmdahlModelTest, PredictTotalFollowsFormula) {
+  JobGraph g = Chain3();
+  AmdahlModel m(g, ChainProfile(g));
+  // S + (P - S)/N with S=35, P=250.
+  EXPECT_DOUBLE_EQ(m.PredictTotal(1.0), 35.0 + 215.0);
+  EXPECT_DOUBLE_EQ(m.PredictTotal(10.0), 35.0 + 21.5);
+  EXPECT_DOUBLE_EQ(m.PredictTotal(1000.0), 35.0 + 0.215);
+}
+
+TEST(AmdahlModelTest, RemainingShrinksWithProgress) {
+  JobGraph g = Chain3();
+  AmdahlModel m(g, ChainProfile(g));
+  double full = m.PredictRemaining({0.0, 0.0, 0.0}, 10.0);
+  double half = m.PredictRemaining({1.0, 0.5, 0.0}, 10.0);
+  double tail = m.PredictRemaining({1.0, 1.0, 0.8}, 10.0);
+  EXPECT_GT(full, half);
+  EXPECT_GT(half, tail);
+  EXPECT_DOUBLE_EQ(m.PredictRemaining({1.0, 1.0, 1.0}, 10.0), 0.0);
+}
+
+TEST(AmdahlModelTest, RemainingCriticalPathUsesUnfinishedStages) {
+  JobGraph g = Chain3();
+  AmdahlModel m(g, ChainProfile(g));
+  // With a and b done, only c remains: S_t = (1-0)*20 + 0 = 20, P_t = 100.
+  EXPECT_DOUBLE_EQ(m.PredictRemaining({1.0, 1.0, 0.0}, 1.0), 20.0 + 80.0);
+  EXPECT_DOUBLE_EQ(m.PredictRemaining({1.0, 1.0, 0.0}, 80.0), 20.0 + 1.0);
+}
+
+TEST(AmdahlModelTest, MonotoneInAllocation) {
+  JobGraph g = Chain3();
+  AmdahlModel m(g, ChainProfile(g));
+  double prev = 1e18;
+  for (double a = 1.0; a <= 128.0; a *= 2.0) {
+    double cur = m.PredictRemaining({0.2, 0.0, 0.0}, a);
+    EXPECT_LE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(AmdahlModelTest, NeverBelowRemainingCriticalPath) {
+  JobGraph g = Chain3();
+  AmdahlModel m(g, ChainProfile(g));
+  for (double a : {1.0, 7.0, 100.0, 10000.0}) {
+    EXPECT_GE(m.PredictRemaining({0.5, 0.0, 0.0}, a), 5.0 + 5.0 + 20.0);
+  }
+}
+
+}  // namespace
+}  // namespace jockey

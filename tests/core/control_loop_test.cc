@@ -1,0 +1,218 @@
+#include "src/core/control_loop.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/utility.h"
+
+namespace jockey {
+namespace {
+
+// A one-stage job so the indicator is trivially the completed fraction.
+JobGraph OneStage() {
+  std::vector<StageSpec> stages(1);
+  stages[0] = {"work", 10, {}};
+  return JobGraph("one", std::move(stages));
+}
+
+JobProfile OneStageProfile(const JobGraph& g) {
+  RunTrace trace;
+  for (int i = 0; i < g.stage(0).num_tasks; ++i) {
+    trace.tasks.push_back({{0, i}, 0.0, 0.0, 600.0, 0, 0.0});
+  }
+  trace.finish_time = 6000.0;
+  return JobProfile::FromTrace(g, trace);
+}
+
+// A table where remaining work is exactly 6000/a seconds regardless of progress
+// (one bucket): perfectly divisible work, no critical path.
+std::shared_ptr<CompletionTable> DivisibleWorkTable(int max_tokens = 20) {
+  std::vector<int> grid;
+  for (int a = 1; a <= max_tokens; ++a) {
+    grid.push_back(a);
+  }
+  auto table = std::make_shared<CompletionTable>(grid, 1);
+  for (int ai = 0; ai < max_tokens; ++ai) {
+    table->AddSample(0.0, ai, 6000.0 / grid[static_cast<size_t>(ai)]);
+  }
+  return table;
+}
+
+ControlLoopConfig TestConfig() {
+  ControlLoopConfig config;
+  config.slack = 1.0;
+  config.hysteresis_alpha = 0.2;
+  config.dead_zone_seconds = 0.0;
+  config.prediction_quantile = 1.0;
+  config.min_tokens = 1;
+  config.max_tokens = 20;
+  return config;
+}
+
+std::shared_ptr<const ProgressIndicator> OneStageIndicator(const JobGraph& g,
+                                                           const JobProfile& p) {
+  return std::shared_ptr<const ProgressIndicator>(
+      MakeIndicator(IndicatorKind::kVertexFrac, g, p));
+}
+
+JobRuntimeStatus StatusAt(double elapsed, double frac) {
+  JobRuntimeStatus status;
+  status.elapsed_seconds = elapsed;
+  status.frac_complete = {frac};
+  return status;
+}
+
+TEST(JockeyControllerTest, FirstTickPicksMinimalAllocationMeetingDeadline) {
+  JobGraph g = OneStage();
+  JobProfile p = OneStageProfile(g);
+  JockeyController c(OneStageIndicator(g, p), DivisibleWorkTable(), DeadlineUtility(1200.0),
+                     TestConfig());
+  // 6000/a <= 1200 requires a >= 5.
+  ControlDecision d = c.OnTick(StatusAt(0.0, 0.0));
+  EXPECT_EQ(d.guaranteed_tokens, 5);
+  EXPECT_DOUBLE_EQ(d.raw_allocation, 5.0);
+}
+
+TEST(JockeyControllerTest, SlackInflatesPredictions) {
+  JobGraph g = OneStage();
+  JobProfile p = OneStageProfile(g);
+  ControlLoopConfig config = TestConfig();
+  config.slack = 1.5;
+  JockeyController c(OneStageIndicator(g, p), DivisibleWorkTable(), DeadlineUtility(1200.0),
+                     config);
+  // 1.5 * 6000/a <= 1200 requires a >= 7.5 -> 8.
+  EXPECT_EQ(c.OnTick(StatusAt(0.0, 0.0)).guaranteed_tokens, 8);
+}
+
+TEST(JockeyControllerTest, DeadZoneShiftsDeadlineLeft) {
+  JobGraph g = OneStage();
+  JobProfile p = OneStageProfile(g);
+  ControlLoopConfig config = TestConfig();
+  config.dead_zone_seconds = 180.0;
+  JockeyController c(OneStageIndicator(g, p), DivisibleWorkTable(), DeadlineUtility(1200.0),
+                     config);
+  // Effective deadline 1020: 6000/a <= 1020 requires a >= 5.88 -> 6.
+  EXPECT_EQ(c.OnTick(StatusAt(0.0, 0.0)).guaranteed_tokens, 6);
+}
+
+TEST(JockeyControllerTest, InfeasibleDeadlinePicksMaxTokens) {
+  JobGraph g = OneStage();
+  JobProfile p = OneStageProfile(g);
+  JockeyController c(OneStageIndicator(g, p), DivisibleWorkTable(), DeadlineUtility(10.0),
+                     TestConfig());
+  // Nothing meets a 10 s deadline; the largest allocation minimizes lateness.
+  EXPECT_EQ(c.OnTick(StatusAt(0.0, 0.0)).guaranteed_tokens, 20);
+}
+
+TEST(JockeyControllerTest, HysteresisSmoothsIncreases) {
+  JobGraph g = OneStage();
+  JobProfile p = OneStageProfile(g);
+  JockeyController c(OneStageIndicator(g, p), DivisibleWorkTable(), DeadlineUtility(1200.0),
+                     TestConfig());
+  ASSERT_EQ(c.OnTick(StatusAt(0.0, 0.0)).guaranteed_tokens, 5);
+  // Tighten the deadline: raw jumps to ceil(6000/900) = 7, but the smoothed
+  // allocation only moves by alpha of the gap.
+  c.SetUtility(DeadlineUtility(900.0));
+  ControlDecision d = c.OnTick(StatusAt(0.0, 0.0));
+  EXPECT_DOUBLE_EQ(d.raw_allocation, 7.0);
+  // smoothed = 5 + 0.2 * (7 - 5) = 5.4 -> granted 6.
+  EXPECT_EQ(d.guaranteed_tokens, 6);
+  ASSERT_EQ(c.log().size(), 2u);
+  EXPECT_NEAR(c.log().back().smoothed_allocation, 5.4, 1e-9);
+}
+
+TEST(JockeyControllerTest, ReleasesWhenAheadOfSchedule) {
+  JobGraph g = OneStage();
+  JobProfile p = OneStageProfile(g);
+  JockeyController c(OneStageIndicator(g, p), DivisibleWorkTable(), DeadlineUtility(1200.0),
+                     TestConfig());
+  ASSERT_EQ(c.OnTick(StatusAt(0.0, 0.0)).guaranteed_tokens, 5);
+  // The deadline doubles: only 3 tokens are needed; hysteresis eases down.
+  c.SetUtility(DeadlineUtility(2400.0));
+  ControlDecision d = c.OnTick(StatusAt(0.0, 0.0));
+  EXPECT_DOUBLE_EQ(d.raw_allocation, 3.0);
+  EXPECT_NEAR(c.log().back().smoothed_allocation, 5.0 + 0.2 * (3.0 - 5.0), 1e-9);
+  // Repeated ticks converge towards the raw value.
+  for (int i = 0; i < 40; ++i) {
+    d = c.OnTick(StatusAt(0.0, 0.0));
+  }
+  EXPECT_EQ(d.guaranteed_tokens, 3);
+}
+
+TEST(JockeyControllerTest, NoHysteresisJumpsImmediately) {
+  JobGraph g = OneStage();
+  JobProfile p = OneStageProfile(g);
+  ControlLoopConfig config = TestConfig();
+  config.hysteresis_alpha = 1.0;
+  JockeyController c(OneStageIndicator(g, p), DivisibleWorkTable(), DeadlineUtility(1200.0),
+                     config);
+  ASSERT_EQ(c.OnTick(StatusAt(0.0, 0.0)).guaranteed_tokens, 5);
+  c.SetUtility(DeadlineUtility(600.0));
+  EXPECT_EQ(c.OnTick(StatusAt(0.0, 0.0)).guaranteed_tokens, 10);
+}
+
+TEST(JockeyControllerTest, ScheduledUtilityChangeAppliesAtElapsedTime) {
+  JobGraph g = OneStage();
+  JobProfile p = OneStageProfile(g);
+  ControlLoopConfig config = TestConfig();
+  config.hysteresis_alpha = 1.0;
+  JockeyController c(OneStageIndicator(g, p), DivisibleWorkTable(), DeadlineUtility(2400.0),
+                     config);
+  c.ScheduleUtilityChange(500.0, DeadlineUtility(1200.0));
+  EXPECT_EQ(c.OnTick(StatusAt(0.0, 0.0)).guaranteed_tokens, 3);
+  // Still before the change at t=100: 6000/a <= 2300 keeps a = 3.
+  EXPECT_EQ(c.OnTick(StatusAt(100.0, 0.0)).guaranteed_tokens, 3);
+  // At t=600 the new 1200 s deadline is live with 600 s left: 6000/a <= 600 -> 10.
+  EXPECT_EQ(c.OnTick(StatusAt(600.0, 0.0)).guaranteed_tokens, 10);
+}
+
+TEST(JockeyControllerTest, InitialAllocationMatchesFirstTick) {
+  JobGraph g = OneStage();
+  JobProfile p = OneStageProfile(g);
+  JockeyController c(OneStageIndicator(g, p), DivisibleWorkTable(), DeadlineUtility(1200.0),
+                     TestConfig());
+  EXPECT_EQ(c.InitialAllocation(), 5);
+}
+
+TEST(JockeyControllerTest, AmdahlControllerUsesModel) {
+  JobGraph g = OneStage();
+  JobProfile p = OneStageProfile(g);
+  auto amdahl = std::make_shared<AmdahlModel>(g, p);
+  // S = 600 (one 600 s task span), P = 6000: remaining = 600 + 5400/a.
+  ControlLoopConfig config = TestConfig();
+  JockeyController c(OneStageIndicator(g, p), amdahl, DeadlineUtility(1200.0), config);
+  // 600 + 5400/a <= 1200 -> a >= 9.
+  EXPECT_EQ(c.OnTick(StatusAt(0.0, 0.0)).guaranteed_tokens, 9);
+  EXPECT_EQ(c.InitialAllocation(), 9);
+}
+
+TEST(JockeyControllerTest, LogRecordsEstimatedCompletion) {
+  JobGraph g = OneStage();
+  JobProfile p = OneStageProfile(g);
+  JockeyController c(OneStageIndicator(g, p), DivisibleWorkTable(), DeadlineUtility(1200.0),
+                     TestConfig());
+  c.OnTick(StatusAt(100.0, 0.5));
+  ASSERT_EQ(c.log().size(), 1u);
+  const ControlTickLog& tick = c.log()[0];
+  EXPECT_DOUBLE_EQ(tick.elapsed_seconds, 100.0);
+  EXPECT_DOUBLE_EQ(tick.progress, 0.5);
+  EXPECT_GT(tick.estimated_completion_seconds, 100.0);
+}
+
+TEST(JockeyControllerTest, RespectsTokenBounds) {
+  JobGraph g = OneStage();
+  JobProfile p = OneStageProfile(g);
+  ControlLoopConfig config = TestConfig();
+  config.min_tokens = 4;
+  config.max_tokens = 6;
+  JockeyController c(OneStageIndicator(g, p), DivisibleWorkTable(), DeadlineUtility(1e9),
+                     config);
+  // Even with an infinite deadline, the allocation stays within [4, 6].
+  int g1 = c.OnTick(StatusAt(0.0, 0.0)).guaranteed_tokens;
+  EXPECT_GE(g1, 4);
+  EXPECT_LE(g1, 6);
+}
+
+}  // namespace
+}  // namespace jockey

@@ -1,0 +1,142 @@
+#include "src/core/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workload/job_generator.h"
+
+namespace jockey {
+namespace {
+
+class ExperimentTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    JobShapeSpec spec;
+    spec.name = "exp";
+    spec.num_stages = 8;
+    spec.num_barriers = 1;
+    spec.num_vertices = 400;
+    spec.job_median_seconds = 4.0;
+    spec.job_p90_seconds = 14.0;
+    spec.fastest_stage_p90 = 2.0;
+    spec.slowest_stage_p90 = 35.0;
+    spec.seed = 31;
+    trained_ = new TrainedJob(TrainJob(GenerateJob(spec)));
+  }
+  static void TearDownTestSuite() {
+    delete trained_;
+    trained_ = nullptr;
+  }
+  static TrainedJob* trained_;
+};
+
+TrainedJob* ExperimentTest::trained_ = nullptr;
+
+TEST_F(ExperimentTest, MetricsAreInternallyConsistent) {
+  ExperimentOptions options;
+  options.deadline_seconds = SuggestDeadlineSeconds(*trained_, /*tight=*/true);
+  options.policy = PolicyKind::kJockey;
+  options.seed = 2;
+  ExperimentResult r = RunExperiment(*trained_, options);
+  EXPECT_TRUE(r.run.finished);
+  EXPECT_DOUBLE_EQ(r.latency_ratio, r.completion_seconds / r.deadline_seconds);
+  EXPECT_EQ(r.met_deadline, r.completion_seconds <= r.deadline_seconds);
+  EXPECT_EQ(r.oracle_tokens,
+            OracleAllocation(r.total_work_seconds, r.deadline_seconds));
+  EXPECT_GE(r.frac_above_oracle, 0.0);
+  EXPECT_LT(r.frac_above_oracle, 1.0);
+  EXPECT_GT(r.requested_token_seconds, 0.0);
+  EXPECT_FALSE(r.control_log.empty());
+}
+
+TEST_F(ExperimentTest, DeterministicForSeed) {
+  ExperimentOptions options;
+  options.deadline_seconds = SuggestDeadlineSeconds(*trained_, true);
+  options.seed = 5;
+  ExperimentResult a = RunExperiment(*trained_, options);
+  ExperimentResult b = RunExperiment(*trained_, options);
+  EXPECT_DOUBLE_EQ(a.completion_seconds, b.completion_seconds);
+  EXPECT_DOUBLE_EQ(a.requested_token_seconds, b.requested_token_seconds);
+}
+
+TEST_F(ExperimentTest, MaxAllocationRequestsFullSlice) {
+  ExperimentOptions options;
+  options.deadline_seconds = SuggestDeadlineSeconds(*trained_, true);
+  options.policy = PolicyKind::kMaxAllocation;
+  options.seed = 3;
+  ExperimentResult r = RunExperiment(*trained_, options);
+  EXPECT_NEAR(r.requested_token_seconds, 100.0 * r.completion_seconds,
+              100.0 * 60.0 /* one control period */);
+  EXPECT_TRUE(r.control_log.empty());  // fixed policies expose no control log
+}
+
+TEST_F(ExperimentTest, FixedPolicyUsesRequestedTokens) {
+  ExperimentOptions options;
+  options.deadline_seconds = SuggestDeadlineSeconds(*trained_, false);
+  options.policy = PolicyKind::kFixed;
+  options.fixed_tokens = 17;
+  options.seed = 4;
+  ExperimentResult r = RunExperiment(*trained_, options);
+  EXPECT_NEAR(r.requested_token_seconds, 17.0 * r.completion_seconds, 17.0 * 60.0);
+}
+
+TEST_F(ExperimentTest, DeadlineChangeIsJudgedAgainstNewDeadline) {
+  ExperimentOptions options;
+  double base = SuggestDeadlineSeconds(*trained_, true);
+  options.deadline_seconds = base;
+  options.deadline_change.at_seconds = 120.0;
+  options.deadline_change.new_deadline_seconds = 2.0 * base;
+  options.seed = 6;
+  ExperimentResult r = RunExperiment(*trained_, options);
+  EXPECT_DOUBLE_EQ(r.deadline_seconds, 2.0 * base);
+}
+
+TEST_F(ExperimentTest, PinnedInputScaleDisablesJitter) {
+  ExperimentOptions options;
+  options.deadline_seconds = SuggestDeadlineSeconds(*trained_, false);
+  options.jitter_input = false;
+  options.input_scale = 1.0;
+  options.policy = PolicyKind::kMaxAllocation;
+  // Two different seeds but identical scale: work differs only via task sampling.
+  options.seed = 7;
+  ExperimentResult a = RunExperiment(*trained_, options);
+  options.input_scale = 2.0;
+  ExperimentResult b = RunExperiment(*trained_, options);
+  EXPECT_GT(b.total_work_seconds, 1.5 * a.total_work_seconds);
+}
+
+TEST_F(ExperimentTest, SuggestedDeadlinesDoubleFromShortToLong) {
+  double tight = SuggestDeadlineSeconds(*trained_, true);
+  double loose = SuggestDeadlineSeconds(*trained_, false);
+  EXPECT_DOUBLE_EQ(loose, 2.0 * tight);
+  // Deadlines are whole minutes.
+  EXPECT_DOUBLE_EQ(tight, 60.0 * std::round(tight / 60.0));
+  // Feasible: above the raw critical path of the training run.
+  JobProfile raw = JobProfile::FromTrace(trained_->tmpl->graph, trained_->training_trace);
+  EXPECT_GT(tight, raw.CriticalPathSeconds(trained_->tmpl->graph));
+}
+
+TEST_F(ExperimentTest, PolicyNamesAreStable) {
+  EXPECT_STREQ(PolicyName(PolicyKind::kJockey), "Jockey");
+  EXPECT_STREQ(PolicyName(PolicyKind::kJockeyNoAdapt), "Jockey w/o adaptation");
+  EXPECT_STREQ(PolicyName(PolicyKind::kJockeyNoSim), "Jockey w/o simulator");
+  EXPECT_STREQ(PolicyName(PolicyKind::kMaxAllocation), "max allocation");
+}
+
+TEST_F(ExperimentTest, OverloadEpisodeSlowsTheRun) {
+  ExperimentOptions options;
+  options.deadline_seconds = SuggestDeadlineSeconds(*trained_, false);
+  options.policy = PolicyKind::kFixed;
+  options.fixed_tokens = 10;
+  options.use_spare_tokens = false;
+  options.jitter_input = false;
+  options.seed = 8;
+  ExperimentResult calm = RunExperiment(*trained_, options);
+  options.overload.start_seconds = 0.0;
+  options.overload.duration_seconds = 4.0 * 3600.0;
+  options.overload.utilization = 1.4;
+  ExperimentResult stormy = RunExperiment(*trained_, options);
+  EXPECT_GT(stormy.completion_seconds, calm.completion_seconds);
+}
+
+}  // namespace
+}  // namespace jockey

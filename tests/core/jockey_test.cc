@@ -1,0 +1,123 @@
+#include "src/core/jockey.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/experiment.h"
+#include "src/workload/job_generator.h"
+
+namespace jockey {
+namespace {
+
+// Shared fixture: train one small job once (training involves a cluster run and a
+// table build, so reuse it across tests).
+class JockeyTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    JobShapeSpec spec;
+    spec.name = "trainee";
+    spec.num_stages = 8;
+    spec.num_barriers = 2;
+    spec.num_vertices = 300;
+    spec.job_median_seconds = 4.0;
+    spec.job_p90_seconds = 15.0;
+    spec.fastest_stage_p90 = 2.0;
+    spec.slowest_stage_p90 = 40.0;
+    spec.seed = 21;
+    trained_ = new TrainedJob(TrainJob(GenerateJob(spec)));
+  }
+  static void TearDownTestSuite() {
+    delete trained_;
+    trained_ = nullptr;
+  }
+
+  static TrainedJob* trained_;
+};
+
+TrainedJob* JockeyTest::trained_ = nullptr;
+
+TEST_F(JockeyTest, TableHasSamplesAcrossTheGrid) {
+  const Jockey& j = *trained_->jockey;
+  EXPECT_GT(j.table().TotalSamples(), 1000u);
+  EXPECT_EQ(j.table().allocations(), j.config().model.allocation_grid);
+}
+
+TEST_F(JockeyTest, PredictionsDecreaseWithAllocation) {
+  const Jockey& j = *trained_->jockey;
+  // Worst-case (max-sample) estimates carry Monte Carlo noise, so allow a small
+  // non-monotonicity between adjacent allocations; the trend must be decreasing.
+  double prev = 1e18;
+  for (int a : {5, 10, 20, 40, 80}) {
+    double pred = j.PredictCompletionSeconds(a);
+    EXPECT_LT(pred, prev * 1.15) << "allocation " << a;
+    EXPECT_GT(pred, 0.0);
+    prev = pred;
+  }
+  EXPECT_LT(j.PredictCompletionSeconds(80), 0.5 * j.PredictCompletionSeconds(5));
+}
+
+TEST_F(JockeyTest, PredictionNeverBelowCriticalPath) {
+  const Jockey& j = *trained_->jockey;
+  // The critical path is a floor on any completion (infinite resources).
+  EXPECT_GE(j.PredictCompletionSeconds(100) * j.config().control.slack,
+            0.5 * j.FeasibleDeadlineSeconds());
+}
+
+TEST_F(JockeyTest, WouldFitMonotoneInTokens) {
+  const Jockey& j = *trained_->jockey;
+  double deadline = 1.5 * j.PredictCompletionSeconds(40);
+  bool prev = false;
+  for (int tokens = 2; tokens <= 100; tokens += 7) {
+    bool fits = j.WouldFit(deadline, tokens);
+    // Once it fits, more tokens keep fitting.
+    if (prev) {
+      EXPECT_TRUE(fits) << tokens;
+    }
+    prev = fits;
+  }
+  EXPECT_TRUE(prev) << "never fit even at 100 tokens";
+}
+
+TEST_F(JockeyTest, WouldFitRejectsInfeasibleDeadline) {
+  const Jockey& j = *trained_->jockey;
+  EXPECT_FALSE(j.WouldFit(1.0, 100));
+}
+
+TEST_F(JockeyTest, InitialAllocationShrinksWithLongerDeadline) {
+  const Jockey& j = *trained_->jockey;
+  double base = j.PredictCompletionSeconds(20);
+  int tight = j.InitialAllocation(base);
+  int loose = j.InitialAllocation(3.0 * base);
+  EXPECT_GE(tight, loose);
+  EXPECT_GE(loose, 1);
+}
+
+TEST_F(JockeyTest, MakeControllerVariantsWork) {
+  const Jockey& j = *trained_->jockey;
+  double deadline = 2.0 * j.PredictCompletionSeconds(40);
+  auto sim_based = j.MakeController(deadline);
+  auto amdahl_based = j.MakeAmdahlController(deadline);
+  ASSERT_NE(sim_based, nullptr);
+  ASSERT_NE(amdahl_based, nullptr);
+  EXPECT_GE(sim_based->InitialAllocation(), 1);
+  EXPECT_GE(amdahl_based->InitialAllocation(), 1);
+}
+
+TEST_F(JockeyTest, LargestInputScaleInflatesProfile) {
+  const Jockey& j = *trained_->jockey;
+  JobProfile raw = JobProfile::FromTrace(trained_->tmpl->graph, trained_->training_trace);
+  EXPECT_NEAR(j.profile().TotalWorkSeconds(),
+              raw.TotalWorkSeconds() * j.config().largest_input_scale,
+              1e-6 * raw.TotalWorkSeconds());
+}
+
+TEST_F(JockeyTest, ProfileOnlyConstructionWorks) {
+  JobProfile raw = JobProfile::FromTrace(trained_->tmpl->graph, trained_->training_trace);
+  JockeyConfig config;
+  config.model.runs_per_allocation = 3;
+  Jockey j(trained_->tmpl->graph, raw, config);
+  EXPECT_GT(j.table().TotalSamples(), 0u);
+  EXPECT_GT(j.PredictCompletionSeconds(50), 0.0);
+}
+
+}  // namespace
+}  // namespace jockey

@@ -1,0 +1,157 @@
+// Tests for the online model-error correction (Section 5.6's proposed extension).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/control_loop.h"
+#include "src/core/experiment.h"
+#include "src/core/utility.h"
+#include "src/workload/job_generator.h"
+
+namespace jockey {
+namespace {
+
+JobGraph OneStage() {
+  std::vector<StageSpec> stages(1);
+  stages[0] = {"work", 10, {}};
+  return JobGraph("one", std::move(stages));
+}
+
+JobProfile OneStageProfile(const JobGraph& g) {
+  RunTrace trace;
+  for (int i = 0; i < g.stage(0).num_tasks; ++i) {
+    trace.tasks.push_back({{0, i}, 0.0, 0.0, 600.0, 0, 0.0});
+  }
+  trace.finish_time = 6000.0;
+  return JobProfile::FromTrace(g, trace);
+}
+
+// One-bucket table: remaining = (1 - p) * 6000 / a.
+std::shared_ptr<CompletionTable> LinearTable() {
+  std::vector<int> grid;
+  for (int a = 1; a <= 20; ++a) {
+    grid.push_back(a);
+  }
+  // Many progress buckets so the progress term matters.
+  auto table = std::make_shared<CompletionTable>(grid, 20);
+  for (int ai = 0; ai < 20; ++ai) {
+    for (int b = 0; b < 20; ++b) {
+      double p = (b + 0.5) / 20.0;
+      table->AddSample(p, ai, (1.0 - p) * 6000.0 / grid[static_cast<size_t>(ai)]);
+    }
+  }
+  return table;
+}
+
+ControlLoopConfig CorrectingConfig() {
+  ControlLoopConfig config;
+  config.slack = 1.0;
+  config.hysteresis_alpha = 1.0;
+  config.dead_zone_seconds = 0.0;
+  config.max_tokens = 20;
+  config.enable_model_correction = true;
+  config.correction_warmup_ticks = 2;
+  config.correction_ewma = 0.5;  // converge fast in the unit test
+  return config;
+}
+
+JobRuntimeStatus StatusAt(double elapsed, double frac) {
+  JobRuntimeStatus status;
+  status.elapsed_seconds = elapsed;
+  status.frac_complete = {frac};
+  return status;
+}
+
+TEST(ModelCorrectionTest, DetectsSlowJob) {
+  JobGraph g = OneStage();
+  JobProfile p = OneStageProfile(g);
+  auto indicator = std::shared_ptr<const ProgressIndicator>(
+      MakeIndicator(IndicatorKind::kVertexFrac, g, p));
+  JockeyController c(indicator, LinearTable(), DeadlineUtility(2000.0), CorrectingConfig());
+
+  // Feed a trajectory running at HALF the modeled speed: progress advances half as
+  // fast as the model's clock expects at the held allocation.
+  double frac = 0.0;
+  for (int tick = 0; tick < 12; ++tick) {
+    double elapsed = 60.0 * tick;
+    ControlDecision d = c.OnTick(StatusAt(elapsed, frac));
+    // True rate: allocation a completes a tasks' worth per 600 s... emulate half
+    // speed relative to the model: the model expects d.guaranteed * 60 / 6000 of
+    // progress per minute; deliver half of that.
+    frac = std::min(1.0, frac + 0.5 * d.guaranteed_tokens * 60.0 / 6000.0);
+  }
+  EXPECT_LT(c.model_speed_estimate(), 0.75);
+  EXPECT_GT(c.model_speed_estimate(), 0.35);
+}
+
+TEST(ModelCorrectionTest, OnPlanJobKeepsSpeedNearOne) {
+  JobGraph g = OneStage();
+  JobProfile p = OneStageProfile(g);
+  auto indicator = std::shared_ptr<const ProgressIndicator>(
+      MakeIndicator(IndicatorKind::kVertexFrac, g, p));
+  JockeyController c(indicator, LinearTable(), DeadlineUtility(2000.0), CorrectingConfig());
+  double frac = 0.0;
+  for (int tick = 0; tick < 12; ++tick) {
+    double elapsed = 60.0 * tick;
+    ControlDecision d = c.OnTick(StatusAt(elapsed, frac));
+    frac = std::min(1.0, frac + d.guaranteed_tokens * 60.0 / 6000.0);
+  }
+  EXPECT_NEAR(c.model_speed_estimate(), 1.0, 0.25);
+}
+
+TEST(ModelCorrectionTest, CorrectionRaisesAllocationForSlowJob) {
+  JobGraph g = OneStage();
+  JobProfile p = OneStageProfile(g);
+  auto indicator = std::shared_ptr<const ProgressIndicator>(
+      MakeIndicator(IndicatorKind::kVertexFrac, g, p));
+
+  auto run = [&](bool correct) {
+    ControlLoopConfig config = CorrectingConfig();
+    config.enable_model_correction = correct;
+    JockeyController c(indicator, LinearTable(), DeadlineUtility(2000.0), config);
+    double frac = 0.0;
+    int last = 0;
+    for (int tick = 0; tick < 15; ++tick) {
+      ControlDecision d = c.OnTick(StatusAt(60.0 * tick, frac));
+      last = d.guaranteed_tokens;
+      frac = std::min(1.0, frac + 0.5 * d.guaranteed_tokens * 60.0 / 6000.0);
+    }
+    return last;
+  };
+  // With correction the controller learns the 2x shortfall and asks for more.
+  EXPECT_GT(run(true), run(false));
+}
+
+TEST(ModelCorrectionTest, DisabledByDefault) {
+  ControlLoopConfig config;
+  EXPECT_FALSE(config.enable_model_correction);
+}
+
+TEST(ModelCorrectionTest, EndToEndGrownInputFinishesEarlierWithCorrection) {
+  // A grown-input run (the Table 3 scenario): correction should finish at or before
+  // the uncorrected run, never later.
+  TrainingOptions training;
+  training.seed = 811;
+  TrainedJob trained = TrainJob(GenerateJob(JobSpecF()), training);
+  double deadline = SuggestDeadlineSeconds(trained, /*tight=*/true);
+
+  auto run = [&](bool correct) {
+    ControlLoopConfig control = trained.jockey->config().control;
+    control.enable_model_correction = correct;
+    ExperimentOptions options;
+    options.deadline_seconds = deadline;
+    options.policy = PolicyKind::kJockey;
+    options.control_override = control;
+    options.jitter_input = false;
+    options.input_scale = 1.8;
+    options.seed = 23;
+    return RunExperiment(trained, options);
+  };
+  ExperimentResult without = run(false);
+  ExperimentResult with = run(true);
+  EXPECT_LE(with.completion_seconds, without.completion_seconds * 1.05);
+}
+
+}  // namespace
+}  // namespace jockey

@@ -1,0 +1,133 @@
+// Tests for novel-job support via pilot (input-sampled) runs.
+
+#include "src/core/pilot.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/cluster_simulator.h"
+#include "src/core/experiment.h"
+#include "src/workload/job_generator.h"
+
+namespace jockey {
+namespace {
+
+TEST(PilotTest, PilotGraphKeepsStructureShrinksTasks) {
+  JobTemplate full = GenerateJob(JobSpecC());
+  JobGraph pilot = MakePilotGraph(full.graph, 0.1);
+  ASSERT_EQ(pilot.num_stages(), full.graph.num_stages());
+  EXPECT_EQ(pilot.num_barrier_stages(), full.graph.num_barrier_stages());
+  EXPECT_LT(pilot.num_tasks(), full.graph.num_tasks() / 5);
+  for (int s = 0; s < pilot.num_stages(); ++s) {
+    EXPECT_GE(pilot.stage(s).num_tasks, 1);
+    EXPECT_LE(pilot.stage(s).num_tasks, full.graph.stage(s).num_tasks);
+    ASSERT_EQ(pilot.stage(s).inputs.size(), full.graph.stage(s).inputs.size());
+  }
+  std::string error;
+  EXPECT_TRUE(pilot.Validate(&error)) << error;
+}
+
+TEST(PilotTest, FullFractionIsIdentity) {
+  JobTemplate full = GenerateJob(JobSpecC());
+  JobGraph pilot = MakePilotGraph(full.graph, 1.0);
+  EXPECT_EQ(pilot.num_tasks(), full.graph.num_tasks());
+}
+
+TEST(PilotTest, ExtrapolatedTotalsApproximateFullProfile) {
+  JobTemplate full = GenerateJob(JobSpecC());
+  JobTemplate pilot = MakePilotJob(full, 0.15);
+
+  // Run both the pilot and the full job once under identical quiet conditions.
+  ClusterConfig config;
+  config.num_machines = 60;
+  config.seed = 12;
+  config.machine_failure_rate_per_hour = 0.0;
+  config.background.volatility = 0.0;
+  config.background.mean_utilization = 0.6;
+
+  RunTrace pilot_trace;
+  RunTrace full_trace;
+  {
+    ClusterSimulator cluster(config);
+    JobSubmission submission;
+    submission.guaranteed_tokens = 40;
+    submission.seed = 20;
+    int id = cluster.SubmitJob(pilot, submission);
+    cluster.Run();
+    pilot_trace = cluster.result(id).trace;
+  }
+  {
+    ClusterSimulator cluster(config);
+    JobSubmission submission;
+    submission.guaranteed_tokens = 40;
+    submission.seed = 21;
+    int id = cluster.SubmitJob(full, submission);
+    cluster.Run();
+    full_trace = cluster.result(id).trace;
+  }
+
+  JobProfile estimated = ExtrapolateProfile(full.graph, pilot.graph, pilot_trace);
+  JobProfile actual = JobProfile::FromTrace(full.graph, full_trace);
+
+  ASSERT_EQ(estimated.num_stages(), actual.num_stages());
+  // Total work extrapolates to within ~35% (sampling error on small stages).
+  EXPECT_NEAR(estimated.TotalWorkSeconds() / actual.TotalWorkSeconds(), 1.0, 0.35);
+  // Per-stage task counts are the full job's.
+  for (int s = 0; s < estimated.num_stages(); ++s) {
+    EXPECT_EQ(estimated.stage(s).num_tasks, full.graph.stage(s).num_tasks);
+  }
+}
+
+TEST(PilotTest, LongestTaskInflatedByRatio) {
+  JobTemplate full = GenerateJob(JobSpecC());
+  JobTemplate pilot = MakePilotJob(full, 0.1);
+  RunTrace trace;
+  // One synthetic task per pilot stage with a 10 s runtime.
+  for (int s = 0; s < pilot.graph.num_stages(); ++s) {
+    for (int i = 0; i < pilot.graph.stage(s).num_tasks; ++i) {
+      trace.tasks.push_back({{s, i}, 0.0, 0.0, 10.0, 0, 0.0});
+    }
+  }
+  trace.finish_time = 100.0;
+  JobProfile estimated = ExtrapolateProfile(full.graph, pilot.graph, trace);
+  for (int s = 0; s < estimated.num_stages(); ++s) {
+    if (full.graph.stage(s).num_tasks > pilot.graph.stage(s).num_tasks) {
+      EXPECT_GT(estimated.stage(s).max_task_seconds, 10.0);
+    }
+  }
+}
+
+TEST(PilotTest, JockeyTrainedFromPilotMeetsDeadline) {
+  // The end-to-end novel-job flow: pilot run -> extrapolated profile -> Jockey ->
+  // SLO run of the full job.
+  JobTemplate full = GenerateJob(JobSpecC());
+  JobTemplate pilot = MakePilotJob(full, 0.2);
+
+  ClusterConfig config = DefaultExperimentCluster(31);
+  config.background.overload_rate_per_hour = 0.0;
+  RunTrace pilot_trace;
+  {
+    ClusterSimulator cluster(config);
+    JobSubmission submission;
+    submission.guaranteed_tokens = 20;
+    submission.seed = 33;
+    int id = cluster.SubmitJob(pilot, submission);
+    cluster.Run();
+    pilot_trace = cluster.result(id).trace;
+  }
+  JobProfile estimated = ExtrapolateProfile(full.graph, pilot.graph, pilot_trace);
+  Jockey jockey(full.graph, std::move(estimated));
+
+  double deadline = 1.6 * jockey.PredictCompletionSeconds(40);
+  auto controller = jockey.MakeController(deadline);
+  ClusterSimulator cluster(config);
+  JobSubmission submission;
+  submission.controller = controller.get();
+  submission.seed = 34;
+  int id = cluster.SubmitJob(full, submission);
+  cluster.Run();
+  EXPECT_TRUE(cluster.result(id).finished);
+  EXPECT_LE(cluster.result(id).CompletionSeconds(), deadline);
+}
+
+}  // namespace
+}  // namespace jockey

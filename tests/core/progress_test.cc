@@ -1,0 +1,151 @@
+#include "src/core/progress.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/job_simulator.h"
+#include "src/workload/job_generator.h"
+
+namespace jockey {
+namespace {
+
+// Two parallel branches joining into an aggregation:
+// 0 (4 tasks) -> 2 (2 tasks, barrier), 1 (4 tasks) -> 2.
+JobGraph Join() {
+  std::vector<StageSpec> stages(3);
+  stages[0] = {"left", 4, {}};
+  stages[1] = {"right", 4, {}};
+  stages[2] = {"agg", 2, {{0, CommPattern::kAllToAll}, {1, CommPattern::kAllToAll}}};
+  return JobGraph("join", std::move(stages));
+}
+
+JobProfile MakeProfile(const JobGraph& graph, std::vector<double> task_seconds,
+                       std::vector<double> queue_seconds) {
+  RunTrace trace;
+  double t = 0.0;
+  for (int s = 0; s < graph.num_stages(); ++s) {
+    for (int i = 0; i < graph.stage(s).num_tasks; ++i) {
+      double q = queue_seconds[static_cast<size_t>(s)];
+      double d = task_seconds[static_cast<size_t>(s)];
+      trace.tasks.push_back({{s, i}, t, t + q, t + q + d, 0, 0.0});
+      t += q + d;
+    }
+  }
+  trace.finish_time = t;
+  return JobProfile::FromTrace(graph, trace);
+}
+
+class AllIndicatorsTest : public ::testing::TestWithParam<IndicatorKind> {};
+
+TEST_P(AllIndicatorsTest, ZeroAtStartOneAtCompletion) {
+  JobGraph g = Join();
+  JobProfile p = MakeProfile(g, {5.0, 7.0, 20.0}, {1.0, 1.0, 2.0});
+  auto ind = MakeIndicator(GetParam(), g, p);
+  ASSERT_NE(ind, nullptr);
+  std::vector<double> none(3, 0.0);
+  std::vector<double> all(3, 1.0);
+  EXPECT_LE(ind->Evaluate(none), 0.05) << ind->name();
+  EXPECT_DOUBLE_EQ(ind->Evaluate(all), 1.0) << ind->name();
+}
+
+TEST_P(AllIndicatorsTest, MonotoneAlongSimulatedTrajectory) {
+  JobTemplate tmpl = GenerateJob(JobSpecC());
+  Rng gen(11);
+  RunTrace trace;
+  for (int s = 0; s < tmpl.graph.num_stages(); ++s) {
+    for (int i = 0; i < tmpl.graph.stage(s).num_tasks; ++i) {
+      double d = tmpl.runtime[static_cast<size_t>(s)].SampleSeconds(gen);
+      trace.tasks.push_back({{s, i}, 0.0, 0.5, 0.5 + d, 0, 0.0});
+    }
+  }
+  trace.finish_time = 500.0;
+  JobProfile profile = JobProfile::FromTrace(tmpl.graph, trace);
+  auto ind = MakeIndicator(GetParam(), tmpl.graph, profile);
+
+  JobSimulator sim(tmpl.graph, profile);
+  Rng rng(12);
+  double last = -1.0;
+  sim.Run(25, rng, [&](SimTime, const std::vector<double>& frac) {
+    double p = ind->Evaluate(frac);
+    EXPECT_GE(p, last - 1e-9) << ind->name() << " regressed";
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    last = p;
+  });
+  EXPECT_GT(last, 0.5) << ind->name() << " never advanced";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, AllIndicatorsTest,
+    ::testing::Values(IndicatorKind::kTotalWorkWithQ, IndicatorKind::kTotalWork,
+                      IndicatorKind::kVertexFrac, IndicatorKind::kCriticalPath,
+                      IndicatorKind::kMinStage, IndicatorKind::kMinStageInf),
+    [](const ::testing::TestParamInfo<IndicatorKind>& param_info) {
+      std::string name = IndicatorName(param_info.param);
+      for (char& c : name) {
+        if (c == '-') {
+          c = '_';
+        }
+      }
+      return name;
+    });
+
+TEST(ProgressIndicatorTest, TotalWorkWithQWeightsByExecPlusQueue) {
+  JobGraph g = Join();
+  // Stage 2 dominates: 2 tasks x (20 exec + 2 queue) = 44 of the 44+24+32 = 100 total.
+  JobProfile p = MakeProfile(g, {5.0, 7.0, 20.0}, {1.0, 1.0, 2.0});
+  auto ind = MakeIndicator(IndicatorKind::kTotalWorkWithQ, g, p);
+  // Completing only stage 0 (4 tasks x 6s = 24 of 100).
+  EXPECT_NEAR(ind->Evaluate({1.0, 0.0, 0.0}), 0.24, 1e-9);
+  EXPECT_NEAR(ind->Evaluate({1.0, 1.0, 0.0}), 0.56, 1e-9);
+  EXPECT_NEAR(ind->Evaluate({1.0, 1.0, 0.5}), 0.78, 1e-9);
+}
+
+TEST(ProgressIndicatorTest, TotalWorkIgnoresQueueing) {
+  JobGraph g = Join();
+  JobProfile p = MakeProfile(g, {5.0, 5.0, 5.0}, {0.0, 100.0, 0.0});
+  auto with_q = MakeIndicator(IndicatorKind::kTotalWorkWithQ, g, p);
+  auto without_q = MakeIndicator(IndicatorKind::kTotalWork, g, p);
+  // Exec-only weights are uniform (20/20/10); queueing skews stage 1 heavily.
+  EXPECT_NEAR(without_q->Evaluate({1.0, 0.0, 0.0}), 0.4, 1e-9);
+  EXPECT_GT(with_q->Evaluate({0.0, 1.0, 0.0}), 0.8);
+}
+
+TEST(ProgressIndicatorTest, VertexFracCountsTasks) {
+  JobGraph g = Join();
+  JobProfile p = MakeProfile(g, {5.0, 7.0, 20.0}, {1.0, 1.0, 2.0});
+  auto ind = MakeIndicator(IndicatorKind::kVertexFrac, g, p);
+  EXPECT_NEAR(ind->Evaluate({1.0, 0.0, 0.0}), 0.4, 1e-9);  // 4 of 10 vertices
+  EXPECT_NEAR(ind->Evaluate({0.5, 0.5, 0.0}), 0.4, 1e-9);
+}
+
+TEST(ProgressIndicatorTest, CriticalPathIgnoresOffPathProgress) {
+  JobGraph g = Join();
+  // Left branch is the critical path (long tasks); right branch is trivial.
+  JobProfile p = MakeProfile(g, {30.0, 1.0, 10.0}, {0.0, 0.0, 0.0});
+  auto ind = MakeIndicator(IndicatorKind::kCriticalPath, g, p);
+  // Finishing the right branch alone does not shorten the remaining critical path —
+  // this is exactly the "stuck" behaviour Fig 9 shows for the CP indicator.
+  EXPECT_DOUBLE_EQ(ind->Evaluate({0.0, 0.0, 0.0}), ind->Evaluate({0.0, 1.0, 0.0}));
+  // Progress on the left branch does move it.
+  EXPECT_GT(ind->Evaluate({0.5, 0.0, 0.0}), ind->Evaluate({0.0, 0.0, 0.0}));
+}
+
+TEST(ProgressIndicatorTest, MinStageTracksLaggingStage) {
+  JobGraph g = Join();
+  JobProfile p = MakeProfile(g, {5.0, 5.0, 5.0}, {0.0, 0.0, 0.0});
+  // Relative schedules come from the synthetic trace; just verify the min semantics:
+  // advancing one unfinished stage cannot lower progress.
+  auto ind = MakeIndicator(IndicatorKind::kMinStage, g, p);
+  double before = ind->Evaluate({0.5, 0.5, 0.0});
+  double after = ind->Evaluate({1.0, 0.5, 0.0});
+  EXPECT_GE(after, before);
+}
+
+TEST(ProgressIndicatorTest, NamesAreStable) {
+  EXPECT_STREQ(IndicatorName(IndicatorKind::kTotalWorkWithQ), "totalworkWithQ");
+  EXPECT_STREQ(IndicatorName(IndicatorKind::kCriticalPath), "cp");
+  EXPECT_STREQ(IndicatorName(IndicatorKind::kMinStageInf), "minstage-inf");
+}
+
+}  // namespace
+}  // namespace jockey

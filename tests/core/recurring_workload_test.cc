@@ -1,0 +1,77 @@
+#include "src/core/recurring_workload.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/stats.h"
+
+namespace jockey {
+namespace {
+
+RecurringWorkloadConfig SmallConfig() {
+  RecurringWorkloadConfig config;
+  config.num_jobs = 6;
+  config.runs_per_job = 6;
+  config.seed = 9;
+  config.job_params.max_vertices = 600;
+  return config;
+}
+
+TEST(RecurringWorkloadTest, ExecutesEveryRun) {
+  RecurringWorkload fleet(SmallConfig());
+  auto runs = fleet.Execute();
+  EXPECT_EQ(runs.size(), 36u);
+  for (const auto& run : runs) {
+    EXPECT_GT(run.completion_seconds, 0.0);
+    EXPECT_GE(run.job_index, 0);
+    EXPECT_LT(run.job_index, 6);
+    EXPECT_GE(run.input_scale, 0.85);
+    EXPECT_LE(run.input_scale, 1.4);
+  }
+}
+
+TEST(RecurringWorkloadTest, DeterministicForSeed) {
+  RecurringWorkload a(SmallConfig());
+  RecurringWorkload b(SmallConfig());
+  auto runs_a = a.Execute();
+  auto runs_b = b.Execute();
+  ASSERT_EQ(runs_a.size(), runs_b.size());
+  for (size_t i = 0; i < runs_a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(runs_a[i].completion_seconds, runs_b[i].completion_seconds);
+  }
+}
+
+TEST(RecurringWorkloadTest, CovPerJob) {
+  RecurringWorkload fleet(SmallConfig());
+  auto runs = fleet.Execute();
+  auto covs = RecurringWorkload::CompletionCov(runs);
+  EXPECT_EQ(covs.size(), 6u);
+  for (double cov : covs) {
+    EXPECT_GE(cov, 0.0);
+    EXPECT_LT(cov, 3.0);
+  }
+}
+
+TEST(RecurringWorkloadTest, SimilarInputCovFiltersGrowthRuns) {
+  RecurringWorkloadConfig config = SmallConfig();
+  config.runs_per_job = 20;  // enough similar runs per job to qualify
+  RecurringWorkload fleet(config);
+  auto runs = fleet.Execute();
+  auto similar = RecurringWorkload::CompletionCovSimilarInputs(runs);
+  auto all = RecurringWorkload::CompletionCov(runs);
+  ASSERT_FALSE(similar.empty());
+  // Removing the input-growth runs should not inflate the typical CoV.
+  EXPECT_LE(Quantile(similar, 0.5), Quantile(all, 0.5) * 1.25);
+}
+
+TEST(RecurringWorkloadTest, GuaranteedOnlyRunsNeverUseSpare) {
+  RecurringWorkloadConfig config = SmallConfig();
+  config.num_jobs = 3;
+  config.runs_per_job = 3;
+  RecurringWorkload fleet(config);
+  for (const auto& run : fleet.Execute(/*use_spare_tokens=*/false)) {
+    EXPECT_DOUBLE_EQ(run.spare_task_fraction, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace jockey

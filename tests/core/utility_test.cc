@@ -1,0 +1,53 @@
+#include "src/core/utility.h"
+
+#include <gtest/gtest.h>
+
+namespace jockey {
+namespace {
+
+TEST(DeadlineUtilityTest, MatchesPaperKnots) {
+  double d = 3600.0;  // 60 minutes
+  PiecewiseLinear u = DeadlineUtility(d);
+  EXPECT_DOUBLE_EQ(u(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(u(d), 1.0);
+  EXPECT_DOUBLE_EQ(u(d + 600.0), -1.0);
+  EXPECT_DOUBLE_EQ(u(d + 60000.0), -1000.0);
+}
+
+TEST(DeadlineUtilityTest, DropsSharplyAfterDeadline) {
+  PiecewiseLinear u = DeadlineUtility(1800.0);
+  // Ten minutes late costs two full units of utility.
+  EXPECT_LT(u(1800.0 + 600.0), u(1800.0) - 1.9);
+}
+
+TEST(DeadlineUtilityTest, KeepsDroppingPastLastKnot) {
+  PiecewiseLinear u = DeadlineUtility(600.0);
+  EXPECT_LT(u(600.0 + 120000.0), -1000.0);
+}
+
+TEST(DeadlineUtilityTest, EarlierIsNeverWorse) {
+  PiecewiseLinear u = DeadlineUtility(3600.0);
+  double prev = u(0.0);
+  for (double t = 0.0; t < 100000.0; t += 500.0) {
+    double cur = u(t);
+    EXPECT_LE(cur, prev + 1e-12);
+    prev = cur;
+  }
+}
+
+TEST(SoftDeadlineUtilityTest, GentleDegradation) {
+  PiecewiseLinear u = SoftDeadlineUtility(3600.0, 1800.0);
+  EXPECT_DOUBLE_EQ(u(3600.0), 1.0);
+  EXPECT_DOUBLE_EQ(u(3600.0 + 1800.0), 0.0);
+  // Half the grace period late = half the utility lost.
+  EXPECT_DOUBLE_EQ(u(3600.0 + 900.0), 0.5);
+}
+
+TEST(SoftDeadlineUtilityTest, MuchGentlerThanHardDeadline) {
+  PiecewiseLinear hard = DeadlineUtility(3600.0);
+  PiecewiseLinear soft = SoftDeadlineUtility(3600.0, 1800.0);
+  EXPECT_GT(soft(3600.0 + 900.0), hard(3600.0 + 900.0));
+}
+
+}  // namespace
+}  // namespace jockey

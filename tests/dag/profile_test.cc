@@ -1,0 +1,123 @@
+#include "src/dag/profile.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace jockey {
+namespace {
+
+JobGraph TwoStage() {
+  std::vector<StageSpec> stages(2);
+  stages[0] = {"map", 2, {}};
+  stages[1] = {"reduce", 1, {{0, CommPattern::kAllToAll}}};
+  return JobGraph("two-stage", std::move(stages));
+}
+
+RunTrace MakeTrace() {
+  RunTrace trace;
+  trace.job_name = "two-stage";
+  trace.submit_time = 0.0;
+  trace.finish_time = 100.0;
+  // Stage 0: two tasks, 10s and 20s exec, 2s and 4s queueing; one failed attempt.
+  trace.tasks.push_back({{0, 0}, 0.0, 2.0, 12.0, 1, 5.0});
+  trace.tasks.push_back({{0, 1}, 0.0, 4.0, 24.0, 0, 0.0});
+  // Stage 1: one task, 50s exec after a 6s queue.
+  trace.tasks.push_back({{1, 0}, 24.0, 30.0, 80.0, 0, 0.0});
+  return trace;
+}
+
+TEST(JobProfileTest, AggregatesPerStageStatistics) {
+  JobGraph g = TwoStage();
+  JobProfile p = JobProfile::FromTrace(g, MakeTrace());
+  ASSERT_EQ(p.num_stages(), 2);
+  EXPECT_DOUBLE_EQ(p.stage(0).total_exec_seconds, 10.0 + 20.0);
+  EXPECT_DOUBLE_EQ(p.stage(0).total_queue_seconds, 2.0 + 4.0);
+  EXPECT_DOUBLE_EQ(p.stage(0).max_task_seconds, 20.0);
+  EXPECT_EQ(p.stage(0).num_tasks, 2);
+  EXPECT_DOUBLE_EQ(p.stage(1).total_exec_seconds, 50.0);
+  EXPECT_DOUBLE_EQ(p.stage(1).total_queue_seconds, 6.0);
+}
+
+TEST(JobProfileTest, FailureProbabilityFromAttempts) {
+  JobGraph g = TwoStage();
+  JobProfile p = JobProfile::FromTrace(g, MakeTrace());
+  // Stage 0: 3 attempts total (2 tasks + 1 failure), 1 failed.
+  EXPECT_DOUBLE_EQ(p.stage(0).failure_prob, 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(p.stage(1).failure_prob, 0.0);
+}
+
+TEST(JobProfileTest, TotalsSumStages) {
+  JobGraph g = TwoStage();
+  JobProfile p = JobProfile::FromTrace(g, MakeTrace());
+  EXPECT_DOUBLE_EQ(p.TotalWorkSeconds(), 80.0);
+  EXPECT_DOUBLE_EQ(p.TotalQueueSeconds(), 12.0);
+}
+
+TEST(JobProfileTest, CriticalPathUsesLongestTasks) {
+  JobGraph g = TwoStage();
+  JobProfile p = JobProfile::FromTrace(g, MakeTrace());
+  // ls: stage 0 = 20, stage 1 = 50; chain = 70.
+  EXPECT_DOUBLE_EQ(p.CriticalPathSeconds(g), 70.0);
+  auto ls = p.LongestPathsToEnd(g);
+  EXPECT_DOUBLE_EQ(ls[0], 70.0);
+  EXPECT_DOUBLE_EQ(ls[1], 50.0);
+}
+
+TEST(JobProfileTest, MergesMultipleTracesAveragingTotals) {
+  JobGraph g = TwoStage();
+  RunTrace t1 = MakeTrace();
+  RunTrace t2 = MakeTrace();
+  // Double every exec time in the second trace.
+  for (auto& task : t2.tasks) {
+    task.end_time = task.start_time + 2.0 * (task.end_time - task.start_time);
+  }
+  JobProfile p = JobProfile::FromTraces(g, {t1, t2});
+  // Ts is a per-run average: (30 + 60) / 2.
+  EXPECT_DOUBLE_EQ(p.stage(0).total_exec_seconds, 45.0);
+  // The runtime distribution pools samples from both runs.
+  EXPECT_EQ(p.stage(0).task_runtimes.count(), 4u);
+}
+
+TEST(JobProfileTest, ScaledByMultipliesRuntimeStatistics) {
+  JobGraph g = TwoStage();
+  JobProfile p = JobProfile::FromTrace(g, MakeTrace());
+  JobProfile scaled = p.ScaledBy(2.0);
+  EXPECT_DOUBLE_EQ(scaled.stage(0).total_exec_seconds, 60.0);
+  EXPECT_DOUBLE_EQ(scaled.stage(0).max_task_seconds, 40.0);
+  EXPECT_DOUBLE_EQ(scaled.stage(0).task_runtimes.max(), 40.0);
+  // Queueing statistics are not input-dependent and stay put.
+  EXPECT_DOUBLE_EQ(scaled.stage(0).total_queue_seconds, 6.0);
+  EXPECT_DOUBLE_EQ(scaled.CriticalPathSeconds(g), 140.0);
+}
+
+TEST(JobProfileTest, SaveLoadRoundTrip) {
+  JobGraph g = TwoStage();
+  JobProfile p = JobProfile::FromTrace(g, MakeTrace());
+  std::stringstream ss;
+  p.Save(ss);
+  JobProfile loaded = JobProfile::Load(ss);
+  ASSERT_EQ(loaded.num_stages(), p.num_stages());
+  for (int s = 0; s < p.num_stages(); ++s) {
+    EXPECT_DOUBLE_EQ(loaded.stage(s).total_exec_seconds, p.stage(s).total_exec_seconds);
+    EXPECT_DOUBLE_EQ(loaded.stage(s).total_queue_seconds, p.stage(s).total_queue_seconds);
+    EXPECT_DOUBLE_EQ(loaded.stage(s).max_task_seconds, p.stage(s).max_task_seconds);
+    EXPECT_DOUBLE_EQ(loaded.stage(s).failure_prob, p.stage(s).failure_prob);
+    EXPECT_EQ(loaded.stage(s).task_runtimes.count(), p.stage(s).task_runtimes.count());
+    EXPECT_EQ(loaded.stage(s).num_tasks, p.stage(s).num_tasks);
+  }
+}
+
+TEST(RunTraceTest, TotalsAndStageRecords) {
+  RunTrace trace = MakeTrace();
+  EXPECT_DOUBLE_EQ(trace.TotalWorkSeconds(), 80.0);
+  EXPECT_DOUBLE_EQ(trace.TotalQueueSeconds(), 12.0);
+  EXPECT_DOUBLE_EQ(trace.CompletionSeconds(), 100.0);
+  auto records = trace.StageRecords(0);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0]->id.index, 0);
+  EXPECT_EQ(records[1]->id.index, 1);
+}
+
+}  // namespace
+}  // namespace jockey

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/cluster/cluster_simulator.h"
+#include "src/dag/profile.h"
+#include "src/dag/trace.h"
+#include "src/workload/job_generator.h"
+
+namespace jockey {
+namespace {
+
+TEST(TraceIoTest, SaveLoadRoundTrip) {
+  RunTrace trace;
+  trace.job_name = "roundtrip";
+  trace.submit_time = 10.0;
+  trace.finish_time = 110.5;
+  trace.tasks.push_back({{0, 0}, 10.0, 12.5, 30.0, 1, 4.25});
+  trace.tasks.push_back({{1, 3}, 30.0, 31.0, 110.5, 0, 0.0});
+
+  std::stringstream ss;
+  trace.Save(ss);
+  RunTrace loaded = RunTrace::Load(ss);
+
+  EXPECT_EQ(loaded.job_name, "roundtrip");
+  EXPECT_DOUBLE_EQ(loaded.submit_time, 10.0);
+  EXPECT_DOUBLE_EQ(loaded.finish_time, 110.5);
+  ASSERT_EQ(loaded.tasks.size(), 2u);
+  EXPECT_EQ(loaded.tasks[0].id.stage, 0);
+  EXPECT_EQ(loaded.tasks[0].id.index, 0);
+  EXPECT_DOUBLE_EQ(loaded.tasks[0].start_time, 12.5);
+  EXPECT_EQ(loaded.tasks[0].failed_attempts, 1);
+  EXPECT_DOUBLE_EQ(loaded.tasks[0].wasted_seconds, 4.25);
+  EXPECT_DOUBLE_EQ(loaded.tasks[1].end_time, 110.5);
+}
+
+TEST(TraceIoTest, RealClusterTraceSurvivesRoundTrip) {
+  JobShapeSpec spec;
+  spec.name = "io";
+  spec.num_stages = 5;
+  spec.num_barriers = 1;
+  spec.num_vertices = 100;
+  spec.seed = 3;
+  JobTemplate job = GenerateJob(spec);
+  ClusterConfig config;
+  config.seed = 2;
+  config.background.volatility = 0.0;
+  config.background.mean_utilization = 0.5;
+  ClusterSimulator cluster(config);
+  JobSubmission submission;
+  submission.guaranteed_tokens = 10;
+  int id = cluster.SubmitJob(job, submission);
+  cluster.Run();
+  const RunTrace& original = cluster.result(id).trace;
+
+  std::stringstream ss;
+  original.Save(ss);
+  RunTrace loaded = RunTrace::Load(ss);
+  ASSERT_EQ(loaded.tasks.size(), original.tasks.size());
+  EXPECT_DOUBLE_EQ(loaded.CompletionSeconds(), original.CompletionSeconds());
+  EXPECT_DOUBLE_EQ(loaded.TotalWorkSeconds(), original.TotalWorkSeconds());
+  // A profile built from the reloaded trace is identical.
+  JobProfile a = JobProfile::FromTrace(job.graph, original);
+  JobProfile b = JobProfile::FromTrace(job.graph, loaded);
+  for (int s = 0; s < a.num_stages(); ++s) {
+    EXPECT_DOUBLE_EQ(a.stage(s).total_exec_seconds, b.stage(s).total_exec_seconds);
+    EXPECT_DOUBLE_EQ(a.stage(s).max_task_seconds, b.stage(s).max_task_seconds);
+  }
+}
+
+}  // namespace
+}  // namespace jockey

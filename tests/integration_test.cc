@@ -1,0 +1,151 @@
+// End-to-end integration tests: the full offline-train -> online-control pipeline on
+// a Table 2 evaluation job, exercising every library layer together.
+
+#include <gtest/gtest.h>
+
+#include "src/core/experiment.h"
+#include "src/workload/job_generator.h"
+
+namespace jockey {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    TrainingOptions options;
+    options.seed = 601;
+    trained_ = new TrainedJob(TrainJob(GenerateJob(JobSpecA()), options));
+  }
+  static void TearDownTestSuite() {
+    delete trained_;
+    trained_ = nullptr;
+  }
+  static TrainedJob* trained_;
+};
+
+TrainedJob* IntegrationTest::trained_ = nullptr;
+
+TEST_F(IntegrationTest, JockeyMeetsSuggestedDeadlineAcrossSeeds) {
+  double deadline = SuggestDeadlineSeconds(*trained_, /*tight=*/true);
+  int met = 0;
+  const int kSeeds = 5;
+  for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    ExperimentOptions options;
+    options.deadline_seconds = deadline;
+    options.policy = PolicyKind::kJockey;
+    options.seed = seed;
+    ExperimentResult r = RunExperiment(*trained_, options);
+    EXPECT_TRUE(r.run.finished);
+    met += r.met_deadline ? 1 : 0;
+  }
+  // Jockey misses at most rarely (the paper: 1 of 94 runs).
+  EXPECT_GE(met, kSeeds - 1);
+}
+
+TEST_F(IntegrationTest, MaxAllocationFinishesEarlierThanJockey) {
+  double deadline = SuggestDeadlineSeconds(*trained_, true);
+  double jockey_total = 0.0;
+  double max_total = 0.0;
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    ExperimentOptions options;
+    options.deadline_seconds = deadline;
+    options.seed = seed;
+    options.policy = PolicyKind::kJockey;
+    jockey_total += RunExperiment(*trained_, options).completion_seconds;
+    options.policy = PolicyKind::kMaxAllocation;
+    max_total += RunExperiment(*trained_, options).completion_seconds;
+  }
+  EXPECT_LT(max_total, jockey_total);
+}
+
+TEST_F(IntegrationTest, MaxAllocationHasLargerClusterImpact) {
+  double deadline = SuggestDeadlineSeconds(*trained_, true);
+  double jockey_above = 0.0;
+  double max_above = 0.0;
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    ExperimentOptions options;
+    options.deadline_seconds = deadline;
+    options.seed = seed;
+    options.policy = PolicyKind::kJockey;
+    jockey_above += RunExperiment(*trained_, options).frac_above_oracle;
+    options.policy = PolicyKind::kMaxAllocation;
+    max_above += RunExperiment(*trained_, options).frac_above_oracle;
+  }
+  EXPECT_LT(jockey_above, max_above);
+}
+
+TEST_F(IntegrationTest, JockeyAdaptsToHalvedDeadline) {
+  // Fig 7: ten minutes in, the deadline halves; Jockey must still meet it.
+  double deadline = SuggestDeadlineSeconds(*trained_, /*tight=*/false);
+  ExperimentOptions options;
+  options.deadline_seconds = deadline;
+  options.deadline_change.at_seconds = 600.0;
+  options.deadline_change.new_deadline_seconds = deadline / 2.0;
+  options.policy = PolicyKind::kJockey;
+  options.seed = 11;
+  options.jitter_input = false;
+  ExperimentResult r = RunExperiment(*trained_, options);
+  EXPECT_TRUE(r.met_deadline)
+      << "finished at " << r.completion_seconds << " vs " << r.deadline_seconds;
+}
+
+TEST_F(IntegrationTest, JockeyReleasesTokensOnTripledDeadline) {
+  double deadline = SuggestDeadlineSeconds(*trained_, true);
+  ExperimentOptions options;
+  options.deadline_seconds = deadline;
+  options.deadline_change.at_seconds = 600.0;
+  options.deadline_change.new_deadline_seconds = 3.0 * deadline;
+  options.policy = PolicyKind::kJockey;
+  options.seed = 12;
+  options.jitter_input = false;
+  ExperimentResult r = RunExperiment(*trained_, options);
+  EXPECT_TRUE(r.met_deadline);
+  // Allocation after the change should drop below the allocation before it.
+  double before = 0.0;
+  double after = 0.0;
+  int n_before = 0;
+  int n_after = 0;
+  for (const auto& sample : r.run.timeline) {
+    if (sample.time < 600.0) {
+      before += sample.guaranteed;
+      ++n_before;
+    } else if (sample.time > 900.0) {
+      after += sample.guaranteed;
+      ++n_after;
+    }
+  }
+  ASSERT_GT(n_before, 0);
+  ASSERT_GT(n_after, 0);
+  EXPECT_LT(after / n_after, before / n_before);
+}
+
+TEST_F(IntegrationTest, GuaranteedOnlyRunsHaveLowerVariance) {
+  // Section 2.4: restricting runs to guaranteed capacity drops the CoV sharply. This
+  // isolates the spare-token mechanism: a small guarantee on a cluster whose spare
+  // pool swings widely. Runs that ride the spare rollercoaster vary; runs pinned to
+  // the guarantee do not.
+  std::vector<double> shared_runs;
+  std::vector<double> guaranteed_runs;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    for (bool use_spare : {true, false}) {
+      ClusterConfig config = DefaultExperimentCluster(seed * 37 + 2);
+      config.background.mean_utilization = 0.9;
+      config.background.volatility = 0.12;
+      config.background.overload_rate_per_hour = 1.0;
+      ClusterSimulator cluster(config);
+      JobSubmission submission;
+      submission.guaranteed_tokens = 8;
+      submission.use_spare_tokens = use_spare;
+      submission.seed = 9000 + seed;
+      int id = cluster.SubmitJob(*trained_->tmpl, submission);
+      cluster.Run();
+      ASSERT_TRUE(cluster.result(id).finished);
+      (use_spare ? shared_runs : guaranteed_runs)
+          .push_back(cluster.result(id).CompletionSeconds());
+    }
+  }
+  EXPECT_LT(CoefficientOfVariation(guaranteed_runs), CoefficientOfVariation(shared_runs));
+}
+
+}  // namespace
+}  // namespace jockey

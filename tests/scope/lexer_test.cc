@@ -1,0 +1,88 @@
+#include "src/scope/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace jockey {
+namespace {
+
+TEST(LexerTest, TokenizesAssignment) {
+  LexResult r = Tokenize("clicks = EXTRACT FROM \"store://logs\" PARTITIONS 200;");
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_EQ(r.tokens.size(), 9u);  // 8 tokens + end
+  EXPECT_EQ(r.tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(r.tokens[0].text, "clicks");
+  EXPECT_EQ(r.tokens[1].kind, TokenKind::kEquals);
+  EXPECT_EQ(r.tokens[2].kind, TokenKind::kExtract);
+  EXPECT_EQ(r.tokens[3].kind, TokenKind::kFrom);
+  EXPECT_EQ(r.tokens[4].kind, TokenKind::kString);
+  EXPECT_EQ(r.tokens[4].text, "store://logs");
+  EXPECT_EQ(r.tokens[5].kind, TokenKind::kPartitions);
+  EXPECT_EQ(r.tokens[6].kind, TokenKind::kNumber);
+  EXPECT_DOUBLE_EQ(r.tokens[6].number, 200.0);
+  EXPECT_EQ(r.tokens[7].kind, TokenKind::kSemicolon);
+  EXPECT_EQ(r.tokens[8].kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  LexResult r = Tokenize("extract Select jOiN");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.tokens[0].kind, TokenKind::kExtract);
+  EXPECT_EQ(r.tokens[1].kind, TokenKind::kSelect);
+  EXPECT_EQ(r.tokens[2].kind, TokenKind::kJoin);
+}
+
+TEST(LexerTest, IdentifiersMayContainKeywordsAsSubstrings) {
+  LexResult r = Tokenize("selected extract_2");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(r.tokens[1].kind, TokenKind::kIdentifier);
+}
+
+TEST(LexerTest, CommentsRunToEndOfLine) {
+  LexResult r = Tokenize("a -- this is a comment ; = EXTRACT\nb");
+  ASSERT_TRUE(r.ok);
+  ASSERT_EQ(r.tokens.size(), 3u);
+  EXPECT_EQ(r.tokens[0].text, "a");
+  EXPECT_EQ(r.tokens[1].text, "b");
+}
+
+TEST(LexerTest, NumbersParse) {
+  LexResult r = Tokenize("1 2.5 0.125 1e3");
+  ASSERT_TRUE(r.ok);
+  EXPECT_DOUBLE_EQ(r.tokens[0].number, 1.0);
+  EXPECT_DOUBLE_EQ(r.tokens[1].number, 2.5);
+  EXPECT_DOUBLE_EQ(r.tokens[2].number, 0.125);
+  EXPECT_DOUBLE_EQ(r.tokens[3].number, 1000.0);
+}
+
+TEST(LexerTest, TracksLineAndColumn) {
+  LexResult r = Tokenize("a\n  b");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.tokens[0].line, 1);
+  EXPECT_EQ(r.tokens[0].column, 1);
+  EXPECT_EQ(r.tokens[1].line, 2);
+  EXPECT_EQ(r.tokens[1].column, 3);
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  LexResult r = Tokenize("a = EXTRACT FROM \"oops");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("unterminated"), std::string::npos);
+}
+
+TEST(LexerTest, UnexpectedCharacterFails) {
+  LexResult r = Tokenize("a = @");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("unexpected character"), std::string::npos);
+  EXPECT_NE(r.error.find("line 1"), std::string::npos);
+}
+
+TEST(LexerTest, EmptyInputYieldsEndOnly) {
+  LexResult r = Tokenize("   \n\t -- just a comment\n");
+  ASSERT_TRUE(r.ok);
+  ASSERT_EQ(r.tokens.size(), 1u);
+  EXPECT_EQ(r.tokens[0].kind, TokenKind::kEnd);
+}
+
+}  // namespace
+}  // namespace jockey

@@ -1,0 +1,105 @@
+#include "src/scope/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace jockey {
+namespace {
+
+TEST(ParserTest, ParsesFullPipeline) {
+  ParseResult r = ParseScopeScript(R"(
+    clicks = EXTRACT FROM "store://logs/clicks" PARTITIONS 400 COST 3.5;
+    valid  = SELECT clicks COST 1.2;
+    users  = EXTRACT FROM "store://dims/users" PARTITIONS 40;
+    joined = JOIN valid, users ON user_id PARTITIONS 120 COST 6;
+    daily  = REDUCE joined PARTITIONS 20 COST 12 SKEW 0.9 FAILPROB 0.01;
+    top    = AGGREGATE daily COST 40;
+    OUTPUT top TO "store://out/top";
+  )");
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_EQ(r.script.statements.size(), 7u);
+
+  const auto& clicks = r.script.statements[0];
+  EXPECT_EQ(clicks.name, "clicks");
+  EXPECT_EQ(clicks.op, ScopeOp::kExtract);
+  EXPECT_EQ(clicks.path, "store://logs/clicks");
+  EXPECT_EQ(clicks.clauses.partitions, 400);
+  EXPECT_DOUBLE_EQ(*clicks.clauses.cost_seconds, 3.5);
+
+  const auto& joined = r.script.statements[3];
+  EXPECT_EQ(joined.op, ScopeOp::kJoin);
+  EXPECT_EQ(joined.inputs, (std::vector<std::string>{"valid", "users"}));
+  EXPECT_EQ(joined.join_key, "user_id");
+
+  const auto& daily = r.script.statements[4];
+  EXPECT_DOUBLE_EQ(*daily.clauses.skew_sigma, 0.9);
+  EXPECT_DOUBLE_EQ(*daily.clauses.failure_prob, 0.01);
+
+  const auto& out = r.script.statements[6];
+  EXPECT_TRUE(out.is_output);
+  EXPECT_EQ(out.inputs[0], "top");
+  EXPECT_EQ(out.path, "store://out/top");
+}
+
+TEST(ParserTest, UnionTakesTwoInputs) {
+  ParseResult r = ParseScopeScript(R"(
+    a = EXTRACT FROM "x";
+    b = EXTRACT FROM "y";
+    u = UNION a, b;
+    OUTPUT u TO "z";
+  )");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.script.statements[2].op, ScopeOp::kUnion);
+  EXPECT_EQ(r.script.statements[2].inputs.size(), 2u);
+}
+
+TEST(ParserTest, MissingSemicolonIsDiagnosed) {
+  ParseResult r = ParseScopeScript("a = EXTRACT FROM \"x\"\nOUTPUT a TO \"y\";");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("expected ';'"), std::string::npos);
+  EXPECT_NE(r.error.find("line 2"), std::string::npos);
+}
+
+TEST(ParserTest, MissingOperatorIsDiagnosed) {
+  ParseResult r = ParseScopeScript("a = 5;");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("expected an operator"), std::string::npos);
+}
+
+TEST(ParserTest, JoinRequiresTwoInputs) {
+  ParseResult r = ParseScopeScript("a = EXTRACT FROM \"x\"; j = JOIN a;");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("expected ','"), std::string::npos);
+}
+
+TEST(ParserTest, PartitionsMustBePositiveInteger) {
+  ParseResult r = ParseScopeScript("a = EXTRACT FROM \"x\" PARTITIONS 2.5;");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("positive integer"), std::string::npos);
+}
+
+TEST(ParserTest, CostMustBePositive) {
+  ParseResult r = ParseScopeScript("a = EXTRACT FROM \"x\" COST 0;");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("COST must be positive"), std::string::npos);
+}
+
+TEST(ParserTest, FailprobRangeChecked) {
+  ParseResult r = ParseScopeScript("a = EXTRACT FROM \"x\" FAILPROB 1.5;");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("FAILPROB"), std::string::npos);
+}
+
+TEST(ParserTest, OutputRequiresPath) {
+  ParseResult r = ParseScopeScript("a = EXTRACT FROM \"x\"; OUTPUT a;");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("expected TO"), std::string::npos);
+}
+
+TEST(ParserTest, LexErrorPropagates) {
+  ParseResult r = ParseScopeScript("a = EXTRACT FROM \"unterminated;");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("unterminated"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jockey

@@ -1,0 +1,216 @@
+#include "src/scope/planner.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/cluster_simulator.h"
+#include "src/core/experiment.h"
+
+namespace jockey {
+namespace {
+
+constexpr char kPipeline[] = R"(
+  clicks = EXTRACT FROM "store://logs/clicks" PARTITIONS 400 COST 3.5;
+  users  = EXTRACT FROM "store://dims/users" PARTITIONS 40 COST 2;
+  joined = JOIN clicks, users ON user_id PARTITIONS 120 COST 6;
+  daily  = REDUCE joined PARTITIONS 20 COST 12;
+  top    = AGGREGATE daily COST 40;
+  OUTPUT top TO "store://out/top";
+)";
+
+int StageIdByName(const JobGraph& graph, const std::string& name) {
+  for (int s = 0; s < graph.num_stages(); ++s) {
+    if (graph.stage(s).name == name) {
+      return s;
+    }
+  }
+  return -1;
+}
+
+TEST(PlannerTest, LowersPipelineToValidGraph) {
+  PlanResult r = CompileScopeScript(kPipeline);
+  ASSERT_TRUE(r.ok) << r.error;
+  const JobGraph& g = r.job.graph;
+  EXPECT_EQ(g.num_stages(), 5);
+  EXPECT_EQ(g.num_tasks(), 400 + 40 + 120 + 20 + 1);
+  std::string error;
+  EXPECT_TRUE(g.Validate(&error)) << error;
+}
+
+TEST(PlannerTest, ShuffleOperatorsAreBarriers) {
+  PlanResult r = CompileScopeScript(kPipeline);
+  ASSERT_TRUE(r.ok) << r.error;
+  const JobGraph& g = r.job.graph;
+  EXPECT_TRUE(g.stage(StageIdByName(g, "joined")).IsBarrier());
+  EXPECT_TRUE(g.stage(StageIdByName(g, "daily")).IsBarrier());
+  EXPECT_TRUE(g.stage(StageIdByName(g, "top")).IsBarrier());
+  EXPECT_FALSE(g.stage(StageIdByName(g, "clicks")).IsBarrier());
+  EXPECT_EQ(g.num_barrier_stages(), 3);
+}
+
+TEST(PlannerTest, CostClausesBecomeRuntimeModels) {
+  PlanResult r = CompileScopeScript(kPipeline);
+  ASSERT_TRUE(r.ok) << r.error;
+  int top = StageIdByName(r.job.graph, "top");
+  ASSERT_GE(top, 0);
+  EXPECT_DOUBLE_EQ(r.job.runtime[static_cast<size_t>(top)].median_seconds, 40.0);
+  EXPECT_EQ(r.job.graph.stage(top).num_tasks, 1);
+}
+
+TEST(PlannerTest, SelectInheritsPartitions) {
+  PlannerOptions options;
+  options.fuse_selects = false;  // keep b as a distinct stage to observe its width
+  PlanResult r = CompileScopeScript(R"(
+    a = EXTRACT FROM "x" PARTITIONS 77;
+    b = SELECT a;
+    c = REDUCE b PARTITIONS 5;
+    OUTPUT c TO "y";
+  )",
+                                    options);
+  ASSERT_TRUE(r.ok) << r.error;
+  int b = StageIdByName(r.job.graph, "b");
+  ASSERT_GE(b, 0);
+  EXPECT_EQ(r.job.graph.stage(b).num_tasks, 77);
+}
+
+TEST(PlannerTest, SelectWithPartitionsIsRejected) {
+  PlanResult r = CompileScopeScript(R"(
+    a = EXTRACT FROM "x";
+    b = SELECT a PARTITIONS 10;
+    OUTPUT b TO "y";
+  )");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("use PROCESS"), std::string::npos);
+}
+
+TEST(PlannerTest, UndefinedInputIsRejected) {
+  PlanResult r = CompileScopeScript("b = SELECT ghost; OUTPUT b TO \"y\";");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("undefined input dataset 'ghost'"), std::string::npos);
+}
+
+TEST(PlannerTest, DoubleBindingIsRejected) {
+  PlanResult r = CompileScopeScript(R"(
+    a = EXTRACT FROM "x";
+    a = EXTRACT FROM "y";
+    OUTPUT a TO "z";
+  )");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("bound twice"), std::string::npos);
+}
+
+TEST(PlannerTest, MissingOutputIsRejected) {
+  PlanResult r = CompileScopeScript("a = EXTRACT FROM \"x\";");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("no OUTPUT"), std::string::npos);
+}
+
+TEST(PlannerTest, DeadStagesArePruned) {
+  PlanResult r = CompileScopeScript(R"(
+    a = EXTRACT FROM "x" PARTITIONS 10;
+    unused = REDUCE a PARTITIONS 2;
+    b = PROCESS a PARTITIONS 10;
+    OUTPUT b TO "y";
+  )");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(StageIdByName(r.job.graph, "unused"), -1);
+  bool noted = false;
+  for (const auto& note : r.notes) {
+    noted = noted || note.find("pruned dead stage 'unused'") != std::string::npos;
+  }
+  EXPECT_TRUE(noted);
+}
+
+TEST(PlannerTest, SelectChainsFuseIntoProducer) {
+  PlanResult r = CompileScopeScript(R"(
+    a = EXTRACT FROM "x" PARTITIONS 50 COST 2;
+    b = SELECT a COST 3;
+    c = SELECT b COST 5;
+    d = REDUCE c PARTITIONS 5 COST 8;
+    OUTPUT d TO "y";
+  )");
+  ASSERT_TRUE(r.ok) << r.error;
+  // a, b, c collapse into one 50-task stage whose cost is the sum 2+3+5.
+  EXPECT_EQ(r.job.graph.num_stages(), 2);
+  int fused = StageIdByName(r.job.graph, "a+b+c");
+  ASSERT_GE(fused, 0);
+  EXPECT_EQ(r.job.graph.stage(fused).num_tasks, 50);
+  EXPECT_DOUBLE_EQ(r.job.runtime[static_cast<size_t>(fused)].median_seconds, 10.0);
+}
+
+TEST(PlannerTest, FanOutPreventsFusion) {
+  PlanResult r = CompileScopeScript(R"(
+    a = EXTRACT FROM "x" PARTITIONS 50;
+    b = SELECT a;
+    c = REDUCE a PARTITIONS 5;   -- a has two consumers: b must not fuse into it
+    u = UNION b, c;
+    OUTPUT u TO "y";
+  )");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_GE(StageIdByName(r.job.graph, "a"), 0);
+  EXPECT_GE(StageIdByName(r.job.graph, "b"), 0);
+}
+
+TEST(PlannerTest, FusionCanBeDisabled) {
+  PlannerOptions options;
+  options.fuse_selects = false;
+  PlanResult r = CompileScopeScript(R"(
+    a = EXTRACT FROM "x" PARTITIONS 50;
+    b = SELECT a;
+    OUTPUT b TO "y";
+  )",
+                                    options);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.job.graph.num_stages(), 2);
+}
+
+TEST(PlannerTest, UnionWidthIsSumOfInputs) {
+  PlanResult r = CompileScopeScript(R"(
+    a = EXTRACT FROM "x" PARTITIONS 30;
+    b = EXTRACT FROM "y" PARTITIONS 20;
+    u = UNION a, b;
+    OUTPUT u TO "z";
+  )");
+  ASSERT_TRUE(r.ok) << r.error;
+  int u = StageIdByName(r.job.graph, "u");
+  ASSERT_GE(u, 0);
+  EXPECT_EQ(r.job.graph.stage(u).num_tasks, 50);
+  EXPECT_FALSE(r.job.graph.stage(u).IsBarrier());
+}
+
+TEST(PlannerTest, CompiledJobRunsOnTheCluster) {
+  PlanResult r = CompileScopeScript(kPipeline);
+  ASSERT_TRUE(r.ok) << r.error;
+  ClusterConfig config;
+  config.num_machines = 40;
+  config.seed = 4;
+  config.background.mean_utilization = 0.5;
+  config.background.volatility = 0.0;
+  ClusterSimulator cluster(config);
+  JobSubmission submission;
+  submission.guaranteed_tokens = 30;
+  submission.seed = 10;
+  int id = cluster.SubmitJob(r.job, submission);
+  cluster.Run();
+  EXPECT_TRUE(cluster.result(id).finished);
+  EXPECT_EQ(static_cast<int>(cluster.result(id).trace.tasks.size()), r.job.graph.num_tasks());
+}
+
+TEST(PlannerTest, CompiledJobTrainsUnderJockey) {
+  PlanResult r = CompileScopeScript(kPipeline);
+  ASSERT_TRUE(r.ok) << r.error;
+  TrainingOptions options;
+  options.seed = 905;
+  TrainedJob trained = TrainJob(r.job, options);
+  double deadline = SuggestDeadlineSeconds(trained, /*tight=*/false);
+  ExperimentOptions experiment;
+  experiment.deadline_seconds = deadline;
+  experiment.policy = PolicyKind::kJockey;
+  experiment.seed = 12;
+  ExperimentResult result = RunExperiment(trained, experiment);
+  EXPECT_TRUE(result.run.finished);
+  EXPECT_TRUE(result.met_deadline)
+      << result.completion_seconds << " vs " << deadline;
+}
+
+}  // namespace
+}  // namespace jockey

@@ -1,0 +1,108 @@
+// Properties of the offline C(p, a) estimation (builder + table together).
+
+#include "src/core/completion_model.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workload/job_generator.h"
+
+namespace jockey {
+namespace {
+
+struct Built {
+  JobTemplate tmpl;
+  JobProfile profile;
+  CompletionTable table;
+};
+
+Built Build(uint64_t seed, CompletionModelConfig config = CompletionModelConfig()) {
+  JobShapeSpec spec;
+  spec.name = "cm";
+  spec.num_stages = 7;
+  spec.num_barriers = 2;
+  spec.num_vertices = 250;
+  spec.seed = seed;
+  JobTemplate tmpl = GenerateJob(spec);
+  Rng gen(seed + 1);
+  RunTrace trace;
+  for (int s = 0; s < tmpl.graph.num_stages(); ++s) {
+    for (int i = 0; i < tmpl.graph.stage(s).num_tasks; ++i) {
+      double d = tmpl.runtime[static_cast<size_t>(s)].SampleSeconds(gen);
+      trace.tasks.push_back({{s, i}, 0.0, 1.0, 1.0 + d, 0, 0.0});
+    }
+  }
+  trace.finish_time = 1.0;
+  JobProfile profile = JobProfile::FromTrace(tmpl.graph, trace);
+  auto indicator = MakeIndicator(IndicatorKind::kTotalWorkWithQ, tmpl.graph, profile);
+  config.seed = seed + 2;
+  CompletionTable table = BuildCompletionTable(tmpl.graph, profile, *indicator, config);
+  return Built{std::move(tmpl), std::move(profile), std::move(table)};
+}
+
+TEST(CompletionModelTest, TableIsWellPopulated) {
+  Built built = Build(11);
+  // Every allocation column contributed runs_per_allocation completion samples plus
+  // progress samples throughout each run.
+  EXPECT_GT(built.table.TotalSamples(),
+            built.table.allocations().size() * 10u /* runs */ * 2u);
+}
+
+TEST(CompletionModelTest, MedianRemainingDecreasesWithProgress) {
+  Built built = Build(13);
+  for (double a : {10.0, 40.0, 100.0}) {
+    double early = built.table.Predict(0.05, a, 0.5);
+    double mid = built.table.Predict(0.5, a, 0.5);
+    double late = built.table.Predict(0.9, a, 0.5);
+    EXPECT_GT(early, mid) << "allocation " << a;
+    EXPECT_GT(mid, late) << "allocation " << a;
+  }
+}
+
+TEST(CompletionModelTest, FreshJobPredictionDecreasesWithAllocation) {
+  Built built = Build(17);
+  double prev = 1e18;
+  for (double a : {2.0, 10.0, 25.0, 60.0, 100.0}) {
+    double pred = built.table.Predict(0.0, a, 0.5);
+    EXPECT_LT(pred, prev * 1.05) << "allocation " << a;  // small MC noise allowed
+    prev = pred;
+  }
+  EXPECT_LT(built.table.Predict(0.0, 100.0, 0.5),
+            0.5 * built.table.Predict(0.0, 2.0, 0.5));
+}
+
+TEST(CompletionModelTest, HighQuantileDominatesMedian) {
+  Built built = Build(19);
+  for (double p : {0.0, 0.3, 0.7}) {
+    for (double a : {5.0, 30.0, 90.0}) {
+      EXPECT_GE(built.table.Predict(p, a, 1.0) + 1e-9, built.table.Predict(p, a, 0.5));
+    }
+  }
+}
+
+TEST(CompletionModelTest, DeterministicForSeed) {
+  Built a = Build(23);
+  Built b = Build(23);
+  for (double p : {0.0, 0.4, 0.8}) {
+    for (double alloc : {5.0, 50.0}) {
+      EXPECT_DOUBLE_EQ(a.table.Predict(p, alloc, 1.0), b.table.Predict(p, alloc, 1.0));
+    }
+  }
+}
+
+TEST(CompletionModelTest, MoreRunsRefineNotShift) {
+  CompletionModelConfig few;
+  few.runs_per_allocation = 4;
+  CompletionModelConfig many;
+  many.runs_per_allocation = 16;
+  Built coarse = Build(29, few);
+  Built fine = Build(29, many);
+  // The medians from a coarse and a fine table agree within Monte Carlo tolerance.
+  for (double a : {10.0, 50.0}) {
+    double c = coarse.table.Predict(0.0, a, 0.5);
+    double f = fine.table.Predict(0.0, a, 0.5);
+    EXPECT_NEAR(c / f, 1.0, 0.25) << "allocation " << a;
+  }
+}
+
+}  // namespace
+}  // namespace jockey

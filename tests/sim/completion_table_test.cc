@@ -1,0 +1,89 @@
+#include "src/sim/completion_table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace jockey {
+namespace {
+
+TEST(CompletionTableTest, PredictReturnsStoredQuantiles) {
+  CompletionTable table({10, 20}, 10);
+  for (double x : {100.0, 110.0, 120.0}) {
+    table.AddSample(0.05, 0, x);
+  }
+  EXPECT_DOUBLE_EQ(table.Predict(0.05, 10.0, 0.5), 110.0);
+  EXPECT_DOUBLE_EQ(table.Predict(0.05, 10.0, 1.0), 120.0);
+  EXPECT_DOUBLE_EQ(table.Predict(0.05, 10.0, 0.0), 100.0);
+}
+
+TEST(CompletionTableTest, InterpolatesBetweenAllocations) {
+  CompletionTable table({10, 20}, 10);
+  table.AddSample(0.5, 0, 200.0);
+  table.AddSample(0.5, 1, 100.0);
+  EXPECT_DOUBLE_EQ(table.Predict(0.5, 15.0, 1.0), 150.0);
+  EXPECT_DOUBLE_EQ(table.Predict(0.5, 12.5, 1.0), 175.0);
+}
+
+TEST(CompletionTableTest, ClampsAllocationToGrid) {
+  CompletionTable table({10, 20}, 10);
+  table.AddSample(0.5, 0, 200.0);
+  table.AddSample(0.5, 1, 100.0);
+  EXPECT_DOUBLE_EQ(table.Predict(0.5, 5.0, 1.0), 200.0);
+  EXPECT_DOUBLE_EQ(table.Predict(0.5, 50.0, 1.0), 100.0);
+}
+
+TEST(CompletionTableTest, EmptyBucketFallsBackToNearestLowerBucket) {
+  CompletionTable table({10}, 10);
+  table.AddSample(0.25, 0, 300.0);  // bucket 2
+  // Bucket 5 has no data; the lower bucket's (larger) remaining time is the safe
+  // fallback.
+  EXPECT_DOUBLE_EQ(table.Predict(0.55, 10.0, 1.0), 300.0);
+}
+
+TEST(CompletionTableTest, EmptyBucketPrefersLowerOverHigher) {
+  CompletionTable table({10}, 10);
+  table.AddSample(0.15, 0, 300.0);  // bucket 1
+  table.AddSample(0.95, 0, 10.0);   // bucket 9
+  // Bucket 5 is empty; both neighbors exist at distance 4; lower (pessimistic) wins.
+  EXPECT_DOUBLE_EQ(table.Predict(0.55, 10.0, 1.0), 300.0);
+}
+
+TEST(CompletionTableTest, ProgressClampedToUnitInterval) {
+  CompletionTable table({10}, 10);
+  table.AddSample(0.0, 0, 500.0);
+  table.AddSample(1.0, 0, 0.0);
+  EXPECT_DOUBLE_EQ(table.Predict(-0.5, 10.0, 1.0), 500.0);
+  EXPECT_DOUBLE_EQ(table.Predict(1.5, 10.0, 1.0), 0.0);
+}
+
+TEST(CompletionTableTest, TotalSamplesCounts) {
+  CompletionTable table({10, 20}, 10);
+  EXPECT_EQ(table.TotalSamples(), 0u);
+  table.AddSample(0.1, 0, 1.0);
+  table.AddSample(0.2, 1, 2.0);
+  table.AddSample(0.2, 1, 3.0);
+  EXPECT_EQ(table.TotalSamples(), 3u);
+}
+
+TEST(CompletionTableTest, CompletelyEmptyColumnPredictsZero) {
+  CompletionTable table({10, 20}, 10);
+  table.AddSample(0.5, 0, 100.0);
+  // Column for allocation 20 has no samples anywhere.
+  EXPECT_DOUBLE_EQ(table.Predict(0.5, 20.0, 1.0), 0.0);
+}
+
+TEST(CompletionTableTest, SummarySerializationHasHeaderAndRows) {
+  CompletionTable table({10, 20}, 5);
+  table.AddSample(0.1, 0, 100.0);
+  std::ostringstream os;
+  table.SaveSummary(os, {0.5, 1.0});
+  std::string out = os.str();
+  EXPECT_NE(out.find("a10_q0.5"), std::string::npos);
+  EXPECT_NE(out.find("a20_q1"), std::string::npos);
+  // 1 header + 5 bucket rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 6);
+}
+
+}  // namespace
+}  // namespace jockey

@@ -1,0 +1,98 @@
+#include "src/util/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace jockey {
+namespace {
+
+TEST(EventQueueTest, RunsEventsInTimeOrder) {
+  EventQueue eq;
+  std::vector<int> order;
+  eq.ScheduleAt(3.0, [&]() { order.push_back(3); });
+  eq.ScheduleAt(1.0, [&]() { order.push_back(1); });
+  eq.ScheduleAt(2.0, [&]() { order.push_back(2); });
+  eq.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(eq.now(), 3.0);
+}
+
+TEST(EventQueueTest, EqualTimesFireInInsertionOrder) {
+  EventQueue eq;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    eq.ScheduleAt(5.0, [&, i]() { order.push_back(i); });
+  }
+  eq.RunAll();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(EventQueueTest, CallbacksCanScheduleMoreEvents) {
+  EventQueue eq;
+  std::vector<double> fire_times;
+  std::function<void()> chain = [&]() {
+    fire_times.push_back(eq.now());
+    if (fire_times.size() < 4) {
+      eq.ScheduleAfter(1.5, chain);
+    }
+  };
+  eq.ScheduleAt(0.0, chain);
+  eq.RunAll();
+  ASSERT_EQ(fire_times.size(), 4u);
+  EXPECT_DOUBLE_EQ(fire_times[3], 4.5);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtBoundaryInclusive) {
+  EventQueue eq;
+  int fired = 0;
+  eq.ScheduleAt(1.0, [&]() { ++fired; });
+  eq.ScheduleAt(2.0, [&]() { ++fired; });
+  eq.ScheduleAt(2.5, [&]() { ++fired; });
+  size_t executed = eq.RunUntil(2.0);
+  EXPECT_EQ(executed, 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(eq.now(), 2.0);
+  EXPECT_EQ(eq.pending(), 1u);
+}
+
+TEST(EventQueueTest, RunUntilAdvancesClockWhenIdle) {
+  EventQueue eq;
+  eq.RunUntil(10.0);
+  EXPECT_DOUBLE_EQ(eq.now(), 10.0);
+}
+
+TEST(EventQueueTest, StepReturnsFalseWhenEmpty) {
+  EventQueue eq;
+  EXPECT_FALSE(eq.Step());
+  eq.ScheduleAt(1.0, []() {});
+  EXPECT_TRUE(eq.Step());
+  EXPECT_FALSE(eq.Step());
+}
+
+TEST(EventQueueTest, ScheduleAfterUsesCurrentTime) {
+  EventQueue eq;
+  double inner_fire = -1.0;
+  eq.ScheduleAt(2.0, [&]() { eq.ScheduleAfter(3.0, [&]() { inner_fire = eq.now(); }); });
+  eq.RunAll();
+  EXPECT_DOUBLE_EQ(inner_fire, 5.0);
+}
+
+TEST(EventQueueTest, InterleavedTiesAcrossTimes) {
+  EventQueue eq;
+  std::vector<int> order;
+  eq.ScheduleAt(1.0, [&]() {
+    order.push_back(0);
+    // Scheduled later but at the same timestamp as a pre-existing event: the
+    // pre-existing one wins (lower sequence number).
+    eq.ScheduleAt(2.0, [&]() { order.push_back(2); });
+  });
+  eq.ScheduleAt(2.0, [&]() { order.push_back(1); });
+  eq.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace jockey

@@ -1,0 +1,78 @@
+#include "src/util/piecewise_linear.h"
+
+#include <gtest/gtest.h>
+
+namespace jockey {
+namespace {
+
+PiecewiseLinear PaperUtility() {
+  // The paper's 60-minute-deadline utility in minutes.
+  return PiecewiseLinear({{0.0, 1.0}, {60.0, 1.0}, {70.0, -1.0}, {1060.0, -1000.0}});
+}
+
+TEST(PiecewiseLinearTest, FlatSegmentBeforeDeadline) {
+  PiecewiseLinear u = PaperUtility();
+  EXPECT_DOUBLE_EQ(u(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(u(30.0), 1.0);
+  EXPECT_DOUBLE_EQ(u(60.0), 1.0);
+}
+
+TEST(PiecewiseLinearTest, InterpolatesWithinSegment) {
+  PiecewiseLinear u = PaperUtility();
+  EXPECT_DOUBLE_EQ(u(65.0), 0.0);   // midway between (60,1) and (70,-1)
+  EXPECT_DOUBLE_EQ(u(67.5), -0.5);
+}
+
+TEST(PiecewiseLinearTest, ClampsOnTheLeft) {
+  PiecewiseLinear u = PaperUtility();
+  EXPECT_DOUBLE_EQ(u(-100.0), 1.0);
+}
+
+TEST(PiecewiseLinearTest, ExtrapolatesFinalSlopeOnTheRight) {
+  PiecewiseLinear u = PaperUtility();
+  // Final segment slope: (-1000 - (-1)) / (1060 - 70) = -999/990 per minute.
+  double slope = -999.0 / 990.0;
+  EXPECT_NEAR(u(1060.0 + 990.0), -1000.0 + slope * 990.0, 1e-9);
+}
+
+TEST(PiecewiseLinearTest, SingleKnotIsConstant) {
+  PiecewiseLinear u({{5.0, 2.0}});
+  EXPECT_DOUBLE_EQ(u(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(u(5.0), 2.0);
+  EXPECT_DOUBLE_EQ(u(50.0), 2.0);
+}
+
+TEST(PiecewiseLinearTest, ShiftLeftMovesKnots) {
+  PiecewiseLinear u = PaperUtility();
+  PiecewiseLinear shifted = u.ShiftLeft(3.0);
+  // g(x) = f(x + 3): the drop now starts at 57.
+  EXPECT_DOUBLE_EQ(shifted(57.0), 1.0);
+  EXPECT_DOUBLE_EQ(shifted(62.0), u(65.0));
+}
+
+TEST(PiecewiseLinearTest, ShiftLeftZeroIsIdentity) {
+  PiecewiseLinear u = PaperUtility();
+  PiecewiseLinear shifted = u.ShiftLeft(0.0);
+  for (double x = -10.0; x < 200.0; x += 7.3) {
+    EXPECT_DOUBLE_EQ(shifted(x), u(x));
+  }
+}
+
+TEST(PiecewiseLinearTest, EmptyDefaultIsEmpty) {
+  PiecewiseLinear u;
+  EXPECT_TRUE(u.empty());
+}
+
+// Property: a utility built from decreasing-y knots is monotone non-increasing.
+TEST(PiecewiseLinearTest, DeadlineUtilityIsNonIncreasing) {
+  PiecewiseLinear u = PaperUtility();
+  double prev = u(-5.0);
+  for (double x = -5.0; x < 2000.0; x += 3.1) {
+    double cur = u(x);
+    EXPECT_LE(cur, prev + 1e-12);
+    prev = cur;
+  }
+}
+
+}  // namespace
+}  // namespace jockey

@@ -1,0 +1,150 @@
+#include "src/util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace jockey {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.cov(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(x);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.cov(), std::sqrt(32.0 / 7.0) / 5.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, MatchesBatchComputation) {
+  Rng rng(7);
+  RunningStats s;
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.LogNormal(1.0, 0.8);
+    xs.push_back(x);
+    s.Add(x);
+  }
+  double mean = 0.0;
+  for (double x : xs) {
+    mean += x;
+  }
+  mean /= static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) {
+    var += (x - mean) * (x - mean);
+  }
+  var /= static_cast<double>(xs.size() - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.variance(), var, 1e-6);
+}
+
+TEST(EmpiricalDistributionTest, QuantileOfSingleSample) {
+  EmpiricalDistribution d({42.0});
+  EXPECT_DOUBLE_EQ(d.Quantile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(d.Quantile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(d.Quantile(1.0), 42.0);
+}
+
+TEST(EmpiricalDistributionTest, QuantileInterpolates) {
+  EmpiricalDistribution d({0.0, 10.0});
+  EXPECT_DOUBLE_EQ(d.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.Quantile(0.25), 2.5);
+  EXPECT_DOUBLE_EQ(d.Quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(d.Quantile(1.0), 10.0);
+}
+
+TEST(EmpiricalDistributionTest, QuantileSortsUnsortedInput) {
+  EmpiricalDistribution d({9.0, 1.0, 5.0, 3.0, 7.0});
+  EXPECT_DOUBLE_EQ(d.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.Quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(d.Quantile(1.0), 9.0);
+}
+
+TEST(EmpiricalDistributionTest, AddInvalidatesSortCache) {
+  EmpiricalDistribution d({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(d.Quantile(1.0), 3.0);
+  d.Add(100.0);
+  EXPECT_DOUBLE_EQ(d.Quantile(1.0), 100.0);
+}
+
+TEST(EmpiricalDistributionTest, SampleDrawsStoredValues) {
+  EmpiricalDistribution d({1.0, 2.0, 3.0});
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    double x = d.Sample(rng);
+    EXPECT_TRUE(x == 1.0 || x == 2.0 || x == 3.0);
+  }
+}
+
+TEST(EmpiricalDistributionTest, SummaryStatistics) {
+  EmpiricalDistribution d({2.0, 4.0, 6.0});
+  EXPECT_DOUBLE_EQ(d.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(d.min(), 2.0);
+  EXPECT_DOUBLE_EQ(d.max(), 6.0);
+  EXPECT_EQ(d.count(), 3u);
+}
+
+// Property: quantiles are monotone non-decreasing in q.
+class QuantileMonotoneTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(QuantileMonotoneTest, MonotoneInQ) {
+  Rng rng(GetParam());
+  EmpiricalDistribution d;
+  for (int i = 0; i < 500; ++i) {
+    d.Add(rng.LogNormal(0.0, 1.5));
+  }
+  double prev = d.Quantile(0.0);
+  for (double q = 0.05; q <= 1.0 + 1e-9; q += 0.05) {
+    double cur = d.Quantile(q);
+    EXPECT_GE(cur, prev) << "quantile decreased at q=" << q;
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantileMonotoneTest, ::testing::Values(1, 2, 3, 17, 99));
+
+TEST(CoefficientOfVariationTest, ZeroForConstantSeries) {
+  EXPECT_DOUBLE_EQ(CoefficientOfVariation({5.0, 5.0, 5.0}), 0.0);
+}
+
+TEST(CoefficientOfVariationTest, MatchesDefinition) {
+  std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  RunningStats s;
+  for (double x : xs) {
+    s.Add(x);
+  }
+  EXPECT_NEAR(CoefficientOfVariation(xs), s.stddev() / s.mean(), 1e-12);
+}
+
+TEST(QuantileFunctionTest, MatchesDistribution) {
+  std::vector<double> xs = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.5), 2.5);
+}
+
+}  // namespace
+}  // namespace jockey

@@ -1,0 +1,56 @@
+#include "src/util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace jockey {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"longer-name", "22"});
+  std::ostringstream os;
+  t.Print(os);
+  std::string out = os.str();
+  // Both value cells start at the same column.
+  size_t line1 = out.find("a ");
+  size_t line2 = out.find("longer-name");
+  ASSERT_NE(line1, std::string::npos);
+  ASSERT_NE(line2, std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(TablePrinterTest, PadsShortRows) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"1"});
+  std::ostringstream os;
+  t.Print(os);  // must not crash; row padded to 3 cells
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TablePrinterTest, CsvOutput) {
+  TablePrinter t({"x", "y"});
+  t.AddRow({"1", "2"});
+  t.AddRow({"3", "4"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(FormatTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+  EXPECT_EQ(FormatDouble(-1.5, 1), "-1.5");
+}
+
+TEST(FormatTest, FormatPercent) {
+  EXPECT_EQ(FormatPercent(0.253, 1), "25.3%");
+  EXPECT_EQ(FormatPercent(1.0, 0), "100%");
+  EXPECT_EQ(FormatPercent(0.0, 1), "0.0%");
+}
+
+}  // namespace
+}  // namespace jockey

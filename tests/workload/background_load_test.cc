@@ -1,0 +1,90 @@
+#include "src/workload/background_load.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/stats.h"
+
+namespace jockey {
+namespace {
+
+TEST(BackgroundLoadTest, StartsAtMean) {
+  BackgroundLoadParams params;
+  params.mean_utilization = 0.8;
+  BackgroundLoad load(params, Rng(1));
+  EXPECT_DOUBLE_EQ(load.UtilizationAt(0.0), 0.8);
+}
+
+TEST(BackgroundLoadTest, StaysWithinBounds) {
+  BackgroundLoadParams params;
+  params.min_utilization = 0.3;
+  params.max_utilization = 1.1;
+  params.volatility = 0.2;  // exaggerate shocks to stress the clamp
+  BackgroundLoad load(params, Rng(2));
+  for (double t = 0.0; t < 24 * 3600.0; t += 60.0) {
+    double u = load.UtilizationAt(t);
+    EXPECT_GE(u, 0.3);
+    EXPECT_LE(u, 1.1);
+  }
+}
+
+TEST(BackgroundLoadTest, MeanRevertsOverLongHorizon) {
+  BackgroundLoadParams params;
+  params.mean_utilization = 0.8;
+  BackgroundLoad load(params, Rng(3));
+  RunningStats s;
+  for (double t = 0.0; t < 72 * 3600.0; t += 30.0) {
+    s.Add(load.UtilizationAt(t));
+  }
+  EXPECT_NEAR(s.mean(), 0.8, 0.06);
+}
+
+TEST(BackgroundLoadTest, InjectedEpisodeOverridesWalk) {
+  BackgroundLoadParams params;
+  params.mean_utilization = 0.5;
+  params.volatility = 0.0;
+  params.reversion = 1.0;
+  BackgroundLoad load(params, Rng(4));
+  load.AddEpisode(100.0, 50.0, 1.2);
+  EXPECT_DOUBLE_EQ(load.UtilizationAt(99.0), 0.5);
+  EXPECT_DOUBLE_EQ(load.UtilizationAt(120.0), 1.2);
+  EXPECT_DOUBLE_EQ(load.UtilizationAt(151.0), 0.5);
+}
+
+TEST(BackgroundLoadTest, EpisodeTakesMaxWithWalk) {
+  BackgroundLoadParams params;
+  params.mean_utilization = 1.0;
+  params.volatility = 0.0;
+  params.reversion = 0.0;
+  BackgroundLoad load(params, Rng(5));
+  load.AddEpisode(0.0, 10.0, 0.4);  // weaker than the walk: walk wins
+  EXPECT_DOUBLE_EQ(load.UtilizationAt(5.0), 1.0);
+}
+
+TEST(BackgroundLoadTest, RandomOverloadsOccur) {
+  BackgroundLoadParams params;
+  params.mean_utilization = 0.6;
+  params.volatility = 0.0;
+  params.overload_rate_per_hour = 2.0;
+  params.overload_utilization = 1.3;
+  params.overload_duration_seconds = 300.0;
+  BackgroundLoad load(params, Rng(6));
+  bool saw_overload = false;
+  for (double t = 0.0; t < 6 * 3600.0; t += 30.0) {
+    if (load.UtilizationAt(t) >= 1.29) {
+      saw_overload = true;
+    }
+  }
+  EXPECT_TRUE(saw_overload);
+}
+
+TEST(BackgroundLoadTest, DeterministicForSeed) {
+  BackgroundLoadParams params;
+  BackgroundLoad a(params, Rng(7));
+  BackgroundLoad b(params, Rng(7));
+  for (double t = 0.0; t < 3600.0; t += 30.0) {
+    EXPECT_DOUBLE_EQ(a.UtilizationAt(t), b.UtilizationAt(t));
+  }
+}
+
+}  // namespace
+}  // namespace jockey

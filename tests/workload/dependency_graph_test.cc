@@ -1,0 +1,122 @@
+#include "src/workload/dependency_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/stats.h"
+
+namespace jockey {
+namespace {
+
+DependencyGraph MakeGraph(uint64_t seed = 1, int num_jobs = 5000) {
+  DependencyGraphParams params;
+  params.num_jobs = num_jobs;
+  Rng rng(seed);
+  return DependencyGraph::Generate(params, rng);
+}
+
+TEST(DependencyGraphTest, GeneratesRequestedJobCount) {
+  DependencyGraph g = MakeGraph();
+  EXPECT_EQ(g.jobs().size(), 5000u);
+}
+
+TEST(DependencyGraphTest, EdgesPointToEarlierJobs) {
+  DependencyGraph g = MakeGraph();
+  for (size_t j = 0; j < g.jobs().size(); ++j) {
+    for (int producer : g.jobs()[j].inputs) {
+      EXPECT_GE(producer, 0);
+      EXPECT_LT(producer, static_cast<int>(j));
+    }
+  }
+}
+
+TEST(DependencyGraphTest, FractionWithInputsNearParameter) {
+  DependencyGraph g = MakeGraph(2, 20000);
+  int with_inputs = 0;
+  for (const auto& job : g.jobs()) {
+    with_inputs += job.inputs.empty() ? 0 : 1;
+  }
+  double frac = static_cast<double>(with_inputs) / static_cast<double>(g.jobs().size());
+  EXPECT_NEAR(frac, 0.102, 0.02);
+}
+
+TEST(DependencyGraphTest, DependentsStartAfterProducersFinish) {
+  DependencyGraph g = MakeGraph();
+  for (const auto& job : g.jobs()) {
+    for (int producer : job.inputs) {
+      EXPECT_GE(job.start, g.jobs()[static_cast<size_t>(producer)].finish);
+    }
+  }
+}
+
+TEST(DependencyGraphTest, GapMedianNearTenMinutes) {
+  DependencyGraph g = MakeGraph(3, 20000);
+  auto gaps = g.DependentGapsMinutes();
+  ASSERT_GT(gaps.size(), 100u);
+  double median = Quantile(gaps, 0.5);
+  EXPECT_GT(median, 5.0);
+  EXPECT_LT(median, 20.0);
+}
+
+TEST(DependencyGraphTest, TransitiveAtLeastDirect) {
+  DependencyGraph g = MakeGraph();
+  // Build direct dependent counts.
+  std::vector<int> direct(g.jobs().size(), 0);
+  for (const auto& job : g.jobs()) {
+    for (int producer : job.inputs) {
+      ++direct[static_cast<size_t>(producer)];
+    }
+  }
+  auto transitive = g.TransitiveDependentCounts();
+  // One entry per job with >= 1 dependent, in job order; rebuild that order.
+  size_t k = 0;
+  for (size_t j = 0; j < g.jobs().size(); ++j) {
+    if (direct[j] > 0) {
+      ASSERT_LT(k, transitive.size());
+      EXPECT_GE(transitive[k], static_cast<double>(direct[j]));
+      ++k;
+    }
+  }
+  EXPECT_EQ(k, transitive.size());
+}
+
+TEST(DependencyGraphTest, PreferentialAttachmentProducesHeavyTail) {
+  DependencyGraph g = MakeGraph(4, 20000);
+  auto counts = g.TransitiveDependentCounts();
+  ASSERT_GT(counts.size(), 100u);
+  // Fig 1: the median job with dependents has several, the top decile far more.
+  double p50 = Quantile(counts, 0.5);
+  double p90 = Quantile(counts, 0.9);
+  EXPECT_GE(p90, 4.0 * p50);
+}
+
+TEST(DependencyGraphTest, ChainLengthsAtLeastTwo) {
+  DependencyGraph g = MakeGraph();
+  for (double len : g.ChainLengths()) {
+    EXPECT_GE(len, 2.0);  // the job itself plus at least one dependent
+  }
+}
+
+TEST(DependencyGraphTest, GroupCountsBounded) {
+  DependencyGraphParams params;
+  params.num_jobs = 5000;
+  params.num_groups = 10;
+  Rng rng(5);
+  DependencyGraph g = DependencyGraph::Generate(params, rng);
+  for (double groups : g.DependentGroupCounts()) {
+    EXPECT_GE(groups, 1.0);
+    EXPECT_LE(groups, 10.0);
+  }
+}
+
+TEST(DependencyGraphTest, DeterministicForSeed) {
+  DependencyGraph a = MakeGraph(9);
+  DependencyGraph b = MakeGraph(9);
+  ASSERT_EQ(a.jobs().size(), b.jobs().size());
+  for (size_t j = 0; j < a.jobs().size(); ++j) {
+    EXPECT_EQ(a.jobs()[j].inputs, b.jobs()[j].inputs);
+    EXPECT_DOUBLE_EQ(a.jobs()[j].start, b.jobs()[j].start);
+  }
+}
+
+}  // namespace
+}  // namespace jockey

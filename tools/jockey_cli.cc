@@ -1,0 +1,304 @@
+// jockey_cli: the operator-facing command line.
+//
+// Workflows mirror how an SLO job is onboarded in the paper:
+//
+//   jockey_cli compile job.scope
+//       Compile a SCOPE-like script and print the execution plan (stages, widths,
+//       barriers, optimizer notes).
+//
+//   jockey_cli train job.scope --trace trace.txt [--tokens N]
+//       Execute one training run of the compiled job on the simulated shared cluster
+//       and save its trace — the "readily available prior execution" Jockey models.
+//
+//   jockey_cli predict job.scope trace.txt [--deadline MIN]
+//       Build the Jockey model from the trace; print the critical path, worst-case
+//       completion predictions across allocations, and (with --deadline) the
+//       admission verdict and a-priori allocation.
+//
+//   jockey_cli run job.scope trace.txt --deadline MIN [--seed S]
+//       Run the job on the shared cluster under the Jockey control loop against the
+//       deadline; print the outcome and the allocation timeline.
+//
+//   jockey_cli dot job.scope
+//       Print the plan as Graphviz.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster_simulator.h"
+#include "src/core/experiment.h"
+#include "src/scope/planner.h"
+
+namespace jockey {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  jockey_cli compile <job.scope>\n"
+               "  jockey_cli dot <job.scope>\n"
+               "  jockey_cli train <job.scope> --trace <out.txt> [--tokens N] [--seed S]\n"
+               "  jockey_cli predict <job.scope> <trace.txt> [--deadline MIN]\n"
+               "  jockey_cli run <job.scope> <trace.txt> --deadline MIN [--seed S]\n");
+  return 2;
+}
+
+std::optional<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+struct Flags {
+  std::string trace_path;
+  int tokens = 40;
+  uint64_t seed = 1;
+  double deadline_minutes = -1.0;
+  bool ok = true;
+};
+
+Flags ParseFlags(int argc, char** argv, int first) {
+  Flags flags;
+  for (int i = first; i < argc; ++i) {
+    auto need_value = [&](const char* name) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", name);
+        flags.ok = false;
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--trace") == 0) {
+      if (const char* v = need_value("--trace")) {
+        flags.trace_path = v;
+      }
+    } else if (std::strcmp(argv[i], "--tokens") == 0) {
+      if (const char* v = need_value("--tokens")) {
+        flags.tokens = std::atoi(v);
+      }
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      if (const char* v = need_value("--seed")) {
+        flags.seed = static_cast<uint64_t>(std::atoll(v));
+      }
+    } else if (std::strcmp(argv[i], "--deadline") == 0) {
+      if (const char* v = need_value("--deadline")) {
+        flags.deadline_minutes = std::atof(v);
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+      flags.ok = false;
+    }
+  }
+  return flags;
+}
+
+std::optional<PlanResult> CompileFile(const std::string& path) {
+  auto source = ReadFile(path);
+  if (!source.has_value()) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return std::nullopt;
+  }
+  PlannerOptions options;
+  options.job_name = path;
+  PlanResult plan = CompileScopeScript(*source, options);
+  if (!plan.ok) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), plan.error.c_str());
+    return std::nullopt;
+  }
+  return plan;
+}
+
+int CmdCompile(const std::string& path) {
+  auto plan = CompileFile(path);
+  if (!plan.has_value()) {
+    return 1;
+  }
+  const JobGraph& g = plan->job.graph;
+  std::printf("plan: %d stages, %d tasks, %d barrier stages\n", g.num_stages(), g.num_tasks(),
+              g.num_barrier_stages());
+  for (int s = 0; s < g.num_stages(); ++s) {
+    std::printf("  [%2d] %-24s %5d tasks  cost %.1fs%s", s, g.stage(s).name.c_str(),
+                g.stage(s).num_tasks, plan->job.runtime[static_cast<size_t>(s)].median_seconds,
+                g.stage(s).IsBarrier() ? "  (barrier)" : "");
+    if (!g.stage(s).inputs.empty()) {
+      std::printf("  <-");
+      for (const auto& e : g.stage(s).inputs) {
+        std::printf(" %s", g.stage(e.from).name.c_str());
+      }
+    }
+    std::printf("\n");
+  }
+  for (const auto& note : plan->notes) {
+    std::printf("  note: %s\n", note.c_str());
+  }
+  return 0;
+}
+
+int CmdDot(const std::string& path) {
+  auto plan = CompileFile(path);
+  if (!plan.has_value()) {
+    return 1;
+  }
+  std::printf("%s", plan->job.graph.ToDot().c_str());
+  return 0;
+}
+
+int CmdTrain(const std::string& path, const Flags& flags) {
+  if (flags.trace_path.empty()) {
+    std::fprintf(stderr, "train requires --trace <out.txt>\n");
+    return 2;
+  }
+  auto plan = CompileFile(path);
+  if (!plan.has_value()) {
+    return 1;
+  }
+  ClusterConfig config = DefaultExperimentCluster(flags.seed);
+  config.background.overload_rate_per_hour = 0.0;
+  ClusterSimulator cluster(config);
+  JobSubmission submission;
+  submission.guaranteed_tokens = flags.tokens;
+  submission.seed = flags.seed * 7919 + 13;
+  int id = cluster.SubmitJob(plan->job, submission);
+  cluster.Run();
+  const ClusterRunResult& r = cluster.result(id);
+  if (!r.finished) {
+    std::fprintf(stderr, "training run did not finish\n");
+    return 1;
+  }
+  std::ofstream out(flags.trace_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", flags.trace_path.c_str());
+    return 1;
+  }
+  r.trace.Save(out);
+  std::printf("training run: %.1f min at %d guaranteed tokens, %.1f token-hours of work\n",
+              r.CompletionSeconds() / 60.0, flags.tokens, r.trace.TotalWorkSeconds() / 3600.0);
+  std::printf("trace saved to %s (%zu task records)\n", flags.trace_path.c_str(),
+              r.trace.tasks.size());
+  return 0;
+}
+
+std::optional<Jockey> BuildModel(const PlanResult& plan, const std::string& trace_path) {
+  std::ifstream in(trace_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", trace_path.c_str());
+    return std::nullopt;
+  }
+  RunTrace trace = RunTrace::Load(in);
+  if (static_cast<int>(trace.tasks.size()) != plan.job.graph.num_tasks()) {
+    std::fprintf(stderr, "trace has %zu tasks but the plan has %d — wrong trace?\n",
+                 trace.tasks.size(), plan.job.graph.num_tasks());
+    return std::nullopt;
+  }
+  return Jockey(plan.job.graph, trace);
+}
+
+int CmdPredict(const std::string& path, const std::string& trace_path, const Flags& flags) {
+  auto plan = CompileFile(path);
+  if (!plan.has_value()) {
+    return 1;
+  }
+  auto model = BuildModel(*plan, trace_path);
+  if (!model.has_value()) {
+    return 1;
+  }
+  std::printf("critical path (minimum feasible deadline): %.1f min\n",
+              model->FeasibleDeadlineSeconds() / 60.0);
+  std::printf("worst-case completion predictions:\n");
+  for (int tokens : {5, 10, 20, 40, 60, 80, 100}) {
+    std::printf("  %3d tokens -> %6.1f min\n", tokens,
+                model->PredictCompletionSeconds(tokens) / 60.0);
+  }
+  if (flags.deadline_minutes > 0.0) {
+    double deadline = flags.deadline_minutes * 60.0;
+    bool fits = model->WouldFit(deadline, 100);
+    std::printf("deadline %.0f min: %s", flags.deadline_minutes, fits ? "FITS" : "does NOT fit");
+    if (fits) {
+      std::printf(" (a-priori allocation: %d tokens)", model->InitialAllocation(deadline));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int CmdRun(const std::string& path, const std::string& trace_path, const Flags& flags) {
+  if (flags.deadline_minutes <= 0.0) {
+    std::fprintf(stderr, "run requires --deadline <minutes>\n");
+    return 2;
+  }
+  auto plan = CompileFile(path);
+  if (!plan.has_value()) {
+    return 1;
+  }
+  auto model = BuildModel(*plan, trace_path);
+  if (!model.has_value()) {
+    return 1;
+  }
+  double deadline = flags.deadline_minutes * 60.0;
+  auto controller = model->MakeController(deadline);
+  ClusterConfig config = DefaultExperimentCluster(flags.seed * 2654435761ULL + 17);
+  ClusterSimulator cluster(config);
+  JobSubmission submission;
+  submission.controller = controller.get();
+  submission.seed = flags.seed * 104729 + 71;
+  int id = cluster.SubmitJob(plan->job, submission);
+  cluster.Run();
+  const ClusterRunResult& r = cluster.result(id);
+  bool met = r.finished && r.CompletionSeconds() <= deadline;
+  std::printf("finished in %.1f min vs %.0f min deadline: %s\n", r.CompletionSeconds() / 60.0,
+              flags.deadline_minutes, met ? "SLO MET" : "SLO MISSED");
+  std::printf("%8s %10s %8s\n", "t[min]", "granted", "running");
+  size_t step = std::max<size_t>(1, r.timeline.size() / 20);
+  for (size_t i = 0; i < r.timeline.size(); i += step) {
+    std::printf("%8.1f %10d %8d\n", r.timeline[i].time / 60.0, r.timeline[i].guaranteed,
+                r.timeline[i].running);
+  }
+  return met ? 0 : 1;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 3) {
+    return Usage();
+  }
+  std::string command = argv[1];
+  std::string script = argv[2];
+  if (command == "compile") {
+    return CmdCompile(script);
+  }
+  if (command == "dot") {
+    return CmdDot(script);
+  }
+  if (command == "train") {
+    Flags flags = ParseFlags(argc, argv, 3);
+    return flags.ok ? CmdTrain(script, flags) : 2;
+  }
+  if (command == "predict") {
+    if (argc < 4) {
+      return Usage();
+    }
+    Flags flags = ParseFlags(argc, argv, 4);
+    return flags.ok ? CmdPredict(script, argv[3], flags) : 2;
+  }
+  if (command == "run") {
+    if (argc < 4) {
+      return Usage();
+    }
+    Flags flags = ParseFlags(argc, argv, 4);
+    return flags.ok ? CmdRun(script, argv[3], flags) : 2;
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace jockey
+
+int main(int argc, char** argv) { return jockey::Main(argc, argv); }
