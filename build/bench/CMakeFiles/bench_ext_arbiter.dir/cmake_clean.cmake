@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_arbiter.dir/bench_ext_arbiter.cc.o"
+  "CMakeFiles/bench_ext_arbiter.dir/bench_ext_arbiter.cc.o.d"
+  "bench_ext_arbiter"
+  "bench_ext_arbiter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_arbiter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

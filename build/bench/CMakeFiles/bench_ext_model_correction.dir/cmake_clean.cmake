@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_model_correction.dir/bench_ext_model_correction.cc.o"
+  "CMakeFiles/bench_ext_model_correction.dir/bench_ext_model_correction.cc.o.d"
+  "bench_ext_model_correction"
+  "bench_ext_model_correction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_model_correction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

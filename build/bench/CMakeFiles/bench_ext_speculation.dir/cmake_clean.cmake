@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_speculation.dir/bench_ext_speculation.cc.o"
+  "CMakeFiles/bench_ext_speculation.dir/bench_ext_speculation.cc.o.d"
+  "bench_ext_speculation"
+  "bench_ext_speculation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_speculation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

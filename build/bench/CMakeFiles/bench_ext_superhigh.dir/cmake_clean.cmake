@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_superhigh.dir/bench_ext_superhigh.cc.o"
+  "CMakeFiles/bench_ext_superhigh.dir/bench_ext_superhigh.cc.o.d"
+  "bench_ext_superhigh"
+  "bench_ext_superhigh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_superhigh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_slack.dir/bench_fig12_slack.cc.o"
+  "CMakeFiles/bench_fig12_slack.dir/bench_fig12_slack.cc.o.d"
+  "bench_fig12_slack"
+  "bench_fig12_slack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_slack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

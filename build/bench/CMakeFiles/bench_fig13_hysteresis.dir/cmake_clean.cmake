@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_hysteresis.dir/bench_fig13_hysteresis.cc.o"
+  "CMakeFiles/bench_fig13_hysteresis.dir/bench_fig13_hysteresis.cc.o.d"
+  "bench_fig13_hysteresis"
+  "bench_fig13_hysteresis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_hysteresis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_dependencies.dir/bench_fig1_dependencies.cc.o"
+  "CMakeFiles/bench_fig1_dependencies.dir/bench_fig1_dependencies.cc.o.d"
+  "bench_fig1_dependencies"
+  "bench_fig1_dependencies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_dependencies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

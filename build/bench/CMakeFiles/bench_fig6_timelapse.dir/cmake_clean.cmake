@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_timelapse.dir/bench_fig6_timelapse.cc.o"
+  "CMakeFiles/bench_fig6_timelapse.dir/bench_fig6_timelapse.cc.o.d"
+  "bench_fig6_timelapse"
+  "bench_fig6_timelapse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_timelapse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

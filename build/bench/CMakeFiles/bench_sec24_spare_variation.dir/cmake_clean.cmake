@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec24_spare_variation.dir/bench_sec24_spare_variation.cc.o"
+  "CMakeFiles/bench_sec24_spare_variation.dir/bench_sec24_spare_variation.cc.o.d"
+  "bench_sec24_spare_variation"
+  "bench_sec24_spare_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec24_spare_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

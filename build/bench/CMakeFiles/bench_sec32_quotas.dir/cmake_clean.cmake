@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec32_quotas.dir/bench_sec32_quotas.cc.o"
+  "CMakeFiles/bench_sec32_quotas.dir/bench_sec32_quotas.cc.o.d"
+  "bench_sec32_quotas"
+  "bench_sec32_quotas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec32_quotas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

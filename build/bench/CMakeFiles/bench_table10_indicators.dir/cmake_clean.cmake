@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table10_indicators.dir/bench_table10_indicators.cc.o"
+  "CMakeFiles/bench_table10_indicators.dir/bench_table10_indicators.cc.o.d"
+  "bench_table10_indicators"
+  "bench_table10_indicators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_indicators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

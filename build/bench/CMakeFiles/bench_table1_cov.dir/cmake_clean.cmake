@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_cov.dir/bench_table1_cov.cc.o"
+  "CMakeFiles/bench_table1_cov.dir/bench_table1_cov.cc.o.d"
+  "bench_table1_cov"
+  "bench_table1_cov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_cov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

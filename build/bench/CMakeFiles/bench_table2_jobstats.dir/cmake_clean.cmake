@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_jobstats.dir/bench_table2_jobstats.cc.o"
+  "CMakeFiles/bench_table2_jobstats.dir/bench_table2_jobstats.cc.o.d"
+  "bench_table2_jobstats"
+  "bench_table2_jobstats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_jobstats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_divergence.dir/bench_table3_divergence.cc.o"
+  "CMakeFiles/bench_table3_divergence.dir/bench_table3_divergence.cc.o.d"
+  "bench_table3_divergence"
+  "bench_table3_divergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_divergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

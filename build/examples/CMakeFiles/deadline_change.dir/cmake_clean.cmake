@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadline_change.dir/deadline_change.cpp.o"
+  "CMakeFiles/deadline_change.dir/deadline_change.cpp.o.d"
+  "deadline_change"
+  "deadline_change.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadline_change.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

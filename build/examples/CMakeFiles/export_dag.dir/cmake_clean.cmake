@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_dag.dir/export_dag.cpp.o"
+  "CMakeFiles/export_dag.dir/export_dag.cpp.o.d"
+  "export_dag"
+  "export_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_job_arbiter.dir/multi_job_arbiter.cpp.o"
+  "CMakeFiles/multi_job_arbiter.dir/multi_job_arbiter.cpp.o.d"
+  "multi_job_arbiter"
+  "multi_job_arbiter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_job_arbiter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/novel_job.dir/novel_job.cpp.o"
+  "CMakeFiles/novel_job.dir/novel_job.cpp.o.d"
+  "novel_job"
+  "novel_job.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/novel_job.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

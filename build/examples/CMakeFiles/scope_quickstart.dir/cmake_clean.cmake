@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scope_quickstart.dir/scope_quickstart.cpp.o"
+  "CMakeFiles/scope_quickstart.dir/scope_quickstart.cpp.o.d"
+  "scope_quickstart"
+  "scope_quickstart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scope_quickstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster_simulator.cc" "src/cluster/CMakeFiles/jockey_cluster.dir/cluster_simulator.cc.o" "gcc" "src/cluster/CMakeFiles/jockey_cluster.dir/cluster_simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dag/CMakeFiles/jockey_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/jockey_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/jockey_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

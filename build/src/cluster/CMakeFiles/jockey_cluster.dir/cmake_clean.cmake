@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jockey_cluster.dir/cluster_simulator.cc.o"
+  "CMakeFiles/jockey_cluster.dir/cluster_simulator.cc.o.d"
+  "libjockey_cluster.a"
+  "libjockey_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jockey_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

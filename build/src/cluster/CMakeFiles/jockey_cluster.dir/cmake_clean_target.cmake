@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjockey_cluster.a"
+)

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/admission.cc" "src/core/CMakeFiles/jockey_core.dir/admission.cc.o" "gcc" "src/core/CMakeFiles/jockey_core.dir/admission.cc.o.d"
+  "/root/repo/src/core/amdahl.cc" "src/core/CMakeFiles/jockey_core.dir/amdahl.cc.o" "gcc" "src/core/CMakeFiles/jockey_core.dir/amdahl.cc.o.d"
+  "/root/repo/src/core/arbiter.cc" "src/core/CMakeFiles/jockey_core.dir/arbiter.cc.o" "gcc" "src/core/CMakeFiles/jockey_core.dir/arbiter.cc.o.d"
+  "/root/repo/src/core/completion_model.cc" "src/core/CMakeFiles/jockey_core.dir/completion_model.cc.o" "gcc" "src/core/CMakeFiles/jockey_core.dir/completion_model.cc.o.d"
+  "/root/repo/src/core/control_loop.cc" "src/core/CMakeFiles/jockey_core.dir/control_loop.cc.o" "gcc" "src/core/CMakeFiles/jockey_core.dir/control_loop.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/core/CMakeFiles/jockey_core.dir/experiment.cc.o" "gcc" "src/core/CMakeFiles/jockey_core.dir/experiment.cc.o.d"
+  "/root/repo/src/core/jockey.cc" "src/core/CMakeFiles/jockey_core.dir/jockey.cc.o" "gcc" "src/core/CMakeFiles/jockey_core.dir/jockey.cc.o.d"
+  "/root/repo/src/core/pilot.cc" "src/core/CMakeFiles/jockey_core.dir/pilot.cc.o" "gcc" "src/core/CMakeFiles/jockey_core.dir/pilot.cc.o.d"
+  "/root/repo/src/core/policies.cc" "src/core/CMakeFiles/jockey_core.dir/policies.cc.o" "gcc" "src/core/CMakeFiles/jockey_core.dir/policies.cc.o.d"
+  "/root/repo/src/core/progress.cc" "src/core/CMakeFiles/jockey_core.dir/progress.cc.o" "gcc" "src/core/CMakeFiles/jockey_core.dir/progress.cc.o.d"
+  "/root/repo/src/core/recurring_workload.cc" "src/core/CMakeFiles/jockey_core.dir/recurring_workload.cc.o" "gcc" "src/core/CMakeFiles/jockey_core.dir/recurring_workload.cc.o.d"
+  "/root/repo/src/core/utility.cc" "src/core/CMakeFiles/jockey_core.dir/utility.cc.o" "gcc" "src/core/CMakeFiles/jockey_core.dir/utility.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/jockey_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/scope/CMakeFiles/jockey_scope.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jockey_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/jockey_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/jockey_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/jockey_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

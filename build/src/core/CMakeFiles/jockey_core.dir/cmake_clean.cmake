@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jockey_core.dir/admission.cc.o"
+  "CMakeFiles/jockey_core.dir/admission.cc.o.d"
+  "CMakeFiles/jockey_core.dir/amdahl.cc.o"
+  "CMakeFiles/jockey_core.dir/amdahl.cc.o.d"
+  "CMakeFiles/jockey_core.dir/arbiter.cc.o"
+  "CMakeFiles/jockey_core.dir/arbiter.cc.o.d"
+  "CMakeFiles/jockey_core.dir/completion_model.cc.o"
+  "CMakeFiles/jockey_core.dir/completion_model.cc.o.d"
+  "CMakeFiles/jockey_core.dir/control_loop.cc.o"
+  "CMakeFiles/jockey_core.dir/control_loop.cc.o.d"
+  "CMakeFiles/jockey_core.dir/experiment.cc.o"
+  "CMakeFiles/jockey_core.dir/experiment.cc.o.d"
+  "CMakeFiles/jockey_core.dir/jockey.cc.o"
+  "CMakeFiles/jockey_core.dir/jockey.cc.o.d"
+  "CMakeFiles/jockey_core.dir/pilot.cc.o"
+  "CMakeFiles/jockey_core.dir/pilot.cc.o.d"
+  "CMakeFiles/jockey_core.dir/policies.cc.o"
+  "CMakeFiles/jockey_core.dir/policies.cc.o.d"
+  "CMakeFiles/jockey_core.dir/progress.cc.o"
+  "CMakeFiles/jockey_core.dir/progress.cc.o.d"
+  "CMakeFiles/jockey_core.dir/recurring_workload.cc.o"
+  "CMakeFiles/jockey_core.dir/recurring_workload.cc.o.d"
+  "CMakeFiles/jockey_core.dir/utility.cc.o"
+  "CMakeFiles/jockey_core.dir/utility.cc.o.d"
+  "libjockey_core.a"
+  "libjockey_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jockey_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

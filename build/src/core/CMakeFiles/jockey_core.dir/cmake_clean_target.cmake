@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjockey_core.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dag/dependency_tracker.cc" "src/dag/CMakeFiles/jockey_dag.dir/dependency_tracker.cc.o" "gcc" "src/dag/CMakeFiles/jockey_dag.dir/dependency_tracker.cc.o.d"
+  "/root/repo/src/dag/job_graph.cc" "src/dag/CMakeFiles/jockey_dag.dir/job_graph.cc.o" "gcc" "src/dag/CMakeFiles/jockey_dag.dir/job_graph.cc.o.d"
+  "/root/repo/src/dag/profile.cc" "src/dag/CMakeFiles/jockey_dag.dir/profile.cc.o" "gcc" "src/dag/CMakeFiles/jockey_dag.dir/profile.cc.o.d"
+  "/root/repo/src/dag/trace.cc" "src/dag/CMakeFiles/jockey_dag.dir/trace.cc.o" "gcc" "src/dag/CMakeFiles/jockey_dag.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/jockey_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jockey_dag.dir/dependency_tracker.cc.o"
+  "CMakeFiles/jockey_dag.dir/dependency_tracker.cc.o.d"
+  "CMakeFiles/jockey_dag.dir/job_graph.cc.o"
+  "CMakeFiles/jockey_dag.dir/job_graph.cc.o.d"
+  "CMakeFiles/jockey_dag.dir/profile.cc.o"
+  "CMakeFiles/jockey_dag.dir/profile.cc.o.d"
+  "CMakeFiles/jockey_dag.dir/trace.cc.o"
+  "CMakeFiles/jockey_dag.dir/trace.cc.o.d"
+  "libjockey_dag.a"
+  "libjockey_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jockey_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

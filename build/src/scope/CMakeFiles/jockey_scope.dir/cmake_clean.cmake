@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jockey_scope.dir/lexer.cc.o"
+  "CMakeFiles/jockey_scope.dir/lexer.cc.o.d"
+  "CMakeFiles/jockey_scope.dir/parser.cc.o"
+  "CMakeFiles/jockey_scope.dir/parser.cc.o.d"
+  "CMakeFiles/jockey_scope.dir/planner.cc.o"
+  "CMakeFiles/jockey_scope.dir/planner.cc.o.d"
+  "libjockey_scope.a"
+  "libjockey_scope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jockey_scope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/completion_table.cc" "src/sim/CMakeFiles/jockey_sim.dir/completion_table.cc.o" "gcc" "src/sim/CMakeFiles/jockey_sim.dir/completion_table.cc.o.d"
+  "/root/repo/src/sim/job_simulator.cc" "src/sim/CMakeFiles/jockey_sim.dir/job_simulator.cc.o" "gcc" "src/sim/CMakeFiles/jockey_sim.dir/job_simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dag/CMakeFiles/jockey_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/jockey_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

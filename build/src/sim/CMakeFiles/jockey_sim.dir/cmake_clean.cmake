@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jockey_sim.dir/completion_table.cc.o"
+  "CMakeFiles/jockey_sim.dir/completion_table.cc.o.d"
+  "CMakeFiles/jockey_sim.dir/job_simulator.cc.o"
+  "CMakeFiles/jockey_sim.dir/job_simulator.cc.o.d"
+  "libjockey_sim.a"
+  "libjockey_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jockey_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

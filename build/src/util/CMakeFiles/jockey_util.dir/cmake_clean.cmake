@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jockey_util.dir/event_queue.cc.o"
+  "CMakeFiles/jockey_util.dir/event_queue.cc.o.d"
+  "CMakeFiles/jockey_util.dir/piecewise_linear.cc.o"
+  "CMakeFiles/jockey_util.dir/piecewise_linear.cc.o.d"
+  "CMakeFiles/jockey_util.dir/stats.cc.o"
+  "CMakeFiles/jockey_util.dir/stats.cc.o.d"
+  "CMakeFiles/jockey_util.dir/table_printer.cc.o"
+  "CMakeFiles/jockey_util.dir/table_printer.cc.o.d"
+  "libjockey_util.a"
+  "libjockey_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jockey_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/background_load.cc" "src/workload/CMakeFiles/jockey_workload.dir/background_load.cc.o" "gcc" "src/workload/CMakeFiles/jockey_workload.dir/background_load.cc.o.d"
+  "/root/repo/src/workload/dependency_graph.cc" "src/workload/CMakeFiles/jockey_workload.dir/dependency_graph.cc.o" "gcc" "src/workload/CMakeFiles/jockey_workload.dir/dependency_graph.cc.o.d"
+  "/root/repo/src/workload/job_generator.cc" "src/workload/CMakeFiles/jockey_workload.dir/job_generator.cc.o" "gcc" "src/workload/CMakeFiles/jockey_workload.dir/job_generator.cc.o.d"
+  "/root/repo/src/workload/job_template.cc" "src/workload/CMakeFiles/jockey_workload.dir/job_template.cc.o" "gcc" "src/workload/CMakeFiles/jockey_workload.dir/job_template.cc.o.d"
+  "/root/repo/src/workload/runtime_model.cc" "src/workload/CMakeFiles/jockey_workload.dir/runtime_model.cc.o" "gcc" "src/workload/CMakeFiles/jockey_workload.dir/runtime_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dag/CMakeFiles/jockey_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/jockey_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jockey_workload.dir/background_load.cc.o"
+  "CMakeFiles/jockey_workload.dir/background_load.cc.o.d"
+  "CMakeFiles/jockey_workload.dir/dependency_graph.cc.o"
+  "CMakeFiles/jockey_workload.dir/dependency_graph.cc.o.d"
+  "CMakeFiles/jockey_workload.dir/job_generator.cc.o"
+  "CMakeFiles/jockey_workload.dir/job_generator.cc.o.d"
+  "CMakeFiles/jockey_workload.dir/job_template.cc.o"
+  "CMakeFiles/jockey_workload.dir/job_template.cc.o.d"
+  "CMakeFiles/jockey_workload.dir/runtime_model.cc.o"
+  "CMakeFiles/jockey_workload.dir/runtime_model.cc.o.d"
+  "libjockey_workload.a"
+  "libjockey_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jockey_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amdahl_test.dir/core/amdahl_test.cc.o"
+  "CMakeFiles/amdahl_test.dir/core/amdahl_test.cc.o.d"
+  "amdahl_test"
+  "amdahl_test.pdb"
+  "amdahl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amdahl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

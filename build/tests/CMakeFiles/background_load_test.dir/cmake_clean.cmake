@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/background_load_test.dir/workload/background_load_test.cc.o"
+  "CMakeFiles/background_load_test.dir/workload/background_load_test.cc.o.d"
+  "background_load_test"
+  "background_load_test.pdb"
+  "background_load_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/background_load_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

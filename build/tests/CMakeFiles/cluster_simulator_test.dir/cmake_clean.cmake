@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_simulator_test.dir/cluster/cluster_simulator_test.cc.o"
+  "CMakeFiles/cluster_simulator_test.dir/cluster/cluster_simulator_test.cc.o.d"
+  "cluster_simulator_test"
+  "cluster_simulator_test.pdb"
+  "cluster_simulator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_simulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

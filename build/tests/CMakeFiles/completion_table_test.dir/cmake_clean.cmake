@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/completion_table_test.dir/sim/completion_table_test.cc.o"
+  "CMakeFiles/completion_table_test.dir/sim/completion_table_test.cc.o.d"
+  "completion_table_test"
+  "completion_table_test.pdb"
+  "completion_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/completion_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

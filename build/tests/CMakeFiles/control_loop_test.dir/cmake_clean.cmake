@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/control_loop_test.dir/core/control_loop_test.cc.o"
+  "CMakeFiles/control_loop_test.dir/core/control_loop_test.cc.o.d"
+  "control_loop_test"
+  "control_loop_test.pdb"
+  "control_loop_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/control_loop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

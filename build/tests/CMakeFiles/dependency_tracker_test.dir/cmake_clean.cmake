@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dependency_tracker_test.dir/dag/dependency_tracker_test.cc.o"
+  "CMakeFiles/dependency_tracker_test.dir/dag/dependency_tracker_test.cc.o.d"
+  "dependency_tracker_test"
+  "dependency_tracker_test.pdb"
+  "dependency_tracker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dependency_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

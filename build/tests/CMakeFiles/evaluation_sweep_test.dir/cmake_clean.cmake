@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evaluation_sweep_test.dir/core/evaluation_sweep_test.cc.o"
+  "CMakeFiles/evaluation_sweep_test.dir/core/evaluation_sweep_test.cc.o.d"
+  "evaluation_sweep_test"
+  "evaluation_sweep_test.pdb"
+  "evaluation_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evaluation_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

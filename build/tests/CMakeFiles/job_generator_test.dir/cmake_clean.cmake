@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/job_generator_test.dir/workload/job_generator_test.cc.o"
+  "CMakeFiles/job_generator_test.dir/workload/job_generator_test.cc.o.d"
+  "job_generator_test"
+  "job_generator_test.pdb"
+  "job_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/job_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/job_graph_test.dir/dag/job_graph_test.cc.o"
+  "CMakeFiles/job_graph_test.dir/dag/job_graph_test.cc.o.d"
+  "job_graph_test"
+  "job_graph_test.pdb"
+  "job_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/job_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/job_simulator_test.cc" "tests/CMakeFiles/job_simulator_test.dir/sim/job_simulator_test.cc.o" "gcc" "tests/CMakeFiles/job_simulator_test.dir/sim/job_simulator_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/jockey_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/jockey_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/scope/CMakeFiles/jockey_scope.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jockey_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/jockey_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/jockey_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/jockey_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/job_simulator_test.dir/sim/job_simulator_test.cc.o"
+  "CMakeFiles/job_simulator_test.dir/sim/job_simulator_test.cc.o.d"
+  "job_simulator_test"
+  "job_simulator_test.pdb"
+  "job_simulator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/job_simulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jockey_test.dir/core/jockey_test.cc.o"
+  "CMakeFiles/jockey_test.dir/core/jockey_test.cc.o.d"
+  "jockey_test"
+  "jockey_test.pdb"
+  "jockey_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jockey_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

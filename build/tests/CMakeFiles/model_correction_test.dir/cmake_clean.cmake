@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_correction_test.dir/core/model_correction_test.cc.o"
+  "CMakeFiles/model_correction_test.dir/core/model_correction_test.cc.o.d"
+  "model_correction_test"
+  "model_correction_test.pdb"
+  "model_correction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_correction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

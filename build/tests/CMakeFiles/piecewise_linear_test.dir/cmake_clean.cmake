@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/piecewise_linear_test.dir/util/piecewise_linear_test.cc.o"
+  "CMakeFiles/piecewise_linear_test.dir/util/piecewise_linear_test.cc.o.d"
+  "piecewise_linear_test"
+  "piecewise_linear_test.pdb"
+  "piecewise_linear_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piecewise_linear_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

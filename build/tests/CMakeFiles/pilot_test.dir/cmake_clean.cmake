@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pilot_test.dir/core/pilot_test.cc.o"
+  "CMakeFiles/pilot_test.dir/core/pilot_test.cc.o.d"
+  "pilot_test"
+  "pilot_test.pdb"
+  "pilot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pilot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

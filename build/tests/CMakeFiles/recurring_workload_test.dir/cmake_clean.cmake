@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recurring_workload_test.dir/core/recurring_workload_test.cc.o"
+  "CMakeFiles/recurring_workload_test.dir/core/recurring_workload_test.cc.o.d"
+  "recurring_workload_test"
+  "recurring_workload_test.pdb"
+  "recurring_workload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recurring_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scope_lexer_test.dir/scope/lexer_test.cc.o"
+  "CMakeFiles/scope_lexer_test.dir/scope/lexer_test.cc.o.d"
+  "scope_lexer_test"
+  "scope_lexer_test.pdb"
+  "scope_lexer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scope_lexer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scope_parser_test.dir/scope/parser_test.cc.o"
+  "CMakeFiles/scope_parser_test.dir/scope/parser_test.cc.o.d"
+  "scope_parser_test"
+  "scope_parser_test.pdb"
+  "scope_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scope_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

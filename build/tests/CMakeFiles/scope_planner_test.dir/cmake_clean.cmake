@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scope_planner_test.dir/scope/planner_test.cc.o"
+  "CMakeFiles/scope_planner_test.dir/scope/planner_test.cc.o.d"
+  "scope_planner_test"
+  "scope_planner_test.pdb"
+  "scope_planner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scope_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/utility_test.dir/core/utility_test.cc.o"
+  "CMakeFiles/utility_test.dir/core/utility_test.cc.o.d"
+  "utility_test"
+  "utility_test.pdb"
+  "utility_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/utility_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jockey_cli.dir/jockey_cli.cc.o"
+  "CMakeFiles/jockey_cli.dir/jockey_cli.cc.o.d"
+  "jockey_cli"
+  "jockey_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jockey_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
