@@ -6,6 +6,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
 #include "src/cluster/cluster_simulator.h"
 #include "src/core/completion_model.h"
 #include "src/core/control_loop.h"
@@ -13,6 +17,7 @@
 #include "src/dag/profile.h"
 #include "src/sim/job_simulator.h"
 #include "src/util/event_queue.h"
+#include "src/util/thread_pool.h"
 #include "src/workload/job_generator.h"
 
 namespace jockey {
@@ -71,12 +76,47 @@ void BM_BuildCompletionTable(benchmark::State& state) {
   auto indicator = MakeIndicator(IndicatorKind::kTotalWorkWithQ, f.tmpl.graph, f.profile);
   CompletionModelConfig config;
   config.runs_per_allocation = static_cast<int>(state.range(0));
+  config.threads = 1;
   for (auto _ : state) {
     CompletionTable table = BuildCompletionTable(f.tmpl.graph, f.profile, *indicator, config);
     benchmark::DoNotOptimize(table.TotalSamples());
   }
 }
 BENCHMARK(BM_BuildCompletionTable)->Arg(2)->Arg(10)->Unit(benchmark::kMillisecond);
+
+// The parallel precompute at 1/2/4/8 workers (bit-identical output at any count; see
+// completion_model.h). Speedup is bounded by the machine's core count.
+void BM_BuildCompletionTableThreads(benchmark::State& state) {
+  SimFixture& f = Fixture();
+  auto indicator = MakeIndicator(IndicatorKind::kTotalWorkWithQ, f.tmpl.graph, f.profile);
+  CompletionModelConfig config;
+  config.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    CompletionTable table = BuildCompletionTable(f.tmpl.graph, f.profile, *indicator, config);
+    benchmark::DoNotOptimize(table.TotalSamples());
+  }
+}
+BENCHMARK(BM_BuildCompletionTableThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// The runtime query the control loop issues ~100x per tick, on the frozen table:
+// two array lookups plus interpolation, no sorting, no allocation.
+void BM_CompletionTablePredictFrozen(benchmark::State& state) {
+  SimFixture& f = Fixture();
+  auto indicator = MakeIndicator(IndicatorKind::kTotalWorkWithQ, f.tmpl.graph, f.profile);
+  CompletionTable table =
+      BuildCompletionTable(f.tmpl.graph, f.profile, *indicator, CompletionModelConfig());
+  double p = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Predict(p, 37.0, 1.0));
+    p += 0.001;
+    if (p > 1.0) {
+      p = 0.0;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CompletionTablePredictFrozen);
 
 void BM_ControlLoopTick(benchmark::State& state) {
   SimFixture& f = Fixture();
@@ -121,7 +161,79 @@ void BM_ClusterSimulatorRun(benchmark::State& state) {
 }
 BENCHMARK(BM_ClusterSimulatorRun)->Unit(benchmark::kMillisecond);
 
+// Wall-clock report for the precompute pipeline: table-build time at 1 vs N threads
+// plus per-Predict latency, as machine-readable JSON (BENCH_precompute.json). The
+// acceptance bar for the parallel build — >= 3x at 8 threads — is only observable on
+// hardware with >= 8 cores; the report records hardware_concurrency alongside so a
+// 1-core container's ~1x does not read as a regression.
+void WritePrecomputeReport(const char* path) {
+  SimFixture& f = Fixture();
+  auto indicator = MakeIndicator(IndicatorKind::kTotalWorkWithQ, f.tmpl.graph, f.profile);
+  auto build_seconds = [&](int threads) {
+    CompletionModelConfig config;
+    config.threads = threads;
+    double best = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      auto start = std::chrono::steady_clock::now();
+      CompletionTable table = BuildCompletionTable(f.tmpl.graph, f.profile, *indicator, config);
+      benchmark::DoNotOptimize(table.TotalSamples());
+      best = std::min(best, std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - start)
+                                .count());
+    }
+    return best;
+  };
+  double t1 = build_seconds(1);
+  double t2 = build_seconds(2);
+  double t4 = build_seconds(4);
+  double t8 = build_seconds(8);
+
+  CompletionTable table =
+      BuildCompletionTable(f.tmpl.graph, f.profile, *indicator, CompletionModelConfig());
+  constexpr int kPredicts = 2000000;
+  auto start = std::chrono::steady_clock::now();
+  double p = 0.0;
+  for (int i = 0; i < kPredicts; ++i) {
+    benchmark::DoNotOptimize(table.Predict(p, 37.0, 1.0));
+    p += 0.001;
+    if (p > 1.0) {
+      p = 0.0;
+    }
+  }
+  double predict_ns = std::chrono::duration<double, std::nano>(
+                          std::chrono::steady_clock::now() - start)
+                          .count() /
+                      kPredicts;
+
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"hardware_concurrency\": %d,\n"
+               "  \"build_seconds\": {\"1\": %.6f, \"2\": %.6f, \"4\": %.6f, \"8\": %.6f},\n"
+               "  \"speedup_8_vs_1\": %.3f,\n"
+               "  \"predict_ns\": %.1f\n"
+               "}\n",
+               ThreadPool::DefaultThreadCount(), t1, t2, t4, t8, t1 / t8, predict_ns);
+  std::fclose(out);
+  std::printf("BENCH_precompute.json: build 1t=%.3fs 8t=%.3fs (speedup %.2fx, %d cores), "
+              "predict %.0f ns\n",
+              t1, t8, t1 / t8, ThreadPool::DefaultThreadCount(), predict_ns);
+}
+
 }  // namespace
 }  // namespace jockey
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  jockey::WritePrecomputeReport("BENCH_precompute.json");
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

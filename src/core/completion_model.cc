@@ -1,33 +1,109 @@
 #include "src/core/completion_model.h"
 
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "src/sim/table_cache.h"
+#include "src/util/thread_pool.h"
+
 namespace jockey {
+
+uint64_t CompletionTableCacheKey(const JobGraph& graph, const JobProfile& profile,
+                                 const ProgressIndicator& indicator,
+                                 const CompletionModelConfig& config) {
+  std::ostringstream desc;
+  desc.precision(17);
+  desc << "jockey-cpa-key-v1\n";
+  desc << graph.ToDot() << '\n';
+  profile.Save(desc);
+  desc << indicator.name() << '\n';
+  for (int a : config.allocation_grid) {
+    desc << a << ',';
+  }
+  desc << '\n'
+       << config.runs_per_allocation << ' ' << config.num_progress_buckets << ' ' << config.seed
+       << ' ' << config.simulator.inject_failures << ' ' << config.simulator.init_latency_cap_seconds
+       << ' ' << config.simulator.sample_period_seconds;
+  uint64_t key = HashString(desc.str());
+  if (config.cache_extra_tag != 0) {
+    key = HashBytes(&config.cache_extra_tag, sizeof(config.cache_extra_tag), key);
+  }
+  return key;
+}
 
 CompletionTable BuildCompletionTable(const JobGraph& graph, const JobProfile& profile,
                                      const ProgressIndicator& indicator,
-                                     const CompletionModelConfig& config) {
+                                     const CompletionModelConfig& config,
+                                     CompletionModelBuildStats* stats) {
+  CompletionModelBuildStats local_stats;
+  if (stats == nullptr) {
+    stats = &local_stats;
+  }
+  *stats = CompletionModelBuildStats{};
+
+  TableCache cache(config.cache_dir);
+  uint64_t key = 0;
+  if (cache.enabled()) {
+    key = CompletionTableCacheKey(graph, profile, indicator, config);
+    if (std::optional<CompletionTable> cached = cache.TryLoad(key)) {
+      // Defensive shape check: a stale entry from an older grid config (or an FNV
+      // collision) must not masquerade as this build.
+      if (cached->allocations() == config.allocation_grid &&
+          cached->num_buckets() == config.num_progress_buckets) {
+        stats->cache_hit = true;
+        return std::move(*cached);
+      }
+    }
+  }
+
   CompletionTable table(config.allocation_grid, config.num_progress_buckets);
   JobSimulator sim(graph, profile, config.simulator);
-  Rng rng(config.seed);
 
-  for (size_t ai = 0; ai < config.allocation_grid.size(); ++ai) {
-    int allocation = config.allocation_grid[ai];
-    for (int run = 0; run < config.runs_per_allocation; ++run) {
-      // Collect (progress, time) pairs during the run; remaining time is only known
-      // once the run completes.
-      std::vector<std::pair<double, double>> observations;
-      Rng run_rng = rng.Fork();
-      SimRunResult result = sim.Run(
-          allocation, run_rng, [&](SimTime now, const std::vector<double>& frac_complete) {
-            observations.emplace_back(indicator.Evaluate(frac_complete), now);
-          });
-      for (const auto& [progress, t] : observations) {
-        if (t <= result.completion_seconds) {
-          table.AddSample(progress, static_cast<int>(ai), result.completion_seconds - t);
-        }
+  // One task per (allocation, run) pair; each simulates into a private buffer. The
+  // shared `sim`, profile, and indicator are strictly read-only during the fan-out.
+  struct RunSamples {
+    std::vector<std::pair<double, double>> observations;  // (progress, sim time)
+    double completion_seconds = 0.0;
+  };
+  const size_t runs = static_cast<size_t>(std::max(0, config.runs_per_allocation));
+  const size_t total = config.allocation_grid.size() * runs;
+  std::vector<RunSamples> results(total);
+  int threads = config.threads <= 0 ? ThreadPool::DefaultThreadCount() : config.threads;
+  ParallelFor(threads, total, [&](size_t idx) {
+    size_t ai = idx / runs;
+    size_t run = idx % runs;
+    // Counter-based seed: a pure function of (seed, allocation, run), so the stream
+    // is identical whether runs execute in order, interleaved, or on one thread.
+    Rng run_rng(Rng::CounterSeed(config.seed, ai, run));
+    RunSamples& out = results[idx];
+    SimRunResult result =
+        sim.Run(config.allocation_grid[ai], run_rng,
+                [&](SimTime now, const std::vector<double>& frac_complete) {
+                  out.observations.emplace_back(indicator.Evaluate(frac_complete), now);
+                });
+    out.completion_seconds = result.completion_seconds;
+  });
+
+  // Merge in (allocation, run) order — deterministic regardless of which worker ran
+  // what. Remaining time is only known once a run completes, hence the two passes.
+  for (size_t idx = 0; idx < total; ++idx) {
+    int ai = static_cast<int>(idx / runs);
+    const RunSamples& out = results[idx];
+    for (const auto& [progress, t] : out.observations) {
+      if (t <= out.completion_seconds) {
+        table.AddSample(progress, ai, out.completion_seconds - t);
       }
-      // Completion itself: zero remaining time at full progress.
-      table.AddSample(1.0, static_cast<int>(ai), 0.0);
     }
+    // Completion itself: zero remaining time at full progress.
+    table.AddSample(1.0, ai, 0.0);
+  }
+  table.Freeze();
+
+  stats->threads_used = threads;
+  stats->simulated_runs = static_cast<int>(total);
+  if (cache.enabled()) {
+    cache.Store(key, table);
   }
   return table;
 }

@@ -8,11 +8,25 @@
 // sample of C(p, a). The resulting table is what the runtime control loop queries —
 // the simulator itself is never invoked online (the paper's key engineering choice
 // for a fast control loop).
+//
+// The (allocation, run) pairs are mutually independent, so the builder fans them
+// across a thread pool. Determinism contract: every run draws from an Rng seeded by
+// Rng::CounterSeed(config.seed, alloc_index, run) — a pure function of the run's
+// coordinates — and each run's samples land in a private buffer merged in (alloc,
+// run) order afterwards. Parallel and serial builds therefore produce bit-identical
+// tables for any thread count and any interleaving; a regression test asserts the
+// serialized bytes match. The returned table is already frozen (see
+// completion_table.h), so Predict is O(1) and thread-safe.
+//
+// With `cache_dir` set, the builder first consults the persistent cache under a key
+// derived from (graph, profile, indicator, config) — recurring workloads re-training
+// the same job skip the ~140 simulations entirely on a warm start.
 
 #ifndef SRC_CORE_COMPLETION_MODEL_H_
 #define SRC_CORE_COMPLETION_MODEL_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/core/progress.h"
@@ -31,11 +45,36 @@ struct CompletionModelConfig {
   int num_progress_buckets = 60;
   JobSimulatorConfig simulator;
   uint64_t seed = 7;
+  // Worker threads for the precompute fan-out. 0 = hardware concurrency; 1 = the
+  // legacy serial path. Any value yields bit-identical tables (see above), so this
+  // knob never needs to appear in cache keys or experiment configs.
+  int threads = 0;
+  // Directory of the persistent frozen-table cache; empty disables caching.
+  std::string cache_dir;
+  // Extra entropy folded into the cache key by callers whose indicator depends on
+  // inputs the key cannot see directly (e.g. the minstage indicators bake in the
+  // training trace); 0 when unused.
+  uint64_t cache_extra_tag = 0;
 };
+
+// Diagnostics of one build, reported to callers that care (CLI, benches).
+struct CompletionModelBuildStats {
+  bool cache_hit = false;
+  int threads_used = 1;
+  int simulated_runs = 0;  // 0 on a cache hit: no simulation happened
+};
+
+// The cache key for a build with these exact inputs. Pure: identical inputs hash
+// identically across processes, which is what makes the on-disk cache useful for
+// recurring jobs. `threads` is excluded by design.
+uint64_t CompletionTableCacheKey(const JobGraph& graph, const JobProfile& profile,
+                                 const ProgressIndicator& indicator,
+                                 const CompletionModelConfig& config);
 
 CompletionTable BuildCompletionTable(const JobGraph& graph, const JobProfile& profile,
                                      const ProgressIndicator& indicator,
-                                     const CompletionModelConfig& config = CompletionModelConfig());
+                                     const CompletionModelConfig& config = CompletionModelConfig(),
+                                     CompletionModelBuildStats* stats = nullptr);
 
 }  // namespace jockey
 

@@ -12,6 +12,7 @@ JockeyController::JockeyController(std::shared_ptr<const ProgressIndicator> indi
     : indicator_(std::move(indicator)),
       table_(std::move(table)),
       utility_(std::move(utility)),
+      shifted_utility_(utility_.ShiftLeft(config.dead_zone_seconds)),
       config_(config) {
   assert(indicator_ != nullptr);
   assert(table_ != nullptr);
@@ -23,6 +24,7 @@ JockeyController::JockeyController(std::shared_ptr<const ProgressIndicator> indi
     : indicator_(std::move(indicator)),
       amdahl_(std::move(amdahl)),
       utility_(std::move(utility)),
+      shifted_utility_(utility_.ShiftLeft(config.dead_zone_seconds)),
       config_(config) {
   assert(indicator_ != nullptr);
   assert(amdahl_ != nullptr);
@@ -84,13 +86,13 @@ int JockeyController::RawAllocation(double elapsed, double progress,
 
 ControlDecision JockeyController::OnTick(const JobRuntimeStatus& status) {
   if (pending_change_at_ >= 0.0 && status.elapsed_seconds >= pending_change_at_) {
-    utility_ = pending_utility_;
+    SetUtility(pending_utility_);
     pending_change_at_ = -1.0;
   }
 
   double progress = indicator_->Evaluate(status.frac_complete);
   UpdateModelSpeed(status.elapsed_seconds, progress, status.frac_complete);
-  PiecewiseLinear shifted = utility_.ShiftLeft(config_.dead_zone_seconds);
+  const PiecewiseLinear& shifted = shifted_utility_;
   int raw = RawAllocation(status.elapsed_seconds, progress, status.frac_complete, shifted);
 
   if (smoothed_ < 0.0) {
@@ -151,14 +153,14 @@ int JockeyController::InitialAllocation() const {
   if (table_ != nullptr) {
     // The table knows progress only, not fractions; pass an empty vector for the
     // fractions (unused on the table path).
-    return RawAllocation(0.0, 0.0, zeros, utility_.ShiftLeft(config_.dead_zone_seconds));
+    return RawAllocation(0.0, 0.0, zeros, shifted_utility_);
   }
   zeros.assign(static_cast<size_t>(0), 0.0);
   // Amdahl path needs the fraction vector; PredictTotal covers the fresh-job case.
   double best_utility = 0.0;
   int best_allocation = config_.max_tokens;
   bool first = true;
-  PiecewiseLinear shifted = utility_.ShiftLeft(config_.dead_zone_seconds);
+  const PiecewiseLinear& shifted = shifted_utility_;
   for (int a = config_.min_tokens; a <= config_.max_tokens; ++a) {
     double u = shifted(config_.slack * amdahl_->PredictTotal(a));
     if (first || u > best_utility + 1e-9) {
@@ -170,7 +172,10 @@ int JockeyController::InitialAllocation() const {
   return best_allocation;
 }
 
-void JockeyController::SetUtility(PiecewiseLinear utility) { utility_ = std::move(utility); }
+void JockeyController::SetUtility(PiecewiseLinear utility) {
+  utility_ = std::move(utility);
+  shifted_utility_ = utility_.ShiftLeft(config_.dead_zone_seconds);
+}
 
 void JockeyController::ScheduleUtilityChange(double at_elapsed_seconds, PiecewiseLinear utility) {
   pending_change_at_ = at_elapsed_seconds;

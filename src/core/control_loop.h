@@ -121,6 +121,10 @@ class JockeyController : public JobController {
   std::shared_ptr<const CompletionTable> table_;  // exactly one of table_/amdahl_ set
   std::shared_ptr<const AmdahlModel> amdahl_;
   PiecewiseLinear utility_;
+  // utility_ shifted left by the dead zone, refreshed whenever utility_ changes.
+  // Cached so the per-tick query path — a frozen-table Predict per candidate
+  // allocation — performs no allocation at all.
+  PiecewiseLinear shifted_utility_;
   ControlLoopConfig config_;
   double smoothed_ = -1.0;  // < 0 until the first tick
   std::vector<ControlTickLog> log_;

@@ -1,5 +1,9 @@
 #include "src/core/jockey.h"
 
+#include <sstream>
+
+#include "src/sim/table_cache.h"
+
 namespace jockey {
 
 Jockey::Jockey(const JobGraph& graph, const RunTrace& training_trace, JockeyConfig config)
@@ -18,8 +22,17 @@ void Jockey::Build(const RunTrace* training_trace) {
     profile_ = profile_.ScaledBy(config_.largest_input_scale);
   }
   indicator_ = MakeIndicator(config_.indicator, *graph_, profile_, training_trace);
+  CompletionModelConfig model_config = config_.model;
+  if (!model_config.cache_dir.empty() && training_trace != nullptr) {
+    // The minstage indicators bake the training trace's stage schedule into their
+    // constants, which the cache key cannot see through the profile alone; fold a
+    // fingerprint of the trace into the key so a different training run is a miss.
+    std::ostringstream trace_bytes;
+    training_trace->Save(trace_bytes);
+    model_config.cache_extra_tag = HashString(trace_bytes.str());
+  }
   table_ = std::make_shared<CompletionTable>(
-      BuildCompletionTable(*graph_, profile_, *indicator_, config_.model));
+      BuildCompletionTable(*graph_, profile_, *indicator_, model_config, &table_build_stats_));
   amdahl_ = std::make_shared<AmdahlModel>(*graph_, profile_);
 }
 

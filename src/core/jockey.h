@@ -83,6 +83,8 @@ class Jockey {
   const JobGraph& graph() const { return *graph_; }
   const JobProfile& profile() const { return profile_; }
   const CompletionTable& table() const { return *table_; }
+  // How the C(p, a) table was obtained: cache hit vs. simulated, threads used.
+  const CompletionModelBuildStats& table_build_stats() const { return table_build_stats_; }
   const AmdahlModel& amdahl() const { return *amdahl_; }
   const ProgressIndicator& indicator() const { return *indicator_; }
   const JockeyConfig& config() const { return config_; }
@@ -96,6 +98,7 @@ class Jockey {
   std::shared_ptr<const ProgressIndicator> indicator_;
   std::shared_ptr<const CompletionTable> table_;
   std::shared_ptr<const AmdahlModel> amdahl_;
+  CompletionModelBuildStats table_build_stats_;
 };
 
 }  // namespace jockey

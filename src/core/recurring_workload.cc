@@ -5,6 +5,7 @@
 #include "src/cluster/cluster_simulator.h"
 #include "src/core/experiment.h"
 #include "src/util/stats.h"
+#include "src/util/thread_pool.h"
 
 namespace jockey {
 
@@ -26,36 +27,42 @@ double RecurringWorkload::InputScaleFor(uint64_t seed) const {
 }
 
 std::vector<RecurringRun> RecurringWorkload::Execute(bool use_spare_tokens) const {
-  std::vector<RecurringRun> runs;
-  runs.reserve(static_cast<size_t>(config_.num_jobs) * config_.runs_per_job);
-  for (int j = 0; j < config_.num_jobs; ++j) {
-    for (int run = 0; run < config_.runs_per_job; ++run) {
-      uint64_t seed = static_cast<uint64_t>(j) * 1000 + static_cast<uint64_t>(run) +
-                      config_.seed * 7919;
-      ClusterConfig cluster_config = DefaultExperimentCluster(seed * 2654435761ULL + 3);
-      Rng weather(seed * 7777 + 1);
-      cluster_config.background.mean_utilization =
-          weather.Uniform(config_.min_utilization, config_.max_utilization);
+  // Every (job, run) execution is independent — its own cluster simulator, with all
+  // randomness derived from the (j, run) counters below — so the fleet fans across
+  // the thread pool and each task writes its pre-assigned slot. The result vector is
+  // bit-identical for any thread count.
+  const size_t total = static_cast<size_t>(config_.num_jobs) *
+                       static_cast<size_t>(config_.runs_per_job);
+  std::vector<RecurringRun> runs(total);
+  int threads = config_.threads == 0 ? ThreadPool::DefaultThreadCount() : config_.threads;
+  ParallelFor(threads, total, [&](size_t idx) {
+    int j = static_cast<int>(idx) / config_.runs_per_job;
+    int run = static_cast<int>(idx) % config_.runs_per_job;
+    uint64_t seed = static_cast<uint64_t>(j) * 1000 + static_cast<uint64_t>(run) +
+                    config_.seed * 7919;
+    ClusterConfig cluster_config = DefaultExperimentCluster(seed * 2654435761ULL + 3);
+    Rng weather(seed * 7777 + 1);
+    cluster_config.background.mean_utilization =
+        weather.Uniform(config_.min_utilization, config_.max_utilization);
 
-      RecurringRun record;
-      record.job_index = j;
-      record.input_scale = InputScaleFor(seed);
+    RecurringRun record;
+    record.job_index = j;
+    record.input_scale = InputScaleFor(seed);
 
-      ClusterSimulator cluster(cluster_config);
-      JobSubmission submission;
-      submission.guaranteed_tokens = quotas_[static_cast<size_t>(j)];
-      submission.input_scale = record.input_scale;
-      submission.use_spare_tokens = use_spare_tokens;
-      submission.seed = seed * 104729 + 5;
-      int id = cluster.SubmitJob(jobs_[static_cast<size_t>(j)], submission);
-      cluster.Run();
-      const ClusterRunResult& result = cluster.result(id);
-      record.completion_seconds = result.CompletionSeconds();
-      record.spare_task_fraction = result.spare_task_fraction;
-      record.max_parallelism = result.max_parallelism;
-      runs.push_back(record);
-    }
-  }
+    ClusterSimulator cluster(cluster_config);
+    JobSubmission submission;
+    submission.guaranteed_tokens = quotas_[static_cast<size_t>(j)];
+    submission.input_scale = record.input_scale;
+    submission.use_spare_tokens = use_spare_tokens;
+    submission.seed = seed * 104729 + 5;
+    int id = cluster.SubmitJob(jobs_[static_cast<size_t>(j)], submission);
+    cluster.Run();
+    const ClusterRunResult& result = cluster.result(id);
+    record.completion_seconds = result.CompletionSeconds();
+    record.spare_task_fraction = result.spare_task_fraction;
+    record.max_parallelism = result.max_parallelism;
+    runs[idx] = record;
+  });
   return runs;
 }
 

@@ -36,6 +36,10 @@ struct RecurringWorkloadConfig {
   double jitter_sigma = 0.10;
   // Guaranteed tokens per job: sized as work / this many seconds.
   double quota_target_seconds = 35.0 * 60.0;
+  // Worker threads for Execute()'s fan-out over independent runs. 0 = hardware
+  // concurrency; 1 = serial. Every run derives its seeds from (job, run) counters,
+  // so the result vector is identical for any thread count.
+  int threads = 0;
 };
 
 // One execution of one recurring job.

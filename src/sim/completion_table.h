@@ -12,11 +12,22 @@
 // per (bucket, allocation) cell. Queries interpolate linearly between allocation grid
 // points and fall back to the nearest populated bucket when a cell is empty (late
 // progress values may never be observed at tiny allocations within a run's samples).
+//
+// Lifecycle: the table is *mutable* while the offline builder is adding samples, then
+// Freeze() compacts it into a dense read-only form: one flat sorted sample buffer
+// plus per-cell (offset, count) ranges, with the empty-bucket fallback resolved once
+// at freeze time. A frozen Predict() is two array lookups plus interpolation — const,
+// allocation-free, and safe to call from many threads concurrently (the runtime
+// control loop scans min..max tokens every tick, and the multi-job arbiter queries
+// several jobs' tables during one rebalance). Frozen tables serialize to a compact
+// binary blob (Save/Load) so recurring workloads can skip re-simulation entirely; see
+// table_cache.h for the on-disk cache keyed by (graph, profile, config).
 
 #ifndef SRC_SIM_COMPLETION_TABLE_H_
 #define SRC_SIM_COMPLETION_TABLE_H_
 
 #include <iosfwd>
+#include <optional>
 #include <vector>
 
 #include "src/util/stats.h"
@@ -30,13 +41,20 @@ class CompletionTable {
   CompletionTable(std::vector<int> allocations, int num_buckets = 50);
 
   // Records one observation: at progress `p` with grid allocation index `alloc_index`,
-  // `remaining_seconds` remained until completion.
+  // `remaining_seconds` remained until completion. Requires !frozen().
   void AddSample(double p, int alloc_index, double remaining_seconds);
+
+  // Compacts the per-cell sample sets into the dense read-only representation and
+  // releases the mutable cells. Predictions are unchanged bit-for-bit; after this the
+  // table accepts no further samples. Idempotent.
+  void Freeze();
+  bool frozen() const { return frozen_; }
 
   // Predicted remaining seconds at progress `p` under `allocation` tokens, at the
   // given sample quantile (the paper cares about worst-case-ish completion, so the
   // control loop queries a high quantile). Allocation is clamped to the grid range
-  // and interpolated linearly between grid points.
+  // and interpolated linearly between grid points. Identical before and after
+  // Freeze(); only the frozen path is thread-safe.
   double Predict(double p, double allocation, double quantile) const;
 
   const std::vector<int>& allocations() const { return allocations_; }
@@ -48,16 +66,45 @@ class CompletionTable {
   // Text serialization of the quantile summaries actually used at runtime.
   void SaveSummary(std::ostream& os, const std::vector<double>& quantiles) const;
 
+  // Binary serialization of the frozen representation (requires frozen()). Load
+  // returns nullopt on malformed or truncated input. Save(Load(x)) == x, and a loaded
+  // table predicts bit-identically to the one saved.
+  void Save(std::ostream& os) const;
+  static std::optional<CompletionTable> Load(std::istream& is);
+
  private:
+  // A frozen cell: a range of `frozen_samples_` (already sorted ascending). Empty
+  // cells point at their fallback donor's range; a completely empty column has
+  // count == 0 and predicts 0.
+  struct CellRange {
+    size_t offset = 0;
+    size_t count = 0;
+  };
+
   int BucketOf(double p) const;
+  size_t CellIndex(int bucket, int ai) const {
+    return static_cast<size_t>(bucket) * allocations_.size() + static_cast<size_t>(ai);
+  }
   // Remaining-time quantile at exactly grid column `ai`, searching nearby buckets if
-  // the target bucket holds no samples.
+  // the target bucket holds no samples (mutable path) or using the pre-resolved
+  // fallback range (frozen path).
   double CellQuantile(int bucket, int ai, double quantile) const;
+  // The bucket whose samples answer queries for (bucket, ai): itself when populated,
+  // else the nearest populated bucket in the column, preferring lower (its larger
+  // remaining time over-estimates, which is the safe direction). -1 if the whole
+  // column is empty. `populated` is indexed like cells_.
+  int ResolveFallbackBucket(int bucket, int ai, const std::vector<char>& populated) const;
 
   std::vector<int> allocations_;
   int num_buckets_;
-  // cells_[bucket * allocations_.size() + alloc_index]
+  // Mutable phase: cells_[bucket * allocations_.size() + alloc_index]. Cleared by
+  // Freeze().
   std::vector<EmpiricalDistribution> cells_;
+  // Frozen phase.
+  bool frozen_ = false;
+  std::vector<double> frozen_samples_;  // per-cell sorted runs, concatenated
+  std::vector<CellRange> frozen_cells_;  // indexed like cells_
+  size_t frozen_total_samples_ = 0;  // distinct stored samples (fallback sharing excluded)
 };
 
 }  // namespace jockey

@@ -1,0 +1,72 @@
+#include "src/sim/table_cache.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace jockey {
+
+uint64_t HashBytes(const void* data, size_t size, uint64_t seed) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+uint64_t HashString(const std::string& s, uint64_t seed) {
+  return HashBytes(s.data(), s.size(), seed);
+}
+
+TableCache::TableCache(std::string dir) : dir_(std::move(dir)) {}
+
+std::string TableCache::PathForKey(uint64_t key) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "%016llx.cpa", static_cast<unsigned long long>(key));
+  return dir_ + "/" + name;
+}
+
+std::optional<CompletionTable> TableCache::TryLoad(uint64_t key) const {
+  if (!enabled()) {
+    return std::nullopt;
+  }
+  std::ifstream in(PathForKey(key), std::ios::binary);
+  if (!in) {
+    return std::nullopt;
+  }
+  return CompletionTable::Load(in);
+}
+
+bool TableCache::Store(uint64_t key, const CompletionTable& table) const {
+  if (!enabled() || !table.frozen()) {
+    return false;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    return false;
+  }
+  std::string path = PathForKey(key);
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return false;
+    }
+    table.Save(out);
+    if (!out.good()) {
+      return false;
+    }
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace jockey

@@ -1,0 +1,56 @@
+// Persistent on-disk cache of frozen C(p, a) tables.
+//
+// SLO jobs are overwhelmingly *recurring* (Section 2.3: the same plan re-executes run
+// after run), so the expensive offline precompute — ~140 Monte Carlo simulations per
+// job — keeps producing the same table for the same inputs. The cache stores each
+// frozen table in one file named by a 64-bit FNV-1a key the caller derives from
+// everything the build depends on: the job graph, the (scaled) profile, the progress
+// indicator, and the model configuration (grid, runs, buckets, simulator knobs,
+// seed). Thread count is deliberately NOT part of the key: parallel and serial builds
+// are bit-identical by construction (see completion_model.h), so they share entries.
+//
+// A hit deserializes the frozen table and skips simulation entirely; a miss builds
+// and writes back. Corrupt or truncated entries are treated as misses. Writes go
+// through a temp file + rename so a crashed writer never leaves a torn entry behind.
+
+#ifndef SRC_SIM_TABLE_CACHE_H_
+#define SRC_SIM_TABLE_CACHE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/sim/completion_table.h"
+
+namespace jockey {
+
+// 64-bit FNV-1a over `bytes`, chained from `seed` (pass the previous hash to fold
+// multiple fields into one key).
+uint64_t HashBytes(const void* data, size_t size, uint64_t seed = 14695981039346656037ULL);
+uint64_t HashString(const std::string& s, uint64_t seed = 14695981039346656037ULL);
+
+class TableCache {
+ public:
+  // `dir` is created lazily on the first Store(). An empty dir disables the cache
+  // (TryLoad misses, Store is a no-op).
+  explicit TableCache(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+  bool enabled() const { return !dir_.empty(); }
+
+  std::string PathForKey(uint64_t key) const;
+
+  // Returns the cached frozen table for `key`, or nullopt on miss / corrupt entry.
+  std::optional<CompletionTable> TryLoad(uint64_t key) const;
+
+  // Persists a frozen table under `key`. Returns false if the cache is disabled or
+  // the write failed (the cache is best-effort; callers proceed either way).
+  bool Store(uint64_t key, const CompletionTable& table) const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace jockey
+
+#endif  // SRC_SIM_TABLE_CACHE_H_

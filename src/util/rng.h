@@ -22,7 +22,19 @@ class Rng {
   explicit Rng(uint64_t seed) : engine_(Mix(seed)) {}
 
   // Returns a new generator seeded from this one; the two streams are independent.
+  //
+  // NOTE: forked streams are *order-dependent* — the k-th Fork() of a parent differs
+  // from the (k+1)-th. Components that fan work across threads must instead derive
+  // per-task generators with CounterSeed(), which depends only on the task's logical
+  // coordinates and therefore yields the same stream for any execution order.
   Rng Fork() { return Rng(engine_()); }
+
+  // A counter-based seed for task (a, b) under `base`: order-independent, so serial
+  // and parallel executions that agree on task coordinates draw identical streams.
+  // Mixes each word through splitmix64 so nearby coordinates decorrelate.
+  static uint64_t CounterSeed(uint64_t base, uint64_t a, uint64_t b) {
+    return Mix(Mix(Mix(base) ^ (a + 0x9e3779b97f4a7c15ULL)) ^ (b + 0x7f4a7c159e3779b9ULL));
+  }
 
   // Uniform double in [0, 1).
   double Uniform() { return unit_(engine_); }

@@ -1,14 +1,38 @@
-# Drives the jockey_cli train -> predict -> run workflow end to end.
+# Drives the jockey_cli train -> predict -> run workflow end to end, including the
+# persistent C(p, a) table cache: the first predict simulates and stores, the second
+# must hit the cache and skip simulation with identical output.
 set(TRACE ${CMAKE_CURRENT_BINARY_DIR}/cli_demo.trace)
+set(CACHE_DIR ${CMAKE_CURRENT_BINARY_DIR}/cli_demo_cache)
+file(REMOVE_RECURSE ${CACHE_DIR})
 execute_process(COMMAND ${CLI} train ${SCRIPT} --trace ${TRACE} --tokens 25 RESULT_VARIABLE rc)
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "train failed: ${rc}")
 endif()
-execute_process(COMMAND ${CLI} predict ${SCRIPT} ${TRACE} --deadline 30 RESULT_VARIABLE rc)
+execute_process(COMMAND ${CLI} predict ${SCRIPT} ${TRACE} --deadline 30 --cache-dir ${CACHE_DIR}
+                RESULT_VARIABLE rc OUTPUT_VARIABLE cold_out)
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "predict failed: ${rc}")
 endif()
-execute_process(COMMAND ${CLI} run ${SCRIPT} ${TRACE} --deadline 30 RESULT_VARIABLE rc)
+if(NOT cold_out MATCHES "simulated [0-9]+ runs")
+  message(FATAL_ERROR "cold predict did not report simulation:\n${cold_out}")
+endif()
+execute_process(COMMAND ${CLI} predict ${SCRIPT} ${TRACE} --deadline 30 --cache-dir ${CACHE_DIR}
+                RESULT_VARIABLE rc OUTPUT_VARIABLE warm_out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "warm predict failed: ${rc}")
+endif()
+if(NOT warm_out MATCHES "warm cache hit")
+  message(FATAL_ERROR "second predict did not hit the table cache:\n${warm_out}")
+endif()
+# The cached table must produce the same predictions as the fresh simulation.
+string(REGEX REPLACE "^[^\n]*\n" "" cold_body "${cold_out}")
+string(REGEX REPLACE "^[^\n]*\n" "" warm_body "${warm_out}")
+if(NOT cold_body STREQUAL warm_body)
+  message(FATAL_ERROR "warm-cache predictions differ from cold run:\n--- cold ---\n${cold_body}\n--- warm ---\n${warm_body}")
+endif()
+execute_process(COMMAND ${CLI} run ${SCRIPT} ${TRACE} --deadline 30 --cache-dir ${CACHE_DIR}
+                RESULT_VARIABLE rc)
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "run failed (SLO missed or error): ${rc}")
 endif()
+file(REMOVE_RECURSE ${CACHE_DIR})

@@ -4,6 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <string>
+
+#include "src/sim/table_cache.h"
 #include "src/workload/job_generator.h"
 
 namespace jockey {
@@ -15,7 +21,8 @@ struct Built {
   CompletionTable table;
 };
 
-Built Build(uint64_t seed, CompletionModelConfig config = CompletionModelConfig()) {
+Built Build(uint64_t seed, CompletionModelConfig config = CompletionModelConfig(),
+            CompletionModelBuildStats* stats = nullptr) {
   JobShapeSpec spec;
   spec.name = "cm";
   spec.num_stages = 7;
@@ -35,7 +42,7 @@ Built Build(uint64_t seed, CompletionModelConfig config = CompletionModelConfig(
   JobProfile profile = JobProfile::FromTrace(tmpl.graph, trace);
   auto indicator = MakeIndicator(IndicatorKind::kTotalWorkWithQ, tmpl.graph, profile);
   config.seed = seed + 2;
-  CompletionTable table = BuildCompletionTable(tmpl.graph, profile, *indicator, config);
+  CompletionTable table = BuildCompletionTable(tmpl.graph, profile, *indicator, config, stats);
   return Built{std::move(tmpl), std::move(profile), std::move(table)};
 }
 
@@ -102,6 +109,94 @@ TEST(CompletionModelTest, MoreRunsRefineNotShift) {
     double f = fine.table.Predict(0.0, a, 0.5);
     EXPECT_NEAR(c / f, 1.0, 0.25) << "allocation " << a;
   }
+}
+
+std::string Serialized(const CompletionTable& table) {
+  std::ostringstream os(std::ios::binary);
+  table.Save(os);
+  return os.str();
+}
+
+// The regression test for the old order-dependent rng.Fork() chain: every build —
+// serial or parallel, any thread count — must produce byte-identical frozen tables,
+// because each (allocation, run) pair now draws from a counter-based seed.
+TEST(CompletionModelTest, ParallelBuildIsBitIdenticalToSerial) {
+  Built serial = Build(31, [] {
+    CompletionModelConfig config;
+    config.threads = 1;
+    return config;
+  }());
+  for (int threads : {2, 3, 8}) {
+    CompletionModelConfig config;
+    config.threads = threads;
+    Built parallel = Build(31, config);
+    EXPECT_EQ(Serialized(serial.table), Serialized(parallel.table)) << threads << " threads";
+  }
+}
+
+TEST(CompletionModelTest, BuilderReturnsFrozenTable) {
+  Built built = Build(37);
+  EXPECT_TRUE(built.table.frozen());
+  EXPECT_GT(built.table.TotalSamples(), 0u);
+}
+
+TEST(CompletionModelTest, BuildStatsReportThreadsAndRuns) {
+  CompletionModelConfig config;
+  config.threads = 2;
+  config.runs_per_allocation = 3;
+  CompletionModelBuildStats stats;
+  Built built = Build(41, config, &stats);
+  EXPECT_FALSE(stats.cache_hit);
+  EXPECT_EQ(stats.threads_used, 2);
+  EXPECT_EQ(stats.simulated_runs,
+            static_cast<int>(config.allocation_grid.size()) * config.runs_per_allocation);
+}
+
+TEST(CompletionModelTest, PersistentCacheHitSkipsSimulationAndMatchesBytes) {
+  std::string dir = testing::TempDir() + "jockey_table_cache_test";
+  std::filesystem::remove_all(dir);
+
+  CompletionModelConfig config;
+  config.cache_dir = dir;
+  CompletionModelBuildStats cold_stats;
+  Built cold = Build(43, config, &cold_stats);
+  EXPECT_FALSE(cold_stats.cache_hit);
+  EXPECT_GT(cold_stats.simulated_runs, 0);
+
+  CompletionModelBuildStats warm_stats;
+  Built warm = Build(43, config, &warm_stats);
+  EXPECT_TRUE(warm_stats.cache_hit);
+  EXPECT_EQ(warm_stats.simulated_runs, 0);
+  EXPECT_EQ(Serialized(cold.table), Serialized(warm.table));
+
+  // A different seed is a different key: back to a miss.
+  CompletionModelBuildStats other_stats;
+  Built other = Build(44, config, &other_stats);
+  EXPECT_FALSE(other_stats.cache_hit);
+  EXPECT_NE(Serialized(other.table), Serialized(cold.table));
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CompletionModelTest, CorruptCacheEntryIsAMissNotACrash) {
+  std::string dir = testing::TempDir() + "jockey_table_cache_corrupt";
+  std::filesystem::remove_all(dir);
+  CompletionModelConfig config;
+  config.cache_dir = dir;
+  Built cold = Build(47, config);
+
+  // Truncate every entry in the cache dir.
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    std::FILE* f = std::fopen(entry.path().c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("corrupt", f);
+    std::fclose(f);
+  }
+  CompletionModelBuildStats stats;
+  Built rebuilt = Build(47, config, &stats);
+  EXPECT_FALSE(stats.cache_hit);  // corrupt entry rebuilt from scratch
+  EXPECT_EQ(Serialized(cold.table), Serialized(rebuilt.table));
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

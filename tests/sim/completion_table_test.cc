@@ -3,9 +3,52 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <vector>
+
+#include "src/util/rng.h"
 
 namespace jockey {
 namespace {
+
+// A moderately populated table with deliberate gaps: empty buckets inside columns
+// (fallback paths) and one completely empty column.
+CompletionTable MakeIrregularTable() {
+  CompletionTable table({5, 10, 20, 40}, 12);
+  Rng rng(42);
+  for (int ai = 0; ai < 3; ++ai) {  // column 3 (allocation 40) stays empty
+    for (int b = 0; b < 12; ++b) {
+      if (b % (ai + 2) == 0) {
+        continue;  // punch holes to exercise the fallback
+      }
+      int n = 1 + static_cast<int>(rng.UniformInt(0, 6));
+      for (int k = 0; k < n; ++k) {
+        double p = (b + rng.Uniform()) / 12.0;
+        table.AddSample(p, ai, rng.Uniform(0.0, 5000.0) * (1.0 - p + 0.1));
+      }
+    }
+  }
+  return table;
+}
+
+// Query points covering interior cells, fallback buckets, grid-edge clamping, and
+// out-of-range progress.
+struct Query {
+  double p;
+  double a;
+  double q;
+};
+
+std::vector<Query> ProbeQueries() {
+  std::vector<Query> queries;
+  for (double p : {-0.3, 0.0, 0.08, 0.25, 0.5, 0.77, 0.99, 1.0, 1.4}) {
+    for (double a : {1.0, 5.0, 7.5, 10.0, 33.0, 40.0, 90.0}) {
+      for (double q : {0.0, 0.25, 0.5, 0.9, 1.0}) {
+        queries.push_back({p, a, q});
+      }
+    }
+  }
+  return queries;
+}
 
 TEST(CompletionTableTest, PredictReturnsStoredQuantiles) {
   CompletionTable table({10, 20}, 10);
@@ -83,6 +126,100 @@ TEST(CompletionTableTest, SummarySerializationHasHeaderAndRows) {
   EXPECT_NE(out.find("a20_q1"), std::string::npos);
   // 1 header + 5 bucket rows.
   EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 6);
+}
+
+TEST(CompletionTableFreezeTest, PredictIdenticalBeforeAndAfterFreeze) {
+  CompletionTable table = MakeIrregularTable();
+  std::vector<double> before;
+  for (const Query& query : ProbeQueries()) {
+    before.push_back(table.Predict(query.p, query.a, query.q));
+  }
+  table.Freeze();
+  EXPECT_TRUE(table.frozen());
+  size_t i = 0;
+  for (const Query& query : ProbeQueries()) {
+    EXPECT_DOUBLE_EQ(table.Predict(query.p, query.a, query.q), before[i++])
+        << "p=" << query.p << " a=" << query.a << " q=" << query.q;
+  }
+}
+
+TEST(CompletionTableFreezeTest, FreezeIsIdempotentAndKeepsTotals) {
+  CompletionTable table = MakeIrregularTable();
+  size_t total = table.TotalSamples();
+  table.Freeze();
+  EXPECT_EQ(table.TotalSamples(), total);
+  double probe = table.Predict(0.4, 12.0, 0.9);
+  table.Freeze();
+  EXPECT_EQ(table.TotalSamples(), total);
+  EXPECT_DOUBLE_EQ(table.Predict(0.4, 12.0, 0.9), probe);
+}
+
+TEST(CompletionTableFreezeTest, FrozenEmptyBucketFallbackMatchesMutablePath) {
+  CompletionTable table({10}, 10);
+  table.AddSample(0.15, 0, 300.0);  // bucket 1
+  table.AddSample(0.95, 0, 10.0);   // bucket 9
+  double before_mid = table.Predict(0.55, 10.0, 1.0);  // empty bucket, lower preferred
+  double before_low = table.Predict(0.02, 10.0, 1.0);  // below the lowest populated
+  table.Freeze();
+  EXPECT_DOUBLE_EQ(table.Predict(0.55, 10.0, 1.0), before_mid);
+  EXPECT_DOUBLE_EQ(table.Predict(0.55, 10.0, 1.0), 300.0);
+  EXPECT_DOUBLE_EQ(table.Predict(0.02, 10.0, 1.0), before_low);
+}
+
+TEST(CompletionTableFreezeTest, FrozenCompletelyEmptyColumnPredictsZero) {
+  CompletionTable table({10, 20}, 10);
+  table.AddSample(0.5, 0, 100.0);
+  table.Freeze();
+  EXPECT_DOUBLE_EQ(table.Predict(0.5, 20.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(table.Predict(0.5, 15.0, 1.0), 50.0);  // interpolation into the gap
+}
+
+TEST(CompletionTableFreezeTest, SummarySerializationUnchangedByFreeze) {
+  CompletionTable table = MakeIrregularTable();
+  std::ostringstream before;
+  table.SaveSummary(before, {0.5, 1.0});
+  table.Freeze();
+  std::ostringstream after;
+  table.SaveSummary(after, {0.5, 1.0});
+  EXPECT_EQ(before.str(), after.str());
+}
+
+TEST(CompletionTableSerializeTest, SaveLoadRoundTripPredictsIdentically) {
+  CompletionTable table = MakeIrregularTable();
+  table.Freeze();
+  std::stringstream blob(std::ios::in | std::ios::out | std::ios::binary);
+  table.Save(blob);
+  std::optional<CompletionTable> loaded = CompletionTable::Load(blob);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->frozen());
+  EXPECT_EQ(loaded->allocations(), table.allocations());
+  EXPECT_EQ(loaded->num_buckets(), table.num_buckets());
+  EXPECT_EQ(loaded->TotalSamples(), table.TotalSamples());
+  for (const Query& query : ProbeQueries()) {
+    EXPECT_DOUBLE_EQ(loaded->Predict(query.p, query.a, query.q),
+                     table.Predict(query.p, query.a, query.q))
+        << "p=" << query.p << " a=" << query.a << " q=" << query.q;
+  }
+  // Re-serialization is byte-stable — the property the table-equality tests and the
+  // persistent cache rely on.
+  std::ostringstream again(std::ios::binary);
+  loaded->Save(again);
+  EXPECT_EQ(again.str(), blob.str());
+}
+
+TEST(CompletionTableSerializeTest, LoadRejectsGarbageAndTruncation) {
+  std::istringstream garbage("definitely not a table");
+  EXPECT_FALSE(CompletionTable::Load(garbage).has_value());
+
+  CompletionTable table = MakeIrregularTable();
+  table.Freeze();
+  std::ostringstream blob(std::ios::binary);
+  table.Save(blob);
+  std::string bytes = blob.str();
+  std::istringstream truncated(bytes.substr(0, bytes.size() / 2), std::ios::binary);
+  EXPECT_FALSE(CompletionTable::Load(truncated).has_value());
+  std::istringstream empty("", std::ios::binary);
+  EXPECT_FALSE(CompletionTable::Load(empty).has_value());
 }
 
 }  // namespace
