@@ -34,6 +34,7 @@ int ClusterSimulator::SubmitJob(const JobTemplate& job, const JobSubmission& opt
   int job_id = static_cast<int>(jobs_.size());
   jobs_.emplace_back();
   JobState& state = jobs_.back();
+  state.id = job_id;
   state.tmpl = &job;
   state.opts = opts;
   state.tracker = std::make_unique<DependencyTracker>(job.graph);
@@ -51,6 +52,8 @@ int ClusterSimulator::SubmitJob(const JobTemplate& job, const JobSubmission& opt
   state.result.trace.job_name = job.name();
   state.result.trace.submit_time = opts.submit_time;
   ++unfinished_jobs_;
+  obs_.Emit(opts.submit_time, JobSubmitEvent{job_id, state.guaranteed_tokens});
+  ++tallies_.jobs_submitted;
   eq_.ScheduleAt(opts.submit_time, [this, job_id]() { StartJob(job_id); });
   return job_id;
 }
@@ -108,6 +111,10 @@ void ClusterSimulator::ControlTick(int job_id) {
   ControlDecision decision = job.opts.controller->OnTick(status);
   int new_g = std::clamp(decision.guaranteed_tokens, 0, job.opts.max_guaranteed_tokens);
   AccumulateGuaranteedSeconds(job);
+  if (new_g != job.guaranteed_tokens) {
+    obs_.Emit(eq_.now(), AllocationChangeEvent{job_id, job.guaranteed_tokens, new_g});
+    ++tallies_.allocation_changes;
+  }
   job.guaranteed_tokens = new_g;
   job.result.timeline.push_back(AllocationSample{eq_.now(), new_g, decision.raw_allocation,
                                                  status.running_tasks, job.running_spare});
@@ -182,6 +189,11 @@ void ClusterSimulator::StartTask(JobState& job, int job_id, int flat_task, bool 
   }
   job.result.max_parallelism =
       std::max(job.result.max_parallelism, job.running_guaranteed + job.running_spare);
+  obs_.Emit(eq_.now(), TaskDispatchEvent{job.id, stage, flat_task, machine, spare, speculative});
+  ++tallies_.dispatches;
+  if (spare) {
+    ++tallies_.spare_dispatches;
+  }
 
   if (fails) {
     eq_.ScheduleAfter(lifetime, [this, job_id, attempt]() {
@@ -191,7 +203,7 @@ void ClusterSimulator::StartTask(JobState& job, int job_id, int flat_task, bool 
         return;  // stale event: the attempt was already killed or superseded
       }
       ++j.result.task_failures;
-      KillAttempt(j, attempt, /*is_eviction=*/false);
+      KillAttempt(j, attempt, KillReason::kTaskFailure);
       Reschedule();
     });
   } else {
@@ -209,7 +221,7 @@ bool ClusterSimulator::HasRunningCopy(const JobState& job, int flat_task, uint64
   return false;
 }
 
-void ClusterSimulator::KillAttempt(JobState& job, uint64_t attempt, bool is_eviction) {
+void ClusterSimulator::KillAttempt(JobState& job, uint64_t attempt, KillReason reason) {
   auto it = job.running.find(attempt);
   assert(it != job.running.end());
   const RunningTask& running = it->second;
@@ -222,14 +234,31 @@ void ClusterSimulator::KillAttempt(JobState& job, uint64_t attempt, bool is_evic
   auto& rec = job.records[static_cast<size_t>(flat_task)];
   ++rec.failed_attempts;
   rec.wasted_seconds += eq_.now() - running.attempt_start;
-  if (is_eviction) {
+  if (reason == KillReason::kSpareEviction) {
     ++job.result.evictions;
   }
   job.running.erase(it);
   // Requeue unless another copy of the task still runs (a killed duplicate must not
   // resurrect a task its primary is already executing, and vice versa).
-  if (!HasRunningCopy(job, flat_task, /*excluding=*/0)) {
+  bool requeued = !HasRunningCopy(job, flat_task, /*excluding=*/0);
+  if (requeued) {
     job.pending.push_back(flat_task);
+  }
+  obs_.Emit(eq_.now(), TaskKilledEvent{job.id, job.tracker->StageOf(flat_task), flat_task,
+                                       reason, requeued});
+  switch (reason) {
+    case KillReason::kSpareEviction:
+      ++tallies_.evictions;
+      break;
+    case KillReason::kTaskFailure:
+      ++tallies_.task_failures;
+      break;
+    case KillReason::kMachineFailure:
+      ++tallies_.machine_failure_kills;
+      break;
+  }
+  if (requeued) {
+    ++tallies_.reexecutions;
   }
 }
 
@@ -272,6 +301,15 @@ void ClusterSimulator::OnTaskComplete(int job_id, uint64_t attempt) {
   rec.end_time = eq_.now();
   int stage = job.tracker->StageOf(winner.flat_task);
   job.stage_exec_stats[static_cast<size_t>(stage)].Add(eq_.now() - winner.exec_start);
+  obs_.Emit(eq_.now(), TaskCompleteEvent{job.id, stage, winner.flat_task, winner.spare,
+                                         winner.speculative});
+  ++tallies_.completions;
+  if (winner.speculative) {
+    ++tallies_.speculative_wins;
+  }
+  if (exec_seconds_hist_ != nullptr) {
+    exec_seconds_hist_->Observe(eq_.now() - winner.exec_start);
+  }
 
   ++job.completions;
   job.dag->MarkDone(winner.flat_task);
@@ -296,6 +334,11 @@ void ClusterSimulator::FinishJob(int job_id) {
           ? static_cast<double>(job.spare_completions) / static_cast<double>(job.completions)
           : 0.0;
   job.result.timeline.push_back(AllocationSample{eq_.now(), job.guaranteed_tokens, 0.0, 0, 0});
+  obs_.Emit(eq_.now(), JobFinishEvent{job.id, eq_.now() - job.result.trace.submit_time});
+  ++tallies_.jobs_finished;
+  if (completion_seconds_hist_ != nullptr) {
+    completion_seconds_hist_->Observe(eq_.now() - job.result.trace.submit_time);
+  }
   if (job.opts.controller != nullptr) {
     job.opts.controller->OnFinished(eq_.now());
   }
@@ -392,7 +435,7 @@ void ClusterSimulator::Reschedule() {
     if (victim_job == nullptr) {
       break;
     }
-    KillAttempt(*victim_job, victim_attempt, /*is_eviction=*/true);
+    KillAttempt(*victim_job, victim_attempt, KillReason::kSpareEviction);
     --spare_total;
   }
 
@@ -464,6 +507,8 @@ void ClusterSimulator::SpeculationTick() {
         break;  // no free headroom; launching would only trigger an eviction
       }
       ++job.speculation_budget_used[static_cast<size_t>(task)];
+      obs_.Emit(eq_.now(), SpeculativeLaunchEvent{job.id, job.tracker->StageOf(task), task});
+      ++tallies_.speculative_launched;
       StartTask(job, static_cast<int>(id), task, /*spare=*/true, /*speculative=*/true);
       ++job.result.speculative_launched;
       ++running_total;
@@ -485,6 +530,7 @@ void ClusterSimulator::ScheduleMachineFailure() {
     int machine = static_cast<int>(rng_.UniformInt(0, config_.num_machines - 1));
     if (machines_[static_cast<size_t>(machine)].up) {
       machines_[static_cast<size_t>(machine)].up = false;
+      int total_killed = 0;
       for (auto& job : jobs_) {
         if (!job.started || job.finished) {
           continue;
@@ -497,11 +543,15 @@ void ClusterSimulator::ScheduleMachineFailure() {
         }
         for (uint64_t attempt : victims) {
           ++job.result.machine_failure_kills;
-          KillAttempt(job, attempt, /*is_eviction=*/false);
+          ++total_killed;
+          KillAttempt(job, attempt, KillReason::kMachineFailure);
         }
       }
+      obs_.Emit(eq_.now(), MachineFailureEvent{machine, total_killed});
+      ++tallies_.machine_failures;
       eq_.ScheduleAfter(config_.machine_recovery_seconds, [this, machine]() {
         machines_[static_cast<size_t>(machine)].up = true;
+        obs_.Emit(eq_.now(), MachineRecoverEvent{machine});
         if (unfinished_jobs_ > 0) {
           Reschedule();
         }
@@ -532,6 +582,39 @@ void ClusterSimulator::Run(double max_seconds) {
   while (unfinished_jobs_ > 0 && !eq_.empty() && eq_.now() < max_seconds) {
     eq_.Step();
   }
+  FlushTallies();
+}
+
+void ClusterSimulator::set_observer(Observer observer) {
+  obs_ = observer;
+  if (obs_.metering()) {
+    exec_seconds_hist_ =
+        &obs_.metrics()->GetHistogram("cluster.task_exec_seconds", DefaultLatencySecondsEdges());
+    completion_seconds_hist_ = &obs_.metrics()->GetHistogram("cluster.job_completion_seconds",
+                                                             DefaultLatencySecondsEdges());
+  } else {
+    exec_seconds_hist_ = nullptr;
+    completion_seconds_hist_ = nullptr;
+  }
+}
+
+void ClusterSimulator::FlushTallies() {
+  if (obs_.metering()) {
+    obs_.Count("cluster.jobs_submitted", tallies_.jobs_submitted);
+    obs_.Count("cluster.jobs_finished", tallies_.jobs_finished);
+    obs_.Count("cluster.allocation_changes", tallies_.allocation_changes);
+    obs_.Count("cluster.dispatches", tallies_.dispatches);
+    obs_.Count("cluster.spare_dispatches", tallies_.spare_dispatches);
+    obs_.Count("cluster.completions", tallies_.completions);
+    obs_.Count("cluster.evictions", tallies_.evictions);
+    obs_.Count("cluster.task_failures", tallies_.task_failures);
+    obs_.Count("cluster.machine_failure_kills", tallies_.machine_failure_kills);
+    obs_.Count("cluster.reexecutions", tallies_.reexecutions);
+    obs_.Count("cluster.speculative_launched", tallies_.speculative_launched);
+    obs_.Count("cluster.speculative_wins", tallies_.speculative_wins);
+    obs_.Count("cluster.machine_failures", tallies_.machine_failures);
+  }
+  tallies_ = ObsTallies{};
 }
 
 const ClusterRunResult& ClusterSimulator::result(int job_id) const {

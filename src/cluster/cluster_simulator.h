@@ -27,6 +27,7 @@
 #include "src/cluster/cluster_config.h"
 #include "src/cluster/controller.h"
 #include "src/dag/dependency_tracker.h"
+#include "src/obs/observer.h"
 #include "src/dag/trace.h"
 #include "src/util/event_queue.h"
 #include "src/util/rng.h"
@@ -108,6 +109,15 @@ class ClusterSimulator {
   // The background-demand process; experiments inject overload episodes through it.
   BackgroundLoad& background() { return background_; }
 
+  // Attaches the observability layer (observer.h): scheduler events — submit,
+  // dispatch, completion, kills with reason, speculation, machine failures,
+  // allocation changes — flow to the sink as typed trace events, and counters /
+  // histograms accumulate in the registry. Call before Run(); default-detached
+  // (each emission site then costs a single branch). Counters are tallied as plain
+  // ints on the hot path and flushed to the registry when Run() returns — string
+  // lookups per scheduler event would blow the <=2% overhead budget.
+  void set_observer(Observer observer);
+
   SimTime now() const { return eq_.now(); }
   int TotalUpSlots() const;
 
@@ -124,6 +134,7 @@ class ClusterSimulator {
   };
 
   struct JobState {
+    int id = 0;  // index in jobs_; labels this job's trace events
     const JobTemplate* tmpl = nullptr;
     JobSubmission opts;
     std::unique_ptr<DependencyTracker> tracker;
@@ -164,9 +175,10 @@ class ClusterSimulator {
   void Reschedule();
   void StartTask(JobState& job, int job_id, int flat_task, bool spare, bool speculative);
   void OnTaskComplete(int job_id, uint64_t attempt);
-  // Kills a running attempt (eviction or machine failure); requeues the task unless
-  // another copy of it is still running. Invalidates the iterator.
-  void KillAttempt(JobState& job, uint64_t attempt, bool is_eviction);
+  // Kills a running attempt (spare eviction, task failure, or machine failure);
+  // requeues the task unless another copy of it is still running. Invalidates the
+  // iterator.
+  void KillAttempt(JobState& job, uint64_t attempt, KillReason reason);
   // True if some running attempt of `job` executes `flat_task`.
   static bool HasRunningCopy(const JobState& job, int flat_task, uint64_t excluding);
   void SpeculationTick();
@@ -177,8 +189,33 @@ class ClusterSimulator {
   void DrainReady(JobState& job);
   int UpSlots() const;
   double CurrentUtilization() const;
+  // Pushes the accumulated tallies_ into the metrics registry and resets them.
+  void FlushTallies();
+
+  // Hot-path counter staging (see set_observer): incremented as plain ints during
+  // the event loop, named and flushed once per Run().
+  struct ObsTallies {
+    int64_t jobs_submitted = 0;
+    int64_t jobs_finished = 0;
+    int64_t allocation_changes = 0;
+    int64_t dispatches = 0;
+    int64_t spare_dispatches = 0;
+    int64_t completions = 0;
+    int64_t evictions = 0;
+    int64_t task_failures = 0;
+    int64_t machine_failure_kills = 0;
+    int64_t reexecutions = 0;
+    int64_t speculative_launched = 0;
+    int64_t speculative_wins = 0;
+    int64_t machine_failures = 0;
+  };
 
   ClusterConfig config_;
+  Observer obs_;
+  ObsTallies tallies_;
+  // Pre-resolved histogram slots (one name lookup at attach, none per event).
+  Histogram* exec_seconds_hist_ = nullptr;
+  Histogram* completion_seconds_hist_ = nullptr;
   EventQueue eq_;
   Rng rng_;
   BackgroundLoad background_;

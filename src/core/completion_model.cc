@@ -42,18 +42,25 @@ CompletionTable BuildCompletionTable(const JobGraph& graph, const JobProfile& pr
   }
   *stats = CompletionModelBuildStats{};
 
-  TableCache cache(config.cache_dir);
+  TableCacheOptions cache_options;
+  cache_options.max_bytes = config.cache_max_bytes;
+  cache_options.observer = config.observer;
+  TableCache cache(config.cache_dir, cache_options);
   uint64_t key = 0;
   if (cache.enabled()) {
     key = CompletionTableCacheKey(graph, profile, indicator, config);
-    if (std::optional<CompletionTable> cached = cache.TryLoad(key)) {
+    TableCache::LoadResult loaded = cache.Load(key);
+    stats->cache_code = loaded.status.code;
+    if (loaded.table.has_value()) {
       // Defensive shape check: a stale entry from an older grid config (or an FNV
       // collision) must not masquerade as this build.
-      if (cached->allocations() == config.allocation_grid &&
-          cached->num_buckets() == config.num_progress_buckets) {
+      if (loaded.table->allocations() == config.allocation_grid &&
+          loaded.table->num_buckets() == config.num_progress_buckets) {
         stats->cache_hit = true;
-        return std::move(*cached);
+        return std::move(*loaded.table);
       }
+      stats->cache_code = CacheCode::kCorrupt;  // well-formed blob, wrong shape
+      config.observer.Count("table_cache.shape_mismatches");
     }
   }
 
@@ -102,6 +109,8 @@ CompletionTable BuildCompletionTable(const JobGraph& graph, const JobProfile& pr
 
   stats->threads_used = threads;
   stats->simulated_runs = static_cast<int>(total);
+  config.observer.Count("completion_model.builds");
+  config.observer.Count("completion_model.simulated_runs", static_cast<int64_t>(total));
   if (cache.enabled()) {
     cache.Store(key, table);
   }

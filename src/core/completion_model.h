@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "src/core/progress.h"
+#include "src/obs/observer.h"
 #include "src/dag/job_graph.h"
 #include "src/dag/profile.h"
 #include "src/sim/completion_table.h"
@@ -51,15 +52,25 @@ struct CompletionModelConfig {
   int threads = 0;
   // Directory of the persistent frozen-table cache; empty disables caching.
   std::string cache_dir;
+  // Total .cpa bytes the cache directory may hold; 0 = unbounded. When exceeded,
+  // least-recently-used entries are evicted after each store (see table_cache.h).
+  uint64_t cache_max_bytes = 0;
   // Extra entropy folded into the cache key by callers whose indicator depends on
   // inputs the key cannot see directly (e.g. the minstage indicators bake in the
   // training trace); 0 when unused.
   uint64_t cache_extra_tag = 0;
+  // Receives cache-traffic trace events and build counters. Never part of the cache
+  // key. Emission happens only outside the threaded fan-out, so traces stay
+  // bit-identical at any thread count.
+  Observer observer;
 };
 
 // Diagnostics of one build, reported to callers that care (CLI, benches).
 struct CompletionModelBuildStats {
   bool cache_hit = false;
+  // Why the cache did (not) serve this build: kHit, kMiss, kCorrupt, kIoError, or
+  // kDisabled when no cache directory was configured.
+  CacheCode cache_code = CacheCode::kDisabled;
   int threads_used = 1;
   int simulated_runs = 0;  // 0 on a cache hit: no simulation happened
 };

@@ -88,6 +88,7 @@ ControlDecision JockeyController::OnTick(const JobRuntimeStatus& status) {
   if (pending_change_at_ >= 0.0 && status.elapsed_seconds >= pending_change_at_) {
     SetUtility(pending_utility_);
     pending_change_at_ = -1.0;
+    observer_.Emit(status.now, UtilityChangeEvent{job_label_, status.elapsed_seconds});
   }
 
   double progress = indicator_->Evaluate(status.frac_complete);
@@ -95,11 +96,13 @@ ControlDecision JockeyController::OnTick(const JobRuntimeStatus& status) {
   const PiecewiseLinear& shifted = shifted_utility_;
   int raw = RawAllocation(status.elapsed_seconds, progress, status.frac_complete, shifted);
 
+  bool deadzone_checked = false;
   if (smoothed_ < 0.0) {
     // First tick: adopt the raw allocation outright (there is no history to smooth
     // against); this is also the a-priori allocation of "Jockey w/o adaptation".
     smoothed_ = raw;
   } else if (raw > smoothed_) {
+    deadzone_checked = true;
     // Dead zone: only chase an increase when the current allocation is predicted to
     // fall short of the best achievable utility, i.e. the job is at least D behind
     // schedule (the utility is already shifted left by D).
@@ -128,11 +131,39 @@ ControlDecision JockeyController::OnTick(const JobRuntimeStatus& status) {
   ControlTickLog tick;
   tick.elapsed_seconds = status.elapsed_seconds;
   tick.progress = progress;
-  tick.estimated_completion_seconds =
-      status.elapsed_seconds + PredictRemaining(progress, status.frac_complete, granted);
+  double predicted_remaining = PredictRemaining(progress, status.frac_complete, granted);
+  tick.estimated_completion_seconds = status.elapsed_seconds + predicted_remaining;
   tick.raw_allocation = raw;
   tick.smoothed_allocation = smoothed_;
   log_.push_back(tick);
+
+  if (observer_.enabled()) {
+    if (ticks_counter_ != nullptr) {
+      // The candidate scan, the dead-zone comparison (when entered) and the log line
+      // above all queried the model this tick; count them in one shot.
+      ++*ticks_counter_;
+      *lookups_counter_ +=
+          config_.max_tokens - config_.min_tokens + 1 + 1 + (deadzone_checked ? 2 : 0);
+    }
+    if (observer_.tracing()) {
+      observer_.Emit(status.now, PredictionLookupEvent{job_label_, progress,
+                                                       static_cast<double>(granted),
+                                                       predicted_remaining});
+      ControlTickEvent event;
+      event.job = job_label_;
+      event.elapsed_seconds = status.elapsed_seconds;
+      event.progress = progress;
+      event.predicted_remaining_seconds = predicted_remaining;
+      // The quantity the decision maximized: dead-zone-shifted utility of the
+      // slack-adjusted predicted completion at the granted allocation.
+      event.utility = shifted(status.elapsed_seconds + config_.slack * predicted_remaining);
+      event.raw_allocation = raw;
+      event.smoothed_allocation = smoothed_;
+      event.granted_tokens = granted;
+      event.model_speed = speed_estimate_;
+      observer_.Emit(TraceEvent(status.now, event));
+    }
+  }
 
   if (config_.enable_model_correction) {
     // Record the uncorrected remaining estimate at the allocation we are about to

@@ -20,12 +20,14 @@
 #ifndef SRC_CORE_CONTROL_LOOP_H_
 #define SRC_CORE_CONTROL_LOOP_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "src/cluster/controller.h"
 #include "src/core/amdahl.h"
 #include "src/core/progress.h"
+#include "src/obs/observer.h"
 #include "src/sim/completion_table.h"
 #include "src/util/piecewise_linear.h"
 
@@ -102,6 +104,22 @@ class JockeyController : public JobController {
   const std::vector<ControlTickLog>& log() const { return log_; }
   const ControlLoopConfig& config() const { return config_; }
 
+  // Attaches the observability layer: each tick emits a control_tick trace event
+  // (progress, prediction, utility, raw/smoothed/granted allocation) plus the
+  // prediction lookup backing it, labelled with `job_label` (the cluster job id in
+  // multi-job runs). Default-detached; the disabled path costs one branch per tick.
+  void set_observer(Observer observer, int job_label = 0) {
+    observer_ = observer;
+    job_label_ = job_label;
+    // Pre-resolve the per-tick counter slots so a metered tick bumps two plain
+    // ints instead of doing two string-keyed map lookups.
+    ticks_counter_ = observer_.metering() ? observer_.metrics()->CounterSlot("control.ticks")
+                                          : nullptr;
+    lookups_counter_ = observer_.metering()
+                           ? observer_.metrics()->CounterSlot("control.prediction_lookups")
+                           : nullptr;
+  }
+
   // Current model-speed estimate (1.0 = predictions on track, < 1 = the job runs
   // slower than the model thinks). Meaningful when model correction is enabled.
   double model_speed_estimate() const { return speed_estimate_; }
@@ -126,6 +144,10 @@ class JockeyController : public JobController {
   // allocation — performs no allocation at all.
   PiecewiseLinear shifted_utility_;
   ControlLoopConfig config_;
+  Observer observer_;
+  int64_t* ticks_counter_ = nullptr;
+  int64_t* lookups_counter_ = nullptr;
+  int job_label_ = 0;
   double smoothed_ = -1.0;  // < 0 until the first tick
   std::vector<ControlTickLog> log_;
   double pending_change_at_ = -1.0;

@@ -146,6 +146,10 @@ ExperimentResult RunExperiment(const TrainedJob& job, const ExperimentOptions& o
   submission.controller = controller;
   submission.control_period_seconds = options.control_period_seconds;
   submission.seed = options.seed * 104729 + 71;
+  cluster.set_observer(options.observer);
+  if (adaptive != nullptr) {
+    adaptive->set_observer(options.observer, /*job_label=*/0);
+  }
   int job_id = cluster.SubmitJob(*job.tmpl, submission);
   cluster.Run();
 

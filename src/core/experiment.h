@@ -18,6 +18,7 @@
 #include "src/cluster/cluster_simulator.h"
 #include "src/core/jockey.h"
 #include "src/core/policies.h"
+#include "src/obs/observer.h"
 #include "src/workload/job_template.h"
 
 namespace jockey {
@@ -92,6 +93,10 @@ struct ExperimentOptions {
   // Overrides the trained control config (sensitivity experiments). The completion
   // table is unaffected — it depends only on the indicator and the model config.
   std::optional<ControlLoopConfig> control_override;
+  // Observability attachment: forwarded to the cluster simulator (scheduler events)
+  // and, for adaptive policies, the controller (control-decision events). Detached by
+  // default, so instrumented code costs one branch per emission site.
+  Observer observer;
 };
 
 struct ExperimentResult {

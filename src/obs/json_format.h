@@ -1,0 +1,24 @@
+// Shared deterministic JSON number / string formatting for the observability
+// exporters (metrics JSON and JSONL traces). One formatting routine everywhere is
+// what makes "same run, same bytes" hold across the whole layer.
+
+#ifndef SRC_OBS_JSON_FORMAT_H_
+#define SRC_OBS_JSON_FORMAT_H_
+
+#include <string>
+
+namespace jockey {
+
+// Shortest decimal form that round-trips through strtod: tries increasing precision
+// (%.15g, %.16g, %.17g) and keeps the first that parses back exactly. Pure function
+// of the bits, so identical values always format identically. Non-finite values
+// (never produced by the simulators, but defensively) render as null.
+std::string JsonNumber(double value);
+
+// Escapes the characters JSON requires ('"', '\\', control bytes); the event model
+// emits no strings today, but the metrics registry exports user-chosen names.
+std::string JsonString(const std::string& s);
+
+}  // namespace jockey
+
+#endif  // SRC_OBS_JSON_FORMAT_H_

@@ -1,0 +1,543 @@
+#include "src/obs/jsonl.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <utility>
+
+#include "src/obs/json_format.h"
+
+namespace jockey {
+namespace {
+
+void AppendField(std::string& out, const char* key, const std::string& value) {
+  out += ",\"";
+  out += key;
+  out += "\":";
+  out += value;
+}
+
+void AppendNum(std::string& out, const char* key, double value) {
+  AppendField(out, key, JsonNumber(value));
+}
+
+void AppendInt(std::string& out, const char* key, int64_t value) {
+  AppendField(out, key, std::to_string(value));
+}
+
+void AppendBool(std::string& out, const char* key, bool value) {
+  AppendField(out, key, value ? "true" : "false");
+}
+
+void AppendStr(std::string& out, const char* key, const char* value) {
+  AppendField(out, key, JsonString(value));
+}
+
+// 64-bit cache keys exceed the exactly-representable double range, so they travel
+// as fixed-width hex strings.
+void AppendKey(std::string& out, const char* key, uint64_t value) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "\"%016llx\"", static_cast<unsigned long long>(value));
+  AppendField(out, key, buffer);
+}
+
+struct LineWriter {
+  std::string* out;
+
+  void operator()(const ControlTickEvent& e) const {
+    AppendInt(*out, "job", e.job);
+    AppendNum(*out, "elapsed", e.elapsed_seconds);
+    AppendNum(*out, "progress", e.progress);
+    AppendNum(*out, "prediction", e.predicted_remaining_seconds);
+    AppendNum(*out, "utility", e.utility);
+    AppendNum(*out, "raw", e.raw_allocation);
+    AppendNum(*out, "smoothed", e.smoothed_allocation);
+    AppendInt(*out, "granted", e.granted_tokens);
+    AppendNum(*out, "model_speed", e.model_speed);
+  }
+  void operator()(const PredictionLookupEvent& e) const {
+    AppendInt(*out, "job", e.job);
+    AppendNum(*out, "progress", e.progress);
+    AppendNum(*out, "allocation", e.allocation);
+    AppendNum(*out, "prediction", e.predicted_remaining_seconds);
+  }
+  void operator()(const AllocationChangeEvent& e) const {
+    AppendInt(*out, "job", e.job);
+    AppendInt(*out, "from", e.from_tokens);
+    AppendInt(*out, "to", e.to_tokens);
+  }
+  void operator()(const UtilityChangeEvent& e) const {
+    AppendInt(*out, "job", e.job);
+    AppendNum(*out, "elapsed", e.elapsed_seconds);
+  }
+  void operator()(const TableCacheLookupEvent& e) const {
+    AppendKey(*out, "key", e.key);
+    AppendStr(*out, "code", CacheCodeName(e.code));
+    AppendInt(*out, "bytes", static_cast<int64_t>(e.bytes));
+  }
+  void operator()(const TableCacheStoreEvent& e) const {
+    AppendKey(*out, "key", e.key);
+    AppendStr(*out, "code", CacheCodeName(e.code));
+    AppendInt(*out, "bytes", static_cast<int64_t>(e.bytes));
+  }
+  void operator()(const TableCacheEvictEvent& e) const {
+    AppendKey(*out, "key", e.key);
+    AppendInt(*out, "bytes", static_cast<int64_t>(e.bytes));
+  }
+  void operator()(const JobSubmitEvent& e) const {
+    AppendInt(*out, "job", e.job);
+    AppendInt(*out, "tokens", e.guaranteed_tokens);
+  }
+  void operator()(const JobFinishEvent& e) const {
+    AppendInt(*out, "job", e.job);
+    AppendNum(*out, "completion", e.completion_seconds);
+  }
+  void operator()(const TaskDispatchEvent& e) const {
+    AppendInt(*out, "job", e.job);
+    AppendInt(*out, "stage", e.stage);
+    AppendInt(*out, "task", e.task);
+    AppendInt(*out, "machine", e.machine);
+    AppendBool(*out, "spare", e.spare);
+    AppendBool(*out, "speculative", e.speculative);
+  }
+  void operator()(const TaskCompleteEvent& e) const {
+    AppendInt(*out, "job", e.job);
+    AppendInt(*out, "stage", e.stage);
+    AppendInt(*out, "task", e.task);
+    AppendBool(*out, "spare", e.spare);
+    AppendBool(*out, "speculative", e.speculative);
+  }
+  void operator()(const TaskKilledEvent& e) const {
+    AppendInt(*out, "job", e.job);
+    AppendInt(*out, "stage", e.stage);
+    AppendInt(*out, "task", e.task);
+    AppendStr(*out, "reason", KillReasonName(e.reason));
+    AppendBool(*out, "requeued", e.requeued);
+  }
+  void operator()(const SpeculativeLaunchEvent& e) const {
+    AppendInt(*out, "job", e.job);
+    AppendInt(*out, "stage", e.stage);
+    AppendInt(*out, "task", e.task);
+  }
+  void operator()(const MachineFailureEvent& e) const {
+    AppendInt(*out, "machine", e.machine);
+    AppendInt(*out, "killed", e.tasks_killed);
+  }
+  void operator()(const MachineRecoverEvent& e) const {
+    AppendInt(*out, "machine", e.machine);
+  }
+};
+
+// --- Reader: a minimal parser for the flat one-level objects the writer emits. ---
+
+struct FieldMap {
+  // Raw value text per key; string values are stored unquoted and unescaped.
+  std::vector<std::pair<std::string, std::string>> fields;
+
+  const std::string* Find(const char* key) const {
+    for (const auto& [k, v] : fields) {
+      if (k == key) {
+        return &v;
+      }
+    }
+    return nullptr;
+  }
+};
+
+void SkipSpace(const std::string& s, size_t& i) {
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i])) != 0) {
+    ++i;
+  }
+}
+
+bool ParseQuoted(const std::string& s, size_t& i, std::string& out) {
+  if (i >= s.size() || s[i] != '"') {
+    return false;
+  }
+  ++i;
+  out.clear();
+  while (i < s.size() && s[i] != '"') {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      ++i;
+      switch (s[i]) {
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        default:
+          out.push_back(s[i]);  // \" \\ \/ and anything else: literal
+      }
+    } else {
+      out.push_back(s[i]);
+    }
+    ++i;
+  }
+  if (i >= s.size()) {
+    return false;
+  }
+  ++i;  // closing quote
+  return true;
+}
+
+bool ParseFlatObject(const std::string& line, FieldMap& out) {
+  size_t i = 0;
+  SkipSpace(line, i);
+  if (i >= line.size() || line[i] != '{') {
+    return false;
+  }
+  ++i;
+  SkipSpace(line, i);
+  if (i < line.size() && line[i] == '}') {
+    return true;
+  }
+  while (true) {
+    SkipSpace(line, i);
+    std::string key;
+    if (!ParseQuoted(line, i, key)) {
+      return false;
+    }
+    SkipSpace(line, i);
+    if (i >= line.size() || line[i] != ':') {
+      return false;
+    }
+    ++i;
+    SkipSpace(line, i);
+    std::string value;
+    if (i < line.size() && line[i] == '"') {
+      if (!ParseQuoted(line, i, value)) {
+        return false;
+      }
+    } else {
+      size_t start = i;
+      while (i < line.size() && line[i] != ',' && line[i] != '}') {
+        ++i;
+      }
+      value = line.substr(start, i - start);
+      while (!value.empty() && std::isspace(static_cast<unsigned char>(value.back())) != 0) {
+        value.pop_back();
+      }
+      if (value.empty()) {
+        return false;
+      }
+    }
+    out.fields.emplace_back(std::move(key), std::move(value));
+    SkipSpace(line, i);
+    if (i >= line.size()) {
+      return false;
+    }
+    if (line[i] == '}') {
+      return true;
+    }
+    if (line[i] != ',') {
+      return false;
+    }
+    ++i;
+  }
+}
+
+bool GetNum(const FieldMap& m, const char* key, double& out) {
+  const std::string* v = m.Find(key);
+  if (v == nullptr) {
+    return false;
+  }
+  char* end = nullptr;
+  out = std::strtod(v->c_str(), &end);
+  return end != v->c_str() && *end == '\0';
+}
+
+bool GetInt(const FieldMap& m, const char* key, int& out) {
+  double d = 0.0;
+  if (!GetNum(m, key, d)) {
+    return false;
+  }
+  out = static_cast<int>(d);
+  return true;
+}
+
+bool GetBool(const FieldMap& m, const char* key, bool& out) {
+  const std::string* v = m.Find(key);
+  if (v == nullptr) {
+    return false;
+  }
+  if (*v == "true") {
+    out = true;
+    return true;
+  }
+  if (*v == "false") {
+    out = false;
+    return true;
+  }
+  return false;
+}
+
+bool GetKey(const FieldMap& m, const char* key, uint64_t& out) {
+  const std::string* v = m.Find(key);
+  if (v == nullptr || v->empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  out = std::strtoull(v->c_str(), &end, 16);
+  return end == v->c_str() + v->size();
+}
+
+bool GetCacheCode(const FieldMap& m, const char* key, CacheCode& out) {
+  const std::string* v = m.Find(key);
+  if (v == nullptr) {
+    return false;
+  }
+  for (int c = 0; c <= static_cast<int>(CacheCode::kDisabled); ++c) {
+    if (*v == CacheCodeName(static_cast<CacheCode>(c))) {
+      out = static_cast<CacheCode>(c);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool GetKillReason(const FieldMap& m, const char* key, KillReason& out) {
+  const std::string* v = m.Find(key);
+  if (v == nullptr) {
+    return false;
+  }
+  for (int r = 0; r <= static_cast<int>(KillReason::kMachineFailure); ++r) {
+    if (*v == KillReasonName(static_cast<KillReason>(r))) {
+      out = static_cast<KillReason>(r);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<TraceEventPayload> ParsePayload(const std::string& kind, const FieldMap& m) {
+  if (kind == "control_tick") {
+    ControlTickEvent e;
+    if (GetInt(m, "job", e.job) && GetNum(m, "elapsed", e.elapsed_seconds) &&
+        GetNum(m, "progress", e.progress) &&
+        GetNum(m, "prediction", e.predicted_remaining_seconds) &&
+        GetNum(m, "utility", e.utility) && GetNum(m, "raw", e.raw_allocation) &&
+        GetNum(m, "smoothed", e.smoothed_allocation) && GetInt(m, "granted", e.granted_tokens) &&
+        GetNum(m, "model_speed", e.model_speed)) {
+      return e;
+    }
+  } else if (kind == "prediction_lookup") {
+    PredictionLookupEvent e;
+    if (GetInt(m, "job", e.job) && GetNum(m, "progress", e.progress) &&
+        GetNum(m, "allocation", e.allocation) &&
+        GetNum(m, "prediction", e.predicted_remaining_seconds)) {
+      return e;
+    }
+  } else if (kind == "allocation_change") {
+    AllocationChangeEvent e;
+    if (GetInt(m, "job", e.job) && GetInt(m, "from", e.from_tokens) &&
+        GetInt(m, "to", e.to_tokens)) {
+      return e;
+    }
+  } else if (kind == "utility_change") {
+    UtilityChangeEvent e;
+    if (GetInt(m, "job", e.job) && GetNum(m, "elapsed", e.elapsed_seconds)) {
+      return e;
+    }
+  } else if (kind == "table_cache_lookup") {
+    TableCacheLookupEvent e;
+    double bytes = 0.0;
+    if (GetKey(m, "key", e.key) && GetCacheCode(m, "code", e.code) &&
+        GetNum(m, "bytes", bytes)) {
+      e.bytes = static_cast<uint64_t>(bytes);
+      return e;
+    }
+  } else if (kind == "table_cache_store") {
+    TableCacheStoreEvent e;
+    double bytes = 0.0;
+    if (GetKey(m, "key", e.key) && GetCacheCode(m, "code", e.code) &&
+        GetNum(m, "bytes", bytes)) {
+      e.bytes = static_cast<uint64_t>(bytes);
+      return e;
+    }
+  } else if (kind == "table_cache_evict") {
+    TableCacheEvictEvent e;
+    double bytes = 0.0;
+    if (GetKey(m, "key", e.key) && GetNum(m, "bytes", bytes)) {
+      e.bytes = static_cast<uint64_t>(bytes);
+      return e;
+    }
+  } else if (kind == "job_submit") {
+    JobSubmitEvent e;
+    if (GetInt(m, "job", e.job) && GetInt(m, "tokens", e.guaranteed_tokens)) {
+      return e;
+    }
+  } else if (kind == "job_finish") {
+    JobFinishEvent e;
+    if (GetInt(m, "job", e.job) && GetNum(m, "completion", e.completion_seconds)) {
+      return e;
+    }
+  } else if (kind == "task_dispatch") {
+    TaskDispatchEvent e;
+    if (GetInt(m, "job", e.job) && GetInt(m, "stage", e.stage) && GetInt(m, "task", e.task) &&
+        GetInt(m, "machine", e.machine) && GetBool(m, "spare", e.spare) &&
+        GetBool(m, "speculative", e.speculative)) {
+      return e;
+    }
+  } else if (kind == "task_complete") {
+    TaskCompleteEvent e;
+    if (GetInt(m, "job", e.job) && GetInt(m, "stage", e.stage) && GetInt(m, "task", e.task) &&
+        GetBool(m, "spare", e.spare) && GetBool(m, "speculative", e.speculative)) {
+      return e;
+    }
+  } else if (kind == "task_killed") {
+    TaskKilledEvent e;
+    if (GetInt(m, "job", e.job) && GetInt(m, "stage", e.stage) && GetInt(m, "task", e.task) &&
+        GetKillReason(m, "reason", e.reason) && GetBool(m, "requeued", e.requeued)) {
+      return e;
+    }
+  } else if (kind == "speculative_launch") {
+    SpeculativeLaunchEvent e;
+    if (GetInt(m, "job", e.job) && GetInt(m, "stage", e.stage) && GetInt(m, "task", e.task)) {
+      return e;
+    }
+  } else if (kind == "machine_failure") {
+    MachineFailureEvent e;
+    if (GetInt(m, "machine", e.machine) && GetInt(m, "killed", e.tasks_killed)) {
+      return e;
+    }
+  } else if (kind == "machine_recover") {
+    MachineRecoverEvent e;
+    if (GetInt(m, "machine", e.machine)) {
+      return e;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string ToJsonLine(const TraceEvent& event) {
+  std::string out;
+  out.reserve(160);
+  out += "{\"t\":";
+  out += JsonNumber(event.time_seconds);
+  out += ",\"kind\":\"";
+  out += EventKindName(event.kind());
+  out += "\"";
+  std::visit(LineWriter{&out}, event.payload);
+  out += "}";
+  return out;
+}
+
+std::optional<TraceEvent> ParseTraceLine(const std::string& line) {
+  FieldMap fields;
+  if (!ParseFlatObject(line, fields)) {
+    return std::nullopt;
+  }
+  double t = 0.0;
+  if (!GetNum(fields, "t", t)) {
+    return std::nullopt;
+  }
+  const std::string* kind = fields.Find("kind");
+  if (kind == nullptr) {
+    return std::nullopt;
+  }
+  std::optional<TraceEventPayload> payload = ParsePayload(*kind, fields);
+  if (!payload.has_value()) {
+    return std::nullopt;
+  }
+  TraceEvent event;
+  event.time_seconds = t;
+  event.payload = std::move(*payload);
+  return event;
+}
+
+TraceReadResult ReadJsonlTrace(std::istream& is) {
+  TraceReadResult result;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    if (std::optional<TraceEvent> event = ParseTraceLine(line)) {
+      result.events.push_back(std::move(*event));
+    } else {
+      ++result.malformed_lines;
+    }
+  }
+  return result;
+}
+
+void JsonlSink::OnEvent(const TraceEvent& event) { *os_ << ToJsonLine(event) << '\n'; }
+
+namespace {
+
+// One chrome://tracing record. `ph` "C" renders a counter track, "i" an instant.
+void ChromeRecord(std::ostream& os, bool& first, const std::string& name, const char* ph,
+                  double time_seconds, int tid, const std::string& args) {
+  if (!first) {
+    os << ",\n";
+  }
+  first = false;
+  os << "{\"name\":" << JsonString(name) << ",\"ph\":\"" << ph
+     << "\",\"ts\":" << JsonNumber(time_seconds * 1e6) << ",\"pid\":0,\"tid\":" << tid;
+  if (ph[0] == 'i') {
+    os << ",\"s\":\"t\"";
+  }
+  os << ",\"args\":{" << args << "}}";
+}
+
+std::string TaskArgs(int stage, int task) {
+  return "\"stage\":" + std::to_string(stage) + ",\"task\":" + std::to_string(task);
+}
+
+}  // namespace
+
+void WriteChromeTrace(std::ostream& os, const std::vector<TraceEvent>& events) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    double t = event.time_seconds;
+    std::visit(
+        [&](const auto& e) {
+          using E = std::decay_t<decltype(e)>;
+          if constexpr (std::is_same_v<E, ControlTickEvent>) {
+            ChromeRecord(os, first, "allocation job " + std::to_string(e.job), "C", t, e.job,
+                         "\"granted\":" + std::to_string(e.granted_tokens) +
+                             ",\"raw\":" + JsonNumber(e.raw_allocation));
+            ChromeRecord(os, first, "progress job " + std::to_string(e.job), "C", t, e.job,
+                         "\"progress\":" + JsonNumber(e.progress));
+          } else if constexpr (std::is_same_v<E, AllocationChangeEvent>) {
+            ChromeRecord(os, first, "allocation_change", "i", t, e.job,
+                         "\"from\":" + std::to_string(e.from_tokens) +
+                             ",\"to\":" + std::to_string(e.to_tokens));
+          } else if constexpr (std::is_same_v<E, TaskDispatchEvent>) {
+            ChromeRecord(os, first, e.speculative ? "speculative_dispatch" : "task_dispatch",
+                         "i", t, e.job, TaskArgs(e.stage, e.task));
+          } else if constexpr (std::is_same_v<E, TaskCompleteEvent>) {
+            ChromeRecord(os, first, "task_complete", "i", t, e.job, TaskArgs(e.stage, e.task));
+          } else if constexpr (std::is_same_v<E, TaskKilledEvent>) {
+            ChromeRecord(os, first, std::string("killed:") + KillReasonName(e.reason), "i", t,
+                         e.job, TaskArgs(e.stage, e.task));
+          } else if constexpr (std::is_same_v<E, SpeculativeLaunchEvent>) {
+            ChromeRecord(os, first, "speculative_launch", "i", t, e.job,
+                         TaskArgs(e.stage, e.task));
+          } else if constexpr (std::is_same_v<E, MachineFailureEvent>) {
+            ChromeRecord(os, first, "machine_failure", "i", t, 0,
+                         "\"machine\":" + std::to_string(e.machine) +
+                             ",\"killed\":" + std::to_string(e.tasks_killed));
+          } else if constexpr (std::is_same_v<E, JobFinishEvent>) {
+            ChromeRecord(os, first, "job_finish", "i", t, e.job,
+                         "\"completion\":" + JsonNumber(e.completion_seconds));
+          }
+          // Remaining kinds (cache traffic, submit, utility changes, prediction
+          // lookups, machine recovery) carry no timeline value in this view.
+        },
+        event.payload);
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace jockey

@@ -1,0 +1,57 @@
+// Trace exporters and the trace reader.
+//
+//  * JsonlSink — streams each TraceEvent as one flat JSON object per line. The
+//    format is the layer's interchange format: `jockey_cli run --trace-out` writes
+//    it, `jockey_cli report` reads it back. Numbers use the shortest round-trip
+//    form (json_format.h), so a seeded run re-emits byte-identical files.
+//  * ParseTraceLine / ReadJsonlTrace — the inverse mapping. Every writer clause has
+//    a parser clause; a round-trip test walks all event kinds.
+//  * WriteChromeTrace — converts a buffered trace to the chrome://tracing JSON
+//    array format (load in chrome://tracing or https://ui.perfetto.dev): per-job
+//    counter tracks for the granted/raw allocation and progress, instant events for
+//    scheduler activity.
+//
+// Line format: {"t":<seconds>,"kind":"<EventKindName>",<payload fields>} — flat,
+// one level, no nesting, which is what keeps the reader small and dependency-free.
+
+#ifndef SRC_OBS_JSONL_H_
+#define SRC_OBS_JSONL_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/obs/observer.h"
+#include "src/obs/trace_event.h"
+
+namespace jockey {
+
+// One line, no trailing newline.
+std::string ToJsonLine(const TraceEvent& event);
+
+// Inverse of ToJsonLine. Returns nullopt for malformed lines or unknown kinds.
+std::optional<TraceEvent> ParseTraceLine(const std::string& line);
+
+struct TraceReadResult {
+  std::vector<TraceEvent> events;
+  int malformed_lines = 0;  // non-empty lines that failed to parse
+};
+
+TraceReadResult ReadJsonlTrace(std::istream& is);
+
+class JsonlSink final : public ObserverSink {
+ public:
+  // The stream must outlive the sink; the sink never seeks, only appends.
+  explicit JsonlSink(std::ostream& os) : os_(&os) {}
+  void OnEvent(const TraceEvent& event) override;
+
+ private:
+  std::ostream* os_;
+};
+
+void WriteChromeTrace(std::ostream& os, const std::vector<TraceEvent>& events);
+
+}  // namespace jockey
+
+#endif  // SRC_OBS_JSONL_H_

@@ -1,0 +1,97 @@
+// The metrics registry: counters, gauges, and fixed-bucket histograms with a
+// deterministic snapshot / export.
+//
+// Replaces the per-bench ad-hoc tallies (ClusterRunResult's int fields remain as the
+// per-job summary; the registry is the cross-cutting, named, exportable view). Three
+// instrument kinds, all created on first use:
+//   * Counter   — monotonically increasing int64 (events, cache traffic, evictions);
+//   * Gauge     — last-written double (current allocation, model speed);
+//   * Histogram — fixed bucket edges chosen at creation and immutable afterwards, so
+//     two runs of the same binary always bucket identically (the stability the trace
+//     tests assert). Values land in the first bucket whose upper edge is >= value;
+//     values above the last edge land in the overflow bucket.
+//
+// Determinism: all maps are ordered by name, snapshots list instruments
+// alphabetically, and WriteJson formats numbers with a fixed format — identical
+// metric activity produces byte-identical exports.
+
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace jockey {
+
+// Default histogram edges for latency-like quantities, in seconds: powers of two
+// from 1/4 s to 16384 s (~4.5 h) — 17 buckets plus overflow. Part of the public
+// contract: tests pin these values.
+const std::vector<double>& DefaultLatencySecondsEdges();
+
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> edges);
+
+  void Observe(double value);
+
+  const std::vector<double>& edges() const { return edges_; }
+  // counts() has edges().size() + 1 entries; the last is the overflow bucket.
+  const std::vector<int64_t>& counts() const { return counts_; }
+  int64_t total_count() const { return total_count_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::vector<double> edges_;
+  std::vector<int64_t> counts_;
+  int64_t total_count_ = 0;
+  double sum_ = 0.0;
+  // Fast-path bucket lookup for geometric power-of-two edges (see Observe).
+  bool pow2_edges_ = false;
+  int first_edge_exp_ = 0;
+};
+
+struct MetricsSnapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Histogram> histograms;
+};
+
+class MetricsRegistry {
+ public:
+  // Counter ops; the counter is created at zero on first touch.
+  void Add(const std::string& name, int64_t delta = 1);
+  int64_t CounterValue(const std::string& name) const;  // 0 if absent
+  // Stable pointer to the named counter's storage (created at zero on first touch).
+  // References into the registry stay valid for its lifetime, so hot paths resolve
+  // the slot once at attach time and bump a plain int64 per event.
+  int64_t* CounterSlot(const std::string& name);
+
+  void SetGauge(const std::string& name, double value);
+
+  // Returns the named histogram, creating it with `edges` if absent. Edges are fixed
+  // at creation; a later call with different edges keeps the original.
+  Histogram& GetHistogram(const std::string& name, const std::vector<double>& edges);
+  // Observe into the named histogram, creating it with the default latency edges.
+  void Observe(const std::string& name, double value);
+  const Histogram* FindHistogram(const std::string& name) const;
+
+  MetricsSnapshot Snapshot() const;
+
+  // Deterministic JSON export: {"counters":{...},"gauges":{...},"histograms":{...}},
+  // instruments sorted by name, numbers in fixed shortest-round-trip format.
+  void WriteJson(std::ostream& os) const;
+
+  bool empty() const { return counters_.empty() && gauges_.empty() && histograms_.empty(); }
+
+ private:
+  std::map<std::string, int64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace jockey
+
+#endif  // SRC_OBS_METRICS_H_

@@ -1,0 +1,71 @@
+#include "src/obs/trace_event.h"
+
+namespace jockey {
+
+const char* CacheCodeName(CacheCode code) {
+  switch (code) {
+    case CacheCode::kHit:
+      return "hit";
+    case CacheCode::kMiss:
+      return "miss";
+    case CacheCode::kCorrupt:
+      return "corrupt";
+    case CacheCode::kIoError:
+      return "io_error";
+    case CacheCode::kStored:
+      return "stored";
+    case CacheCode::kDisabled:
+      return "disabled";
+  }
+  return "unknown";
+}
+
+const char* KillReasonName(KillReason reason) {
+  switch (reason) {
+    case KillReason::kSpareEviction:
+      return "spare_eviction";
+    case KillReason::kTaskFailure:
+      return "task_failure";
+    case KillReason::kMachineFailure:
+      return "machine_failure";
+  }
+  return "unknown";
+}
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kControlTick:
+      return "control_tick";
+    case EventKind::kPredictionLookup:
+      return "prediction_lookup";
+    case EventKind::kAllocationChange:
+      return "allocation_change";
+    case EventKind::kUtilityChange:
+      return "utility_change";
+    case EventKind::kTableCacheLookup:
+      return "table_cache_lookup";
+    case EventKind::kTableCacheStore:
+      return "table_cache_store";
+    case EventKind::kTableCacheEvict:
+      return "table_cache_evict";
+    case EventKind::kJobSubmit:
+      return "job_submit";
+    case EventKind::kJobFinish:
+      return "job_finish";
+    case EventKind::kTaskDispatch:
+      return "task_dispatch";
+    case EventKind::kTaskComplete:
+      return "task_complete";
+    case EventKind::kTaskKilled:
+      return "task_killed";
+    case EventKind::kSpeculativeLaunch:
+      return "speculative_launch";
+    case EventKind::kMachineFailure:
+      return "machine_failure";
+    case EventKind::kMachineRecover:
+      return "machine_recover";
+  }
+  return "unknown";
+}
+
+}  // namespace jockey

@@ -1,0 +1,205 @@
+// The typed control-decision / scheduler trace-event model.
+//
+// Jockey's evaluation (Figs 6 and 9) hinges on explaining *why* the controller
+// picked each allocation — progress, the C(p, a) prediction, utility, dead-zone and
+// hysteresis gating — and on attributing latency variance to cluster events
+// (evictions, failures, re-executions, speculation). This header defines one struct
+// per thing worth recording, bundled into a TraceEvent tagged union that flows
+// through the ObserverSink interface (observer.h) to an exporter (jsonl.h).
+//
+// Design rules:
+//  * Every payload is a flat POD of numbers — serializable to one JSONL line and
+//    comparable byte-for-byte across runs. No strings, no pointers, no wall-clock
+//    timestamps: `time_seconds` is *simulated* time (0 for offline events such as
+//    cache traffic), which is what makes seeded traces bit-identical across reruns
+//    and across precompute thread counts.
+//  * Emission sites are single-threaded by construction (the discrete-event loops
+//    and the offline build's merge phase); worker threads never emit.
+//  * Adding a kind means: payload struct here, entry in EventKindName, a writer and
+//    a parser clause in jsonl.cc. The compiler enforces the rest via std::variant.
+
+#ifndef SRC_OBS_TRACE_EVENT_H_
+#define SRC_OBS_TRACE_EVENT_H_
+
+#include <cstdint>
+#include <utility>
+#include <variant>
+
+namespace jockey {
+
+// One control-loop decision (Section 4.3): everything Fig 6 plots per tick, plus
+// the moderation state needed to explain why granted != raw.
+struct ControlTickEvent {
+  int job = 0;
+  double elapsed_seconds = 0.0;
+  double progress = 0.0;
+  // Predicted remaining seconds at the granted allocation, before slack.
+  double predicted_remaining_seconds = 0.0;
+  // Utility of the predicted completion under the dead-zone-shifted utility.
+  double utility = 0.0;
+  double raw_allocation = 0.0;
+  double smoothed_allocation = 0.0;
+  int granted_tokens = 0;
+  // Model-speed estimate (1.0 unless online model correction is active).
+  double model_speed = 1.0;
+};
+
+// One C(p, a) lookup as used by a control decision. The per-candidate scan
+// (~100 lookups per tick) is aggregated into the control-tick event and a counter;
+// this event records the lookup at the allocation the controller settled on.
+struct PredictionLookupEvent {
+  int job = 0;
+  double progress = 0.0;
+  double allocation = 0.0;
+  double predicted_remaining_seconds = 0.0;
+};
+
+// The cluster applied a new guaranteed-token count (only emitted on change).
+struct AllocationChangeEvent {
+  int job = 0;
+  int from_tokens = 0;
+  int to_tokens = 0;
+};
+
+// The job's utility function was replaced mid-run (Fig 7's SLO changes).
+struct UtilityChangeEvent {
+  int job = 0;
+  double elapsed_seconds = 0.0;
+};
+
+// Outcome codes of persistent table-cache traffic (table_cache.h).
+enum class CacheCode : int {
+  kHit = 0,       // entry found and deserialized
+  kMiss = 1,      // no entry under the key
+  kCorrupt = 2,   // entry present but failed validation (treated as a miss)
+  kIoError = 3,   // entry present but unreadable / write failed
+  kStored = 4,    // entry written
+  kDisabled = 5,  // cache not configured; nothing consulted
+};
+
+const char* CacheCodeName(CacheCode code);
+
+struct TableCacheLookupEvent {
+  uint64_t key = 0;
+  CacheCode code = CacheCode::kMiss;
+  uint64_t bytes = 0;  // entry size on a hit, 0 otherwise
+};
+
+struct TableCacheStoreEvent {
+  uint64_t key = 0;
+  CacheCode code = CacheCode::kStored;
+  uint64_t bytes = 0;
+};
+
+// LRU pruning removed an entry (cache over --cache-max-bytes).
+struct TableCacheEvictEvent {
+  uint64_t key = 0;
+  uint64_t bytes = 0;
+};
+
+struct JobSubmitEvent {
+  int job = 0;
+  int guaranteed_tokens = 0;
+};
+
+struct JobFinishEvent {
+  int job = 0;
+  double completion_seconds = 0.0;
+};
+
+// A task attempt started on a machine (guaranteed or spare priority).
+struct TaskDispatchEvent {
+  int job = 0;
+  int stage = 0;
+  int task = 0;  // flat task id
+  int machine = 0;
+  bool spare = false;
+  bool speculative = false;
+};
+
+struct TaskCompleteEvent {
+  int job = 0;
+  int stage = 0;
+  int task = 0;
+  bool spare = false;
+  bool speculative = false;
+};
+
+// Why a running attempt was killed.
+enum class KillReason : int {
+  kSpareEviction = 0,   // background demand reclaimed the spare slot
+  kTaskFailure = 1,     // the task's own failure model fired
+  kMachineFailure = 2,  // the machine hosting it went down
+};
+
+const char* KillReasonName(KillReason reason);
+
+struct TaskKilledEvent {
+  int job = 0;
+  int stage = 0;
+  int task = 0;
+  KillReason reason = KillReason::kSpareEviction;
+  // True when the kill put the task back on the pending queue (re-execution); false
+  // when another copy of it was still running.
+  bool requeued = false;
+};
+
+struct SpeculativeLaunchEvent {
+  int job = 0;
+  int stage = 0;
+  int task = 0;
+};
+
+struct MachineFailureEvent {
+  int machine = 0;
+  int tasks_killed = 0;
+};
+
+struct MachineRecoverEvent {
+  int machine = 0;
+};
+
+using TraceEventPayload =
+    std::variant<ControlTickEvent, PredictionLookupEvent, AllocationChangeEvent,
+                 UtilityChangeEvent, TableCacheLookupEvent, TableCacheStoreEvent,
+                 TableCacheEvictEvent, JobSubmitEvent, JobFinishEvent, TaskDispatchEvent,
+                 TaskCompleteEvent, TaskKilledEvent, SpeculativeLaunchEvent,
+                 MachineFailureEvent, MachineRecoverEvent>;
+
+// Stable event-kind tags; indices match TraceEventPayload alternatives.
+enum class EventKind : int {
+  kControlTick = 0,
+  kPredictionLookup = 1,
+  kAllocationChange = 2,
+  kUtilityChange = 3,
+  kTableCacheLookup = 4,
+  kTableCacheStore = 5,
+  kTableCacheEvict = 6,
+  kJobSubmit = 7,
+  kJobFinish = 8,
+  kTaskDispatch = 9,
+  kTaskComplete = 10,
+  kTaskKilled = 11,
+  kSpeculativeLaunch = 12,
+  kMachineFailure = 13,
+  kMachineRecover = 14,
+};
+
+// The stable wire name of each kind (the "kind" field of a JSONL line).
+const char* EventKindName(EventKind kind);
+
+struct TraceEvent {
+  // Simulated seconds (0 for offline events: cache traffic during a table build).
+  double time_seconds = 0.0;
+  TraceEventPayload payload;
+
+  TraceEvent() = default;
+  template <typename Payload>
+  TraceEvent(double time, Payload&& p) : time_seconds(time), payload(std::forward<Payload>(p)) {}
+
+  EventKind kind() const { return static_cast<EventKind>(payload.index()); }
+};
+
+}  // namespace jockey
+
+#endif  // SRC_OBS_TRACE_EVENT_H_

@@ -1,11 +1,16 @@
 #include "src/sim/table_cache.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 namespace jockey {
+
+namespace fs = std::filesystem;
 
 uint64_t HashBytes(const void* data, size_t size, uint64_t seed) {
   const unsigned char* bytes = static_cast<const unsigned char*>(data);
@@ -21,7 +26,8 @@ uint64_t HashString(const std::string& s, uint64_t seed) {
   return HashBytes(s.data(), s.size(), seed);
 }
 
-TableCache::TableCache(std::string dir) : dir_(std::move(dir)) {}
+TableCache::TableCache(std::string dir, TableCacheOptions options)
+    : dir_(std::move(dir)), options_(std::move(options)) {}
 
 std::string TableCache::PathForKey(uint64_t key) const {
   char name[32];
@@ -29,44 +35,144 @@ std::string TableCache::PathForKey(uint64_t key) const {
   return dir_ + "/" + name;
 }
 
-std::optional<CompletionTable> TableCache::TryLoad(uint64_t key) const {
+TableCache::LoadResult TableCache::Load(uint64_t key) const {
+  const Observer& obs = options_.observer;
+  LoadResult result;
+  auto report = [&](CacheCode code, uint64_t bytes, std::string message,
+                    const char* counter) {
+    result.status.code = code;
+    result.status.message = std::move(message);
+    obs.Emit(0.0, TableCacheLookupEvent{key, code, bytes});
+    obs.Count(counter);
+  };
   if (!enabled()) {
-    return std::nullopt;
+    result.status.code = CacheCode::kDisabled;
+    return result;  // a disabled cache is silent: no event, no counter
   }
-  std::ifstream in(PathForKey(key), std::ios::binary);
+  std::string path = PathForKey(key);
+  std::error_code ec;
+  if (!fs::exists(path, ec) || ec) {
+    report(CacheCode::kMiss, 0, "", "table_cache.misses");
+    return result;
+  }
+  uint64_t bytes = fs::file_size(path, ec);
+  if (ec) {
+    bytes = 0;
+  }
+  std::ifstream in(path, std::ios::binary);
   if (!in) {
-    return std::nullopt;
+    report(CacheCode::kIoError, 0, "cannot open " + path, "table_cache.io_errors");
+    return result;
   }
-  return CompletionTable::Load(in);
+  std::optional<CompletionTable> table = CompletionTable::Load(in);
+  if (!table.has_value()) {
+    report(CacheCode::kCorrupt, bytes, "corrupt entry " + path, "table_cache.corrupt");
+    return result;
+  }
+  if (options_.max_bytes > 0) {
+    // Refresh the entry's LRU position so pruning sees it as recently used.
+    fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+  }
+  report(CacheCode::kHit, bytes, "", "table_cache.hits");
+  result.table = std::move(table);
+  return result;
 }
 
-bool TableCache::Store(uint64_t key, const CompletionTable& table) const {
-  if (!enabled() || !table.frozen()) {
-    return false;
+CacheStatus TableCache::Store(uint64_t key, const CompletionTable& table) const {
+  const Observer& obs = options_.observer;
+  auto report = [&](CacheCode code, uint64_t bytes, std::string message,
+                    const char* counter) {
+    obs.Emit(0.0, TableCacheStoreEvent{key, code, bytes});
+    obs.Count(counter);
+    return CacheStatus{code, std::move(message)};
+  };
+  if (!enabled()) {
+    return CacheStatus{CacheCode::kDisabled, ""};
+  }
+  if (!table.frozen()) {
+    return report(CacheCode::kIoError, 0, "refusing to store a non-frozen table",
+                  "table_cache.io_errors");
   }
   std::error_code ec;
-  std::filesystem::create_directories(dir_, ec);
+  fs::create_directories(dir_, ec);
   if (ec) {
-    return false;
+    return report(CacheCode::kIoError, 0, "cannot create " + dir_, "table_cache.io_errors");
   }
   std::string path = PathForKey(key);
   std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) {
-      return false;
+      return report(CacheCode::kIoError, 0, "cannot write " + tmp, "table_cache.io_errors");
     }
     table.Save(out);
     if (!out.good()) {
-      return false;
+      return report(CacheCode::kIoError, 0, "short write to " + tmp, "table_cache.io_errors");
     }
   }
-  std::filesystem::rename(tmp, path, ec);
+  fs::rename(tmp, path, ec);
   if (ec) {
-    std::filesystem::remove(tmp, ec);
-    return false;
+    fs::remove(tmp, ec);
+    return report(CacheCode::kIoError, 0, "cannot rename into " + path,
+                  "table_cache.io_errors");
   }
-  return true;
+  uint64_t bytes = fs::file_size(path, ec);
+  CacheStatus status = report(CacheCode::kStored, ec ? 0 : bytes, "", "table_cache.stores");
+  PruneToLimit();
+  return status;
+}
+
+int TableCache::PruneToLimit() const {
+  if (!enabled() || options_.max_bytes == 0) {
+    return 0;
+  }
+  struct Entry {
+    fs::file_time_type mtime;
+    std::string path;
+    uint64_t key = 0;
+    uint64_t bytes = 0;
+  };
+  std::vector<Entry> entries;
+  uint64_t total = 0;
+  std::error_code ec;
+  for (const fs::directory_entry& de : fs::directory_iterator(dir_, ec)) {
+    if (ec) {
+      return 0;
+    }
+    if (!de.is_regular_file(ec) || de.path().extension() != ".cpa") {
+      continue;
+    }
+    Entry entry;
+    entry.path = de.path().string();
+    entry.mtime = de.last_write_time(ec);
+    entry.bytes = de.file_size(ec);
+    entry.key = std::strtoull(de.path().stem().string().c_str(), nullptr, 16);
+    total += entry.bytes;
+    entries.push_back(std::move(entry));
+  }
+  if (total <= options_.max_bytes || entries.empty()) {
+    return 0;
+  }
+  // Oldest first; ties broken by path so pruning order is reproducible.
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    return a.mtime != b.mtime ? a.mtime < b.mtime : a.path < b.path;
+  });
+  const Observer& obs = options_.observer;
+  int evicted = 0;
+  // Keep at least the newest entry: a cache whose budget is below one table would
+  // otherwise evict everything it stores, including the entry it just wrote.
+  for (size_t i = 0; i + 1 < entries.size() && total > options_.max_bytes; ++i) {
+    const Entry& victim = entries[i];
+    if (!fs::remove(victim.path, ec) || ec) {
+      continue;
+    }
+    total -= victim.bytes;
+    ++evicted;
+    obs.Emit(0.0, TableCacheEvictEvent{victim.key, victim.bytes});
+    obs.Count("table_cache.evictions");
+    obs.Count("table_cache.bytes_evicted", static_cast<int64_t>(victim.bytes));
+  }
+  return evicted;
 }
 
 }  // namespace jockey

@@ -9,9 +9,17 @@
 // seed). Thread count is deliberately NOT part of the key: parallel and serial builds
 // are bit-identical by construction (see completion_model.h), so they share entries.
 //
-// A hit deserializes the frozen table and skips simulation entirely; a miss builds
-// and writes back. Corrupt or truncated entries are treated as misses. Writes go
-// through a temp file + rename so a crashed writer never leaves a torn entry behind.
+// Every operation returns a CacheStatus carrying a reason code — hit, miss, corrupt,
+// io-error, stored, disabled — instead of a silent bool, and mirrors that outcome
+// into the attached Observer as a trace event plus counters (table_cache.hits,
+// .misses, .corrupt, .io_errors, .stores, .evictions). A hit deserializes the frozen
+// table and skips simulation entirely; every non-hit is a build. Writes go through a
+// temp file + rename so a crashed writer never leaves a torn entry behind.
+//
+// Eviction: with `max_bytes` set, every Store prunes least-recently-used `.cpa`
+// entries (file mtime order; hits touch their entry) until the directory fits the
+// budget. The most recent entry is never evicted, so a single oversized table still
+// caches.
 
 #ifndef SRC_SIM_TABLE_CACHE_H_
 #define SRC_SIM_TABLE_CACHE_H_
@@ -20,6 +28,7 @@
 #include <optional>
 #include <string>
 
+#include "src/obs/observer.h"
 #include "src/sim/completion_table.h"
 
 namespace jockey {
@@ -29,26 +38,57 @@ namespace jockey {
 uint64_t HashBytes(const void* data, size_t size, uint64_t seed = 14695981039346656037ULL);
 uint64_t HashString(const std::string& s, uint64_t seed = 14695981039346656037ULL);
 
+// The outcome of one cache operation. `code` reuses the trace-event taxonomy
+// (trace_event.h) so statuses and emitted events can never disagree.
+struct CacheStatus {
+  CacheCode code = CacheCode::kDisabled;
+  // Human-readable detail for io_error / corrupt outcomes; empty otherwise.
+  std::string message;
+
+  bool ok() const { return code == CacheCode::kHit || code == CacheCode::kStored; }
+};
+
+struct TableCacheOptions {
+  // Total .cpa bytes the directory may hold; 0 disables pruning.
+  uint64_t max_bytes = 0;
+  // Receives lookup/store/evict trace events and counters; default-disabled.
+  Observer observer;
+};
+
 class TableCache {
  public:
   // `dir` is created lazily on the first Store(). An empty dir disables the cache
-  // (TryLoad misses, Store is a no-op).
-  explicit TableCache(std::string dir);
+  // (Load and Store report CacheCode::kDisabled and touch nothing).
+  explicit TableCache(std::string dir, TableCacheOptions options = TableCacheOptions());
 
   const std::string& dir() const { return dir_; }
   bool enabled() const { return !dir_.empty(); }
 
   std::string PathForKey(uint64_t key) const;
 
-  // Returns the cached frozen table for `key`, or nullopt on miss / corrupt entry.
-  std::optional<CompletionTable> TryLoad(uint64_t key) const;
+  struct LoadResult {
+    CacheStatus status;
+    // Set exactly when status.code == kHit.
+    std::optional<CompletionTable> table;
+  };
 
-  // Persists a frozen table under `key`. Returns false if the cache is disabled or
-  // the write failed (the cache is best-effort; callers proceed either way).
-  bool Store(uint64_t key, const CompletionTable& table) const;
+  // Fetches the frozen table under `key`. A hit refreshes the entry's LRU position
+  // when pruning is configured; corrupt or unreadable entries report their reason
+  // code and the caller rebuilds (the entry will be overwritten by the next Store).
+  LoadResult Load(uint64_t key) const;
+
+  // Persists a frozen table under `key`, then prunes to `max_bytes` if configured.
+  // Best-effort: callers proceed on any outcome.
+  CacheStatus Store(uint64_t key, const CompletionTable& table) const;
+
+  // Evicts least-recently-used entries until the directory holds at most
+  // `max_bytes` of .cpa data (keeping at least the newest entry). Returns the
+  // number of entries evicted. No-op when pruning is not configured.
+  int PruneToLimit() const;
 
  private:
   std::string dir_;
+  TableCacheOptions options_;
 };
 
 }  // namespace jockey

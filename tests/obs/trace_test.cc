@@ -1,0 +1,259 @@
+// The trace-event model and its exporters: every kind round-trips through JSONL,
+// seeded runs trace bit-identically, and the counters agree with the per-job
+// summary the simulator already reports.
+
+#include "src/obs/jsonl.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster_simulator.h"
+#include "src/core/completion_model.h"
+#include "src/obs/metrics.h"
+#include "src/obs/observer.h"
+#include "src/workload/job_generator.h"
+
+namespace jockey {
+namespace {
+
+std::vector<TraceEvent> AllKindsSample() {
+  std::vector<TraceEvent> events;
+  events.emplace_back(
+      60.0, ControlTickEvent{1, 60.0, 0.25, 1234.5, -321.0625, 34.0, 29.75, 30, 0.9375});
+  events.emplace_back(60.0, PredictionLookupEvent{1, 0.25, 30.0, 1234.5});
+  events.emplace_back(61.0, AllocationChangeEvent{1, 10, 30});
+  events.emplace_back(600.0, UtilityChangeEvent{1, 600.0});
+  events.emplace_back(
+      0.0, TableCacheLookupEvent{0xdeadbeefcafef00dULL, CacheCode::kHit, 40928});
+  events.emplace_back(0.0, TableCacheStoreEvent{0x1ULL, CacheCode::kStored, 512});
+  events.emplace_back(0.0, TableCacheEvictEvent{0xffffffffffffffffULL, 2048});
+  events.emplace_back(0.0, JobSubmitEvent{2, 40});
+  events.emplace_back(180.5, JobFinishEvent{2, 180.5});
+  events.emplace_back(5.25, TaskDispatchEvent{2, 3, 17, 42, true, false});
+  events.emplace_back(9.75, TaskCompleteEvent{2, 3, 17, true, false});
+  events.emplace_back(7.0, TaskKilledEvent{2, 3, 18, KillReason::kMachineFailure, true});
+  events.emplace_back(8.0, SpeculativeLaunchEvent{2, 4, 20});
+  events.emplace_back(100.0, MachineFailureEvent{42, 3});
+  events.emplace_back(400.0, MachineRecoverEvent{42});
+  return events;
+}
+
+// One sample of every payload kind survives ToJsonLine -> ParseTraceLine -> ToJsonLine
+// unchanged. Re-serialization equality is the strongest cheap check: it covers every
+// field of every kind without a per-field comparison.
+TEST(TraceJsonlTest, EveryKindRoundTrips) {
+  std::vector<TraceEvent> events = AllKindsSample();
+  ASSERT_EQ(events.size(), std::variant_size_v<TraceEventPayload>);
+  for (const TraceEvent& event : events) {
+    std::string line = ToJsonLine(event);
+    std::optional<TraceEvent> parsed = ParseTraceLine(line);
+    ASSERT_TRUE(parsed.has_value()) << line;
+    EXPECT_EQ(parsed->kind(), event.kind()) << line;
+    EXPECT_EQ(ToJsonLine(*parsed), line);
+  }
+}
+
+TEST(TraceJsonlTest, KindCoversAllVariantAlternatives) {
+  std::vector<TraceEvent> events = AllKindsSample();
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(static_cast<size_t>(events[i].kind()), i);
+    EXPECT_NE(std::string(EventKindName(events[i].kind())), "");
+  }
+}
+
+// uint64 cache keys exceed double precision; the hex-string encoding must preserve
+// all 64 bits.
+TEST(TraceJsonlTest, CacheKeysPreserveAll64Bits) {
+  TraceEvent event(0.0,
+                   TableCacheLookupEvent{0x8000000000000001ULL, CacheCode::kMiss, 0});
+  std::optional<TraceEvent> parsed = ParseTraceLine(ToJsonLine(event));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(std::get<TableCacheLookupEvent>(parsed->payload).key, 0x8000000000000001ULL);
+}
+
+TEST(TraceJsonlTest, MalformedLinesAreCountedNotFatal) {
+  std::istringstream in(
+      "{\"t\":1,\"kind\":\"job_submit\",\"job\":0,\"tokens\":5}\n"
+      "not json at all\n"
+      "\n"
+      "{\"t\":2,\"kind\":\"no_such_kind\",\"job\":0}\n"
+      "{\"t\":3,\"kind\":\"machine_recover\",\"machine\":7}\n");
+  TraceReadResult result = ReadJsonlTrace(in);
+  EXPECT_EQ(result.events.size(), 2u);
+  EXPECT_EQ(result.malformed_lines, 2);
+}
+
+JobTemplate SmallJob(uint64_t seed = 50) {
+  JobShapeSpec spec;
+  spec.name = "small";
+  spec.num_stages = 6;
+  spec.num_barriers = 1;
+  spec.num_vertices = 120;
+  spec.job_median_seconds = 4.0;
+  spec.job_p90_seconds = 12.0;
+  spec.fastest_stage_p90 = 2.0;
+  spec.slowest_stage_p90 = 30.0;
+  spec.seed = seed;
+  return GenerateJob(spec);
+}
+
+ClusterConfig BusyCluster(uint64_t seed = 1) {
+  ClusterConfig config;
+  config.num_machines = 10;
+  config.slots_per_machine = 4;
+  config.seed = seed;
+  // Hot enough that spare evictions actually occur, plus machine failures: the trace
+  // should exercise the disruption event kinds too.
+  config.background.mean_utilization = 0.9;
+  config.background.volatility = 0.1;
+  config.machine_failure_rate_per_hour = 2.0;
+  return config;
+}
+
+std::string SerializedClusterTrace(uint64_t seed, MetricsRegistry* metrics) {
+  VectorSink sink;
+  ClusterSimulator cluster(BusyCluster(seed));
+  cluster.set_observer(Observer(&sink, metrics));
+  JobSubmission submission;
+  submission.guaranteed_tokens = 6;
+  submission.seed = 77;
+  int id = cluster.SubmitJob(SmallJob(), submission);
+  cluster.Run();
+  EXPECT_TRUE(cluster.result(id).finished);
+  std::string out;
+  for (const TraceEvent& event : sink.events()) {
+    out += ToJsonLine(event);
+    out += '\n';
+  }
+  return out;
+}
+
+// The determinism contract of the whole layer: a seeded run emits a byte-identical
+// serialized trace every time.
+TEST(TraceDeterminismTest, SeededClusterRunTracesBitIdentically) {
+  std::string first = SerializedClusterTrace(9, nullptr);
+  std::string second = SerializedClusterTrace(9, nullptr);
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+// The registry's counters must agree with the per-job summary ClusterRunResult
+// reports — one source of truth observed through two views.
+TEST(TraceDeterminismTest, CountersMatchClusterRunResult) {
+  VectorSink sink;
+  MetricsRegistry metrics;
+  ClusterSimulator cluster(BusyCluster(13));
+  cluster.set_observer(Observer(&sink, &metrics));
+  JobSubmission submission;
+  submission.guaranteed_tokens = 6;
+  submission.seed = 31;
+  int id = cluster.SubmitJob(SmallJob(), submission);
+  cluster.Run();
+  const ClusterRunResult& r = cluster.result(id);
+  ASSERT_TRUE(r.finished);
+  EXPECT_EQ(metrics.CounterValue("cluster.evictions"), r.evictions);
+  EXPECT_EQ(metrics.CounterValue("cluster.task_failures"), r.task_failures);
+  EXPECT_EQ(metrics.CounterValue("cluster.machine_failure_kills"), r.machine_failure_kills);
+  EXPECT_EQ(metrics.CounterValue("cluster.speculative_launched"), r.speculative_launched);
+  EXPECT_EQ(metrics.CounterValue("cluster.speculative_wins"), r.speculative_wins);
+  EXPECT_EQ(metrics.CounterValue("cluster.jobs_finished"), 1);
+  // Every dispatched attempt either completes, is killed, or is a duplicate
+  // cancelled when the other copy won (at most one per speculative launch).
+  int64_t settled = metrics.CounterValue("cluster.completions") + r.evictions +
+                    r.task_failures + r.machine_failure_kills;
+  EXPECT_GE(metrics.CounterValue("cluster.dispatches"), settled);
+  EXPECT_LE(metrics.CounterValue("cluster.dispatches"), settled + r.speculative_launched);
+}
+
+CompletionModelConfig SmallModelConfig() {
+  CompletionModelConfig config;
+  config.runs_per_allocation = 3;
+  config.allocation_grid = {5, 20, 60};
+  config.num_progress_buckets = 20;
+  return config;
+}
+
+std::string SerializedBuildTrace(int threads, const std::string& cache_dir) {
+  JobTemplate tmpl = SmallJob(61);
+  Rng gen(7);
+  RunTrace trace;
+  for (int s = 0; s < tmpl.graph.num_stages(); ++s) {
+    for (int i = 0; i < tmpl.graph.stage(s).num_tasks; ++i) {
+      double d = tmpl.runtime[static_cast<size_t>(s)].SampleSeconds(gen);
+      trace.tasks.push_back({{s, i}, 0.0, 1.0, 1.0 + d, 0, 0.0});
+    }
+  }
+  trace.finish_time = 1.0;
+  JobProfile profile = JobProfile::FromTrace(tmpl.graph, trace);
+  auto indicator = MakeIndicator(IndicatorKind::kTotalWorkWithQ, tmpl.graph, profile);
+  VectorSink sink;
+  CompletionModelConfig config = SmallModelConfig();
+  config.threads = threads;
+  config.cache_dir = cache_dir;
+  config.observer = Observer(&sink, nullptr);
+  BuildCompletionTable(tmpl.graph, profile, *indicator, config);
+  std::string out;
+  for (const TraceEvent& event : sink.events()) {
+    out += ToJsonLine(event);
+    out += '\n';
+  }
+  return out;
+}
+
+// The offline build fans across worker threads, but its trace (cache traffic, at
+// simulated time 0) must not depend on the thread count — workers never emit.
+TEST(TraceDeterminismTest, ModelBuildTraceIndependentOfThreadCount) {
+  std::string dir_a = testing::TempDir() + "obs_build_trace_a";
+  std::string dir_b = testing::TempDir() + "obs_build_trace_b";
+  std::filesystem::remove_all(dir_a);
+  std::filesystem::remove_all(dir_b);
+  std::string serial = SerializedBuildTrace(1, dir_a);
+  std::string parallel = SerializedBuildTrace(8, dir_b);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+  std::filesystem::remove_all(dir_a);
+  std::filesystem::remove_all(dir_b);
+}
+
+TEST(ObserverTest, DetachedObserverIsInert) {
+  Observer detached;
+  EXPECT_FALSE(detached.enabled());
+  // None of these may crash or require a sink/registry.
+  detached.Emit(1.0, MachineRecoverEvent{3});
+  detached.Count("nothing");
+  detached.Set("nothing", 1.0);
+  detached.Observe("nothing", 1.0);
+}
+
+TEST(ObserverTest, HalvesAttachIndependently) {
+  VectorSink sink;
+  MetricsRegistry metrics;
+  Observer trace_only(&sink, nullptr);
+  EXPECT_TRUE(trace_only.tracing());
+  EXPECT_FALSE(trace_only.metering());
+  trace_only.Emit(0.0, MachineRecoverEvent{1});
+  trace_only.Count("ignored");
+  EXPECT_EQ(sink.events().size(), 1u);
+  Observer metrics_only(nullptr, &metrics);
+  metrics_only.Emit(0.0, MachineRecoverEvent{2});
+  metrics_only.Count("counted");
+  EXPECT_EQ(sink.events().size(), 1u);
+  EXPECT_EQ(metrics.CounterValue("counted"), 1);
+}
+
+TEST(ChromeTraceTest, ExportsCounterAndInstantRecords) {
+  std::ostringstream os;
+  WriteChromeTrace(os, AllKindsSample());
+  std::string text = os.str();
+  EXPECT_NE(text.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"C\""), std::string::npos);  // allocation counter track
+  EXPECT_NE(text.find("\"ph\":\"i\""), std::string::npos);  // scheduler instants
+  EXPECT_EQ(text.find("NaN"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jockey

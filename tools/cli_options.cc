@@ -1,0 +1,132 @@
+#include "tools/cli_options.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace jockey {
+
+void OptionsParser::Add(const char* name, const char* value_name, const char* help,
+                        std::function<bool(const char*)> set) {
+  flags_.push_back(Flag{name, value_name, help, std::move(set)});
+}
+
+void OptionsParser::AddString(const char* name, const char* value_name, const char* help,
+                              std::string* out) {
+  Add(name, value_name, help, [out](const char* v) {
+    *out = v;
+    return true;
+  });
+}
+
+void OptionsParser::AddInt(const char* name, const char* value_name, const char* help, int* out) {
+  Add(name, value_name, help, [out](const char* v) {
+    char* end = nullptr;
+    long parsed = std::strtol(v, &end, 10);
+    if (end == v || *end != '\0') {
+      return false;
+    }
+    *out = static_cast<int>(parsed);
+    return true;
+  });
+}
+
+void OptionsParser::AddUint64(const char* name, const char* value_name, const char* help,
+                              uint64_t* out) {
+  Add(name, value_name, help, [out](const char* v) {
+    char* end = nullptr;
+    unsigned long long parsed = std::strtoull(v, &end, 10);
+    if (end == v || *end != '\0') {
+      return false;
+    }
+    *out = static_cast<uint64_t>(parsed);
+    return true;
+  });
+}
+
+void OptionsParser::AddDouble(const char* name, const char* value_name, const char* help,
+                              double* out) {
+  Add(name, value_name, help, [out](const char* v) {
+    char* end = nullptr;
+    double parsed = std::strtod(v, &end);
+    if (end == v || *end != '\0') {
+      return false;
+    }
+    *out = parsed;
+    return true;
+  });
+}
+
+void OptionsParser::AddFlag(const char* name, const char* help, bool* out, bool store) {
+  Add(name, /*value_name=*/"", help, [out, store](const char* /*unused*/) {
+    *out = store;
+    return true;
+  });
+}
+
+bool OptionsParser::Parse(int argc, char** argv, int first) {
+  for (int i = first; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      PrintHelp(stdout);
+      help_requested_ = true;
+      return true;
+    }
+    const Flag* match = nullptr;
+    for (const Flag& flag : flags_) {
+      if (flag.name == arg) {
+        match = &flag;
+        break;
+      }
+    }
+    if (match == nullptr) {
+      std::fprintf(stderr, "unknown flag '%s' (see --help)\n", arg);
+      return false;
+    }
+    const char* value = nullptr;
+    if (!match->value_name.empty()) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value <%s>\n", match->name.c_str(),
+                     match->value_name.c_str());
+        return false;
+      }
+      value = argv[++i];
+    }
+    if (!match->set(value)) {
+      std::fprintf(stderr, "invalid value '%s' for %s\n", value, match->name.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+void OptionsParser::PrintHelp(std::FILE* out) const {
+  std::fprintf(out, "usage: %s\n", usage_.c_str());
+  if (flags_.empty()) {
+    return;
+  }
+  std::fprintf(out, "flags:\n");
+  for (const Flag& flag : flags_) {
+    std::string left = flag.name;
+    if (!flag.value_name.empty()) {
+      left += " <" + flag.value_name + ">";
+    }
+    std::fprintf(out, "  %-26s %s\n", left.c_str(), flag.help.c_str());
+  }
+}
+
+void GlobalOptions::Register(OptionsParser& parser) {
+  parser.AddString("--trace-out", "FILE", "write every trace event to FILE as JSONL",
+                   &trace_out);
+  parser.AddString("--metrics-out", "FILE", "write the metrics snapshot to FILE as JSON",
+                   &metrics_out);
+  parser.AddInt("--threads", "N", "model-build worker threads (0 = hardware concurrency)",
+                &threads);
+  parser.AddString("--cache-dir", "DIR", "C(p,a) table cache directory", &cache_dir);
+  parser.AddFlag("--no-cache", "disable the C(p,a) table cache", &use_cache, /*store=*/false);
+  parser.AddUint64("--cache-max-bytes", "N",
+                   "prune the table cache to N bytes, evicting least-recently-used entries "
+                   "(0 = unbounded)",
+                   &cache_max_bytes);
+}
+
+}  // namespace jockey

@@ -1,0 +1,78 @@
+// Shared flag handling for every jockey_cli subcommand.
+//
+// Each subcommand declares its flags against one OptionsParser; the parser owns
+// `--help` (prints the registered flags with their value names and defaults) and
+// rejects unknown flags with a pointer to `--help`. GlobalOptions carries the flags
+// every subcommand accepts — the observability outputs (--trace-out, --metrics-out)
+// and the C(p,a)-table cache knobs (--threads, --cache-dir, --no-cache,
+// --cache-max-bytes) — so train/predict/run/report cannot drift apart in spelling
+// or semantics.
+
+#ifndef TOOLS_CLI_OPTIONS_H_
+#define TOOLS_CLI_OPTIONS_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace jockey {
+
+class OptionsParser {
+ public:
+  // `usage` is the one-line synopsis printed above the flag list, e.g.
+  // "jockey_cli run <job.scope> <trace.txt> --deadline MIN [flags]".
+  explicit OptionsParser(std::string usage) : usage_(std::move(usage)) {}
+
+  // Value-taking flags. `value_name` appears in --help (e.g. "FILE", "N").
+  void AddString(const char* name, const char* value_name, const char* help, std::string* out);
+  void AddInt(const char* name, const char* value_name, const char* help, int* out);
+  void AddUint64(const char* name, const char* value_name, const char* help, uint64_t* out);
+  void AddDouble(const char* name, const char* value_name, const char* help, double* out);
+  // Valueless flag; stores `store` (true by default, false for --no-xxx switches).
+  void AddFlag(const char* name, const char* help, bool* out, bool store = true);
+
+  // Parses argv[first..argc). Returns false on an unknown flag or a missing value
+  // (an error is printed to stderr). `--help` prints the help text and sets
+  // help_requested(); the caller should then exit 0 without running the command.
+  bool Parse(int argc, char** argv, int first);
+
+  bool help_requested() const { return help_requested_; }
+  void PrintHelp(std::FILE* out) const;
+
+ private:
+  struct Flag {
+    std::string name;
+    std::string value_name;  // empty for valueless flags
+    std::string help;
+    std::function<bool(const char*)> set;  // value may be nullptr for valueless flags
+  };
+
+  void Add(const char* name, const char* value_name, const char* help,
+           std::function<bool(const char*)> set);
+
+  std::string usage_;
+  std::vector<Flag> flags_;
+  bool help_requested_ = false;
+};
+
+// Flags shared by every subcommand that builds models or runs the cluster.
+struct GlobalOptions {
+  // Observability: stream every trace event to FILE as JSONL / dump the metrics
+  // registry to FILE as JSON when the command finishes. Empty = detached.
+  std::string trace_out;
+  std::string metrics_out;
+  // C(p,a) model build: worker threads (0 = hardware concurrency) and the on-disk
+  // table cache (satellite: --cache-max-bytes bounds it with LRU eviction).
+  int threads = 0;
+  std::string cache_dir = ".jockey_cache";
+  bool use_cache = true;
+  uint64_t cache_max_bytes = 0;
+
+  void Register(OptionsParser& parser);
+};
+
+}  // namespace jockey
+
+#endif  // TOOLS_CLI_OPTIONS_H_

@@ -19,18 +19,26 @@
 //       Run the job on the shared cluster under the Jockey control loop against the
 //       deadline; print the outcome and the allocation timeline.
 //
-// predict/run build the C(p, a) table, the expensive offline step (~140 Monte Carlo
-// simulations). The build fans across --threads workers and the frozen result is
-// cached on disk (default .jockey_cache/, keyed by graph+trace+config), so repeated
-// invocations on the same job — the recurring-workload case — skip simulation
-// entirely. --no-cache disables the cache; --cache-dir relocates it.
+//   jockey_cli report trace.jsonl
+//       Read a --trace-out capture back and render it: event totals, the control
+//       loop's decision timeline (progress, prediction, raw/smoothed/granted
+//       allocation — the Fig 6 view), kills by reason, cache activity. --chrome-out
+//       converts the capture for chrome://tracing; --jsonl-out re-emits it (a
+//       byte-identical copy, which the round-trip test checks).
 //
 //   jockey_cli dot job.scope
 //       Print the plan as Graphviz.
+//
+// Every subcommand takes --help plus the shared flags (cli_options.h): --trace-out
+// streams the run's trace events as JSONL, --metrics-out dumps the counter/histogram
+// registry, and --threads/--cache-dir/--no-cache/--cache-max-bytes steer the C(p,a)
+// model build and its LRU-pruned on-disk cache.
 
+#include <algorithm>
 #include <cstdio>
-#include <cstring>
 #include <fstream>
+#include <map>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -38,7 +46,11 @@
 
 #include "src/cluster/cluster_simulator.h"
 #include "src/core/experiment.h"
+#include "src/obs/jsonl.h"
+#include "src/obs/metrics.h"
+#include "src/obs/observer.h"
 #include "src/scope/planner.h"
+#include "tools/cli_options.h"
 
 namespace jockey {
 namespace {
@@ -51,7 +63,9 @@ int Usage() {
                "  jockey_cli train <job.scope> --trace <out.txt> [--tokens N] [--seed S]\n"
                "  jockey_cli predict <job.scope> <trace.txt> [--deadline MIN]\n"
                "  jockey_cli run <job.scope> <trace.txt> --deadline MIN [--seed S]\n"
-               "model options (predict/run): [--threads N] [--cache-dir DIR] [--no-cache]\n");
+               "  jockey_cli report <trace.jsonl> [--chrome-out FILE] [--jsonl-out FILE]\n"
+               "run '<command> --help' for the command's flags; all commands accept\n"
+               "--trace-out FILE, --metrics-out FILE and the model-cache flags.\n");
   return 2;
 }
 
@@ -65,61 +79,57 @@ std::optional<std::string> ReadFile(const std::string& path) {
   return buffer.str();
 }
 
-struct Flags {
-  std::string trace_path;
-  int tokens = 40;
-  uint64_t seed = 1;
-  double deadline_minutes = -1.0;
-  int threads = 0;  // 0 = hardware concurrency
-  std::string cache_dir = ".jockey_cache";
-  bool use_cache = true;
-  bool ok = true;
-};
-
-Flags ParseFlags(int argc, char** argv, int first) {
-  Flags flags;
-  for (int i = first; i < argc; ++i) {
-    auto need_value = [&](const char* name) -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "%s requires a value\n", name);
-        flags.ok = false;
-        return nullptr;
+// Owns the sinks selected by --trace-out/--metrics-out for one command's lifetime.
+// observer() hands out the two-pointer handle that the cluster, controller and model
+// build store; Finish() flushes the metrics snapshot and reports I/O failures.
+class CliObservability {
+ public:
+  explicit CliObservability(const GlobalOptions& options) : options_(options) {
+    if (!options_.trace_out.empty()) {
+      trace_stream_ = std::make_unique<std::ofstream>(options_.trace_out);
+      if (*trace_stream_) {
+        sink_ = std::make_unique<JsonlSink>(*trace_stream_);
+      } else {
+        std::fprintf(stderr, "cannot write %s\n", options_.trace_out.c_str());
+        failed_ = true;
       }
-      return argv[++i];
-    };
-    if (std::strcmp(argv[i], "--trace") == 0) {
-      if (const char* v = need_value("--trace")) {
-        flags.trace_path = v;
-      }
-    } else if (std::strcmp(argv[i], "--tokens") == 0) {
-      if (const char* v = need_value("--tokens")) {
-        flags.tokens = std::atoi(v);
-      }
-    } else if (std::strcmp(argv[i], "--seed") == 0) {
-      if (const char* v = need_value("--seed")) {
-        flags.seed = static_cast<uint64_t>(std::atoll(v));
-      }
-    } else if (std::strcmp(argv[i], "--deadline") == 0) {
-      if (const char* v = need_value("--deadline")) {
-        flags.deadline_minutes = std::atof(v);
-      }
-    } else if (std::strcmp(argv[i], "--threads") == 0) {
-      if (const char* v = need_value("--threads")) {
-        flags.threads = std::atoi(v);
-      }
-    } else if (std::strcmp(argv[i], "--cache-dir") == 0) {
-      if (const char* v = need_value("--cache-dir")) {
-        flags.cache_dir = v;
-      }
-    } else if (std::strcmp(argv[i], "--no-cache") == 0) {
-      flags.use_cache = false;
-    } else {
-      std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
-      flags.ok = false;
+    }
+    if (!options_.metrics_out.empty()) {
+      metrics_ = std::make_unique<MetricsRegistry>();
     }
   }
-  return flags;
-}
+
+  bool ok() const { return !failed_; }
+
+  Observer observer() const { return Observer(sink_.get(), metrics_.get()); }
+
+  // Returns 0 on success, 1 if any output file could not be written.
+  int Finish() {
+    if (metrics_ != nullptr) {
+      std::ofstream out(options_.metrics_out);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", options_.metrics_out.c_str());
+        return 1;
+      }
+      metrics_->WriteJson(out);
+    }
+    if (trace_stream_ != nullptr) {
+      trace_stream_->flush();
+      if (!*trace_stream_) {
+        std::fprintf(stderr, "error writing %s\n", options_.trace_out.c_str());
+        return 1;
+      }
+    }
+    return failed_ ? 1 : 0;
+  }
+
+ private:
+  GlobalOptions options_;
+  std::unique_ptr<std::ofstream> trace_stream_;
+  std::unique_ptr<JsonlSink> sink_;
+  std::unique_ptr<MetricsRegistry> metrics_;
+  bool failed_ = false;
+};
 
 std::optional<PlanResult> CompileFile(const std::string& path) {
   auto source = ReadFile(path);
@@ -172,8 +182,27 @@ int CmdDot(const std::string& path) {
   return 0;
 }
 
-int CmdTrain(const std::string& path, const Flags& flags) {
-  if (flags.trace_path.empty()) {
+int CmdTrain(int argc, char** argv, const std::string& path) {
+  std::string trace_path;
+  int tokens = 40;
+  uint64_t seed = 1;
+  GlobalOptions global;
+  OptionsParser parser("jockey_cli train <job.scope> --trace <out.txt> [flags]");
+  parser.AddString("--trace", "FILE", "where to save the training trace (required)", &trace_path);
+  parser.AddInt("--tokens", "N", "guaranteed tokens for the training run", &tokens);
+  parser.AddUint64("--seed", "S", "cluster seed for the training run", &seed);
+  global.Register(parser);
+  if (path == "--help" || path == "-h") {
+    parser.PrintHelp(stdout);
+    return 0;
+  }
+  if (!parser.Parse(argc, argv, 3)) {
+    return 2;
+  }
+  if (parser.help_requested()) {
+    return 0;
+  }
+  if (trace_path.empty()) {
     std::fprintf(stderr, "train requires --trace <out.txt>\n");
     return 2;
   }
@@ -181,12 +210,17 @@ int CmdTrain(const std::string& path, const Flags& flags) {
   if (!plan.has_value()) {
     return 1;
   }
-  ClusterConfig config = DefaultExperimentCluster(flags.seed);
+  CliObservability obs(global);
+  if (!obs.ok()) {
+    return 1;
+  }
+  ClusterConfig config = DefaultExperimentCluster(seed);
   config.background.overload_rate_per_hour = 0.0;
   ClusterSimulator cluster(config);
+  cluster.set_observer(obs.observer());
   JobSubmission submission;
-  submission.guaranteed_tokens = flags.tokens;
-  submission.seed = flags.seed * 7919 + 13;
+  submission.guaranteed_tokens = tokens;
+  submission.seed = seed * 7919 + 13;
   int id = cluster.SubmitJob(plan->job, submission);
   cluster.Run();
   const ClusterRunResult& r = cluster.result(id);
@@ -194,21 +228,20 @@ int CmdTrain(const std::string& path, const Flags& flags) {
     std::fprintf(stderr, "training run did not finish\n");
     return 1;
   }
-  std::ofstream out(flags.trace_path);
+  std::ofstream out(trace_path);
   if (!out) {
-    std::fprintf(stderr, "cannot write %s\n", flags.trace_path.c_str());
+    std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
     return 1;
   }
   r.trace.Save(out);
   std::printf("training run: %.1f min at %d guaranteed tokens, %.1f token-hours of work\n",
-              r.CompletionSeconds() / 60.0, flags.tokens, r.trace.TotalWorkSeconds() / 3600.0);
-  std::printf("trace saved to %s (%zu task records)\n", flags.trace_path.c_str(),
-              r.trace.tasks.size());
-  return 0;
+              r.CompletionSeconds() / 60.0, tokens, r.trace.TotalWorkSeconds() / 3600.0);
+  std::printf("trace saved to %s (%zu task records)\n", trace_path.c_str(), r.trace.tasks.size());
+  return obs.Finish();
 }
 
 std::optional<Jockey> BuildModel(const PlanResult& plan, const std::string& trace_path,
-                                 const Flags& flags) {
+                                 const GlobalOptions& global, Observer observer) {
   std::ifstream in(trace_path);
   if (!in) {
     std::fprintf(stderr, "cannot read %s\n", trace_path.c_str());
@@ -221,29 +254,51 @@ std::optional<Jockey> BuildModel(const PlanResult& plan, const std::string& trac
     return std::nullopt;
   }
   JockeyConfig config;
-  config.model.threads = flags.threads;
-  if (flags.use_cache) {
-    config.model.cache_dir = flags.cache_dir;
+  config.model.threads = global.threads;
+  if (global.use_cache) {
+    config.model.cache_dir = global.cache_dir;
+    config.model.cache_max_bytes = global.cache_max_bytes;
   }
+  config.model.observer = observer;
   Jockey model(plan.job.graph, trace, config);
   const CompletionModelBuildStats& stats = model.table_build_stats();
   if (stats.cache_hit) {
     std::printf("C(p,a) table: warm cache hit in %s — skipped simulation\n",
-                flags.cache_dir.c_str());
+                global.cache_dir.c_str());
   } else {
     std::printf("C(p,a) table: simulated %d runs on %d thread%s%s\n", stats.simulated_runs,
                 stats.threads_used, stats.threads_used == 1 ? "" : "s",
-                flags.use_cache ? " (cached for next time)" : "");
+                global.use_cache ? " (cached for next time)" : "");
   }
   return model;
 }
 
-int CmdPredict(const std::string& path, const std::string& trace_path, const Flags& flags) {
+int CmdPredict(int argc, char** argv, const std::string& path, const std::string& trace_path) {
+  double deadline_minutes = -1.0;
+  GlobalOptions global;
+  OptionsParser parser("jockey_cli predict <job.scope> <trace.txt> [flags]");
+  parser.AddDouble("--deadline", "MIN", "deadline in minutes for the admission verdict",
+                   &deadline_minutes);
+  global.Register(parser);
+  if (path == "--help" || path == "-h") {
+    parser.PrintHelp(stdout);
+    return 0;
+  }
+  if (!parser.Parse(argc, argv, 4)) {
+    return 2;
+  }
+  if (parser.help_requested()) {
+    return 0;
+  }
   auto plan = CompileFile(path);
   if (!plan.has_value()) {
     return 1;
   }
-  auto model = BuildModel(*plan, trace_path, flags);
+  CliObservability obs(global);
+  if (!obs.ok()) {
+    return 1;
+  }
+  auto model = BuildModel(*plan, trace_path, global, obs.observer());
   if (!model.has_value()) {
     return 1;
   }
@@ -254,20 +309,37 @@ int CmdPredict(const std::string& path, const std::string& trace_path, const Fla
     std::printf("  %3d tokens -> %6.1f min\n", tokens,
                 model->PredictCompletionSeconds(tokens) / 60.0);
   }
-  if (flags.deadline_minutes > 0.0) {
-    double deadline = flags.deadline_minutes * 60.0;
+  if (deadline_minutes > 0.0) {
+    double deadline = deadline_minutes * 60.0;
     bool fits = model->WouldFit(deadline, 100);
-    std::printf("deadline %.0f min: %s", flags.deadline_minutes, fits ? "FITS" : "does NOT fit");
+    std::printf("deadline %.0f min: %s", deadline_minutes, fits ? "FITS" : "does NOT fit");
     if (fits) {
       std::printf(" (a-priori allocation: %d tokens)", model->InitialAllocation(deadline));
     }
     std::printf("\n");
   }
-  return 0;
+  return obs.Finish();
 }
 
-int CmdRun(const std::string& path, const std::string& trace_path, const Flags& flags) {
-  if (flags.deadline_minutes <= 0.0) {
+int CmdRun(int argc, char** argv, const std::string& path, const std::string& trace_path) {
+  double deadline_minutes = -1.0;
+  uint64_t seed = 1;
+  GlobalOptions global;
+  OptionsParser parser("jockey_cli run <job.scope> <trace.txt> --deadline MIN [flags]");
+  parser.AddDouble("--deadline", "MIN", "deadline in minutes (required)", &deadline_minutes);
+  parser.AddUint64("--seed", "S", "cluster seed for the run", &seed);
+  global.Register(parser);
+  if (path == "--help" || path == "-h") {
+    parser.PrintHelp(stdout);
+    return 0;
+  }
+  if (!parser.Parse(argc, argv, 4)) {
+    return 2;
+  }
+  if (parser.help_requested()) {
+    return 0;
+  }
+  if (deadline_minutes <= 0.0) {
     std::fprintf(stderr, "run requires --deadline <minutes>\n");
     return 2;
   }
@@ -275,30 +347,169 @@ int CmdRun(const std::string& path, const std::string& trace_path, const Flags& 
   if (!plan.has_value()) {
     return 1;
   }
-  auto model = BuildModel(*plan, trace_path, flags);
+  CliObservability obs(global);
+  if (!obs.ok()) {
+    return 1;
+  }
+  auto model = BuildModel(*plan, trace_path, global, obs.observer());
   if (!model.has_value()) {
     return 1;
   }
-  double deadline = flags.deadline_minutes * 60.0;
+  double deadline = deadline_minutes * 60.0;
   auto controller = model->MakeController(deadline);
-  ClusterConfig config = DefaultExperimentCluster(flags.seed * 2654435761ULL + 17);
+  controller->set_observer(obs.observer(), /*job_label=*/0);
+  ClusterConfig config = DefaultExperimentCluster(seed * 2654435761ULL + 17);
   ClusterSimulator cluster(config);
+  cluster.set_observer(obs.observer());
   JobSubmission submission;
   submission.controller = controller.get();
-  submission.seed = flags.seed * 104729 + 71;
+  submission.seed = seed * 104729 + 71;
   int id = cluster.SubmitJob(plan->job, submission);
   cluster.Run();
   const ClusterRunResult& r = cluster.result(id);
   bool met = r.finished && r.CompletionSeconds() <= deadline;
   std::printf("finished in %.1f min vs %.0f min deadline: %s\n", r.CompletionSeconds() / 60.0,
-              flags.deadline_minutes, met ? "SLO MET" : "SLO MISSED");
+              deadline_minutes, met ? "SLO MET" : "SLO MISSED");
   std::printf("%8s %10s %8s\n", "t[min]", "granted", "running");
   size_t step = std::max<size_t>(1, r.timeline.size() / 20);
   for (size_t i = 0; i < r.timeline.size(); i += step) {
     std::printf("%8.1f %10d %8d\n", r.timeline[i].time / 60.0, r.timeline[i].guaranteed,
                 r.timeline[i].running);
   }
+  if (obs.Finish() != 0) {
+    return 1;
+  }
   return met ? 0 : 1;
+}
+
+int CmdReport(int argc, char** argv, const std::string& trace_path) {
+  std::string chrome_out;
+  std::string jsonl_out;
+  int timeline_rows = 20;
+  OptionsParser parser("jockey_cli report <trace.jsonl> [flags]");
+  parser.AddString("--chrome-out", "FILE", "convert the trace for chrome://tracing",
+                   &chrome_out);
+  parser.AddString("--jsonl-out", "FILE", "re-emit the parsed trace as JSONL (round-trip copy)",
+                   &jsonl_out);
+  parser.AddInt("--timeline-rows", "N", "rows to print per job in the decision timeline",
+                &timeline_rows);
+  if (trace_path == "--help" || trace_path == "-h") {
+    parser.PrintHelp(stdout);
+    return 0;
+  }
+  if (!parser.Parse(argc, argv, 3)) {
+    return 2;
+  }
+  if (parser.help_requested()) {
+    return 0;
+  }
+  std::ifstream in(trace_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", trace_path.c_str());
+    return 1;
+  }
+  TraceReadResult trace = ReadJsonlTrace(in);
+  if (trace.malformed_lines > 0) {
+    std::fprintf(stderr, "warning: %d malformed line%s skipped\n", trace.malformed_lines,
+                 trace.malformed_lines == 1 ? "" : "s");
+  }
+  std::printf("%zu events\n", trace.events.size());
+
+  // Event totals, in the enum's (stable) order.
+  std::map<int, int64_t> kind_counts;
+  for (const TraceEvent& event : trace.events) {
+    ++kind_counts[static_cast<int>(event.kind())];
+  }
+  for (const auto& [kind, count] : kind_counts) {
+    std::printf("  %-20s %8lld\n", EventKindName(static_cast<EventKind>(kind)),
+                static_cast<long long>(count));
+  }
+
+  // The control-decision timeline: what the loop saw and decided, tick by tick
+  // (the trace-level reconstruction of Fig 6's allocation-over-time plots).
+  std::map<int, std::vector<const ControlTickEvent*>> ticks_by_job;
+  std::map<int, double> finish_by_job;
+  for (const TraceEvent& event : trace.events) {
+    if (const auto* tick = std::get_if<ControlTickEvent>(&event.payload)) {
+      ticks_by_job[tick->job].push_back(tick);
+    } else if (const auto* fin = std::get_if<JobFinishEvent>(&event.payload)) {
+      finish_by_job[fin->job] = fin->completion_seconds;
+    }
+  }
+  for (const auto& [job, ticks] : ticks_by_job) {
+    std::printf("job %d: %zu control ticks", job, ticks.size());
+    auto fin = finish_by_job.find(job);
+    if (fin != finish_by_job.end()) {
+      std::printf(", finished in %.1f min", fin->second / 60.0);
+    }
+    std::printf("\n");
+    std::printf("  %8s %9s %10s %6s %9s %8s\n", "t[min]", "progress", "pred[min]", "raw",
+                "smoothed", "granted");
+    size_t rows = timeline_rows > 0 ? static_cast<size_t>(timeline_rows) : ticks.size();
+    size_t step = std::max<size_t>(1, ticks.size() / rows);
+    for (size_t i = 0; i < ticks.size(); i += step) {
+      const ControlTickEvent& t = *ticks[i];
+      std::printf("  %8.1f %9.3f %10.1f %6.0f %9.1f %8d\n", t.elapsed_seconds / 60.0, t.progress,
+                  t.predicted_remaining_seconds / 60.0, t.raw_allocation, t.smoothed_allocation,
+                  t.granted_tokens);
+    }
+  }
+
+  // Scheduler disruptions: kills by reason and speculation outcomes.
+  int64_t kills[3] = {0, 0, 0};
+  int64_t reexecutions = 0;
+  for (const TraceEvent& event : trace.events) {
+    if (const auto* killed = std::get_if<TaskKilledEvent>(&event.payload)) {
+      ++kills[static_cast<int>(killed->reason)];
+      if (killed->requeued) {
+        ++reexecutions;
+      }
+    }
+  }
+  if (kills[0] + kills[1] + kills[2] > 0) {
+    std::printf("kills: %lld spare evictions, %lld task failures, %lld machine-failure kills "
+                "(%lld re-executions)\n",
+                static_cast<long long>(kills[0]), static_cast<long long>(kills[1]),
+                static_cast<long long>(kills[2]), static_cast<long long>(reexecutions));
+  }
+
+  // Table-cache activity (the offline model build's side of the trace).
+  std::map<int, int64_t> cache_codes;
+  for (const TraceEvent& event : trace.events) {
+    if (const auto* lookup = std::get_if<TableCacheLookupEvent>(&event.payload)) {
+      ++cache_codes[static_cast<int>(lookup->code)];
+    }
+  }
+  if (!cache_codes.empty()) {
+    std::printf("table cache lookups:");
+    for (const auto& [code, count] : cache_codes) {
+      std::printf(" %s=%lld", CacheCodeName(static_cast<CacheCode>(code)),
+                  static_cast<long long>(count));
+    }
+    std::printf("\n");
+  }
+
+  if (!chrome_out.empty()) {
+    std::ofstream out(chrome_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", chrome_out.c_str());
+      return 1;
+    }
+    WriteChromeTrace(out, trace.events);
+    std::printf("chrome trace written to %s (open in chrome://tracing)\n", chrome_out.c_str());
+  }
+  if (!jsonl_out.empty()) {
+    std::ofstream out(jsonl_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", jsonl_out.c_str());
+      return 1;
+    }
+    for (const TraceEvent& event : trace.events) {
+      out << ToJsonLine(event) << '\n';
+    }
+    std::printf("trace re-emitted to %s\n", jsonl_out.c_str());
+  }
+  return 0;
 }
 
 int Main(int argc, char** argv) {
@@ -306,30 +517,30 @@ int Main(int argc, char** argv) {
     return Usage();
   }
   std::string command = argv[1];
-  std::string script = argv[2];
   if (command == "compile") {
-    return CmdCompile(script);
+    return CmdCompile(argv[2]);
   }
   if (command == "dot") {
-    return CmdDot(script);
+    return CmdDot(argv[2]);
   }
   if (command == "train") {
-    Flags flags = ParseFlags(argc, argv, 3);
-    return flags.ok ? CmdTrain(script, flags) : 2;
+    return CmdTrain(argc, argv, argv[2]);
   }
+  bool help_only = std::string(argv[2]) == "--help" || std::string(argv[2]) == "-h";
   if (command == "predict") {
-    if (argc < 4) {
+    if (argc < 4 && !help_only) {
       return Usage();
     }
-    Flags flags = ParseFlags(argc, argv, 4);
-    return flags.ok ? CmdPredict(script, argv[3], flags) : 2;
+    return CmdPredict(argc, argv, argv[2], argc >= 4 ? argv[3] : "");
   }
   if (command == "run") {
-    if (argc < 4) {
+    if (argc < 4 && !help_only) {
       return Usage();
     }
-    Flags flags = ParseFlags(argc, argv, 4);
-    return flags.ok ? CmdRun(script, argv[3], flags) : 2;
+    return CmdRun(argc, argv, argv[2], argc >= 4 ? argv[3] : "");
+  }
+  if (command == "report") {
+    return CmdReport(argc, argv, argv[2]);
   }
   return Usage();
 }
