@@ -17,6 +17,7 @@
 #include "src/core/control_loop.h"
 #include "src/core/utility.h"
 #include "src/dag/profile.h"
+#include "src/fault/fault_injector.h"
 #include "src/obs/jsonl.h"
 #include "src/obs/metrics.h"
 #include "src/obs/observer.h"
@@ -392,6 +393,137 @@ void WriteObsReport(const char* path) {
               cluster_overhead_pct);
 }
 
+// Wall-clock report for the fault-injection overhead contract (BENCH_fault.json):
+// the control-loop tick and the cluster-sim run with no injector attached vs an
+// attached injector whose only window never overlaps the run. The src/fault/ bar
+// mirrors the obs one: an idle injector stays within 2% of the detached baseline on
+// both hot paths (the detached case itself is one nullptr branch per site, which the
+// baseline arm already includes). Negative percentages are timer noise and read as 0.
+void WriteFaultReport(const char* path) {
+  SimFixture& f = Fixture();
+  auto indicator = std::shared_ptr<const ProgressIndicator>(
+      MakeIndicator(IndicatorKind::kTotalWorkWithQ, f.tmpl.graph, f.profile));
+  auto table = std::make_shared<CompletionTable>(BuildCompletionTable(
+      f.tmpl.graph, f.profile, *indicator, CompletionModelConfig()));
+
+  // One window of every per-tick-consulted kind, parked far past any run's end: the
+  // injected arm pays the full lookup scans without ever changing a result.
+  FaultPlan idle_plan(7);
+  idle_plan.Add(FaultPlan::ControlBlackout(1e8, 1e9))
+      .Add(FaultPlan::GrantShortfall(1e8, 1e9, 0.5))
+      .Add(FaultPlan::TableFault(1e8, 1e9, 0.5))
+      .Add(FaultPlan::ReportDropout(1e8, 1e9));
+  FaultInjector idle_injector(idle_plan);
+
+  auto tick_rep_ns = [&](const FaultInjector* injector) {
+    JockeyController controller(indicator, table, DeadlineUtility(3600.0), ControlLoopConfig());
+    if (injector != nullptr) {
+      controller.set_fault_injector(injector);
+    }
+    JobRuntimeStatus status;
+    status.elapsed_seconds = 600.0;
+    status.frac_complete.assign(static_cast<size_t>(f.tmpl.graph.num_stages()), 0.4);
+    constexpr int kTicks = 20000;
+    auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kTicks; ++i) {
+      benchmark::DoNotOptimize(controller.OnTick(status).guaranteed_tokens);
+    }
+    return std::chrono::duration<double, std::nano>(std::chrono::steady_clock::now() - start)
+               .count() /
+           kTicks;
+  };
+
+  auto cluster_rep_ms = [&](FaultInjector* injector) {
+    auto start = std::chrono::steady_clock::now();
+    for (int job = 0; job < 3; ++job) {
+      ClusterConfig config;
+      config.num_machines = 50;
+      config.seed = 11 + static_cast<uint64_t>(job);
+      ClusterSimulator cluster(config);
+      if (injector != nullptr) {
+        cluster.set_fault_injector(injector);
+      }
+      JobSubmission submission;
+      submission.guaranteed_tokens = 40;
+      int id = cluster.SubmitJob(f.tmpl, submission);
+      cluster.Run();
+      benchmark::DoNotOptimize(cluster.result(id).CompletionSeconds());
+    }
+    return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+        .count();
+  };
+
+  // Same paired-median methodology as WriteObsReport: alternate which arm runs first
+  // within each pair, take the median of per-pair ratios.
+  auto median = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    size_t n = v.size();
+    return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+  };
+  constexpr int kTickReps = 15;
+  constexpr int kClusterReps = 41;
+  double tick_detached = 1e300;
+  double tick_idle = 1e300;
+  double cluster_detached = 1e300;
+  double cluster_idle = 1e300;
+  std::vector<double> tick_ratios;
+  std::vector<double> cluster_ratios;
+  for (int rep = 0; rep < kTickReps; ++rep) {
+    double td;
+    double ti;
+    if (rep % 2 == 0) {
+      td = tick_rep_ns(nullptr);
+      ti = tick_rep_ns(&idle_injector);
+    } else {
+      ti = tick_rep_ns(&idle_injector);
+      td = tick_rep_ns(nullptr);
+    }
+    tick_ratios.push_back(ti / td);
+    tick_detached = std::min(tick_detached, td);
+    tick_idle = std::min(tick_idle, ti);
+  }
+  for (int rep = 0; rep < kClusterReps; ++rep) {
+    double cd;
+    double ci;
+    if (rep % 2 == 0) {
+      cd = cluster_rep_ms(nullptr);
+      ci = cluster_rep_ms(&idle_injector);
+    } else {
+      ci = cluster_rep_ms(&idle_injector);
+      cd = cluster_rep_ms(nullptr);
+    }
+    cluster_ratios.push_back(ci / cd);
+    cluster_detached = std::min(cluster_detached, cd);
+    cluster_idle = std::min(cluster_idle, ci);
+  }
+
+  double tick_overhead_pct = (median(tick_ratios) - 1.0) * 100.0;
+  double cluster_overhead_pct = (median(cluster_ratios) - 1.0) * 100.0;
+  cluster_detached /= 3.0;  // report per-job milliseconds
+  cluster_idle /= 3.0;
+
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"control_tick_ns\": {\"no_injector\": %.1f, \"idle_injector\": %.1f},\n"
+               "  \"control_tick_idle_injector_overhead_pct\": %.2f,\n"
+               "  \"cluster_run_ms\": {\"no_injector\": %.3f, \"idle_injector\": %.3f},\n"
+               "  \"cluster_run_idle_injector_overhead_pct\": %.2f,\n"
+               "  \"overhead_budget_pct\": 2.0\n"
+               "}\n",
+               tick_detached, tick_idle, tick_overhead_pct, cluster_detached, cluster_idle,
+               cluster_overhead_pct);
+  std::fclose(out);
+  std::printf("BENCH_fault.json: tick %.0f ns detached / %.0f ns idle-injector (%+.2f%%), "
+              "cluster run %.2f ms / %.2f ms (%+.2f%%)\n",
+              tick_detached, tick_idle, tick_overhead_pct, cluster_detached, cluster_idle,
+              cluster_overhead_pct);
+}
+
 }  // namespace
 }  // namespace jockey
 
@@ -402,6 +534,7 @@ int main(int argc, char** argv) {
   }
   jockey::WritePrecomputeReport("BENCH_precompute.json");
   jockey::WriteObsReport("BENCH_obs.json");
+  jockey::WriteFaultReport("BENCH_fault.json");
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -11,6 +11,7 @@
 #define SRC_CLUSTER_CLUSTER_CONFIG_H_
 
 #include <cstdint>
+#include <string>
 
 #include "src/workload/background_load.h"
 
@@ -53,6 +54,13 @@ struct ClusterConfig {
 
   int TotalSlots() const { return num_machines * slots_per_machine; }
 };
+
+// Empty string when the config is sane; otherwise the first problem found
+// (non-positive machine/slot counts, negative rates or delays, background
+// utilization outside [0, 1]). ClusterSimulator's constructor calls this and
+// throws std::invalid_argument — a bad config fails fast at construction instead
+// of producing a silently nonsensical simulation.
+std::string ValidateClusterConfig(const ClusterConfig& config);
 
 }  // namespace jockey
 

@@ -3,13 +3,66 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
+
+#include "src/fault/fault_injector.h"
 
 namespace jockey {
+
+std::string ValidateClusterConfig(const ClusterConfig& config) {
+  if (config.num_machines <= 0) return "num_machines must be > 0";
+  if (config.slots_per_machine <= 0) return "slots_per_machine must be > 0";
+  if (config.machine_speed_sigma < 0.0) return "machine_speed_sigma must be >= 0";
+  if (config.contention_threshold < 0.0) return "contention_threshold must be >= 0";
+  if (config.contention_slope < 0.0) return "contention_slope must be >= 0";
+  if (config.machine_failure_rate_per_hour < 0.0) {
+    return "machine_failure_rate_per_hour must be >= 0";
+  }
+  if (config.machine_recovery_seconds <= 0.0) {
+    return "machine_recovery_seconds must be > 0";
+  }
+  if (config.scheduling_delay_seconds < 0.0) {
+    return "scheduling_delay_seconds must be >= 0";
+  }
+  if (config.speculation_slowdown < 1.0) return "speculation_slowdown must be >= 1";
+  if (config.speculation_min_samples < 1) return "speculation_min_samples must be >= 1";
+  if (config.speculation_check_period_seconds <= 0.0) {
+    return "speculation_check_period_seconds must be > 0";
+  }
+  if (config.speculation_max_per_task < 0) return "speculation_max_per_task must be >= 0";
+  if (config.superhigh_pressure_factor < 1.0) {
+    return "superhigh_pressure_factor must be >= 1";
+  }
+  const BackgroundLoadParams& bg = config.background;
+  if (bg.mean_utilization < 0.0 || bg.mean_utilization > 1.5) {
+    return "background.mean_utilization must be in [0, 1.5]";
+  }
+  if (bg.volatility < 0.0) return "background.volatility must be >= 0";
+  if (bg.reversion < 0.0) return "background.reversion must be >= 0";
+  if (bg.update_period_seconds <= 0.0) {
+    return "background.update_period_seconds must be > 0";
+  }
+  if (bg.min_utilization < 0.0 || bg.max_utilization > 1.5 ||
+      bg.min_utilization > bg.max_utilization) {
+    return "background.min/max_utilization must satisfy 0 <= min <= max <= 1.5";
+  }
+  if (bg.overload_rate_per_hour < 0.0) {
+    return "background.overload_rate_per_hour must be >= 0";
+  }
+  if (bg.overload_duration_seconds < 0.0) {
+    return "background.overload_duration_seconds must be >= 0";
+  }
+  return std::string();
+}
 
 ClusterSimulator::ClusterSimulator(const ClusterConfig& config)
     : config_(config),
       rng_(config.seed),
       background_(config.background, Rng(config.seed).Fork()) {
+  const std::string problem = ValidateClusterConfig(config);
+  if (!problem.empty()) {
+    throw std::invalid_argument("ClusterConfig: " + problem);
+  }
   machines_.resize(static_cast<size_t>(config_.num_machines));
   for (auto& m : machines_) {
     m.speed = rng_.LogNormal(0.0, config_.machine_speed_sigma);
@@ -93,10 +146,84 @@ void ClusterSimulator::AccumulateGuaranteedSeconds(JobState& job) {
   job.last_alloc_change = eq_.now();
 }
 
+void ClusterSimulator::InjectReportFaults(JobState& job, JobRuntimeStatus& status) {
+  // Record the truthful observation first: dropout/staleness windows replay from
+  // this history, so the served snapshot is always something the job really looked
+  // like at an earlier tick.
+  job.report_history.push_back(
+      ReportSnapshot{eq_.now(), status.frac_complete, status.completed_tasks});
+
+  const FaultWindow* dropout =
+      fault_injector_->Active(FaultKind::kReportDropout, eq_.now(), job.id);
+  const FaultWindow* stale =
+      dropout == nullptr
+          ? fault_injector_->Active(FaultKind::kReportStale, eq_.now(), job.id)
+          : nullptr;
+  if (dropout != nullptr || stale != nullptr) {
+    // Dropout: reports froze when the window opened. Staleness: reports arrive
+    // `magnitude` seconds late. Both serve the newest snapshot at or before the
+    // cutoff; with none, the controller is fully blind since submission.
+    const double cutoff = dropout != nullptr ? dropout->start_seconds
+                                             : eq_.now() - stale->magnitude;
+    const ReportSnapshot* snap = nullptr;
+    for (const ReportSnapshot& s : job.report_history) {
+      if (s.time <= cutoff) {
+        snap = &s;
+      } else {
+        break;
+      }
+    }
+    if (snap != nullptr) {
+      status.frac_complete = snap->frac;
+      status.completed_tasks = snap->completed;
+      status.report_age_seconds = eq_.now() - snap->time;
+    } else {
+      std::fill(status.frac_complete.begin(), status.frac_complete.end(), 0.0);
+      status.completed_tasks = 0;
+      status.report_age_seconds = status.elapsed_seconds;
+    }
+    status.report_fresh = false;
+    const FaultWindow& w = dropout != nullptr ? *dropout : *stale;
+    obs_.Emit(eq_.now(),
+              FaultInjectedEvent{w.kind, fault_injector_->IndexOf(w), job.id,
+                                 w.magnitude, status.report_age_seconds, 0.0});
+    ++tallies_.fault_report_faults;
+    return;  // dropout/staleness dominates; noise on a frozen report is meaningless
+  }
+
+  const FaultWindow* noise =
+      fault_injector_->Active(FaultKind::kReportNoise, eq_.now(), job.id);
+  if (noise != nullptr) {
+    for (double& frac : status.frac_complete) {
+      frac = fault_injector_->PerturbFraction(*noise, frac);
+    }
+    obs_.Emit(eq_.now(),
+              FaultInjectedEvent{noise->kind, fault_injector_->IndexOf(*noise),
+                                 job.id, noise->magnitude, 0.0, 0.0});
+    ++tallies_.fault_report_faults;
+  }
+}
+
 void ClusterSimulator::ControlTick(int job_id) {
   JobState& job = jobs_[static_cast<size_t>(job_id)];
   if (job.finished) {
     return;
+  }
+  if (fault_injector_ != nullptr) {
+    const FaultWindow* blackout =
+        fault_injector_->Active(FaultKind::kControlBlackout, eq_.now(), job.id);
+    if (blackout != nullptr) {
+      // The controller is unreachable: no decision, the last granted allocation
+      // holds until the next tick that gets through.
+      obs_.Emit(eq_.now(),
+                FaultInjectedEvent{blackout->kind, fault_injector_->IndexOf(*blackout),
+                                   job.id, 0.0,
+                                   static_cast<double>(job.guaranteed_tokens), 0.0});
+      ++tallies_.fault_blackouts;
+      eq_.ScheduleAfter(job.opts.control_period_seconds,
+                        [this, job_id]() { ControlTick(job_id); });
+      return;
+    }
   }
   JobRuntimeStatus status;
   status.now = eq_.now();
@@ -107,9 +234,29 @@ void ClusterSimulator::ControlTick(int job_id) {
   status.pending_tasks = static_cast<int>(job.pending.size() - job.pending_head);
   status.completed_tasks = job.dag->done_total();
   status.total_tasks = job.tracker->total_tasks();
+  if (fault_injector_ != nullptr && fault_injector_->HasReportFaults()) {
+    InjectReportFaults(job, status);
+  }
 
   ControlDecision decision = job.opts.controller->OnTick(status);
   int new_g = std::clamp(decision.guaranteed_tokens, 0, job.opts.max_guaranteed_tokens);
+  if (fault_injector_ != nullptr) {
+    const FaultWindow* shortfall =
+        fault_injector_->Active(FaultKind::kGrantShortfall, eq_.now(), job.id);
+    if (shortfall != nullptr) {
+      const int requested = new_g;
+      new_g = FaultInjector::ShortfallGrant(*shortfall, requested);
+      if (new_g != requested) {
+        obs_.Emit(eq_.now(),
+                  FaultInjectedEvent{shortfall->kind,
+                                     fault_injector_->IndexOf(*shortfall), job.id,
+                                     shortfall->magnitude,
+                                     static_cast<double>(requested),
+                                     static_cast<double>(new_g)});
+        ++tallies_.fault_grant_shortfalls;
+      }
+    }
+  }
   AccumulateGuaranteedSeconds(job);
   if (new_g != job.guaranteed_tokens) {
     obs_.Emit(eq_.now(), AllocationChangeEvent{job_id, job.guaranteed_tokens, new_g});
@@ -518,6 +665,46 @@ void ClusterSimulator::SpeculationTick() {
   eq_.ScheduleAfter(config_.speculation_check_period_seconds, [this]() { SpeculationTick(); });
 }
 
+bool ClusterSimulator::FailMachine(int machine, int* killed) {
+  Machine& m = machines_[static_cast<size_t>(machine)];
+  if (!m.up) {
+    return false;
+  }
+  m.up = false;
+  int total_killed = 0;
+  for (auto& job : jobs_) {
+    if (!job.started || job.finished) {
+      continue;
+    }
+    std::vector<uint64_t> victims;
+    for (const auto& [attempt, running] : job.running) {
+      if (running.machine == machine) {
+        victims.push_back(attempt);
+      }
+    }
+    for (uint64_t attempt : victims) {
+      ++job.result.machine_failure_kills;
+      ++total_killed;
+      KillAttempt(job, attempt, KillReason::kMachineFailure);
+    }
+  }
+  obs_.Emit(eq_.now(), MachineFailureEvent{machine, total_killed});
+  ++tallies_.machine_failures;
+  if (killed != nullptr) {
+    *killed += total_killed;
+  }
+  return true;
+}
+
+void ClusterSimulator::RecoverMachine(int machine) {
+  Machine& m = machines_[static_cast<size_t>(machine)];
+  if (m.up) {
+    return;
+  }
+  m.up = true;
+  obs_.Emit(eq_.now(), MachineRecoverEvent{machine});
+}
+
 void ClusterSimulator::ScheduleMachineFailure() {
   if (config_.machine_failure_rate_per_hour <= 0.0) {
     return;
@@ -528,30 +715,9 @@ void ClusterSimulator::ScheduleMachineFailure() {
       return;
     }
     int machine = static_cast<int>(rng_.UniformInt(0, config_.num_machines - 1));
-    if (machines_[static_cast<size_t>(machine)].up) {
-      machines_[static_cast<size_t>(machine)].up = false;
-      int total_killed = 0;
-      for (auto& job : jobs_) {
-        if (!job.started || job.finished) {
-          continue;
-        }
-        std::vector<uint64_t> victims;
-        for (const auto& [attempt, running] : job.running) {
-          if (running.machine == machine) {
-            victims.push_back(attempt);
-          }
-        }
-        for (uint64_t attempt : victims) {
-          ++job.result.machine_failure_kills;
-          ++total_killed;
-          KillAttempt(job, attempt, KillReason::kMachineFailure);
-        }
-      }
-      obs_.Emit(eq_.now(), MachineFailureEvent{machine, total_killed});
-      ++tallies_.machine_failures;
+    if (FailMachine(machine, nullptr)) {
       eq_.ScheduleAfter(config_.machine_recovery_seconds, [this, machine]() {
-        machines_[static_cast<size_t>(machine)].up = true;
-        obs_.Emit(eq_.now(), MachineRecoverEvent{machine});
+        RecoverMachine(machine);
         if (unfinished_jobs_ > 0) {
           Reschedule();
         }
@@ -560,6 +726,41 @@ void ClusterSimulator::ScheduleMachineFailure() {
     }
     ScheduleMachineFailure();
   });
+}
+
+void ClusterSimulator::ScheduleMachineBursts() {
+  for (const FaultWindow* w : fault_injector_->WindowsOfKind(FaultKind::kMachineBurst)) {
+    const int first = std::min(w->first_machine, config_.num_machines);
+    const int last = std::min(w->first_machine + w->machine_count, config_.num_machines);
+    eq_.ScheduleAt(w->start_seconds, [this, w, first, last]() {
+      if (unfinished_jobs_ == 0) {
+        return;
+      }
+      int killed = 0;
+      int downed = 0;
+      for (int machine = first; machine < last; ++machine) {
+        if (FailMachine(machine, &killed)) {
+          ++downed;
+        }
+      }
+      if (downed > 0) {
+        obs_.Emit(eq_.now(),
+                  FaultInjectedEvent{w->kind, fault_injector_->IndexOf(*w), -1, 0.0,
+                                     static_cast<double>(downed),
+                                     static_cast<double>(killed)});
+        ++tallies_.fault_machine_bursts;
+        Reschedule();
+      }
+    });
+    eq_.ScheduleAt(w->end_seconds, [this, first, last]() {
+      for (int machine = first; machine < last; ++machine) {
+        RecoverMachine(machine);
+      }
+      if (unfinished_jobs_ > 0) {
+        Reschedule();
+      }
+    });
+  }
 }
 
 void ClusterSimulator::ClusterTick() {
@@ -574,6 +775,9 @@ void ClusterSimulator::ClusterTick() {
 
 void ClusterSimulator::Run(double max_seconds) {
   ScheduleMachineFailure();
+  if (fault_injector_ != nullptr) {
+    ScheduleMachineBursts();
+  }
   eq_.ScheduleAfter(config_.background.update_period_seconds, [this]() { ClusterTick(); });
   if (config_.enable_speculation) {
     eq_.ScheduleAfter(config_.speculation_check_period_seconds, [this]() { SpeculationTick(); });
@@ -613,6 +817,14 @@ void ClusterSimulator::FlushTallies() {
     obs_.Count("cluster.speculative_launched", tallies_.speculative_launched);
     obs_.Count("cluster.speculative_wins", tallies_.speculative_wins);
     obs_.Count("cluster.machine_failures", tallies_.machine_failures);
+    if (fault_injector_ != nullptr) {
+      // Only materialized when an injector is attached: a fault-free run's metrics
+      // export stays byte-identical to pre-fault-subsystem builds.
+      obs_.Count("fault.report_faults", tallies_.fault_report_faults);
+      obs_.Count("fault.blackouts", tallies_.fault_blackouts);
+      obs_.Count("fault.grant_shortfalls", tallies_.fault_grant_shortfalls);
+      obs_.Count("fault.machine_bursts", tallies_.fault_machine_bursts);
+    }
   }
   tallies_ = ObsTallies{};
 }

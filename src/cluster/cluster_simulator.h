@@ -37,6 +37,8 @@
 
 namespace jockey {
 
+class FaultInjector;
+
 // Token priority class of a job's guarantee (Section 3.1). Normal guaranteed tokens
 // serve after SuperHigh ones; SuperHigh tasks also intensify local contention for
 // everyone else — the downside that made the paper reject priority classes.
@@ -118,6 +120,13 @@ class ClusterSimulator {
   // lookups per scheduler event would blow the <=2% overhead budget.
   void set_observer(Observer observer);
 
+  // Attaches a fault injector (fault_injector.h). Call before Run(); nullptr (the
+  // default) detaches, and the detached path is one branch per injection site — a
+  // detached injector changes no simulation result bit-for-bit. The injector must
+  // outlive the simulator; non-const because report-noise faults advance the
+  // injector's seeded noise stream.
+  void set_fault_injector(FaultInjector* injector) { fault_injector_ = injector; }
+
   SimTime now() const { return eq_.now(); }
   int TotalUpSlots() const;
 
@@ -131,6 +140,14 @@ class ClusterSimulator {
     bool spare = false;
     bool speculative = false;      // a duplicate copy of a still-running task
     uint64_t attempt = 0;
+  };
+
+  // A truthful progress observation, retained only while report faults are
+  // scheduled; dropout/staleness windows serve the controller an old snapshot.
+  struct ReportSnapshot {
+    SimTime time = 0.0;
+    std::vector<double> frac;
+    int completed = 0;
   };
 
   struct JobState {
@@ -160,6 +177,9 @@ class ClusterSimulator {
     int spare_completions = 0;
     int completions = 0;
     SimTime last_alloc_change = 0.0;
+    // Truthful per-tick observations (only populated when the attached plan has
+    // report faults; see ReportSnapshot).
+    std::vector<ReportSnapshot> report_history;
     bool started = false;
     bool finished = false;
     ClusterRunResult result;
@@ -184,7 +204,17 @@ class ClusterSimulator {
   void SpeculationTick();
   void FinishJob(int job_id);
   void AccumulateGuaranteedSeconds(JobState& job);
+  // Replaces the truthful progress fields of `status` per the active report-fault
+  // window, recording the truthful snapshot first. Emits fault_injected events.
+  void InjectReportFaults(JobState& job, JobRuntimeStatus& status);
+  // Takes a machine down, killing every attempt running on it. Returns false when
+  // the machine was already down; adds the kill count to *killed when given.
+  bool FailMachine(int machine, int* killed);
+  void RecoverMachine(int machine);
   void ScheduleMachineFailure();
+  // Registers the plan's machine_burst windows with the event queue (rack-style
+  // correlated outages layered on the Poisson model above).
+  void ScheduleMachineBursts();
   void ClusterTick();
   void DrainReady(JobState& job);
   int UpSlots() const;
@@ -208,10 +238,15 @@ class ClusterSimulator {
     int64_t speculative_launched = 0;
     int64_t speculative_wins = 0;
     int64_t machine_failures = 0;
+    int64_t fault_report_faults = 0;
+    int64_t fault_blackouts = 0;
+    int64_t fault_grant_shortfalls = 0;
+    int64_t fault_machine_bursts = 0;
   };
 
   ClusterConfig config_;
   Observer obs_;
+  FaultInjector* fault_injector_ = nullptr;
   ObsTallies tallies_;
   // Pre-resolved histogram slots (one name lookup at attach, none per event).
   Histogram* exec_seconds_hist_ = nullptr;

@@ -25,6 +25,11 @@ struct JobRuntimeStatus {
   int pending_tasks = 0;
   int completed_tasks = 0;
   int total_tasks = 0;
+  // Progress-report health (fault injection, fault_plan.h). When false, the
+  // fractions above are a stale snapshot `report_age_seconds` old — a hardened
+  // policy can react (hold, then escalate); a naive one can't tell the difference.
+  bool report_fresh = true;
+  double report_age_seconds = 0.0;
 };
 
 // A policy's output for one control tick.

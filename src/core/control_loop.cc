@@ -3,8 +3,53 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
+
+#include "src/fault/fault_injector.h"
 
 namespace jockey {
+
+std::string ValidateControlLoopConfig(const ControlLoopConfig& config) {
+  if (config.slack < 1.0) return "slack must be >= 1";
+  if (config.hysteresis_alpha <= 0.0 || config.hysteresis_alpha > 1.0) {
+    return "hysteresis_alpha must be in (0, 1]";
+  }
+  if (config.dead_zone_seconds < 0.0) return "dead_zone_seconds must be >= 0";
+  if (config.prediction_quantile < 0.0 || config.prediction_quantile > 1.0) {
+    return "prediction_quantile must be in [0, 1]";
+  }
+  if (config.min_tokens < 1) return "min_tokens must be >= 1";
+  if (config.max_tokens < config.min_tokens) return "max_tokens must be >= min_tokens";
+  if (config.correction_ewma <= 0.0 || config.correction_ewma > 1.0) {
+    return "correction_ewma must be in (0, 1]";
+  }
+  if (config.correction_min_speed <= 0.0) return "correction_min_speed must be > 0";
+  if (config.correction_max_speed < config.correction_min_speed) {
+    return "correction_max_speed must be >= correction_min_speed";
+  }
+  if (config.correction_warmup_ticks < 0) return "correction_warmup_ticks must be >= 0";
+  if (config.stale_hold_seconds < 0.0) return "stale_hold_seconds must be >= 0";
+  if (config.blind_escalation_rate <= 0.0 || config.blind_escalation_rate > 1.0) {
+    return "blind_escalation_rate must be in (0, 1]";
+  }
+  if (config.blackout_gap_factor <= 1.0) return "blackout_gap_factor must be > 1";
+  if (config.grant_ratio_ewma <= 0.0 || config.grant_ratio_ewma > 1.0) {
+    return "grant_ratio_ewma must be in (0, 1]";
+  }
+  return std::string();
+}
+
+namespace {
+
+ControlLoopConfig CheckedConfig(ControlLoopConfig config) {
+  const std::string problem = ValidateControlLoopConfig(config);
+  if (!problem.empty()) {
+    throw std::invalid_argument("ControlLoopConfig: " + problem);
+  }
+  return config;
+}
+
+}  // namespace
 
 JockeyController::JockeyController(std::shared_ptr<const ProgressIndicator> indicator,
                                    std::shared_ptr<const CompletionTable> table,
@@ -13,9 +58,10 @@ JockeyController::JockeyController(std::shared_ptr<const ProgressIndicator> indi
       table_(std::move(table)),
       utility_(std::move(utility)),
       shifted_utility_(utility_.ShiftLeft(config.dead_zone_seconds)),
-      config_(config) {
+      config_(CheckedConfig(config)) {
   assert(indicator_ != nullptr);
   assert(table_ != nullptr);
+  worst_case_total_ = table_->Predict(0.0, config_.min_tokens, config_.prediction_quantile);
 }
 
 JockeyController::JockeyController(std::shared_ptr<const ProgressIndicator> indicator,
@@ -25,17 +71,49 @@ JockeyController::JockeyController(std::shared_ptr<const ProgressIndicator> indi
       amdahl_(std::move(amdahl)),
       utility_(std::move(utility)),
       shifted_utility_(utility_.ShiftLeft(config.dead_zone_seconds)),
-      config_(config) {
+      config_(CheckedConfig(config)) {
   assert(indicator_ != nullptr);
   assert(amdahl_ != nullptr);
+  worst_case_total_ = amdahl_->PredictTotal(config_.min_tokens);
+}
+
+JockeyController::JockeyController(std::shared_ptr<const ProgressIndicator> indicator,
+                                   std::shared_ptr<const CompletionTable> table,
+                                   std::shared_ptr<const AmdahlModel> amdahl,
+                                   PiecewiseLinear utility, ControlLoopConfig config)
+    : indicator_(std::move(indicator)),
+      table_(std::move(table)),
+      amdahl_(std::move(amdahl)),
+      utility_(std::move(utility)),
+      shifted_utility_(utility_.ShiftLeft(config.dead_zone_seconds)),
+      config_(CheckedConfig(config)) {
+  assert(indicator_ != nullptr);
+  assert(table_ != nullptr || amdahl_ != nullptr);
+  worst_case_total_ =
+      table_ != nullptr
+          ? table_->Predict(0.0, config_.min_tokens, config_.prediction_quantile)
+          : amdahl_->PredictTotal(config_.min_tokens);
 }
 
 double JockeyController::PredictRemaining(double progress,
                                           const std::vector<double>& frac_complete,
                                           double allocation) const {
-  double raw = table_ != nullptr
-                   ? table_->Predict(progress, allocation, config_.prediction_quantile)
-                   : amdahl_->PredictRemaining(frac_complete, allocation);
+  double raw;
+  if (table_ != nullptr && !(config_.enable_degraded_mode && table_fault_active_)) {
+    raw = table_->Predict(progress, allocation, config_.prediction_quantile);
+    if (table_fault_active_ && fault_injector_ != nullptr) {
+      // A naive controller cannot tell corrupted lookups from real ones; it
+      // consumes them silently. The hardened path above never reaches here.
+      raw = fault_injector_->CorruptPrediction(tick_now_, raw);
+    }
+  } else if (amdahl_ != nullptr) {
+    // Second rung of the fallback chain: the analytic Amdahl model needs no table.
+    raw = amdahl_->PredictRemaining(frac_complete, allocation);
+  } else {
+    // Last rung: linear scale-down of the worst-case total. Deliberately crude and
+    // deliberately pessimistic — it exists so decisions never divide by silence.
+    raw = worst_case_total_ * std::max(0.0, 1.0 - progress);
+  }
   if (config_.enable_model_correction && ticks_seen_ >= config_.correction_warmup_ticks) {
     // speed < 1 means model time passes slower than wall clock; inflate accordingly.
     raw /= speed_estimate_;
@@ -61,6 +139,20 @@ void JockeyController::UpdateModelSpeed(double elapsed, double progress,
     speed_estimate_ += config_.correction_ewma * (speed - speed_estimate_);
   }
   ++ticks_seen_;
+}
+
+void JockeyController::ObserveGrantRatio(const JobRuntimeStatus& status) {
+  if (last_requested_ <= 0) {
+    return;
+  }
+  // What the scheduler actually honored of the previous request. Clamped at 1: a
+  // grant above the request (window closed, cluster generous) must not deflate
+  // later requests below target.
+  const double ratio = std::clamp(
+      static_cast<double>(status.guaranteed_tokens) / last_requested_, 0.0, 1.0);
+  grant_ratio_ += config_.grant_ratio_ewma * (ratio - grant_ratio_);
+  // Floor prevents a total blackout of grants from inflating requests to infinity.
+  grant_ratio_ = std::clamp(grant_ratio_, 0.05, 1.0);
 }
 
 int JockeyController::RawAllocation(double elapsed, double progress,
@@ -91,32 +183,105 @@ ControlDecision JockeyController::OnTick(const JobRuntimeStatus& status) {
     observer_.Emit(status.now, UtilityChangeEvent{job_label_, status.elapsed_seconds});
   }
 
-  double progress = indicator_->Evaluate(status.frac_complete);
-  UpdateModelSpeed(status.elapsed_seconds, progress, status.frac_complete);
-  const PiecewiseLinear& shifted = shifted_utility_;
-  int raw = RawAllocation(status.elapsed_seconds, progress, status.frac_complete, shifted);
+  tick_now_ = status.now;
+  table_fault_active_ =
+      fault_injector_ != nullptr && fault_injector_->TableFaultActive(status.now);
+  const bool degraded = config_.enable_degraded_mode;
+  bool have_mode = false;
+  DegradeMode mode = DegradeMode::kStaleHold;
+  double mode_value = 0.0;
+  if (degraded) {
+    ObserveGrantRatio(status);
+  }
 
+  double progress = indicator_->Evaluate(status.frac_complete);
+  const PiecewiseLinear& shifted = shifted_utility_;
+  int raw;
   bool deadzone_checked = false;
-  if (smoothed_ < 0.0) {
-    // First tick: adopt the raw allocation outright (there is no history to smooth
-    // against); this is also the a-priori allocation of "Jockey w/o adaptation".
-    smoothed_ = raw;
-  } else if (raw > smoothed_) {
-    deadzone_checked = true;
-    // Dead zone: only chase an increase when the current allocation is predicted to
-    // fall short of the best achievable utility, i.e. the job is at least D behind
-    // schedule (the utility is already shifted left by D).
-    double predicted_cur =
-        config_.slack * PredictRemaining(progress, status.frac_complete, smoothed_);
-    double u_cur = shifted(status.elapsed_seconds + predicted_cur);
-    double predicted_raw =
-        config_.slack * PredictRemaining(progress, status.frac_complete, raw);
-    double u_best = shifted(status.elapsed_seconds + predicted_raw);
-    if (u_cur < u_best - 1e-9) {
+  bool scanned = false;
+
+  const bool blind = degraded && !status.report_fresh;
+  const bool model_lost = degraded && table_fault_active_ && table_ != nullptr;
+  if (blind && status.report_age_seconds <= config_.stale_hold_seconds &&
+      smoothed_ >= 0.0) {
+    // Brief report dropout: the last decision was made on trustworthy data and the
+    // world has not had long to drift — hold it rather than chase a frozen signal.
+    raw = static_cast<int>(std::ceil(smoothed_ - 1e-9));
+    have_mode = true;
+    mode = DegradeMode::kStaleHold;
+    mode_value = smoothed_;
+  } else if (blind || (model_lost && amdahl_ == nullptr)) {
+    // Blind past the threshold (or the model is gone with no fallback): the paper's
+    // rule is to be pessimistic under uncertainty. Walk the allocation toward the
+    // maximum each tick the outage persists; the dead zone and hysteresis are
+    // exactly the moderation we must NOT apply, since they assume trusted inputs.
+    if (smoothed_ < 0.0) {
+      smoothed_ = std::max(static_cast<double>(config_.min_tokens),
+                           static_cast<double>(status.guaranteed_tokens));
+    }
+    smoothed_ += config_.blind_escalation_rate * (config_.max_tokens - smoothed_);
+    raw = config_.max_tokens;
+    have_mode = true;
+    mode = blind ? DegradeMode::kPessimisticEscalation : DegradeMode::kModelLossEscalation;
+    mode_value = smoothed_;
+  } else {
+    if (!degraded || status.report_fresh) {
+      UpdateModelSpeed(status.elapsed_seconds, progress, status.frac_complete);
+    }
+    if (model_lost && amdahl_ != nullptr) {
+      // Table lookups are faulted but the analytic model survives: the scan below
+      // runs on the second rung of the fallback chain (see PredictRemaining).
+      have_mode = true;
+      mode = DegradeMode::kFallbackModel;
+    }
+    raw = RawAllocation(status.elapsed_seconds, progress, status.frac_complete, shifted);
+    scanned = true;
+
+    if (smoothed_ < 0.0) {
+      // First tick: adopt the raw allocation outright (there is no history to smooth
+      // against); this is also the a-priori allocation of "Jockey w/o adaptation".
+      smoothed_ = raw;
+    } else if (raw > smoothed_) {
+      deadzone_checked = true;
+      // Dead zone: only chase an increase when the current allocation is predicted to
+      // fall short of the best achievable utility, i.e. the job is at least D behind
+      // schedule (the utility is already shifted left by D). In degraded mode the
+      // "current" prediction uses what the scheduler actually granted, not what we
+      // asked for — under a grant shortfall the held allocation is a fiction.
+      double current_alloc = smoothed_;
+      if (degraded) {
+        current_alloc = std::clamp(static_cast<double>(status.guaranteed_tokens),
+                                   static_cast<double>(config_.min_tokens), smoothed_);
+      }
+      double predicted_cur =
+          config_.slack * PredictRemaining(progress, status.frac_complete, current_alloc);
+      double u_cur = shifted(status.elapsed_seconds + predicted_cur);
+      double predicted_raw =
+          config_.slack * PredictRemaining(progress, status.frac_complete, raw);
+      double u_best = shifted(status.elapsed_seconds + predicted_raw);
+      if (u_cur < u_best - 1e-9) {
+        smoothed_ += config_.hysteresis_alpha * (raw - smoothed_);
+      }
+    } else {
       smoothed_ += config_.hysteresis_alpha * (raw - smoothed_);
     }
-  } else {
-    smoothed_ += config_.hysteresis_alpha * (raw - smoothed_);
+
+    if (degraded && last_tick_elapsed_ >= 0.0) {
+      // Blackout catch-up: the smallest gap ever observed is the control period; a
+      // much larger gap means ticks were skipped. Hysteresis would spread the
+      // recovery over many periods — snap to raw instead to make up lost ground.
+      const double gap = status.elapsed_seconds - last_tick_elapsed_;
+      if (gap > 1e-9 && (min_tick_gap_ < 0.0 || gap < min_tick_gap_)) {
+        min_tick_gap_ = gap;
+      }
+      if (min_tick_gap_ > 0.0 && gap > config_.blackout_gap_factor * min_tick_gap_ &&
+          raw > smoothed_) {
+        smoothed_ = raw;
+        have_mode = true;
+        mode = DegradeMode::kBlackoutCatchup;
+        mode_value = raw;
+      }
+    }
   }
   // Exponential smoothing approaches the raw value asymptotically; snap the final
   // half-token so a steady raw target is actually reached.
@@ -127,6 +292,21 @@ ControlDecision JockeyController::OnTick(const JobRuntimeStatus& status) {
                          static_cast<double>(config_.max_tokens));
 
   int granted = static_cast<int>(std::ceil(smoothed_ - 1e-9));
+  if (degraded && grant_ratio_ < 0.999) {
+    // Grant compensation: the scheduler has been shortfalling grants; inflate the
+    // request so granted x ratio lands on the target the loop actually chose.
+    const int request = std::min(
+        config_.max_tokens,
+        static_cast<int>(std::ceil(static_cast<double>(granted) / grant_ratio_ - 1e-9)));
+    if (request > granted && !have_mode) {
+      have_mode = true;
+      mode = DegradeMode::kGrantCompensation;
+      mode_value = grant_ratio_;
+    }
+    granted = request;
+  }
+  last_requested_ = granted;
+  last_tick_elapsed_ = status.elapsed_seconds;
 
   ControlTickLog tick;
   tick.elapsed_seconds = status.elapsed_seconds;
@@ -139,11 +319,12 @@ ControlDecision JockeyController::OnTick(const JobRuntimeStatus& status) {
 
   if (observer_.enabled()) {
     if (ticks_counter_ != nullptr) {
-      // The candidate scan, the dead-zone comparison (when entered) and the log line
-      // above all queried the model this tick; count them in one shot.
+      // The candidate scan (when it ran), the dead-zone comparison (when entered)
+      // and the log line above all queried the model this tick; count in one shot.
       ++*ticks_counter_;
       *lookups_counter_ +=
-          config_.max_tokens - config_.min_tokens + 1 + 1 + (deadzone_checked ? 2 : 0);
+          (scanned ? config_.max_tokens - config_.min_tokens + 1 : 0) + 1 +
+          (deadzone_checked ? 2 : 0);
     }
     if (observer_.tracing()) {
       observer_.Emit(status.now, PredictionLookupEvent{job_label_, progress,
@@ -162,6 +343,19 @@ ControlDecision JockeyController::OnTick(const JobRuntimeStatus& status) {
       event.granted_tokens = granted;
       event.model_speed = speed_estimate_;
       observer_.Emit(TraceEvent(status.now, event));
+    }
+    if (have_mode) {
+      if (observer_.tracing()) {
+        observer_.Emit(status.now,
+                       DegradedDecisionEvent{job_label_, mode, status.elapsed_seconds,
+                                             status.report_age_seconds, granted,
+                                             mode_value});
+      }
+      if (observer_.metering()) {
+        // Degraded decisions are rare (fault windows only); the string build is off
+        // the per-tick fast path.
+        observer_.Count(std::string("control.degraded.") + DegradeModeName(mode));
+      }
     }
   }
 

@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/cluster/controller.h"
@@ -32,6 +33,8 @@
 #include "src/util/piecewise_linear.h"
 
 namespace jockey {
+
+class FaultInjector;
 
 struct ControlLoopConfig {
   // Multiplies every latency prediction: compensates model under-estimation.
@@ -63,7 +66,31 @@ struct ControlLoopConfig {
   // not treated as evidence the model is pessimistic.
   double correction_max_speed = 1.0;
   int correction_warmup_ticks = 5;    // ticks before the correction engages
+  // Graceful degradation under control-plane faults (fault_plan.h). Off by default:
+  // the vanilla controller silently consumes whatever the status reports say, which
+  // is the baseline the chaos sweep compares against. When enabled, the controller
+  // applies the paper's "be pessimistic under uncertainty" principle to its own
+  // inputs: hold briefly under report dropout, escalate toward the maximum when
+  // blind for too long, fall back through the estimator chain (frozen table ->
+  // Amdahl model -> worst case) when lookups are corrupted, and track *granted*
+  // rather than requested tokens when the scheduler shortfalls grants.
+  bool enable_degraded_mode = false;
+  // Stale reports at most this old hold the last safe allocation; older ones
+  // trigger pessimistic escalation.
+  double stale_hold_seconds = 150.0;
+  // Per-tick fraction of the remaining gap to max_tokens applied while blind.
+  double blind_escalation_rate = 0.5;
+  // A tick gap exceeding this multiple of the smallest observed gap means control
+  // ticks were skipped (blackout); the next decision snaps to raw, skipping
+  // hysteresis, to make up the lost ground.
+  double blackout_gap_factor = 1.75;
+  // EWMA smoothing of the observed granted/requested ratio (grant compensation).
+  double grant_ratio_ewma = 0.5;
 };
+
+// Empty string when the config is sane; otherwise the first problem found.
+// JockeyController's constructors call this and throw std::invalid_argument.
+std::string ValidateControlLoopConfig(const ControlLoopConfig& config);
 
 // One control decision, logged for the progress-indicator evaluation (Figs 9/10).
 struct ControlTickLog {
@@ -85,6 +112,14 @@ class JockeyController : public JobController {
                    ControlLoopConfig config);
 
   JockeyController(std::shared_ptr<const ProgressIndicator> indicator,
+                   std::shared_ptr<const AmdahlModel> amdahl, PiecewiseLinear utility,
+                   ControlLoopConfig config);
+
+  // Fallback-chain constructor: prefers the table, falls back to the Amdahl model
+  // when table lookups are faulted (degraded mode), and to a worst-case linear
+  // estimate when neither survives. At least one of table/amdahl must be set.
+  JockeyController(std::shared_ptr<const ProgressIndicator> indicator,
+                   std::shared_ptr<const CompletionTable> table,
                    std::shared_ptr<const AmdahlModel> amdahl, PiecewiseLinear utility,
                    ControlLoopConfig config);
 
@@ -124,6 +159,16 @@ class JockeyController : public JobController {
   // slower than the model thinks). Meaningful when model correction is enabled.
   double model_speed_estimate() const { return speed_estimate_; }
 
+  // Attaches a fault injector so table-fault windows reach prediction lookups.
+  // A naive controller (enable_degraded_mode off) silently consumes the corrupted
+  // predictions — modeling an undetected model failure; a hardened one detects the
+  // window and walks the fallback chain instead. Must outlive the controller.
+  void set_fault_injector(const FaultInjector* injector) { fault_injector_ = injector; }
+
+  // Smoothed granted/requested ratio observed under grant-shortfall windows
+  // (1.0 = grants honored in full). Meaningful in degraded mode.
+  double grant_ratio_estimate() const { return grant_ratio_; }
+
  private:
   // Predicted remaining seconds (before slack) at the given progress / fractions.
   double PredictRemaining(double progress, const std::vector<double>& frac_complete,
@@ -134,6 +179,10 @@ class JockeyController : public JobController {
 
   // Updates the model-speed estimator from consecutive observations.
   void UpdateModelSpeed(double elapsed, double progress, const std::vector<double>& frac);
+
+  // Folds the currently-granted tokens against the last request into grant_ratio_
+  // (degraded mode only); a persistent shortfall inflates subsequent requests.
+  void ObserveGrantRatio(const JobRuntimeStatus& status);
 
   std::shared_ptr<const ProgressIndicator> indicator_;
   std::shared_ptr<const CompletionTable> table_;  // exactly one of table_/amdahl_ set
@@ -158,6 +207,17 @@ class JockeyController : public JobController {
   double prev_remaining_ = -1.0;
   double prev_allocation_ = -1.0;
   int ticks_seen_ = 0;
+  // Fault-awareness / degraded-mode state.
+  const FaultInjector* fault_injector_ = nullptr;
+  double tick_now_ = 0.0;            // simulated time of the tick being decided
+  bool table_fault_active_ = false;  // table-fault window covers tick_now_
+  // Worst-case total runtime (prediction at min_tokens from a fresh job), the last
+  // rung of the fallback chain.
+  double worst_case_total_ = 0.0;
+  int last_requested_ = -1;
+  double last_tick_elapsed_ = -1.0;
+  double min_tick_gap_ = -1.0;  // smallest observed tick gap (the control period)
+  double grant_ratio_ = 1.0;
 };
 
 }  // namespace jockey

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/fault/fault_injector.h"
+
 namespace jockey {
 
 const char* PolicyName(PolicyKind policy) {
@@ -147,8 +149,16 @@ ExperimentResult RunExperiment(const TrainedJob& job, const ExperimentOptions& o
   submission.control_period_seconds = options.control_period_seconds;
   submission.seed = options.seed * 104729 + 71;
   cluster.set_observer(options.observer);
+  std::optional<FaultInjector> injector;
+  if (options.fault_plan != nullptr && !options.fault_plan->empty()) {
+    injector.emplace(*options.fault_plan);
+    cluster.set_fault_injector(&*injector);
+  }
   if (adaptive != nullptr) {
     adaptive->set_observer(options.observer, /*job_label=*/0);
+    if (injector.has_value()) {
+      adaptive->set_fault_injector(&*injector);
+    }
   }
   int job_id = cluster.SubmitJob(*job.tmpl, submission);
   cluster.Run();

@@ -17,6 +17,7 @@
 
 #include "src/cluster/cluster_simulator.h"
 #include "src/core/jockey.h"
+#include "src/fault/fault_plan.h"
 #include "src/core/policies.h"
 #include "src/obs/observer.h"
 #include "src/workload/job_template.h"
@@ -97,6 +98,12 @@ struct ExperimentOptions {
   // and, for adaptive policies, the controller (control-decision events). Detached by
   // default, so instrumented code costs one branch per emission site.
   Observer observer;
+  // Fault schedule (fault_plan.h): when set and non-empty, an injector built from it
+  // is attached to the cluster and, for adaptive policies, the controller. The plan
+  // must outlive the call. Whether the controller *reacts* is governed separately by
+  // ControlLoopConfig::enable_degraded_mode (via control_override) — the chaos sweep
+  // runs the same plan against both settings.
+  const FaultPlan* fault_plan = nullptr;
 };
 
 struct ExperimentResult {

@@ -42,7 +42,11 @@ std::unique_ptr<JockeyController> Jockey::MakeController(PiecewiseLinear utility
 
 std::unique_ptr<JockeyController> Jockey::MakeController(PiecewiseLinear utility,
                                                          const ControlLoopConfig& control) const {
-  return std::make_unique<JockeyController>(indicator_, table_, std::move(utility), control);
+  // Fallback-chain constructor: the table drives every healthy decision, and the
+  // Amdahl model (always trained alongside) is inert ballast unless degraded mode
+  // detects table faults — so this changes nothing for fault-free runs.
+  return std::make_unique<JockeyController>(indicator_, table_, amdahl_, std::move(utility),
+                                            control);
 }
 
 std::unique_ptr<JockeyController> Jockey::MakeController(double deadline_seconds) const {

@@ -1,0 +1,78 @@
+#include "src/fault/fault_injector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace jockey {
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)), noise_rng_(plan_.seed()) {
+  const std::string problem = plan_.Validate();
+  if (!problem.empty()) {
+    throw std::invalid_argument("FaultPlan: " + problem);
+  }
+  for (const FaultWindow& w : plan_.windows()) {
+    if (w.kind == FaultKind::kReportDropout || w.kind == FaultKind::kReportStale ||
+        w.kind == FaultKind::kReportNoise) {
+      has_report_faults_ = true;
+      break;
+    }
+  }
+}
+
+const FaultWindow* FaultInjector::Active(FaultKind kind, double now, int job) const {
+  for (const FaultWindow& w : plan_.windows()) {
+    if (w.kind == kind && w.Contains(now) && w.AppliesTo(job)) {
+      return &w;
+    }
+  }
+  return nullptr;
+}
+
+int FaultInjector::IndexOf(const FaultWindow& window) const {
+  return static_cast<int>(&window - plan_.windows().data());
+}
+
+int FaultInjector::ShortfallGrant(const FaultWindow& window, int requested) {
+  if (requested <= 0) return 0;
+  return std::max(0, static_cast<int>(std::floor(requested * window.magnitude)));
+}
+
+double FaultInjector::PerturbFraction(const FaultWindow& window, double frac) {
+  const double noisy = frac * (1.0 + noise_rng_.Normal(0.0, window.magnitude));
+  return std::clamp(noisy, 0.0, 1.0);
+}
+
+bool FaultInjector::TableFaultActive(double now) const {
+  return Active(FaultKind::kTableFault, now) != nullptr;
+}
+
+double FaultInjector::CorruptPrediction(double now, double healthy) const {
+  const FaultWindow* w = Active(FaultKind::kTableFault, now);
+  return w != nullptr ? healthy * w->magnitude : healthy;
+}
+
+std::vector<const FaultWindow*> FaultInjector::WindowsOfKind(FaultKind kind) const {
+  std::vector<const FaultWindow*> out;
+  for (const FaultWindow& w : plan_.windows()) {
+    if (w.kind == kind) out.push_back(&w);
+  }
+  return out;
+}
+
+const FaultWindow* FaultInjector::DominantWindow(double start, double end) const {
+  const FaultWindow* best = nullptr;
+  double best_overlap = 0.0;
+  for (const FaultWindow& w : plan_.windows()) {
+    const double overlap =
+        std::min(end, w.end_seconds) - std::max(start, w.start_seconds);
+    if (overlap > best_overlap) {
+      best_overlap = overlap;
+      best = &w;
+    }
+  }
+  return best;
+}
+
+}  // namespace jockey

@@ -1,0 +1,67 @@
+// Runtime evaluation of a FaultPlan.
+//
+// The injector is the single object the simulator, controller and table cache hold
+// (as a nullable pointer) to decide, at each injection site, whether a fault is
+// active *now* and what it does. It owns the plan plus the one piece of mutable
+// state faults need: the seeded noise stream for report_noise windows. Everything
+// else is a pure lookup over the plan's windows, so two injectors built from the
+// same plan behave identically and seeded runs stay byte-reproducible.
+
+#ifndef SRC_FAULT_FAULT_INJECTOR_H_
+#define SRC_FAULT_FAULT_INJECTOR_H_
+
+#include <vector>
+
+#include "src/fault/fault_plan.h"
+#include "src/util/rng.h"
+
+namespace jockey {
+
+class FaultInjector {
+ public:
+  // Throws std::invalid_argument when the plan fails FaultPlan::Validate() —
+  // injection sites never re-check window sanity.
+  explicit FaultInjector(FaultPlan plan);
+
+  const FaultPlan& plan() const { return plan_; }
+  bool empty() const { return plan_.empty(); }
+  // Precomputed: does any window touch progress reports (dropout/stale/noise)?
+  // Lets the simulator skip report-history bookkeeping entirely otherwise.
+  bool HasReportFaults() const { return has_report_faults_; }
+
+  // First window of `kind` covering simulated time `now` (and applying to `job`
+  // when the kind is job-scoped), or nullptr. Linear scan: plans are tens of
+  // windows at most, and the detached case never reaches here.
+  const FaultWindow* Active(FaultKind kind, double now, int job = -1) const;
+
+  // Index of a window returned by Active() within plan().windows(), for the
+  // `window` field of fault_injected events.
+  int IndexOf(const FaultWindow& window) const;
+
+  // Tokens actually granted under a grant_shortfall window.
+  static int ShortfallGrant(const FaultWindow& window, int requested);
+
+  // Applies seeded multiplicative noise to a completed fraction (report_noise).
+  // Mutates the injector's noise stream; call once per perturbed value.
+  double PerturbFraction(const FaultWindow& window, double frac);
+
+  bool TableFaultActive(double now) const;
+  // healthy * corruption factor when a table_fault window covers `now`; healthy
+  // otherwise. This is what a *non-hardened* consumer silently reads.
+  double CorruptPrediction(double now, double healthy) const;
+
+  std::vector<const FaultWindow*> WindowsOfKind(FaultKind kind) const;
+
+  // The window with the largest overlap of [start, end), any kind — used by the
+  // chaos report to attribute a deadline miss to the fault that caused it.
+  const FaultWindow* DominantWindow(double start, double end) const;
+
+ private:
+  FaultPlan plan_;
+  Rng noise_rng_;
+  bool has_report_faults_ = false;
+};
+
+}  // namespace jockey
+
+#endif  // SRC_FAULT_FAULT_INJECTOR_H_

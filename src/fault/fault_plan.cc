@@ -1,0 +1,201 @@
+#include "src/fault/fault_plan.h"
+
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "src/obs/json_format.h"
+#include "src/obs/jsonl.h"
+
+namespace jockey {
+
+namespace {
+
+FaultWindow MakeWindow(FaultKind kind, double start, double end, int job,
+                       double magnitude) {
+  FaultWindow w;
+  w.kind = kind;
+  w.start_seconds = start;
+  w.end_seconds = end;
+  w.job = job;
+  w.magnitude = magnitude;
+  return w;
+}
+
+// The reverse of FaultKindName — bounded by the last enum value so a new kind
+// that misses its name shows up as a load failure, not a silent default.
+bool FaultKindFromName(const std::string& name, FaultKind* out) {
+  for (int i = 0; i <= static_cast<int>(FaultKind::kMachineBurst); ++i) {
+    const FaultKind kind = static_cast<FaultKind>(i);
+    if (name == FaultKindName(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ParseDoubleField(const FlatJsonFields& fields, const char* key, double* out) {
+  const std::string* raw = fields.Find(key);
+  if (raw == nullptr) return false;
+  char* end = nullptr;
+  const double value = std::strtod(raw->c_str(), &end);
+  if (end == nullptr || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+bool ParseIntField(const FlatJsonFields& fields, const char* key, int* out) {
+  double value = 0.0;
+  if (!ParseDoubleField(fields, key, &value)) return false;
+  *out = static_cast<int>(value);
+  return true;
+}
+
+std::optional<FaultPlan> Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return std::nullopt;
+}
+
+}  // namespace
+
+FaultPlan& FaultPlan::Add(FaultWindow window) {
+  windows_.push_back(window);
+  return *this;
+}
+
+FaultWindow FaultPlan::ReportDropout(double start, double end, int job) {
+  return MakeWindow(FaultKind::kReportDropout, start, end, job, 0.0);
+}
+
+FaultWindow FaultPlan::ReportStale(double start, double end, double lag_seconds,
+                                   int job) {
+  return MakeWindow(FaultKind::kReportStale, start, end, job, lag_seconds);
+}
+
+FaultWindow FaultPlan::ReportNoise(double start, double end, double sigma, int job) {
+  return MakeWindow(FaultKind::kReportNoise, start, end, job, sigma);
+}
+
+FaultWindow FaultPlan::ControlBlackout(double start, double end, int job) {
+  return MakeWindow(FaultKind::kControlBlackout, start, end, job, 0.0);
+}
+
+FaultWindow FaultPlan::GrantShortfall(double start, double end, double grant_factor,
+                                      int job) {
+  return MakeWindow(FaultKind::kGrantShortfall, start, end, job, grant_factor);
+}
+
+FaultWindow FaultPlan::TableFault(double start, double end, double corruption_factor) {
+  return MakeWindow(FaultKind::kTableFault, start, end, -1, corruption_factor);
+}
+
+FaultWindow FaultPlan::MachineBurst(double start, double end, int first_machine,
+                                    int machine_count) {
+  FaultWindow w = MakeWindow(FaultKind::kMachineBurst, start, end, -1, 0.0);
+  w.first_machine = first_machine;
+  w.machine_count = machine_count;
+  return w;
+}
+
+std::string FaultPlan::Validate() const {
+  for (size_t i = 0; i < windows_.size(); ++i) {
+    const FaultWindow& w = windows_[i];
+    std::ostringstream prefix;
+    prefix << "window " << i << " (" << FaultKindName(w.kind) << "): ";
+    if (!(w.end_seconds > w.start_seconds) || w.start_seconds < 0.0) {
+      return prefix.str() + "interval must satisfy 0 <= start < end";
+    }
+    switch (w.kind) {
+      case FaultKind::kReportStale:
+        if (w.magnitude <= 0.0) return prefix.str() + "staleness lag must be > 0";
+        break;
+      case FaultKind::kReportNoise:
+        if (w.magnitude <= 0.0) return prefix.str() + "noise sigma must be > 0";
+        break;
+      case FaultKind::kGrantShortfall:
+        if (w.magnitude < 0.0 || w.magnitude > 1.0) {
+          return prefix.str() + "grant factor must be in [0, 1]";
+        }
+        break;
+      case FaultKind::kTableFault:
+        if (w.magnitude <= 0.0) {
+          return prefix.str() + "corruption factor must be > 0";
+        }
+        break;
+      case FaultKind::kMachineBurst:
+        if (w.first_machine < 0 || w.machine_count <= 0) {
+          return prefix.str() + "machine range must be non-negative and non-empty";
+        }
+        break;
+      case FaultKind::kReportDropout:
+      case FaultKind::kControlBlackout:
+        break;
+    }
+  }
+  return std::string();
+}
+
+void FaultPlan::Save(std::ostream& os) const {
+  os << "{\"kind\":\"fault_plan\",\"seed\":" << seed_ << "}\n";
+  for (const FaultWindow& w : windows_) {
+    os << "{\"kind\":\"" << FaultKindName(w.kind) << "\""
+       << ",\"start\":" << JsonNumber(w.start_seconds)
+       << ",\"end\":" << JsonNumber(w.end_seconds) << ",\"job\":" << w.job
+       << ",\"magnitude\":" << JsonNumber(w.magnitude)
+       << ",\"first_machine\":" << w.first_machine
+       << ",\"machine_count\":" << w.machine_count << "}\n";
+  }
+}
+
+std::optional<FaultPlan> FaultPlan::Load(std::istream& is, std::string* error) {
+  FaultPlan plan;
+  bool saw_header = false;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    FlatJsonFields fields;
+    if (!ParseFlatJsonObject(line, fields)) {
+      return Fail(error, "line " + std::to_string(line_no) + ": malformed JSON");
+    }
+    const std::string* kind_name = fields.Find("kind");
+    if (kind_name == nullptr) {
+      return Fail(error, "line " + std::to_string(line_no) + ": missing \"kind\"");
+    }
+    if (*kind_name == "fault_plan") {
+      double seed = 0.0;
+      if (!ParseDoubleField(fields, "seed", &seed) || seed < 0.0) {
+        return Fail(error, "line " + std::to_string(line_no) + ": bad plan seed");
+      }
+      plan.seed_ = static_cast<uint64_t>(seed);
+      saw_header = true;
+      continue;
+    }
+    FaultWindow w;
+    if (!FaultKindFromName(*kind_name, &w.kind)) {
+      return Fail(error, "line " + std::to_string(line_no) + ": unknown fault kind \"" +
+                             *kind_name + "\"");
+    }
+    if (!ParseDoubleField(fields, "start", &w.start_seconds) ||
+        !ParseDoubleField(fields, "end", &w.end_seconds)) {
+      return Fail(error, "line " + std::to_string(line_no) + ": missing start/end");
+    }
+    // Optional fields keep hand-written plans terse; defaults match FaultWindow.
+    ParseIntField(fields, "job", &w.job);
+    ParseDoubleField(fields, "magnitude", &w.magnitude);
+    ParseIntField(fields, "first_machine", &w.first_machine);
+    ParseIntField(fields, "machine_count", &w.machine_count);
+    plan.windows_.push_back(w);
+  }
+  if (!saw_header && plan.windows_.empty()) {
+    return Fail(error, "empty fault plan (no header, no windows)");
+  }
+  const std::string problem = plan.Validate();
+  if (!problem.empty()) return Fail(error, problem);
+  return plan;
+}
+
+}  // namespace jockey

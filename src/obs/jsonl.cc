@@ -129,23 +129,28 @@ struct LineWriter {
   void operator()(const MachineRecoverEvent& e) const {
     AppendInt(*out, "machine", e.machine);
   }
+  void operator()(const FaultInjectedEvent& e) const {
+    // "fault" rather than "kind": the line's "kind" field names the event.
+    AppendStr(*out, "fault", FaultKindName(e.fault));
+    AppendInt(*out, "window", e.window);
+    AppendInt(*out, "job", e.job);
+    AppendNum(*out, "magnitude", e.magnitude);
+    AppendNum(*out, "detail", e.detail);
+    AppendNum(*out, "detail2", e.detail2);
+  }
+  void operator()(const DegradedDecisionEvent& e) const {
+    AppendInt(*out, "job", e.job);
+    AppendStr(*out, "mode", DegradeModeName(e.mode));
+    AppendNum(*out, "elapsed", e.elapsed_seconds);
+    AppendNum(*out, "report_age", e.report_age_seconds);
+    AppendInt(*out, "granted", e.granted_tokens);
+    AppendNum(*out, "value", e.value);
+  }
 };
 
 // --- Reader: a minimal parser for the flat one-level objects the writer emits. ---
 
-struct FieldMap {
-  // Raw value text per key; string values are stored unquoted and unescaped.
-  std::vector<std::pair<std::string, std::string>> fields;
-
-  const std::string* Find(const char* key) const {
-    for (const auto& [k, v] : fields) {
-      if (k == key) {
-        return &v;
-      }
-    }
-    return nullptr;
-  }
-};
+using FieldMap = FlatJsonFields;
 
 void SkipSpace(const std::string& s, size_t& i) {
   while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i])) != 0) {
@@ -187,7 +192,7 @@ bool ParseQuoted(const std::string& s, size_t& i, std::string& out) {
   return true;
 }
 
-bool ParseFlatObject(const std::string& line, FieldMap& out) {
+bool ParseFlatObjectImpl(const std::string& line, FieldMap& out) {
   size_t i = 0;
   SkipSpace(line, i);
   if (i >= line.size() || line[i] != '{') {
@@ -316,6 +321,34 @@ bool GetKillReason(const FieldMap& m, const char* key, KillReason& out) {
   return false;
 }
 
+bool GetFaultKind(const FieldMap& m, const char* key, FaultKind& out) {
+  const std::string* v = m.Find(key);
+  if (v == nullptr) {
+    return false;
+  }
+  for (int k = 0; k <= static_cast<int>(FaultKind::kMachineBurst); ++k) {
+    if (*v == FaultKindName(static_cast<FaultKind>(k))) {
+      out = static_cast<FaultKind>(k);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool GetDegradeMode(const FieldMap& m, const char* key, DegradeMode& out) {
+  const std::string* v = m.Find(key);
+  if (v == nullptr) {
+    return false;
+  }
+  for (int d = 0; d <= static_cast<int>(DegradeMode::kModelLossEscalation); ++d) {
+    if (*v == DegradeModeName(static_cast<DegradeMode>(d))) {
+      out = static_cast<DegradeMode>(d);
+      return true;
+    }
+  }
+  return false;
+}
+
 std::optional<TraceEventPayload> ParsePayload(const std::string& kind, const FieldMap& m) {
   if (kind == "control_tick") {
     ControlTickEvent e;
@@ -412,11 +445,39 @@ std::optional<TraceEventPayload> ParsePayload(const std::string& kind, const Fie
     if (GetInt(m, "machine", e.machine)) {
       return e;
     }
+  } else if (kind == "fault_injected") {
+    FaultInjectedEvent e;
+    if (GetFaultKind(m, "fault", e.fault) && GetInt(m, "window", e.window) &&
+        GetInt(m, "job", e.job) && GetNum(m, "magnitude", e.magnitude) &&
+        GetNum(m, "detail", e.detail) && GetNum(m, "detail2", e.detail2)) {
+      return e;
+    }
+  } else if (kind == "degraded_decision") {
+    DegradedDecisionEvent e;
+    if (GetInt(m, "job", e.job) && GetDegradeMode(m, "mode", e.mode) &&
+        GetNum(m, "elapsed", e.elapsed_seconds) &&
+        GetNum(m, "report_age", e.report_age_seconds) &&
+        GetInt(m, "granted", e.granted_tokens) && GetNum(m, "value", e.value)) {
+      return e;
+    }
   }
   return std::nullopt;
 }
 
 }  // namespace
+
+const std::string* FlatJsonFields::Find(const char* key) const {
+  for (const auto& [k, v] : fields) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+bool ParseFlatJsonObject(const std::string& line, FlatJsonFields& out) {
+  return ParseFlatObjectImpl(line, out);
+}
 
 std::string ToJsonLine(const TraceEvent& event) {
   std::string out;
@@ -433,7 +494,7 @@ std::string ToJsonLine(const TraceEvent& event) {
 
 std::optional<TraceEvent> ParseTraceLine(const std::string& line) {
   FieldMap fields;
-  if (!ParseFlatObject(line, fields)) {
+  if (!ParseFlatObjectImpl(line, fields)) {
     return std::nullopt;
   }
   double t = 0.0;
@@ -531,6 +592,15 @@ void WriteChromeTrace(std::ostream& os, const std::vector<TraceEvent>& events) {
           } else if constexpr (std::is_same_v<E, JobFinishEvent>) {
             ChromeRecord(os, first, "job_finish", "i", t, e.job,
                          "\"completion\":" + JsonNumber(e.completion_seconds));
+          } else if constexpr (std::is_same_v<E, FaultInjectedEvent>) {
+            ChromeRecord(os, first, std::string("fault:") + FaultKindName(e.fault), "i", t,
+                         e.job < 0 ? 0 : e.job,
+                         "\"window\":" + std::to_string(e.window) +
+                             ",\"magnitude\":" + JsonNumber(e.magnitude));
+          } else if constexpr (std::is_same_v<E, DegradedDecisionEvent>) {
+            ChromeRecord(os, first, std::string("degraded:") + DegradeModeName(e.mode), "i", t,
+                         e.job, "\"granted\":" + std::to_string(e.granted_tokens) +
+                                    ",\"report_age\":" + JsonNumber(e.report_age_seconds));
           }
           // Remaining kinds (cache traffic, submit, utility changes, prediction
           // lookups, machine recovery) carry no timeline value in this view.

@@ -27,6 +27,19 @@
 
 namespace jockey {
 
+// A flat one-level JSON object split into (key, raw value text) pairs; string
+// values are stored unquoted and unescaped. This is the parsing layer under the
+// trace reader, exposed so other flat-JSONL readers (the fault-plan loader,
+// fault_plan.cc) share one parser instead of growing a second dialect.
+struct FlatJsonFields {
+  std::vector<std::pair<std::string, std::string>> fields;
+
+  const std::string* Find(const char* key) const;
+};
+
+// Parses one `{"k":v,...}` line into `out`. Returns false on malformed input.
+bool ParseFlatJsonObject(const std::string& line, FlatJsonFields& out);
+
 // One line, no trailing newline.
 std::string ToJsonLine(const TraceEvent& event);
 

@@ -32,6 +32,44 @@ const char* KillReasonName(KillReason reason) {
   return "unknown";
 }
 
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kReportDropout:
+      return "report_dropout";
+    case FaultKind::kReportStale:
+      return "report_stale";
+    case FaultKind::kReportNoise:
+      return "report_noise";
+    case FaultKind::kControlBlackout:
+      return "control_blackout";
+    case FaultKind::kGrantShortfall:
+      return "grant_shortfall";
+    case FaultKind::kTableFault:
+      return "table_fault";
+    case FaultKind::kMachineBurst:
+      return "machine_burst";
+  }
+  return "unknown";
+}
+
+const char* DegradeModeName(DegradeMode mode) {
+  switch (mode) {
+    case DegradeMode::kStaleHold:
+      return "stale_hold";
+    case DegradeMode::kPessimisticEscalation:
+      return "pessimistic_escalation";
+    case DegradeMode::kBlackoutCatchup:
+      return "blackout_catchup";
+    case DegradeMode::kGrantCompensation:
+      return "grant_compensation";
+    case DegradeMode::kFallbackModel:
+      return "fallback_model";
+    case DegradeMode::kModelLossEscalation:
+      return "model_loss_escalation";
+  }
+  return "unknown";
+}
+
 const char* EventKindName(EventKind kind) {
   switch (kind) {
     case EventKind::kControlTick:
@@ -64,6 +102,10 @@ const char* EventKindName(EventKind kind) {
       return "machine_failure";
     case EventKind::kMachineRecover:
       return "machine_recover";
+    case EventKind::kFaultInjected:
+      return "fault_injected";
+    case EventKind::kDegradedDecision:
+      return "degraded_decision";
   }
   return "unknown";
 }

@@ -159,12 +159,65 @@ struct MachineRecoverEvent {
   int machine = 0;
 };
 
+// Classes of injected control-plane / cluster faults (fault_plan.h). Defined here,
+// like CacheCode and KillReason, so fault plans and the events their injections emit
+// share one taxonomy that can never disagree.
+enum class FaultKind : int {
+  kReportDropout = 0,    // progress reports freeze at their last pre-window value
+  kReportStale = 1,      // progress reports arrive `magnitude` seconds late
+  kReportNoise = 2,      // per-stage fractions perturbed by seeded noise (sigma)
+  kControlBlackout = 3,  // control ticks are skipped entirely
+  kGrantShortfall = 4,   // the scheduler grants only `magnitude` x requested tokens
+  kTableFault = 5,       // C(p,a) lookups fail / return corrupted predictions
+  kMachineBurst = 6,     // correlated machine failures (rack-style outage)
+};
+
+const char* FaultKindName(FaultKind kind);
+
+// Which degraded-mode action the hardened controller took (control_loop.h).
+enum class DegradeMode : int {
+  kStaleHold = 0,              // brief report dropout: held the last safe allocation
+  kPessimisticEscalation = 1,  // blind past the threshold: escalate toward max
+  kBlackoutCatchup = 2,        // missed ticks detected: snap to raw, skip hysteresis
+  kGrantCompensation = 3,      // inflate the request to offset observed shortfall
+  kFallbackModel = 4,          // table lookups failing: fall back to the Amdahl model
+  kModelLossEscalation = 5,    // no fallback model left: worst-case escalation
+};
+
+const char* DegradeModeName(DegradeMode mode);
+
+// An injected fault took effect. Emitted by the injection site (simulator or table
+// cache), not by the plan — only faults that actually bit appear in the trace.
+struct FaultInjectedEvent {
+  FaultKind fault = FaultKind::kReportDropout;
+  int window = 0;  // index into the FaultPlan's window list
+  int job = -1;    // affected job, -1 when cluster-wide
+  double magnitude = 0.0;
+  // Kind-specific detail: report age (dropout/stale), tokens requested (shortfall),
+  // machines downed (burst), held tokens (blackout).
+  double detail = 0.0;
+  // Second kind-specific detail: tokens granted (shortfall), tasks killed (burst).
+  double detail2 = 0.0;
+};
+
+// The hardened controller degraded its decision in response to a fault symptom.
+struct DegradedDecisionEvent {
+  int job = 0;
+  DegradeMode mode = DegradeMode::kStaleHold;
+  double elapsed_seconds = 0.0;
+  double report_age_seconds = 0.0;
+  int granted_tokens = 0;
+  // Mode-specific: escalation target (escalations), grant ratio (compensation).
+  double value = 0.0;
+};
+
 using TraceEventPayload =
     std::variant<ControlTickEvent, PredictionLookupEvent, AllocationChangeEvent,
                  UtilityChangeEvent, TableCacheLookupEvent, TableCacheStoreEvent,
                  TableCacheEvictEvent, JobSubmitEvent, JobFinishEvent, TaskDispatchEvent,
                  TaskCompleteEvent, TaskKilledEvent, SpeculativeLaunchEvent,
-                 MachineFailureEvent, MachineRecoverEvent>;
+                 MachineFailureEvent, MachineRecoverEvent, FaultInjectedEvent,
+                 DegradedDecisionEvent>;
 
 // Stable event-kind tags; indices match TraceEventPayload alternatives.
 enum class EventKind : int {
@@ -183,6 +236,8 @@ enum class EventKind : int {
   kSpeculativeLaunch = 12,
   kMachineFailure = 13,
   kMachineRecover = 14,
+  kFaultInjected = 15,
+  kDegradedDecision = 16,
 };
 
 // The stable wire name of each kind (the "kind" field of a JSONL line).

@@ -1,12 +1,21 @@
 #include "src/sim/table_cache.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <vector>
+
+#include "src/fault/fault_injector.h"
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
 
 namespace jockey {
 
@@ -48,6 +57,11 @@ TableCache::LoadResult TableCache::Load(uint64_t key) const {
   if (!enabled()) {
     result.status.code = CacheCode::kDisabled;
     return result;  // a disabled cache is silent: no event, no counter
+  }
+  if (options_.fault_injector != nullptr &&
+      options_.fault_injector->TableFaultActive(0.0)) {
+    report(CacheCode::kIoError, 0, "injected table-load fault", "table_cache.io_errors");
+    return result;
   }
   std::string path = PathForKey(key);
   std::error_code ec;
@@ -99,14 +113,24 @@ CacheStatus TableCache::Store(uint64_t key, const CompletionTable& table) const 
     return report(CacheCode::kIoError, 0, "cannot create " + dir_, "table_cache.io_errors");
   }
   std::string path = PathForKey(key);
-  std::string tmp = path + ".tmp";
+  // Unique temp name (pid + process-wide counter): concurrent writers of the same
+  // key — two builds racing on one cache directory — each stage into their own file,
+  // so neither can rename the other's half-written bytes into place. The atomic
+  // rename below then guarantees a reader only ever sees a complete entry.
+  static std::atomic<uint64_t> tmp_counter{0};
+  std::string tmp = path + ".tmp-" + std::to_string(static_cast<long long>(getpid())) +
+                    "-" + std::to_string(tmp_counter.fetch_add(1));
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) {
       return report(CacheCode::kIoError, 0, "cannot write " + tmp, "table_cache.io_errors");
     }
     table.Save(out);
+    // Push everything to the OS before the rename; a failure here (disk full) must
+    // surface as an io_error, not a truncated entry published under the final name.
+    out.flush();
     if (!out.good()) {
+      fs::remove(tmp, ec);
       return report(CacheCode::kIoError, 0, "short write to " + tmp, "table_cache.io_errors");
     }
   }

@@ -33,6 +33,8 @@
 
 namespace jockey {
 
+class FaultInjector;
+
 // 64-bit FNV-1a over `bytes`, chained from `seed` (pass the previous hash to fold
 // multiple fields into one key).
 uint64_t HashBytes(const void* data, size_t size, uint64_t seed = 14695981039346656037ULL);
@@ -53,6 +55,11 @@ struct TableCacheOptions {
   uint64_t max_bytes = 0;
   // Receives lookup/store/evict trace events and counters; default-disabled.
   Observer observer;
+  // Fault injection (fault_injector.h): when set and a table_fault window covers
+  // time 0 (cache traffic is offline, stamped at simulated time 0), Load() reports
+  // kIoError without touching the entry — exercising callers' rebuild paths. Must
+  // outlive the cache. nullptr detaches.
+  const FaultInjector* fault_injector = nullptr;
 };
 
 class TableCache {

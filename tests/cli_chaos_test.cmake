@@ -1,0 +1,48 @@
+# Smoke-tests the jockey_cli chaos subcommand: a small sweep over two fault classes
+# must run to completion, print the per-class table, and produce identical output on
+# a rerun (the determinism contract: same seed + same plan -> same sweep).
+set(TRACE ${CMAKE_CURRENT_BINARY_DIR}/cli_chaos.trace)
+execute_process(COMMAND ${CLI} train ${SCRIPT} --trace ${TRACE} --tokens 25 RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "train failed: ${rc}")
+endif()
+execute_process(COMMAND ${CLI} chaos ${SCRIPT} ${TRACE} --deadline 5 --seeds 2
+                        --classes report_dropout,grant_shortfall --no-cache
+                RESULT_VARIABLE rc OUTPUT_VARIABLE first_out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "chaos sweep failed: ${rc}\n${first_out}")
+endif()
+if(NOT first_out MATCHES "report_dropout" OR NOT first_out MATCHES "grant_shortfall")
+  message(FATAL_ERROR "chaos table missing the requested classes:\n${first_out}")
+endif()
+if(NOT first_out MATCHES "hardened controller:")
+  message(FATAL_ERROR "chaos output missing the summary line:\n${first_out}")
+endif()
+execute_process(COMMAND ${CLI} chaos ${SCRIPT} ${TRACE} --deadline 5 --seeds 2
+                        --classes report_dropout,grant_shortfall --no-cache
+                RESULT_VARIABLE rc OUTPUT_VARIABLE second_out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "chaos rerun failed: ${rc}")
+endif()
+if(NOT first_out STREQUAL second_out)
+  message(FATAL_ERROR "chaos sweep is not deterministic:\n--- first ---\n${first_out}\n--- second ---\n${second_out}")
+endif()
+# An unknown class must be rejected, not silently skipped.
+execute_process(COMMAND ${CLI} chaos ${SCRIPT} ${TRACE} --deadline 5 --classes disk_melt
+                        --no-cache
+                RESULT_VARIABLE rc ERROR_VARIABLE err_out)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "chaos accepted an unknown fault class")
+endif()
+# A custom JSONL plan loads and sweeps as the single 'custom' class.
+set(PLAN ${CMAKE_CURRENT_BINARY_DIR}/cli_chaos_plan.jsonl)
+file(WRITE ${PLAN} "{\"kind\":\"fault_plan\",\"seed\":3}\n{\"kind\":\"control_blackout\",\"start\":60,\"end\":180}\n")
+execute_process(COMMAND ${CLI} chaos ${SCRIPT} ${TRACE} --deadline 5 --seeds 1
+                        --fault-plan ${PLAN} --no-cache
+                RESULT_VARIABLE rc OUTPUT_VARIABLE custom_out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "chaos with --fault-plan failed: ${rc}\n${custom_out}")
+endif()
+if(NOT custom_out MATCHES "custom")
+  message(FATAL_ERROR "custom plan sweep missing the 'custom' class row:\n${custom_out}")
+endif()

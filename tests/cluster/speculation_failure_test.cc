@@ -1,0 +1,111 @@
+// Speculation x machine-failure interaction: when duplicates race real failures,
+// every task must still complete exactly once — a killed copy requeues, a losing
+// copy is cancelled, and no (stage, task) pair ever double-completes.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <variant>
+
+#include "src/cluster/cluster_simulator.h"
+#include "src/obs/observer.h"
+#include "src/workload/job_generator.h"
+
+namespace jockey {
+namespace {
+
+JobTemplate StragglerJob(uint64_t seed = 67) {
+  JobShapeSpec spec;
+  spec.name = "straggly-failing";
+  spec.num_stages = 4;
+  spec.num_barriers = 1;
+  spec.num_vertices = 200;
+  spec.job_median_seconds = 5.0;
+  spec.job_p90_seconds = 15.0;
+  spec.fastest_stage_p90 = 3.0;
+  spec.slowest_stage_p90 = 25.0;
+  spec.seed = seed;
+  JobTemplate job = GenerateJob(spec);
+  for (auto& model : job.runtime) {
+    model.outlier_prob = 0.12;
+    model.outlier_alpha = 1.4;
+    model.outlier_cap = 20.0;
+    model.task_cap_seconds = 1e9;
+  }
+  return job;
+}
+
+ClusterConfig HostileCluster(uint64_t seed) {
+  ClusterConfig config;
+  config.num_machines = 30;
+  config.slots_per_machine = 4;
+  config.seed = seed;
+  // Failures frequent enough that speculative copies and machine deaths collide
+  // within one run (~1 failure per machine-hour across 30 machines).
+  config.machine_failure_rate_per_hour = 1.0;
+  config.machine_recovery_seconds = 120.0;
+  config.background.mean_utilization = 0.5;
+  config.background.volatility = 0.0;
+  config.enable_speculation = true;
+  config.speculation_check_period_seconds = 10.0;
+  return config;
+}
+
+TEST(SpeculationFailureTest, EveryTaskCompletesExactlyOnce) {
+  JobTemplate job = StragglerJob();
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    VectorSink sink;
+    ClusterSimulator cluster(HostileCluster(seed));
+    cluster.set_observer(Observer(&sink, nullptr));
+    JobSubmission submission;
+    submission.guaranteed_tokens = 30;
+    submission.seed = seed * 17 + 3;
+    int id = cluster.SubmitJob(job, submission);
+    cluster.Run();
+    const ClusterRunResult& r = cluster.result(id);
+    ASSERT_TRUE(r.finished) << "seed " << seed;
+
+    std::map<int, int> completions;  // flat task id -> completion count
+    int speculative_launches = 0;
+    int machine_failures = 0;
+    for (const TraceEvent& event : sink.events()) {
+      if (const auto* complete = std::get_if<TaskCompleteEvent>(&event.payload)) {
+        ++completions[complete->task];
+      } else if (std::holds_alternative<SpeculativeLaunchEvent>(event.payload)) {
+        ++speculative_launches;
+      } else if (std::holds_alternative<MachineFailureEvent>(event.payload)) {
+        ++machine_failures;
+      }
+    }
+    EXPECT_EQ(static_cast<int>(completions.size()), job.graph.num_tasks())
+        << "seed " << seed << ": some task never completed";
+    for (const auto& [task, count] : completions) {
+      EXPECT_EQ(count, 1) << "seed " << seed << ": task " << task
+                          << " completed " << count << " times";
+    }
+    // The scenario actually exercises the interaction.
+    EXPECT_GT(speculative_launches + machine_failures, 0) << "seed " << seed;
+  }
+}
+
+TEST(SpeculationFailureTest, WastedWorkIsAccountedNotDoubleCounted) {
+  JobTemplate job = StragglerJob();
+  ClusterSimulator cluster(HostileCluster(2));
+  JobSubmission submission;
+  submission.guaranteed_tokens = 30;
+  submission.seed = 37;
+  int id = cluster.SubmitJob(job, submission);
+  cluster.Run();
+  const ClusterRunResult& r = cluster.result(id);
+  ASSERT_TRUE(r.finished);
+  EXPECT_EQ(static_cast<int>(r.trace.tasks.size()), job.graph.num_tasks());
+  // A speculative win implies a launched duplicate; wins can never exceed launches.
+  EXPECT_LE(r.speculative_wins, r.speculative_launched);
+  for (const TaskRecord& record : r.trace.tasks) {
+    EXPECT_GE(record.end_time, record.start_time);
+    EXPECT_GE(record.wasted_seconds, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace jockey

@@ -1,0 +1,314 @@
+// Tests for the FaultInjector's runtime effects on the cluster simulator and the
+// experiment harness: determinism, zero-cost detachment, and each injection site.
+
+#include "src/fault/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "src/cluster/cluster_simulator.h"
+#include "src/core/experiment.h"
+#include "src/obs/jsonl.h"
+#include "src/workload/job_generator.h"
+
+namespace jockey {
+namespace {
+
+JobTemplate SmallJob(uint64_t seed = 41) {
+  JobShapeSpec spec;
+  spec.name = "faulty";
+  spec.num_stages = 5;
+  spec.num_barriers = 1;
+  spec.num_vertices = 250;
+  spec.job_median_seconds = 6.0;
+  spec.job_p90_seconds = 18.0;
+  spec.fastest_stage_p90 = 3.0;
+  spec.slowest_stage_p90 = 30.0;
+  spec.seed = seed;
+  return GenerateJob(spec);
+}
+
+ClusterConfig QuietCluster(uint64_t seed) {
+  ClusterConfig config;
+  config.num_machines = 40;
+  config.slots_per_machine = 4;
+  config.seed = seed;
+  config.machine_failure_rate_per_hour = 0.0;
+  config.background.mean_utilization = 0.4;
+  config.background.volatility = 0.0;
+  return config;
+}
+
+// Records every tick the cluster delivers; always asks for a fixed allocation.
+class ProbeController : public JobController {
+ public:
+  explicit ProbeController(int tokens) : tokens_(tokens) {}
+  ControlDecision OnTick(const JobRuntimeStatus& status) override {
+    ticks_.push_back(status);
+    return {tokens_, static_cast<double>(tokens_)};
+  }
+  const std::vector<JobRuntimeStatus>& ticks() const { return ticks_; }
+
+ private:
+  int tokens_;
+  std::vector<JobRuntimeStatus> ticks_;
+};
+
+TEST(FaultInjectorTest, ActiveRespectsKindTimeAndJob) {
+  FaultPlan plan(5);
+  plan.Add(FaultPlan::ReportDropout(10.0, 20.0, /*job=*/1))
+      .Add(FaultPlan::ControlBlackout(15.0, 25.0));
+  FaultInjector injector(plan);
+  EXPECT_TRUE(injector.HasReportFaults());
+
+  EXPECT_EQ(injector.Active(FaultKind::kReportDropout, 5.0, 1), nullptr);
+  const FaultWindow* hit = injector.Active(FaultKind::kReportDropout, 12.0, 1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(injector.IndexOf(*hit), 0);
+  EXPECT_EQ(injector.Active(FaultKind::kReportDropout, 12.0, 2), nullptr);  // other job
+  EXPECT_EQ(injector.Active(FaultKind::kReportDropout, 20.0, 1), nullptr);  // half-open
+
+  ASSERT_NE(injector.Active(FaultKind::kControlBlackout, 16.0, 7), nullptr);
+  EXPECT_EQ(injector.Active(FaultKind::kGrantShortfall, 16.0), nullptr);
+}
+
+TEST(FaultInjectorTest, ShortfallAndCorruptionArithmetic) {
+  FaultWindow shortfall = FaultPlan::GrantShortfall(0.0, 10.0, 0.5);
+  EXPECT_EQ(FaultInjector::ShortfallGrant(shortfall, 40), 20);
+  EXPECT_EQ(FaultInjector::ShortfallGrant(shortfall, 1), 0);  // floor
+  EXPECT_EQ(FaultInjector::ShortfallGrant(shortfall, 0), 0);
+
+  FaultPlan plan(5);
+  plan.Add(FaultPlan::TableFault(0.0, 10.0, 0.25));
+  FaultInjector injector(plan);
+  EXPECT_TRUE(injector.TableFaultActive(5.0));
+  EXPECT_FALSE(injector.TableFaultActive(10.0));
+  EXPECT_DOUBLE_EQ(injector.CorruptPrediction(5.0, 400.0), 100.0);
+  EXPECT_DOUBLE_EQ(injector.CorruptPrediction(20.0, 400.0), 400.0);
+}
+
+TEST(FaultInjectorTest, DominantWindowPicksLargestOverlap) {
+  FaultPlan plan(5);
+  plan.Add(FaultPlan::ReportDropout(0.0, 10.0))
+      .Add(FaultPlan::ControlBlackout(5.0, 100.0));
+  FaultInjector injector(plan);
+  const FaultWindow* dominant = injector.DominantWindow(0.0, 50.0);
+  ASSERT_NE(dominant, nullptr);
+  EXPECT_EQ(dominant->kind, FaultKind::kControlBlackout);
+  EXPECT_EQ(injector.DominantWindow(200.0, 300.0), nullptr);
+}
+
+TEST(FaultInjectorTest, RejectsInvalidPlan) {
+  FaultPlan bad(1);
+  bad.Add(FaultPlan::ReportStale(0.0, 10.0, -5.0));
+  EXPECT_THROW(FaultInjector{bad}, std::invalid_argument);
+}
+
+TEST(FaultInjectionTest, IdleInjectorChangesNothingBitForBit) {
+  JobTemplate job = SmallJob();
+  // A plan whose windows never overlap the run must leave every observable
+  // identical to the detached case.
+  FaultPlan idle(3);
+  idle.Add(FaultPlan::ControlBlackout(1e8, 1e9))
+      .Add(FaultPlan::ReportDropout(1e8, 1e9))
+      .Add(FaultPlan::GrantShortfall(1e8, 1e9, 0.1));
+  FaultInjector injector(idle);
+
+  auto run = [&](FaultInjector* attach, std::string* trace) {
+    std::ostringstream buffer;
+    JsonlSink sink(buffer);
+    ClusterSimulator cluster(QuietCluster(9));
+    cluster.set_observer(Observer(&sink, nullptr));
+    if (attach != nullptr) {
+      cluster.set_fault_injector(attach);
+    }
+    JobSubmission submission;
+    submission.guaranteed_tokens = 30;
+    submission.seed = 17;
+    int id = cluster.SubmitJob(job, submission);
+    cluster.Run();
+    *trace = buffer.str();
+    return cluster.result(id).CompletionSeconds();
+  };
+
+  std::string detached_trace;
+  std::string idle_trace;
+  double detached = run(nullptr, &detached_trace);
+  double with_idle = run(&injector, &idle_trace);
+  EXPECT_DOUBLE_EQ(detached, with_idle);
+  EXPECT_EQ(detached_trace, idle_trace);
+}
+
+TEST(FaultInjectionTest, SameSeedAndPlanGiveByteIdenticalTraces) {
+  JobTemplate job = SmallJob();
+  FaultPlan plan(77);
+  plan.Add(FaultPlan::ReportNoise(30.0, 400.0, 0.3))
+      .Add(FaultPlan::GrantShortfall(60.0, 300.0, 0.5))
+      .Add(FaultPlan::MachineBurst(100.0, 200.0, 0, 10));
+
+  auto run = [&]() {
+    std::ostringstream buffer;
+    JsonlSink sink(buffer);
+    FaultInjector injector(plan);  // fresh injector: the noise stream restarts
+    ProbeController probe(30);
+    ClusterSimulator cluster(QuietCluster(9));
+    cluster.set_observer(Observer(&sink, nullptr));
+    cluster.set_fault_injector(&injector);
+    JobSubmission submission;
+    submission.guaranteed_tokens = 30;
+    submission.seed = 17;
+    submission.controller = &probe;
+    cluster.SubmitJob(job, submission);
+    cluster.Run();
+    return buffer.str();
+  };
+
+  std::string first = run();
+  std::string second = run();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+  // The faults actually fired (the trace carries fault_injected events).
+  EXPECT_NE(first.find("\"fault_injected\""), std::string::npos);
+}
+
+TEST(FaultInjectionTest, BlackoutSkipsControlTicks) {
+  JobTemplate job = SmallJob();
+  FaultPlan plan(1);
+  plan.Add(FaultPlan::ControlBlackout(100.0, 400.0));
+  FaultInjector injector(plan);
+  ProbeController probe(25);
+  ClusterSimulator cluster(QuietCluster(4));
+  cluster.set_fault_injector(&injector);
+  JobSubmission submission;
+  submission.guaranteed_tokens = 25;
+  submission.seed = 6;
+  submission.controller = &probe;
+  submission.control_period_seconds = 30.0;
+  cluster.SubmitJob(job, submission);
+  cluster.Run();
+  ASSERT_FALSE(probe.ticks().empty());
+  for (const JobRuntimeStatus& tick : probe.ticks()) {
+    EXPECT_FALSE(tick.now >= 100.0 && tick.now < 400.0)
+        << "controller consulted at t=" << tick.now << " inside the blackout";
+  }
+}
+
+TEST(FaultInjectionTest, ShortfallGrantsFewerTokensThanRequested) {
+  JobTemplate job = SmallJob();
+  FaultPlan plan(1);
+  plan.Add(FaultPlan::GrantShortfall(0.0, 1e9, 0.5));
+  FaultInjector injector(plan);
+  ProbeController probe(40);
+  ClusterSimulator cluster(QuietCluster(4));
+  cluster.set_fault_injector(&injector);
+  JobSubmission submission;
+  submission.guaranteed_tokens = 40;
+  submission.max_guaranteed_tokens = 100;
+  submission.seed = 6;
+  submission.controller = &probe;
+  int id = cluster.SubmitJob(job, submission);
+  cluster.Run();
+  const ClusterRunResult& r = cluster.result(id);
+  ASSERT_FALSE(r.timeline.empty());
+  for (size_t i = 1; i < r.timeline.size(); ++i) {
+    // Every post-tick sample carries the shorted grant, not the requested 40.
+    EXPECT_LE(r.timeline[i].guaranteed, 20);
+  }
+}
+
+TEST(FaultInjectionTest, MachineBurstKillsAndRecovers) {
+  JobTemplate job = SmallJob();
+  FaultPlan plan(1);
+  plan.Add(FaultPlan::MachineBurst(60.0, 120.0, 0, 30));  // 30 of 40 machines
+  FaultInjector injector(plan);
+  std::ostringstream buffer;
+  JsonlSink sink(buffer);
+  ClusterSimulator cluster(QuietCluster(4));
+  cluster.set_observer(Observer(&sink, nullptr));
+  cluster.set_fault_injector(&injector);
+  JobSubmission submission;
+  submission.guaranteed_tokens = 40;
+  submission.seed = 6;
+  int id = cluster.SubmitJob(job, submission);
+  cluster.Run();
+  const ClusterRunResult& r = cluster.result(id);
+  EXPECT_TRUE(r.finished) << "job must survive the burst and finish";
+  // The burst took down machines with running tasks (the job holds 40 tokens over
+  // 3/4 of the cluster when the window opens).
+  EXPECT_GT(r.machine_failure_kills, 0);
+  EXPECT_NE(buffer.str().find("\"machine_burst\""), std::string::npos);
+  EXPECT_NE(buffer.str().find("\"machine_recover\""), std::string::npos);
+}
+
+TEST(FaultInjectionTest, DropoutMarksReportsStale) {
+  JobTemplate job = SmallJob();
+  FaultPlan plan(1);
+  plan.Add(FaultPlan::ReportDropout(90.0, 1e9));
+  FaultInjector injector(plan);
+  ProbeController probe(25);
+  ClusterSimulator cluster(QuietCluster(4));
+  cluster.set_fault_injector(&injector);
+  JobSubmission submission;
+  submission.guaranteed_tokens = 25;
+  submission.seed = 6;
+  submission.controller = &probe;
+  submission.control_period_seconds = 30.0;
+  cluster.SubmitJob(job, submission);
+  cluster.Run();
+  bool saw_fresh = false;
+  bool saw_stale = false;
+  for (const JobRuntimeStatus& tick : probe.ticks()) {
+    if (tick.now < 90.0) {
+      EXPECT_TRUE(tick.report_fresh);
+      saw_fresh = true;
+    } else {
+      EXPECT_FALSE(tick.report_fresh);
+      // The tick landing exactly on the window start still sees a current
+      // snapshot (age 0); every later one is served the t=90 report.
+      EXPECT_NEAR(tick.report_age_seconds, tick.now - 90.0, 1e-9);
+      saw_stale = true;
+    }
+  }
+  EXPECT_TRUE(saw_fresh);
+  EXPECT_TRUE(saw_stale);
+}
+
+TEST(FaultInjectionTest, ExperimentHarnessWiresThePlanThrough) {
+  JobShapeSpec spec;
+  spec.name = "exp-fault";
+  spec.num_stages = 5;
+  spec.num_barriers = 1;
+  spec.num_vertices = 250;
+  spec.job_median_seconds = 4.0;
+  spec.job_p90_seconds = 12.0;
+  spec.fastest_stage_p90 = 2.0;
+  spec.slowest_stage_p90 = 25.0;
+  spec.seed = 31;
+  TrainedJob trained = TrainJob(GenerateJob(spec));
+  double deadline = SuggestDeadlineSeconds(trained, /*tight=*/false);
+
+  FaultPlan plan(11);
+  plan.Add(FaultPlan::GrantShortfall(0.0, deadline, 0.6));
+
+  ExperimentOptions options;
+  options.deadline_seconds = deadline;
+  options.seed = 2;
+  options.jitter_input = false;
+
+  ExperimentResult clean = RunExperiment(trained, options);
+  options.fault_plan = &plan;
+  ExperimentResult faulted = RunExperiment(trained, options);
+  ExperimentResult faulted_again = RunExperiment(trained, options);
+
+  // Deterministic under the harness, and the shortfall visibly bites: the granted
+  // integral shrinks and the run diverges from the clean one. (Completion time may
+  // move either way — spare tokens can backfill a shorted guarantee.)
+  EXPECT_DOUBLE_EQ(faulted.completion_seconds, faulted_again.completion_seconds);
+  EXPECT_LT(faulted.requested_token_seconds, clean.requested_token_seconds);
+  EXPECT_NE(faulted.completion_seconds, clean.completion_seconds);
+}
+
+}  // namespace
+}  // namespace jockey

@@ -1,0 +1,126 @@
+// Tests for the FaultPlan schedule: builders, validation, JSONL round-trip.
+
+#include "src/fault/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace jockey {
+namespace {
+
+TEST(FaultPlanTest, BuildersFillKindAndMagnitude) {
+  FaultWindow dropout = FaultPlan::ReportDropout(10.0, 20.0, 3);
+  EXPECT_EQ(dropout.kind, FaultKind::kReportDropout);
+  EXPECT_EQ(dropout.job, 3);
+  EXPECT_TRUE(dropout.Contains(10.0));
+  EXPECT_TRUE(dropout.Contains(19.999));
+  EXPECT_FALSE(dropout.Contains(20.0));  // half-open
+  EXPECT_TRUE(dropout.AppliesTo(3));
+  EXPECT_FALSE(dropout.AppliesTo(4));
+
+  FaultWindow stale = FaultPlan::ReportStale(0.0, 5.0, 90.0);
+  EXPECT_EQ(stale.kind, FaultKind::kReportStale);
+  EXPECT_DOUBLE_EQ(stale.magnitude, 90.0);
+  EXPECT_TRUE(stale.AppliesTo(7));  // job = -1 targets every job
+
+  FaultWindow burst = FaultPlan::MachineBurst(1.0, 2.0, 10, 5);
+  EXPECT_EQ(burst.kind, FaultKind::kMachineBurst);
+  EXPECT_EQ(burst.first_machine, 10);
+  EXPECT_EQ(burst.machine_count, 5);
+}
+
+TEST(FaultPlanTest, ValidateAcceptsWellFormedPlan) {
+  FaultPlan plan(42);
+  plan.Add(FaultPlan::ReportDropout(0.0, 10.0))
+      .Add(FaultPlan::ReportStale(5.0, 15.0, 30.0))
+      .Add(FaultPlan::ReportNoise(0.0, 100.0, 0.2))
+      .Add(FaultPlan::ControlBlackout(20.0, 40.0))
+      .Add(FaultPlan::GrantShortfall(0.0, 50.0, 0.5))
+      .Add(FaultPlan::TableFault(0.0, 1.0, 0.25))
+      .Add(FaultPlan::MachineBurst(10.0, 20.0, 0, 8));
+  EXPECT_EQ(plan.Validate(), "");
+}
+
+TEST(FaultPlanTest, ValidateRejectsMalformedWindows) {
+  // Inverted interval.
+  EXPECT_NE(FaultPlan().Add(FaultPlan::ReportDropout(10.0, 10.0)).Validate(), "");
+  EXPECT_NE(FaultPlan().Add(FaultPlan::ReportDropout(-1.0, 10.0)).Validate(), "");
+  // Kind-specific magnitudes.
+  EXPECT_NE(FaultPlan().Add(FaultPlan::ReportStale(0.0, 1.0, 0.0)).Validate(), "");
+  EXPECT_NE(FaultPlan().Add(FaultPlan::ReportNoise(0.0, 1.0, -0.1)).Validate(), "");
+  EXPECT_NE(FaultPlan().Add(FaultPlan::GrantShortfall(0.0, 1.0, 1.5)).Validate(), "");
+  EXPECT_NE(FaultPlan().Add(FaultPlan::TableFault(0.0, 1.0, 0.0)).Validate(), "");
+  EXPECT_NE(FaultPlan().Add(FaultPlan::MachineBurst(0.0, 1.0, -1, 5)).Validate(), "");
+  EXPECT_NE(FaultPlan().Add(FaultPlan::MachineBurst(0.0, 1.0, 0, 0)).Validate(), "");
+}
+
+TEST(FaultPlanTest, SaveLoadRoundTrip) {
+  FaultPlan plan(99);
+  plan.Add(FaultPlan::ReportDropout(10.5, 20.25, 2))
+      .Add(FaultPlan::GrantShortfall(30.0, 60.0, 0.4))
+      .Add(FaultPlan::MachineBurst(100.0, 200.0, 12, 6));
+
+  std::ostringstream saved;
+  plan.Save(saved);
+  std::istringstream in(saved.str());
+  std::string error;
+  std::optional<FaultPlan> loaded = FaultPlan::Load(in, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->seed(), 99u);
+  ASSERT_EQ(loaded->windows().size(), 3u);
+  const FaultWindow& w0 = loaded->windows()[0];
+  EXPECT_EQ(w0.kind, FaultKind::kReportDropout);
+  EXPECT_DOUBLE_EQ(w0.start_seconds, 10.5);
+  EXPECT_DOUBLE_EQ(w0.end_seconds, 20.25);
+  EXPECT_EQ(w0.job, 2);
+  const FaultWindow& w2 = loaded->windows()[2];
+  EXPECT_EQ(w2.first_machine, 12);
+  EXPECT_EQ(w2.machine_count, 6);
+
+  // A second Save of the loaded plan is byte-identical (the JSONL form is canonical).
+  std::ostringstream resaved;
+  loaded->Save(resaved);
+  EXPECT_EQ(saved.str(), resaved.str());
+}
+
+TEST(FaultPlanTest, LoadToleratesTerseHandWrittenLines) {
+  // Optional fields (job, magnitude, machines) default; blank lines are skipped.
+  std::istringstream in(
+      "{\"kind\":\"fault_plan\",\"seed\":7}\n"
+      "\n"
+      "{\"kind\":\"control_blackout\",\"start\":60,\"end\":120}\n");
+  std::string error;
+  std::optional<FaultPlan> plan = FaultPlan::Load(in, &error);
+  ASSERT_TRUE(plan.has_value()) << error;
+  EXPECT_EQ(plan->seed(), 7u);
+  ASSERT_EQ(plan->windows().size(), 1u);
+  EXPECT_EQ(plan->windows()[0].job, -1);
+}
+
+TEST(FaultPlanTest, LoadRejectsGarbage) {
+  std::string error;
+
+  std::istringstream not_json("this is not json\n");
+  EXPECT_FALSE(FaultPlan::Load(not_json, &error).has_value());
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+
+  std::istringstream unknown_kind("{\"kind\":\"disk_melt\",\"start\":0,\"end\":1}\n");
+  EXPECT_FALSE(FaultPlan::Load(unknown_kind, &error).has_value());
+  EXPECT_NE(error.find("disk_melt"), std::string::npos);
+
+  std::istringstream missing_interval("{\"kind\":\"report_dropout\",\"start\":0}\n");
+  EXPECT_FALSE(FaultPlan::Load(missing_interval, &error).has_value());
+
+  std::istringstream empty("");
+  EXPECT_FALSE(FaultPlan::Load(empty, &error).has_value());
+  EXPECT_NE(error.find("empty"), std::string::npos);
+
+  // Windows that parse but fail Validate() are rejected too.
+  std::istringstream invalid("{\"kind\":\"report_stale\",\"start\":0,\"end\":10}\n");
+  EXPECT_FALSE(FaultPlan::Load(invalid, &error).has_value());
+  EXPECT_NE(error.find("staleness lag"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jockey

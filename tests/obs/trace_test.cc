@@ -39,6 +39,11 @@ std::vector<TraceEvent> AllKindsSample() {
   events.emplace_back(8.0, SpeculativeLaunchEvent{2, 4, 20});
   events.emplace_back(100.0, MachineFailureEvent{42, 3});
   events.emplace_back(400.0, MachineRecoverEvent{42});
+  events.emplace_back(
+      120.0, FaultInjectedEvent{FaultKind::kGrantShortfall, 2, 1, 0.5, 40.0, 20.0});
+  events.emplace_back(
+      120.0,
+      DegradedDecisionEvent{1, DegradeMode::kPessimisticEscalation, 120.0, 90.0, 100, 87.5});
   return events;
 }
 

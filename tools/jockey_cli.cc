@@ -26,6 +26,15 @@
 //       converts the capture for chrome://tracing; --jsonl-out re-emits it (a
 //       byte-identical copy, which the round-trip test checks).
 //
+//   jockey_cli chaos job.scope trace.txt --deadline MIN [--seeds N] [--classes LIST]
+//       Seeded fault-matrix sweep: for each fault class (progress-report dropout /
+//       staleness / noise, controller blackouts, token-grant shortfalls, C(p,a)
+//       table faults, correlated machine bursts) run the same faulted cluster twice
+//       per seed — vanilla controller vs. degraded-mode hardening — and report
+//       deadline-miss rates and allocation churn per class, attributing every miss
+//       to the fault window that dominated the run. --fault-plan loads a custom
+//       JSONL schedule instead of the built-in per-class defaults.
+//
 //   jockey_cli dot job.scope
 //       Print the plan as Graphviz.
 //
@@ -46,6 +55,7 @@
 
 #include "src/cluster/cluster_simulator.h"
 #include "src/core/experiment.h"
+#include "src/fault/fault_injector.h"
 #include "src/obs/jsonl.h"
 #include "src/obs/metrics.h"
 #include "src/obs/observer.h"
@@ -63,6 +73,8 @@ int Usage() {
                "  jockey_cli train <job.scope> --trace <out.txt> [--tokens N] [--seed S]\n"
                "  jockey_cli predict <job.scope> <trace.txt> [--deadline MIN]\n"
                "  jockey_cli run <job.scope> <trace.txt> --deadline MIN [--seed S]\n"
+               "  jockey_cli chaos <job.scope> <trace.txt> --deadline MIN [--seeds N]\n"
+               "                   [--classes LIST] [--fault-plan FILE] [--seed S]\n"
                "  jockey_cli report <trace.jsonl> [--chrome-out FILE] [--jsonl-out FILE]\n"
                "run '<command> --help' for the command's flags; all commands accept\n"
                "--trace-out FILE, --metrics-out FILE and the model-cache flags.\n");
@@ -382,6 +394,232 @@ int CmdRun(int argc, char** argv, const std::string& path, const std::string& tr
   return met ? 0 : 1;
 }
 
+// One row of the chaos matrix: a fault class name plus the plan that exercises it,
+// scaled to the run's deadline so every window actually overlaps the job.
+struct ChaosClass {
+  std::string name;
+  FaultPlan plan;
+};
+
+std::vector<ChaosClass> BuildChaosMatrix(double deadline_seconds, int num_machines) {
+  const double d = deadline_seconds;
+  std::vector<ChaosClass> matrix;
+  matrix.push_back({"report_dropout",
+                    FaultPlan().Add(FaultPlan::ReportDropout(0.25 * d, 0.95 * d))});
+  matrix.push_back({"report_stale",
+                    FaultPlan().Add(FaultPlan::ReportStale(0.25 * d, 0.95 * d, 0.3 * d))});
+  matrix.push_back({"report_noise",
+                    FaultPlan().Add(FaultPlan::ReportNoise(0.15 * d, 0.95 * d, 0.35))});
+  matrix.push_back({"control_blackout",
+                    FaultPlan().Add(FaultPlan::ControlBlackout(0.3 * d, 0.9 * d))});
+  matrix.push_back({"grant_shortfall",
+                    FaultPlan().Add(FaultPlan::GrantShortfall(0.15 * d, 0.95 * d, 0.45))});
+  matrix.push_back({"table_fault",
+                    FaultPlan().Add(FaultPlan::TableFault(0.1 * d, 0.9 * d, 0.15))});
+  matrix.push_back({"machine_burst",
+                    FaultPlan().Add(FaultPlan::MachineBurst(
+                        0.3 * d, 0.8 * d, 0, std::max(1, num_machines * 3 / 10)))});
+  return matrix;
+}
+
+// Allocation churn: how many times the granted-token level changed over the run. The
+// hardened controller's stale-hold should *reduce* churn under dropout; escalation
+// under blindness trades churn for safety, which the table makes visible.
+int AllocationChurn(const std::vector<AllocationSample>& timeline) {
+  int changes = 0;
+  for (size_t i = 1; i < timeline.size(); ++i) {
+    if (timeline[i].guaranteed != timeline[i - 1].guaranteed) {
+      ++changes;
+    }
+  }
+  return changes;
+}
+
+int CmdChaos(int argc, char** argv, const std::string& path, const std::string& trace_path) {
+  double deadline_minutes = -1.0;
+  uint64_t first_seed = 1;
+  int seeds = 5;
+  std::string classes = "all";
+  std::string fault_plan_path;
+  GlobalOptions global;
+  OptionsParser parser("jockey_cli chaos <job.scope> <trace.txt> --deadline MIN [flags]");
+  parser.AddDouble("--deadline", "MIN", "deadline in minutes (required)", &deadline_minutes);
+  parser.AddInt("--seeds", "N", "runs per fault class and controller", &seeds);
+  parser.AddUint64("--seed", "S", "first seed of the sweep", &first_seed);
+  parser.AddString("--classes", "LIST",
+                   "comma-separated fault classes to sweep (default: all)", &classes);
+  parser.AddString("--fault-plan", "FILE",
+                   "sweep one custom JSONL fault schedule instead of the built-in matrix",
+                   &fault_plan_path);
+  global.Register(parser);
+  if (path == "--help" || path == "-h") {
+    parser.PrintHelp(stdout);
+    return 0;
+  }
+  if (!parser.Parse(argc, argv, 4)) {
+    return 2;
+  }
+  if (parser.help_requested()) {
+    return 0;
+  }
+  if (deadline_minutes <= 0.0) {
+    std::fprintf(stderr, "chaos requires --deadline <minutes>\n");
+    return 2;
+  }
+  if (seeds < 1) {
+    std::fprintf(stderr, "--seeds must be >= 1\n");
+    return 2;
+  }
+  auto plan = CompileFile(path);
+  if (!plan.has_value()) {
+    return 1;
+  }
+  CliObservability obs(global);
+  if (!obs.ok()) {
+    return 1;
+  }
+  auto model = BuildModel(*plan, trace_path, global, obs.observer());
+  if (!model.has_value()) {
+    return 1;
+  }
+  const double deadline = deadline_minutes * 60.0;
+
+  std::vector<ChaosClass> matrix;
+  if (!fault_plan_path.empty()) {
+    std::ifstream in(fault_plan_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", fault_plan_path.c_str());
+      return 1;
+    }
+    std::string error;
+    std::optional<FaultPlan> custom = FaultPlan::Load(in, &error);
+    if (!custom.has_value()) {
+      std::fprintf(stderr, "bad fault plan %s: %s\n", fault_plan_path.c_str(), error.c_str());
+      return 1;
+    }
+    matrix.push_back({"custom", std::move(*custom)});
+  } else {
+    ClusterConfig reference = DefaultExperimentCluster(0);
+    std::vector<ChaosClass> all = BuildChaosMatrix(deadline, reference.num_machines);
+    if (classes == "all" || classes.empty()) {
+      matrix = std::move(all);
+    } else {
+      std::stringstream list(classes);
+      std::string token;
+      while (std::getline(list, token, ',')) {
+        bool known = false;
+        for (const ChaosClass& entry : all) {
+          if (entry.name == token) {
+            matrix.push_back(entry);
+            known = true;
+            break;
+          }
+        }
+        if (!known) {
+          std::fprintf(stderr, "unknown fault class '%s' (see --help)\n", token.c_str());
+          return 2;
+        }
+      }
+    }
+  }
+  if (matrix.empty()) {
+    std::fprintf(stderr, "no fault classes selected\n");
+    return 2;
+  }
+
+  // RunExperiment wants a TrainedJob; wrap the already-built model without copying
+  // it (the aliasing shared_ptr does not own — `model` outlives every run).
+  TrainedJob trained;
+  trained.tmpl = std::make_shared<const JobTemplate>(plan->job);
+  trained.jockey = std::shared_ptr<const Jockey>(std::shared_ptr<const Jockey>(), &*model);
+
+  ControlLoopConfig hardened_control = model->config().control;
+  hardened_control.enable_degraded_mode = true;
+
+  struct Miss {
+    std::string cls;
+    bool hardened = false;
+    uint64_t seed = 0;
+    double completion_seconds = 0.0;
+    const FaultWindow* window = nullptr;
+  };
+  std::vector<Miss> misses;
+  // Attribution injectors must outlive the Miss::window pointers into their plans.
+  std::vector<std::unique_ptr<FaultInjector>> attribution;
+
+  std::printf("chaos sweep: %d fault class%s x %d seed%s, deadline %.0f min, "
+              "vanilla vs hardened controller\n",
+              static_cast<int>(matrix.size()), matrix.size() == 1 ? "" : "es", seeds,
+              seeds == 1 ? "" : "s", deadline_minutes);
+  std::printf("(input jitter pinned off so differences are the faults' doing)\n\n");
+  std::printf("%-17s %5s  %11s %11s  %12s %12s\n", "fault class", "runs", "miss(van)",
+              "miss(hard)", "churn(van)", "churn(hard)");
+
+  int classes_won = 0;
+  int classes_tied = 0;
+  for (const ChaosClass& cls : matrix) {
+    attribution.push_back(std::make_unique<FaultInjector>(cls.plan));
+    const FaultInjector& attributor = *attribution.back();
+    int miss_count[2] = {0, 0};
+    double churn_sum[2] = {0.0, 0.0};
+    for (int i = 0; i < seeds; ++i) {
+      uint64_t run_seed = first_seed + static_cast<uint64_t>(i);
+      FaultPlan run_plan = cls.plan;
+      // Per-seed noise stream; the window schedule itself is shared by both arms.
+      run_plan.set_seed(run_seed * 1000003 + 97);
+      for (int arm = 0; arm < 2; ++arm) {
+        ExperimentOptions options;
+        options.deadline_seconds = deadline;
+        options.policy = PolicyKind::kJockey;
+        options.seed = run_seed;
+        options.jitter_input = false;
+        options.fault_plan = &run_plan;
+        options.observer = obs.observer();
+        if (arm == 1) {
+          options.control_override = hardened_control;
+        }
+        ExperimentResult result = RunExperiment(trained, options);
+        churn_sum[arm] += AllocationChurn(result.run.timeline);
+        if (!result.met_deadline) {
+          ++miss_count[arm];
+          misses.push_back({cls.name, arm == 1, run_seed, result.completion_seconds,
+                            attributor.DominantWindow(0.0, result.completion_seconds)});
+        }
+      }
+    }
+    std::printf("%-17s %5d  %6d/%-4d %6d/%-4d  %12.1f %12.1f\n", cls.name.c_str(), seeds,
+                miss_count[0], seeds, miss_count[1], seeds, churn_sum[0] / seeds,
+                churn_sum[1] / seeds);
+    if (miss_count[1] < miss_count[0]) {
+      ++classes_won;
+    } else if (miss_count[1] == miss_count[0]) {
+      ++classes_tied;
+    }
+  }
+
+  if (!misses.empty()) {
+    std::printf("\nmiss attribution (every miss -> the dominant fault window):\n");
+    for (const Miss& miss : misses) {
+      std::printf("  %-8s %-17s seed=%llu  %.1f min vs %.0f min", miss.hardened ? "hardened" : "vanilla",
+                  miss.cls.c_str(), static_cast<unsigned long long>(miss.seed),
+                  miss.completion_seconds / 60.0, deadline_minutes);
+      if (miss.window != nullptr) {
+        std::printf("  <- %s [%.1f, %.1f) min\n", FaultKindName(miss.window->kind),
+                    miss.window->start_seconds / 60.0, miss.window->end_seconds / 60.0);
+      } else {
+        std::printf("  <- no fault window overlapped the run\n");
+      }
+    }
+  } else {
+    std::printf("\nno deadline misses under any fault class\n");
+  }
+  std::printf("\nhardened controller: fewer misses on %d, tied on %d, worse on %d of %d class%s\n",
+              classes_won, classes_tied,
+              static_cast<int>(matrix.size()) - classes_won - classes_tied,
+              static_cast<int>(matrix.size()), matrix.size() == 1 ? "" : "es");
+  return obs.Finish();
+}
+
 int CmdReport(int argc, char** argv, const std::string& trace_path) {
   std::string chrome_out;
   std::string jsonl_out;
@@ -538,6 +776,12 @@ int Main(int argc, char** argv) {
       return Usage();
     }
     return CmdRun(argc, argv, argv[2], argc >= 4 ? argv[3] : "");
+  }
+  if (command == "chaos") {
+    if (argc < 4 && !help_only) {
+      return Usage();
+    }
+    return CmdChaos(argc, argv, argv[2], argc >= 4 ? argv[3] : "");
   }
   if (command == "report") {
     return CmdReport(argc, argv, argv[2]);
