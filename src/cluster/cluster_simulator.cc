@@ -131,6 +131,7 @@ void ClusterSimulator::DrainReady(JobState& job) {
       job.records[static_cast<size_t>(t)].ready_time = eq_.now();
     }
     job.pending.push_back(t);
+    obs_.Emit(eq_.now(), TaskReadyEvent{job.id, job.tracker->StageOf(t), t, false});
   }
   // Compact the FIFO when the dead prefix dominates.
   if (job.pending_head > 1024 && job.pending_head * 2 > job.pending.size()) {
@@ -393,6 +394,9 @@ void ClusterSimulator::KillAttempt(JobState& job, uint64_t attempt, KillReason r
   }
   obs_.Emit(eq_.now(), TaskKilledEvent{job.id, job.tracker->StageOf(flat_task), flat_task,
                                        reason, requeued});
+  if (requeued) {
+    obs_.Emit(eq_.now(), TaskReadyEvent{job.id, job.tracker->StageOf(flat_task), flat_task, true});
+  }
   switch (reason) {
     case KillReason::kSpareEviction:
       ++tallies_.evictions;

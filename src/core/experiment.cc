@@ -148,14 +148,22 @@ ExperimentResult RunExperiment(const TrainedJob& job, const ExperimentOptions& o
   submission.controller = controller;
   submission.control_period_seconds = options.control_period_seconds;
   submission.seed = options.seed * 104729 + 71;
-  cluster.set_observer(options.observer);
+  // Event capture tees into the caller's sink (if any) so --trace-out and the
+  // postmortem analyzer see the identical stream.
+  VectorSink capture_sink;
+  TeeSink tee(options.observer.sink(), &capture_sink);
+  Observer observer = options.observer;
+  if (options.capture_events != nullptr) {
+    observer = Observer(&tee, options.observer.metrics());
+  }
+  cluster.set_observer(observer);
   std::optional<FaultInjector> injector;
   if (options.fault_plan != nullptr && !options.fault_plan->empty()) {
     injector.emplace(*options.fault_plan);
     cluster.set_fault_injector(&*injector);
   }
   if (adaptive != nullptr) {
-    adaptive->set_observer(options.observer, /*job_label=*/0);
+    adaptive->set_observer(observer, /*job_label=*/0);
     if (injector.has_value()) {
       adaptive->set_fault_injector(&*injector);
     }
@@ -188,6 +196,11 @@ ExperimentResult RunExperiment(const TrainedJob& job, const ExperimentOptions& o
   result.run = run;
   if (adaptive != nullptr) {
     result.control_log = adaptive->log();
+  }
+  if (options.capture_events != nullptr) {
+    options.capture_events->insert(options.capture_events->end(),
+                                   capture_sink.events().begin(),
+                                   capture_sink.events().end());
   }
   return result;
 }

@@ -104,6 +104,10 @@ struct ExperimentOptions {
   // ControlLoopConfig::enable_degraded_mode (via control_override) — the chaos sweep
   // runs the same plan against both settings.
   const FaultPlan* fault_plan = nullptr;
+  // When set, every trace event of the run is appended here (in addition to
+  // whatever `observer` sink is attached) — the input the postmortem analyzer
+  // (obs/analysis/postmortem.h) wants without forcing callers to round-trip JSONL.
+  std::vector<TraceEvent>* capture_events = nullptr;
 };
 
 struct ExperimentResult {

@@ -146,6 +146,12 @@ struct LineWriter {
     AppendInt(*out, "granted", e.granted_tokens);
     AppendNum(*out, "value", e.value);
   }
+  void operator()(const TaskReadyEvent& e) const {
+    AppendInt(*out, "job", e.job);
+    AppendInt(*out, "stage", e.stage);
+    AppendInt(*out, "task", e.task);
+    AppendBool(*out, "requeued", e.requeued);
+  }
 };
 
 // --- Reader: a minimal parser for the flat one-level objects the writer emits. ---
@@ -248,29 +254,46 @@ bool ParseFlatObjectImpl(const std::string& line, FieldMap& out) {
   }
 }
 
-bool GetNum(const FieldMap& m, const char* key, double& out) {
+// Records the first field a parser clause rejected — what strict mode reports.
+// The && chains in ParsePayload short-circuit, so the first Get* to fail is the one
+// whose key lands here.
+struct FieldFail {
+  const char* field = nullptr;
+
+  bool Miss(const char* key) {
+    if (field == nullptr) {
+      field = key;
+    }
+    return false;
+  }
+};
+
+bool GetNum(const FieldMap& m, const char* key, double& out, FieldFail& fail) {
   const std::string* v = m.Find(key);
   if (v == nullptr) {
-    return false;
+    return fail.Miss(key);
   }
   char* end = nullptr;
   out = std::strtod(v->c_str(), &end);
-  return end != v->c_str() && *end == '\0';
+  if (end == v->c_str() || *end != '\0') {
+    return fail.Miss(key);
+  }
+  return true;
 }
 
-bool GetInt(const FieldMap& m, const char* key, int& out) {
+bool GetInt(const FieldMap& m, const char* key, int& out, FieldFail& fail) {
   double d = 0.0;
-  if (!GetNum(m, key, d)) {
+  if (!GetNum(m, key, d, fail)) {
     return false;
   }
   out = static_cast<int>(d);
   return true;
 }
 
-bool GetBool(const FieldMap& m, const char* key, bool& out) {
+bool GetBool(const FieldMap& m, const char* key, bool& out, FieldFail& fail) {
   const std::string* v = m.Find(key);
   if (v == nullptr) {
-    return false;
+    return fail.Miss(key);
   }
   if (*v == "true") {
     out = true;
@@ -280,23 +303,26 @@ bool GetBool(const FieldMap& m, const char* key, bool& out) {
     out = false;
     return true;
   }
-  return false;
+  return fail.Miss(key);
 }
 
-bool GetKey(const FieldMap& m, const char* key, uint64_t& out) {
+bool GetKey(const FieldMap& m, const char* key, uint64_t& out, FieldFail& fail) {
   const std::string* v = m.Find(key);
   if (v == nullptr || v->empty()) {
-    return false;
+    return fail.Miss(key);
   }
   char* end = nullptr;
   out = std::strtoull(v->c_str(), &end, 16);
-  return end == v->c_str() + v->size();
+  if (end != v->c_str() + v->size()) {
+    return fail.Miss(key);
+  }
+  return true;
 }
 
-bool GetCacheCode(const FieldMap& m, const char* key, CacheCode& out) {
+bool GetCacheCode(const FieldMap& m, const char* key, CacheCode& out, FieldFail& fail) {
   const std::string* v = m.Find(key);
   if (v == nullptr) {
-    return false;
+    return fail.Miss(key);
   }
   for (int c = 0; c <= static_cast<int>(CacheCode::kDisabled); ++c) {
     if (*v == CacheCodeName(static_cast<CacheCode>(c))) {
@@ -304,13 +330,13 @@ bool GetCacheCode(const FieldMap& m, const char* key, CacheCode& out) {
       return true;
     }
   }
-  return false;
+  return fail.Miss(key);
 }
 
-bool GetKillReason(const FieldMap& m, const char* key, KillReason& out) {
+bool GetKillReason(const FieldMap& m, const char* key, KillReason& out, FieldFail& fail) {
   const std::string* v = m.Find(key);
   if (v == nullptr) {
-    return false;
+    return fail.Miss(key);
   }
   for (int r = 0; r <= static_cast<int>(KillReason::kMachineFailure); ++r) {
     if (*v == KillReasonName(static_cast<KillReason>(r))) {
@@ -318,13 +344,13 @@ bool GetKillReason(const FieldMap& m, const char* key, KillReason& out) {
       return true;
     }
   }
-  return false;
+  return fail.Miss(key);
 }
 
-bool GetFaultKind(const FieldMap& m, const char* key, FaultKind& out) {
+bool GetFaultKind(const FieldMap& m, const char* key, FaultKind& out, FieldFail& fail) {
   const std::string* v = m.Find(key);
   if (v == nullptr) {
-    return false;
+    return fail.Miss(key);
   }
   for (int k = 0; k <= static_cast<int>(FaultKind::kMachineBurst); ++k) {
     if (*v == FaultKindName(static_cast<FaultKind>(k))) {
@@ -332,13 +358,13 @@ bool GetFaultKind(const FieldMap& m, const char* key, FaultKind& out) {
       return true;
     }
   }
-  return false;
+  return fail.Miss(key);
 }
 
-bool GetDegradeMode(const FieldMap& m, const char* key, DegradeMode& out) {
+bool GetDegradeMode(const FieldMap& m, const char* key, DegradeMode& out, FieldFail& fail) {
   const std::string* v = m.Find(key);
   if (v == nullptr) {
-    return false;
+    return fail.Miss(key);
   }
   for (int d = 0; d <= static_cast<int>(DegradeMode::kModelLossEscalation); ++d) {
     if (*v == DegradeModeName(static_cast<DegradeMode>(d))) {
@@ -346,120 +372,133 @@ bool GetDegradeMode(const FieldMap& m, const char* key, DegradeMode& out) {
       return true;
     }
   }
-  return false;
+  return fail.Miss(key);
 }
 
-std::optional<TraceEventPayload> ParsePayload(const std::string& kind, const FieldMap& m) {
+std::optional<TraceEventPayload> ParsePayload(const std::string& kind, const FieldMap& m,
+                                              FieldFail& fail) {
   if (kind == "control_tick") {
     ControlTickEvent e;
-    if (GetInt(m, "job", e.job) && GetNum(m, "elapsed", e.elapsed_seconds) &&
-        GetNum(m, "progress", e.progress) &&
-        GetNum(m, "prediction", e.predicted_remaining_seconds) &&
-        GetNum(m, "utility", e.utility) && GetNum(m, "raw", e.raw_allocation) &&
-        GetNum(m, "smoothed", e.smoothed_allocation) && GetInt(m, "granted", e.granted_tokens) &&
-        GetNum(m, "model_speed", e.model_speed)) {
+    if (GetInt(m, "job", e.job, fail) && GetNum(m, "elapsed", e.elapsed_seconds, fail) &&
+        GetNum(m, "progress", e.progress, fail) &&
+        GetNum(m, "prediction", e.predicted_remaining_seconds, fail) &&
+        GetNum(m, "utility", e.utility, fail) && GetNum(m, "raw", e.raw_allocation, fail) &&
+        GetNum(m, "smoothed", e.smoothed_allocation, fail) &&
+        GetInt(m, "granted", e.granted_tokens, fail) &&
+        GetNum(m, "model_speed", e.model_speed, fail)) {
       return e;
     }
   } else if (kind == "prediction_lookup") {
     PredictionLookupEvent e;
-    if (GetInt(m, "job", e.job) && GetNum(m, "progress", e.progress) &&
-        GetNum(m, "allocation", e.allocation) &&
-        GetNum(m, "prediction", e.predicted_remaining_seconds)) {
+    if (GetInt(m, "job", e.job, fail) && GetNum(m, "progress", e.progress, fail) &&
+        GetNum(m, "allocation", e.allocation, fail) &&
+        GetNum(m, "prediction", e.predicted_remaining_seconds, fail)) {
       return e;
     }
   } else if (kind == "allocation_change") {
     AllocationChangeEvent e;
-    if (GetInt(m, "job", e.job) && GetInt(m, "from", e.from_tokens) &&
-        GetInt(m, "to", e.to_tokens)) {
+    if (GetInt(m, "job", e.job, fail) && GetInt(m, "from", e.from_tokens, fail) &&
+        GetInt(m, "to", e.to_tokens, fail)) {
       return e;
     }
   } else if (kind == "utility_change") {
     UtilityChangeEvent e;
-    if (GetInt(m, "job", e.job) && GetNum(m, "elapsed", e.elapsed_seconds)) {
+    if (GetInt(m, "job", e.job, fail) && GetNum(m, "elapsed", e.elapsed_seconds, fail)) {
       return e;
     }
   } else if (kind == "table_cache_lookup") {
     TableCacheLookupEvent e;
     double bytes = 0.0;
-    if (GetKey(m, "key", e.key) && GetCacheCode(m, "code", e.code) &&
-        GetNum(m, "bytes", bytes)) {
+    if (GetKey(m, "key", e.key, fail) && GetCacheCode(m, "code", e.code, fail) &&
+        GetNum(m, "bytes", bytes, fail)) {
       e.bytes = static_cast<uint64_t>(bytes);
       return e;
     }
   } else if (kind == "table_cache_store") {
     TableCacheStoreEvent e;
     double bytes = 0.0;
-    if (GetKey(m, "key", e.key) && GetCacheCode(m, "code", e.code) &&
-        GetNum(m, "bytes", bytes)) {
+    if (GetKey(m, "key", e.key, fail) && GetCacheCode(m, "code", e.code, fail) &&
+        GetNum(m, "bytes", bytes, fail)) {
       e.bytes = static_cast<uint64_t>(bytes);
       return e;
     }
   } else if (kind == "table_cache_evict") {
     TableCacheEvictEvent e;
     double bytes = 0.0;
-    if (GetKey(m, "key", e.key) && GetNum(m, "bytes", bytes)) {
+    if (GetKey(m, "key", e.key, fail) && GetNum(m, "bytes", bytes, fail)) {
       e.bytes = static_cast<uint64_t>(bytes);
       return e;
     }
   } else if (kind == "job_submit") {
     JobSubmitEvent e;
-    if (GetInt(m, "job", e.job) && GetInt(m, "tokens", e.guaranteed_tokens)) {
+    if (GetInt(m, "job", e.job, fail) && GetInt(m, "tokens", e.guaranteed_tokens, fail)) {
       return e;
     }
   } else if (kind == "job_finish") {
     JobFinishEvent e;
-    if (GetInt(m, "job", e.job) && GetNum(m, "completion", e.completion_seconds)) {
+    if (GetInt(m, "job", e.job, fail) && GetNum(m, "completion", e.completion_seconds, fail)) {
       return e;
     }
   } else if (kind == "task_dispatch") {
     TaskDispatchEvent e;
-    if (GetInt(m, "job", e.job) && GetInt(m, "stage", e.stage) && GetInt(m, "task", e.task) &&
-        GetInt(m, "machine", e.machine) && GetBool(m, "spare", e.spare) &&
-        GetBool(m, "speculative", e.speculative)) {
+    if (GetInt(m, "job", e.job, fail) && GetInt(m, "stage", e.stage, fail) &&
+        GetInt(m, "task", e.task, fail) && GetInt(m, "machine", e.machine, fail) &&
+        GetBool(m, "spare", e.spare, fail) && GetBool(m, "speculative", e.speculative, fail)) {
       return e;
     }
   } else if (kind == "task_complete") {
     TaskCompleteEvent e;
-    if (GetInt(m, "job", e.job) && GetInt(m, "stage", e.stage) && GetInt(m, "task", e.task) &&
-        GetBool(m, "spare", e.spare) && GetBool(m, "speculative", e.speculative)) {
+    if (GetInt(m, "job", e.job, fail) && GetInt(m, "stage", e.stage, fail) &&
+        GetInt(m, "task", e.task, fail) && GetBool(m, "spare", e.spare, fail) &&
+        GetBool(m, "speculative", e.speculative, fail)) {
       return e;
     }
   } else if (kind == "task_killed") {
     TaskKilledEvent e;
-    if (GetInt(m, "job", e.job) && GetInt(m, "stage", e.stage) && GetInt(m, "task", e.task) &&
-        GetKillReason(m, "reason", e.reason) && GetBool(m, "requeued", e.requeued)) {
+    if (GetInt(m, "job", e.job, fail) && GetInt(m, "stage", e.stage, fail) &&
+        GetInt(m, "task", e.task, fail) && GetKillReason(m, "reason", e.reason, fail) &&
+        GetBool(m, "requeued", e.requeued, fail)) {
+      return e;
+    }
+  } else if (kind == "task_ready") {
+    TaskReadyEvent e;
+    if (GetInt(m, "job", e.job, fail) && GetInt(m, "stage", e.stage, fail) &&
+        GetInt(m, "task", e.task, fail) && GetBool(m, "requeued", e.requeued, fail)) {
       return e;
     }
   } else if (kind == "speculative_launch") {
     SpeculativeLaunchEvent e;
-    if (GetInt(m, "job", e.job) && GetInt(m, "stage", e.stage) && GetInt(m, "task", e.task)) {
+    if (GetInt(m, "job", e.job, fail) && GetInt(m, "stage", e.stage, fail) &&
+        GetInt(m, "task", e.task, fail)) {
       return e;
     }
   } else if (kind == "machine_failure") {
     MachineFailureEvent e;
-    if (GetInt(m, "machine", e.machine) && GetInt(m, "killed", e.tasks_killed)) {
+    if (GetInt(m, "machine", e.machine, fail) && GetInt(m, "killed", e.tasks_killed, fail)) {
       return e;
     }
   } else if (kind == "machine_recover") {
     MachineRecoverEvent e;
-    if (GetInt(m, "machine", e.machine)) {
+    if (GetInt(m, "machine", e.machine, fail)) {
       return e;
     }
   } else if (kind == "fault_injected") {
     FaultInjectedEvent e;
-    if (GetFaultKind(m, "fault", e.fault) && GetInt(m, "window", e.window) &&
-        GetInt(m, "job", e.job) && GetNum(m, "magnitude", e.magnitude) &&
-        GetNum(m, "detail", e.detail) && GetNum(m, "detail2", e.detail2)) {
+    if (GetFaultKind(m, "fault", e.fault, fail) && GetInt(m, "window", e.window, fail) &&
+        GetInt(m, "job", e.job, fail) && GetNum(m, "magnitude", e.magnitude, fail) &&
+        GetNum(m, "detail", e.detail, fail) && GetNum(m, "detail2", e.detail2, fail)) {
       return e;
     }
   } else if (kind == "degraded_decision") {
     DegradedDecisionEvent e;
-    if (GetInt(m, "job", e.job) && GetDegradeMode(m, "mode", e.mode) &&
-        GetNum(m, "elapsed", e.elapsed_seconds) &&
-        GetNum(m, "report_age", e.report_age_seconds) &&
-        GetInt(m, "granted", e.granted_tokens) && GetNum(m, "value", e.value)) {
+    if (GetInt(m, "job", e.job, fail) && GetDegradeMode(m, "mode", e.mode, fail) &&
+        GetNum(m, "elapsed", e.elapsed_seconds, fail) &&
+        GetNum(m, "report_age", e.report_age_seconds, fail) &&
+        GetInt(m, "granted", e.granted_tokens, fail) && GetNum(m, "value", e.value, fail)) {
       return e;
     }
+  } else {
+    fail.Miss("kind");
   }
   return std::nullopt;
 }
@@ -492,21 +531,43 @@ std::string ToJsonLine(const TraceEvent& event) {
   return out;
 }
 
-std::optional<TraceEvent> ParseTraceLine(const std::string& line) {
+std::optional<TraceEvent> ParseTraceLine(const std::string& line, TraceParseIssue* issue) {
   FieldMap fields;
   if (!ParseFlatObjectImpl(line, fields)) {
+    if (issue != nullptr) {
+      issue->field.clear();
+      issue->message = "malformed JSON object";
+    }
     return std::nullopt;
   }
+  FieldFail fail;
   double t = 0.0;
-  if (!GetNum(fields, "t", t)) {
+  if (!GetNum(fields, "t", t, fail)) {
+    if (issue != nullptr) {
+      issue->field = "t";
+      issue->message = "missing or non-numeric timestamp";
+    }
     return std::nullopt;
   }
   const std::string* kind = fields.Find("kind");
   if (kind == nullptr) {
+    if (issue != nullptr) {
+      issue->field = "kind";
+      issue->message = "missing kind";
+    }
     return std::nullopt;
   }
-  std::optional<TraceEventPayload> payload = ParsePayload(*kind, fields);
+  std::optional<TraceEventPayload> payload = ParsePayload(*kind, fields, fail);
   if (!payload.has_value()) {
+    if (issue != nullptr) {
+      if (fail.field != nullptr && std::string(fail.field) == "kind") {
+        issue->field = "kind";
+        issue->message = "unknown kind '" + *kind + "'";
+      } else {
+        issue->field = fail.field != nullptr ? fail.field : "";
+        issue->message = "missing or malformed field";
+      }
+    }
     return std::nullopt;
   }
   TraceEvent event;
@@ -515,17 +576,27 @@ std::optional<TraceEvent> ParseTraceLine(const std::string& line) {
   return event;
 }
 
-TraceReadResult ReadJsonlTrace(std::istream& is) {
+TraceReadResult ReadJsonlTrace(std::istream& is, bool strict) {
   TraceReadResult result;
   std::string line;
+  int line_number = 0;
   while (std::getline(is, line)) {
+    ++line_number;
     if (line.empty()) {
       continue;
     }
-    if (std::optional<TraceEvent> event = ParseTraceLine(line)) {
+    TraceParseIssue issue;
+    if (std::optional<TraceEvent> event = ParseTraceLine(line, &issue)) {
       result.events.push_back(std::move(*event));
     } else {
       ++result.malformed_lines;
+      if (!result.first_issue.has_value()) {
+        issue.line_number = line_number;
+        result.first_issue = std::move(issue);
+      }
+      if (strict) {
+        break;
+      }
     }
   }
   return result;

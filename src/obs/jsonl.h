@@ -43,15 +43,32 @@ bool ParseFlatJsonObject(const std::string& line, FlatJsonFields& out);
 // One line, no trailing newline.
 std::string ToJsonLine(const TraceEvent& event);
 
-// Inverse of ToJsonLine. Returns nullopt for malformed lines or unknown kinds.
-std::optional<TraceEvent> ParseTraceLine(const std::string& line);
+// Where and why a line failed to parse: the 1-based line number (0 when parsing a
+// bare string outside a stream), the first offending field ("" when the JSON object
+// itself is malformed), and a human-readable message.
+struct TraceParseIssue {
+  int line_number = 0;
+  std::string field;
+  std::string message;
+};
+
+// Inverse of ToJsonLine. Returns nullopt for malformed lines or unknown kinds; when
+// `issue` is non-null it is filled with the offending field and message.
+std::optional<TraceEvent> ParseTraceLine(const std::string& line,
+                                         TraceParseIssue* issue = nullptr);
 
 struct TraceReadResult {
   std::vector<TraceEvent> events;
   int malformed_lines = 0;  // non-empty lines that failed to parse
+  // The first malformed line's diagnosis (set whenever malformed_lines > 0).
+  std::optional<TraceParseIssue> first_issue;
 };
 
-TraceReadResult ReadJsonlTrace(std::istream& is);
+// Reads a JSONL trace. Lenient mode (default) skips malformed lines and counts
+// them; strict mode stops at the first malformed line, leaving its line number and
+// offending field in `first_issue` — for pipelines that must not silently analyze a
+// truncated or hand-edited trace.
+TraceReadResult ReadJsonlTrace(std::istream& is, bool strict = false);
 
 class JsonlSink final : public ObserverSink {
  public:

@@ -116,6 +116,21 @@ void Histogram::Observe(double value) {
   ++counts_[bucket];
   ++total_count_;
   sum_ += value;
+  samples_.push_back(value);
+}
+
+double Histogram::Quantile(double q) const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  q = std::clamp(q, 0.0, 1.0);
+  double pos = q * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
 
 void MetricsRegistry::Add(const std::string& name, int64_t delta) { counters_[name] += delta; }
@@ -182,7 +197,10 @@ void MetricsRegistry::WriteJson(std::ostream& os) const {
       inner = ", ";
     }
     os << "], \"count\": " << histogram.total_count()
-       << ", \"sum\": " << JsonNumber(histogram.sum()) << "}";
+       << ", \"sum\": " << JsonNumber(histogram.sum())
+       << ", \"p50\": " << JsonNumber(histogram.Quantile(0.5))
+       << ", \"p90\": " << JsonNumber(histogram.Quantile(0.9))
+       << ", \"p99\": " << JsonNumber(histogram.Quantile(0.99)) << "}";
     sep = ",";
   }
   os << (histograms_.empty() ? "" : "\n  ") << "}\n}\n";

@@ -9,7 +9,10 @@
 //   * Histogram — fixed bucket edges chosen at creation and immutable afterwards, so
 //     two runs of the same binary always bucket identically (the stability the trace
 //     tests assert). Values land in the first bucket whose upper edge is >= value;
-//     values above the last edge land in the overflow bucket.
+//     values above the last edge land in the overflow bucket. Raw samples are also
+//     retained, so Quantile() and the JSON export quote exact p50/p90/p99 rather
+//     than bucket edges (registry histograms hold at most tens of thousands of
+//     observations per run, so retention is cheap).
 //
 // Determinism: all maps are ordered by name, snapshots list instruments
 // alphabetically, and WriteJson formats numbers with a fixed format — identical
@@ -43,9 +46,14 @@ class Histogram {
   int64_t total_count() const { return total_count_; }
   double sum() const { return sum_; }
 
+  // Exact quantile over the retained samples (linear interpolation between order
+  // statistics); 0 when empty. q is clamped to [0, 1].
+  double Quantile(double q) const;
+
  private:
   std::vector<double> edges_;
   std::vector<int64_t> counts_;
+  std::vector<double> samples_;  // raw observations, insertion order
   int64_t total_count_ = 0;
   double sum_ = 0.0;
   // Fast-path bucket lookup for geometric power-of-two edges (see Observe).

@@ -51,6 +51,26 @@ class VectorSink final : public ObserverSink {
   std::vector<TraceEvent> events_;
 };
 
+// Forwards each event to two sinks; either may be null. The experiment harness
+// uses it to capture events for post-run analysis (the postmortem analyzer)
+// without disturbing whatever sink the caller already attached.
+class TeeSink final : public ObserverSink {
+ public:
+  TeeSink(ObserverSink* first, ObserverSink* second) : first_(first), second_(second) {}
+  void OnEvent(const TraceEvent& event) override {
+    if (first_ != nullptr) {
+      first_->OnEvent(event);
+    }
+    if (second_ != nullptr) {
+      second_->OnEvent(event);
+    }
+  }
+
+ private:
+  ObserverSink* first_;
+  ObserverSink* second_;
+};
+
 // The handle threaded through ClusterSimulator, JockeyController, Jockey,
 // BuildCompletionTable and TableCache. Copyable, default-disabled; either half may
 // be attached independently (trace without metrics, metrics without trace).

@@ -106,6 +106,8 @@ const char* EventKindName(EventKind kind) {
       return "fault_injected";
     case EventKind::kDegradedDecision:
       return "degraded_decision";
+    case EventKind::kTaskReady:
+      return "task_ready";
   }
   return "unknown";
 }

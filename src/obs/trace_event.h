@@ -211,13 +211,25 @@ struct DegradedDecisionEvent {
   double value = 0.0;
 };
 
+// A task entered the pending queue and began waiting for a token. Together with
+// TaskDispatchEvent this makes queue delay observable in the trace — the piece the
+// postmortem analyzer (analysis/postmortem.h) needs to reconstruct per-attempt
+// ready -> dispatch -> complete/killed spans. `requeued` distinguishes first
+// DAG-readiness from re-entry after a kill put the task back on the queue.
+struct TaskReadyEvent {
+  int job = 0;
+  int stage = 0;
+  int task = 0;  // flat task id
+  bool requeued = false;
+};
+
 using TraceEventPayload =
     std::variant<ControlTickEvent, PredictionLookupEvent, AllocationChangeEvent,
                  UtilityChangeEvent, TableCacheLookupEvent, TableCacheStoreEvent,
                  TableCacheEvictEvent, JobSubmitEvent, JobFinishEvent, TaskDispatchEvent,
                  TaskCompleteEvent, TaskKilledEvent, SpeculativeLaunchEvent,
                  MachineFailureEvent, MachineRecoverEvent, FaultInjectedEvent,
-                 DegradedDecisionEvent>;
+                 DegradedDecisionEvent, TaskReadyEvent>;
 
 // Stable event-kind tags; indices match TraceEventPayload alternatives.
 enum class EventKind : int {
@@ -238,6 +250,8 @@ enum class EventKind : int {
   kMachineRecover = 14,
   kFaultInjected = 15,
   kDegradedDecision = 16,
+  // Appended after the fault-injection kinds to keep earlier wire tags stable.
+  kTaskReady = 17,
 };
 
 // The stable wire name of each kind (the "kind" field of a JSONL line).

@@ -105,6 +105,35 @@ TEST(MetricsTest, JsonStringEscapesControlCharacters) {
   EXPECT_EQ(JsonString("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
 }
 
+TEST(MetricsTest, QuantilesAreExactNotBucketEdges) {
+  Histogram h(DefaultLatencySecondsEdges());
+  // 1..100: exact quantiles are interpolated order statistics, none of which are
+  // powers of two — proving the values come from retained samples, not edges.
+  for (int i = 1; i <= 100; ++i) {
+    h.Observe(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 50.5);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.9), 90.1);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 100.0);
+  // Empty histogram: defined, zero.
+  Histogram empty(DefaultLatencySecondsEdges());
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.5), 0.0);
+}
+
+TEST(MetricsTest, JsonExportIncludesExactQuantiles) {
+  MetricsRegistry registry;
+  for (int i = 1; i <= 10; ++i) {
+    registry.Observe("lat", 3.0 * i);
+  }
+  std::ostringstream os;
+  registry.WriteJson(os);
+  std::string json = os.str();
+  EXPECT_NE(json.find("\"p50\": 16.5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p90\": "), std::string::npos);
+  EXPECT_NE(json.find("\"p99\": "), std::string::npos);
+}
+
 TEST(MetricsTest, SnapshotListsEverything) {
   MetricsRegistry registry;
   registry.Add("c1");

@@ -44,6 +44,7 @@ std::vector<TraceEvent> AllKindsSample() {
   events.emplace_back(
       120.0,
       DegradedDecisionEvent{1, DegradeMode::kPessimisticEscalation, 120.0, 90.0, 100, 87.5});
+  events.emplace_back(4.5, TaskReadyEvent{2, 3, 17, true});
   return events;
 }
 
@@ -90,6 +91,42 @@ TEST(TraceJsonlTest, MalformedLinesAreCountedNotFatal) {
   TraceReadResult result = ReadJsonlTrace(in);
   EXPECT_EQ(result.events.size(), 2u);
   EXPECT_EQ(result.malformed_lines, 2);
+  // Even in lenient mode the first issue is diagnosed for reporting.
+  ASSERT_TRUE(result.first_issue.has_value());
+  EXPECT_EQ(result.first_issue->line_number, 2);
+  EXPECT_EQ(result.first_issue->message, "malformed JSON object");
+}
+
+// Strict mode stops at the first malformed line and pinpoints line and field.
+TEST(TraceJsonlTest, StrictModeStopsAtFirstMalformedLine) {
+  std::istringstream in(
+      "{\"t\":1,\"kind\":\"job_submit\",\"job\":0,\"tokens\":5}\n"
+      "\n"
+      "{\"t\":2,\"kind\":\"task_ready\",\"job\":0,\"stage\":1,\"requeued\":false}\n"
+      "{\"t\":3,\"kind\":\"machine_recover\",\"machine\":7}\n");
+  TraceReadResult result = ReadJsonlTrace(in, /*strict=*/true);
+  EXPECT_EQ(result.events.size(), 1u);  // line 4 is never reached
+  EXPECT_EQ(result.malformed_lines, 1);
+  ASSERT_TRUE(result.first_issue.has_value());
+  EXPECT_EQ(result.first_issue->line_number, 3);  // blank line still counts
+  EXPECT_EQ(result.first_issue->field, "task");   // the first missing payload field
+}
+
+TEST(TraceJsonlTest, ParseIssueNamesOffendingField) {
+  TraceParseIssue issue;
+  EXPECT_FALSE(ParseTraceLine("{\"kind\":\"machine_recover\",\"machine\":7}", &issue));
+  EXPECT_EQ(issue.field, "t");
+
+  EXPECT_FALSE(ParseTraceLine("{\"t\":1,\"machine\":7}", &issue));
+  EXPECT_EQ(issue.field, "kind");
+
+  EXPECT_FALSE(ParseTraceLine("{\"t\":1,\"kind\":\"warp_drive\"}", &issue));
+  EXPECT_EQ(issue.field, "kind");
+  EXPECT_EQ(issue.message, "unknown kind 'warp_drive'");
+
+  EXPECT_FALSE(
+      ParseTraceLine("{\"t\":1,\"kind\":\"machine_recover\",\"machine\":\"x\"}", &issue));
+  EXPECT_EQ(issue.field, "machine");
 }
 
 JobTemplate SmallJob(uint64_t seed = 50) {

@@ -35,6 +35,15 @@
 //       to the fault window that dominated the run. --fault-plan loads a custom
 //       JSONL schedule instead of the built-in per-class defaults.
 //
+//   jockey_cli postmortem trace.jsonl [--deadline MIN] [--json FILE] [--strict]
+//       Deadline-miss postmortem of a --trace-out capture (single- or multi-run):
+//       reconstruct task-attempt spans, walk the realized critical path, attribute
+//       each job's wall-clock into queue / control-lag / degraded / exec / rework /
+//       speculation components that sum to its completion time, and report the
+//       predictor's signed-error calibration per progress decile. --deadline adds
+//       the miss/meet verdict and a top-3 blame ranking; --json writes the
+//       byte-deterministic machine-readable form.
+//
 //   jockey_cli dot job.scope
 //       Print the plan as Graphviz.
 //
@@ -45,6 +54,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -56,6 +66,7 @@
 #include "src/cluster/cluster_simulator.h"
 #include "src/core/experiment.h"
 #include "src/fault/fault_injector.h"
+#include "src/obs/analysis/postmortem.h"
 #include "src/obs/jsonl.h"
 #include "src/obs/metrics.h"
 #include "src/obs/observer.h"
@@ -76,6 +87,8 @@ int Usage() {
                "  jockey_cli chaos <job.scope> <trace.txt> --deadline MIN [--seeds N]\n"
                "                   [--classes LIST] [--fault-plan FILE] [--seed S]\n"
                "  jockey_cli report <trace.jsonl> [--chrome-out FILE] [--jsonl-out FILE]\n"
+               "  jockey_cli postmortem <trace.jsonl> [--deadline MIN] [--json FILE]\n"
+               "                   [--strict]\n"
                "run '<command> --help' for the command's flags; all commands accept\n"
                "--trace-out FILE, --metrics-out FILE and the model-cache flags.\n");
   return 2;
@@ -422,17 +435,55 @@ std::vector<ChaosClass> BuildChaosMatrix(double deadline_seconds, int num_machin
   return matrix;
 }
 
-// Allocation churn: how many times the granted-token level changed over the run. The
+// Allocation churn from the trace: how many times the granted-token level changed
+// (AllocationChangeEvents) and how many tokens moved in total (summed |delta|). The
 // hardened controller's stale-hold should *reduce* churn under dropout; escalation
-// under blindness trades churn for safety, which the table makes visible.
-int AllocationChurn(const std::vector<AllocationSample>& timeline) {
+// under blindness trades churn for safety, which the table makes visible — and the
+// thrash bound below keeps that trade from degenerating into allocation thrash.
+struct ChurnStats {
   int changes = 0;
-  for (size_t i = 1; i < timeline.size(); ++i) {
-    if (timeline[i].guaranteed != timeline[i - 1].guaranteed) {
-      ++changes;
+  double moved_tokens = 0.0;
+};
+
+ChurnStats AllocationChurn(const std::vector<TraceEvent>& events) {
+  ChurnStats churn;
+  for (const TraceEvent& event : events) {
+    if (const auto* change = std::get_if<AllocationChangeEvent>(&event.payload)) {
+      ++churn.changes;
+      churn.moved_tokens += std::abs(change->to_tokens - change->from_tokens);
     }
   }
-  return changes;
+  return churn;
+}
+
+// Top postmortem blame component of a missed run, e.g. "degraded 312.5s".
+std::string MissBlame(const std::vector<TraceEvent>& events, double deadline) {
+  PostmortemOptions options;
+  options.deadline_seconds = deadline;
+  PostmortemReport report = BuildPostmortem(events, options);
+  const BudgetComponent* top = nullptr;
+  std::vector<BudgetComponent> components;
+  for (const JobPostmortem& job : report.jobs) {
+    if (!job.finished) {
+      continue;
+    }
+    components = BudgetComponents(job.budget);
+    for (const BudgetComponent& c : components) {
+      if (std::string(c.name) == "exec") {
+        continue;
+      }
+      if (top == nullptr || c.seconds > top->seconds) {
+        top = &c;
+      }
+    }
+    break;  // chaos runs one job per trace segment
+  }
+  if (top == nullptr || top->seconds <= 0.0) {
+    return "no waiting or rework attributed";
+  }
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s %.1fs", top->name, top->seconds);
+  return buf;
 }
 
 int CmdChaos(int argc, char** argv, const std::string& path, const std::string& trace_path) {
@@ -542,6 +593,7 @@ int CmdChaos(int argc, char** argv, const std::string& path, const std::string& 
     uint64_t seed = 0;
     double completion_seconds = 0.0;
     const FaultWindow* window = nullptr;
+    std::string blame;  // top postmortem budget component
   };
   std::vector<Miss> misses;
   // Attribution injectors must outlive the Miss::window pointers into their plans.
@@ -552,22 +604,26 @@ int CmdChaos(int argc, char** argv, const std::string& path, const std::string& 
               static_cast<int>(matrix.size()), matrix.size() == 1 ? "" : "es", seeds,
               seeds == 1 ? "" : "s", deadline_minutes);
   std::printf("(input jitter pinned off so differences are the faults' doing)\n\n");
-  std::printf("%-17s %5s  %11s %11s  %12s %12s\n", "fault class", "runs", "miss(van)",
-              "miss(hard)", "churn(van)", "churn(hard)");
+  std::printf("%-17s %5s  %11s %11s  %9s %9s %10s %10s\n", "fault class", "runs",
+              "miss(van)", "miss(hard)", "churn(van)", "churn(hard)", "|dtok|(van)",
+              "|dtok|(hard)");
 
   int classes_won = 0;
   int classes_tied = 0;
+  bool thrash_ok = true;
   for (const ChaosClass& cls : matrix) {
     attribution.push_back(std::make_unique<FaultInjector>(cls.plan));
     const FaultInjector& attributor = *attribution.back();
     int miss_count[2] = {0, 0};
     double churn_sum[2] = {0.0, 0.0};
+    double moved_sum[2] = {0.0, 0.0};
     for (int i = 0; i < seeds; ++i) {
       uint64_t run_seed = first_seed + static_cast<uint64_t>(i);
       FaultPlan run_plan = cls.plan;
       // Per-seed noise stream; the window schedule itself is shared by both arms.
       run_plan.set_seed(run_seed * 1000003 + 97);
       for (int arm = 0; arm < 2; ++arm) {
+        std::vector<TraceEvent> run_events;
         ExperimentOptions options;
         options.deadline_seconds = deadline;
         options.policy = PolicyKind::kJockey;
@@ -575,21 +631,34 @@ int CmdChaos(int argc, char** argv, const std::string& path, const std::string& 
         options.jitter_input = false;
         options.fault_plan = &run_plan;
         options.observer = obs.observer();
+        options.capture_events = &run_events;
         if (arm == 1) {
           options.control_override = hardened_control;
         }
         ExperimentResult result = RunExperiment(trained, options);
-        churn_sum[arm] += AllocationChurn(result.run.timeline);
+        ChurnStats churn = AllocationChurn(run_events);
+        churn_sum[arm] += churn.changes;
+        moved_sum[arm] += churn.moved_tokens;
         if (!result.met_deadline) {
           ++miss_count[arm];
           misses.push_back({cls.name, arm == 1, run_seed, result.completion_seconds,
-                            attributor.DominantWindow(0.0, result.completion_seconds)});
+                            attributor.DominantWindow(0.0, result.completion_seconds),
+                            MissBlame(run_events, deadline)});
         }
       }
     }
-    std::printf("%-17s %5d  %6d/%-4d %6d/%-4d  %12.1f %12.1f\n", cls.name.c_str(), seeds,
-                miss_count[0], seeds, miss_count[1], seeds, churn_sum[0] / seeds,
-                churn_sum[1] / seeds);
+    std::printf("%-17s %5d  %6d/%-4d %6d/%-4d  %9.1f %9.1f %10.1f %10.1f\n",
+                cls.name.c_str(), seeds, miss_count[0], seeds, miss_count[1], seeds,
+                churn_sum[0] / seeds, churn_sum[1] / seeds, moved_sum[0] / seeds,
+                moved_sum[1] / seeds);
+    // Thrash bound: hardening must not buy its resilience with allocation thrash.
+    // The +2/seed absolute slack keeps classes where vanilla barely reallocates
+    // (so the ratio is ill-conditioned) from tripping on a handful of changes.
+    if (churn_sum[1] > 1.5 * churn_sum[0] + 2.0 * seeds) {
+      thrash_ok = false;
+      std::printf("  ^ THRASH: hardened churn %.1f exceeds 1.5x vanilla %.1f (+2/run slack)\n",
+                  churn_sum[1] / seeds, churn_sum[0] / seeds);
+    }
     if (miss_count[1] < miss_count[0]) {
       ++classes_won;
     } else if (miss_count[1] == miss_count[0]) {
@@ -604,11 +673,12 @@ int CmdChaos(int argc, char** argv, const std::string& path, const std::string& 
                   miss.cls.c_str(), static_cast<unsigned long long>(miss.seed),
                   miss.completion_seconds / 60.0, deadline_minutes);
       if (miss.window != nullptr) {
-        std::printf("  <- %s [%.1f, %.1f) min\n", FaultKindName(miss.window->kind),
+        std::printf("  <- %s [%.1f, %.1f) min", FaultKindName(miss.window->kind),
                     miss.window->start_seconds / 60.0, miss.window->end_seconds / 60.0);
       } else {
-        std::printf("  <- no fault window overlapped the run\n");
+        std::printf("  <- no fault window overlapped the run");
       }
+      std::printf("  (blame: %s)\n", miss.blame.c_str());
     }
   } else {
     std::printf("\nno deadline misses under any fault class\n");
@@ -617,7 +687,10 @@ int CmdChaos(int argc, char** argv, const std::string& path, const std::string& 
               classes_won, classes_tied,
               static_cast<int>(matrix.size()) - classes_won - classes_tied,
               static_cast<int>(matrix.size()), matrix.size() == 1 ? "" : "es");
-  return obs.Finish();
+  std::printf("thrash bound (hardened churn <= 1.5x vanilla + 2/run): %s\n",
+              thrash_ok ? "ok on every class" : "VIOLATED");
+  int finish = obs.Finish();
+  return thrash_ok ? finish : (finish != 0 ? finish : 1);
 }
 
 int CmdReport(int argc, char** argv, const std::string& trace_path) {
@@ -711,6 +784,23 @@ int CmdReport(int argc, char** argv, const std::string& trace_path) {
                 static_cast<long long>(kills[2]), static_cast<long long>(reexecutions));
   }
 
+  // Task-attempt durations with *exact* quantiles (the histogram retains raw
+  // samples), reconstructed from the dispatch/complete/kill spans.
+  {
+    PostmortemReport spans = BuildPostmortem(trace.events);
+    Histogram durations(DefaultLatencySecondsEdges());
+    for (const JobPostmortem& job : spans.jobs) {
+      for (const TaskAttemptSpan& span : job.spans) {
+        durations.Observe(span.end_seconds - span.dispatch_seconds);
+      }
+    }
+    if (durations.total_count() > 0) {
+      std::printf("task attempts: %lld, duration p50 %.2fs  p90 %.2fs  p99 %.2fs\n",
+                  static_cast<long long>(durations.total_count()), durations.Quantile(0.5),
+                  durations.Quantile(0.9), durations.Quantile(0.99));
+    }
+  }
+
   // Table-cache activity (the offline model build's side of the trace).
   std::map<int, int64_t> cache_codes;
   for (const TraceEvent& event : trace.events) {
@@ -750,6 +840,66 @@ int CmdReport(int argc, char** argv, const std::string& trace_path) {
   return 0;
 }
 
+int CmdPostmortem(int argc, char** argv, const std::string& trace_path) {
+  double deadline_minutes = -1.0;
+  std::string json_out;
+  bool strict = false;
+  OptionsParser parser("jockey_cli postmortem <trace.jsonl> [flags]");
+  parser.AddDouble("--deadline", "MIN",
+                   "deadline in minutes; adds the per-job miss/meet verdict",
+                   &deadline_minutes);
+  parser.AddString("--json", "FILE", "write the machine-readable postmortem here",
+                   &json_out);
+  parser.AddFlag("--strict", "fail on the first malformed trace line", &strict);
+  if (trace_path == "--help" || trace_path == "-h") {
+    parser.PrintHelp(stdout);
+    return 0;
+  }
+  if (!parser.Parse(argc, argv, 3)) {
+    return 2;
+  }
+  if (parser.help_requested()) {
+    return 0;
+  }
+  std::ifstream in(trace_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", trace_path.c_str());
+    return 1;
+  }
+  TraceReadResult trace = ReadJsonlTrace(in, strict);
+  if (strict && trace.first_issue.has_value()) {
+    const TraceParseIssue& issue = *trace.first_issue;
+    std::fprintf(stderr, "%s:%d: %s%s%s\n", trace_path.c_str(), issue.line_number,
+                 issue.message.c_str(), issue.field.empty() ? "" : " at field ",
+                 issue.field.c_str());
+    return 1;
+  }
+  if (trace.malformed_lines > 0) {
+    std::fprintf(stderr, "warning: %d malformed line%s skipped\n", trace.malformed_lines,
+                 trace.malformed_lines == 1 ? "" : "s");
+  }
+  PostmortemOptions options;
+  if (deadline_minutes > 0.0) {
+    options.deadline_seconds = deadline_minutes * 60.0;
+  }
+  PostmortemReport report = BuildPostmortem(trace.events, options);
+  std::ostringstream table;
+  PrintPostmortem(table, report);
+  std::fputs(table.str().c_str(), stdout);
+  if (!json_out.empty()) {
+    std::ofstream out(json_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_out.c_str());
+      return 1;
+    }
+    WritePostmortemJson(out, report);
+    // stderr, not stdout: the report text must be byte-identical regardless of
+    // where (or whether) the JSON copy was written.
+    std::fprintf(stderr, "postmortem JSON written to %s\n", json_out.c_str());
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 3) {
     return Usage();
@@ -785,6 +935,9 @@ int Main(int argc, char** argv) {
   }
   if (command == "report") {
     return CmdReport(argc, argv, argv[2]);
+  }
+  if (command == "postmortem") {
+    return CmdPostmortem(argc, argv, argv[2]);
   }
   return Usage();
 }
