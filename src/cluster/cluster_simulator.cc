@@ -57,6 +57,7 @@ std::string ValidateClusterConfig(const ClusterConfig& config) {
 
 ClusterSimulator::ClusterSimulator(const ClusterConfig& config)
     : config_(config),
+      eq_(config.event_engine),
       rng_(config.seed),
       background_(config.background, Rng(config.seed).Fork()) {
   const std::string problem = ValidateClusterConfig(config);
@@ -107,8 +108,82 @@ int ClusterSimulator::SubmitJob(const JobTemplate& job, const JobSubmission& opt
   ++unfinished_jobs_;
   obs_.Emit(opts.submit_time, JobSubmitEvent{job_id, state.guaranteed_tokens});
   ++tallies_.jobs_submitted;
-  eq_.ScheduleAt(opts.submit_time, [this, job_id]() { StartJob(job_id); });
+  SimEvent ev;
+  ev.kind = SimEvent::Kind::kStartJob;
+  ev.a = job_id;
+  eq_.ScheduleAt(opts.submit_time, ev);
   return job_id;
+}
+
+void ClusterSimulator::Dispatch(const SimEvent& ev) {
+  switch (ev.kind) {
+    case SimEvent::Kind::kStartJob:
+      StartJob(ev.a);
+      break;
+    case SimEvent::Kind::kControlTick:
+      ControlTick(ev.a);
+      break;
+    case SimEvent::Kind::kTaskEnd: {
+      if (!arena_.Alive(ev.handle)) {
+        break;  // stale: the attempt was already killed or superseded
+      }
+      if (ev.fails) {
+        JobState& job = jobs_[static_cast<size_t>(ev.a)];
+        ++job.result.task_failures;
+        KillAttempt(job, ev.handle, KillReason::kTaskFailure);
+        Reschedule();
+      } else {
+        OnTaskComplete(ev.a, ev.handle);
+      }
+      break;
+    }
+    case SimEvent::Kind::kMachineFailureTick:
+      MachineFailureTick();
+      break;
+    case SimEvent::Kind::kMachineRecover:
+      RecoverMachine(ev.a);
+      if (unfinished_jobs_ > 0) {
+        Reschedule();
+      }
+      break;
+    case SimEvent::Kind::kBurstStart: {
+      if (unfinished_jobs_ == 0) {
+        break;
+      }
+      int killed = 0;
+      int downed = 0;
+      for (int machine = ev.a; machine < ev.b; ++machine) {
+        if (FailMachine(machine, &killed)) {
+          ++downed;
+        }
+      }
+      if (downed > 0) {
+        const FaultWindow& w =
+            fault_injector_->plan().windows()[static_cast<size_t>(ev.handle)];
+        obs_.Emit(eq_.now(),
+                  FaultInjectedEvent{w.kind, static_cast<int>(ev.handle), -1, 0.0,
+                                     static_cast<double>(downed),
+                                     static_cast<double>(killed)});
+        ++tallies_.fault_machine_bursts;
+        Reschedule();
+      }
+      break;
+    }
+    case SimEvent::Kind::kBurstEnd:
+      for (int machine = ev.a; machine < ev.b; ++machine) {
+        RecoverMachine(machine);
+      }
+      if (unfinished_jobs_ > 0) {
+        Reschedule();
+      }
+      break;
+    case SimEvent::Kind::kClusterTick:
+      ClusterTick();
+      break;
+    case SimEvent::Kind::kSpeculationTick:
+      SpeculationTick();
+      break;
+  }
 }
 
 void ClusterSimulator::StartJob(int job_id) {
@@ -125,7 +200,9 @@ void ClusterSimulator::StartJob(int job_id) {
 }
 
 void ClusterSimulator::DrainReady(JobState& job) {
-  for (int t : job.dag->TakeNewlyReady()) {
+  ready_scratch_.clear();
+  job.dag->TakeNewlyReadyInto(ready_scratch_);
+  for (int t : ready_scratch_) {
     if (!job.ever_ready[static_cast<size_t>(t)]) {
       job.ever_ready[static_cast<size_t>(t)] = true;
       job.records[static_cast<size_t>(t)].ready_time = eq_.now();
@@ -210,6 +287,9 @@ void ClusterSimulator::ControlTick(int job_id) {
   if (job.finished) {
     return;
   }
+  SimEvent next;
+  next.kind = SimEvent::Kind::kControlTick;
+  next.a = job_id;
   if (fault_injector_ != nullptr) {
     const FaultWindow* blackout =
         fault_injector_->Active(FaultKind::kControlBlackout, eq_.now(), job.id);
@@ -221,8 +301,7 @@ void ClusterSimulator::ControlTick(int job_id) {
                                    job.id, 0.0,
                                    static_cast<double>(job.guaranteed_tokens), 0.0});
       ++tallies_.fault_blackouts;
-      eq_.ScheduleAfter(job.opts.control_period_seconds,
-                        [this, job_id]() { ControlTick(job_id); });
+      eq_.ScheduleAfter(job.opts.control_period_seconds, next);
       return;
     }
   }
@@ -267,7 +346,7 @@ void ClusterSimulator::ControlTick(int job_id) {
   job.result.timeline.push_back(AllocationSample{eq_.now(), new_g, decision.raw_allocation,
                                                  status.running_tasks, job.running_spare});
   Reschedule();
-  eq_.ScheduleAfter(job.opts.control_period_seconds, [this, job_id]() { ControlTick(job_id); });
+  eq_.ScheduleAfter(job.opts.control_period_seconds, next);
 }
 
 double ClusterSimulator::CurrentUtilization() const {
@@ -299,19 +378,12 @@ void ClusterSimulator::StartTask(JobState& job, int job_id, int flat_task, bool 
   int stage = job.tracker->StageOf(flat_task);
   const StageRuntimeModel& model = job.tmpl->runtime[static_cast<size_t>(stage)];
 
-  RunningTask running;
-  running.flat_task = flat_task;
-  running.attempt_start = eq_.now();
-  running.spare = spare;
-  running.speculative = speculative;
-  running.attempt = job.next_attempt++;
   // Random placement across up machines; placement is for heterogeneity and failure
   // domains, aggregate capacity is enforced by the token accounting in Reschedule().
   int machine = -1;
   do {
     machine = static_cast<int>(rng_.UniformInt(0, config_.num_machines - 1));
   } while (!machines_[static_cast<size_t>(machine)].up);
-  running.machine = machine;
 
   double dispatch = config_.scheduling_delay_seconds * (0.5 + job.rng.Exponential(1.0));
   double contention_excess = std::max(0.0, CurrentUtilization() - config_.contention_threshold);
@@ -325,11 +397,10 @@ void ClusterSimulator::StartTask(JobState& job, int job_id, int flat_task, bool 
                 machines_[static_cast<size_t>(machine)].speed * contention;
   bool fails = job.rng.Bernoulli(model.failure_prob);
   double lifetime = fails ? dispatch + exec * job.rng.Uniform() : dispatch + exec;
-  running.exec_start = eq_.now() + dispatch;
-  running.exec_end = eq_.now() + dispatch + exec;
 
-  uint64_t attempt = running.attempt;
-  job.running.emplace(attempt, running);
+  AttemptArena::Handle handle =
+      arena_.Allocate(job.active, flat_task, machine, eq_.now(), eq_.now() + dispatch,
+                      eq_.now() + dispatch + exec, spare, speculative);
   if (spare) {
     ++job.running_spare;
   } else {
@@ -343,52 +414,44 @@ void ClusterSimulator::StartTask(JobState& job, int job_id, int flat_task, bool 
     ++tallies_.spare_dispatches;
   }
 
-  if (fails) {
-    eq_.ScheduleAfter(lifetime, [this, job_id, attempt]() {
-      JobState& j = jobs_[static_cast<size_t>(job_id)];
-      auto it = j.running.find(attempt);
-      if (it == j.running.end()) {
-        return;  // stale event: the attempt was already killed or superseded
-      }
-      ++j.result.task_failures;
-      KillAttempt(j, attempt, KillReason::kTaskFailure);
-      Reschedule();
-    });
-  } else {
-    eq_.ScheduleAfter(lifetime,
-                      [this, job_id, attempt]() { OnTaskComplete(job_id, attempt); });
-  }
+  SimEvent ev;
+  ev.kind = SimEvent::Kind::kTaskEnd;
+  ev.fails = fails;
+  ev.a = job_id;
+  ev.handle = handle;
+  eq_.ScheduleAfter(lifetime, ev);
 }
 
-bool ClusterSimulator::HasRunningCopy(const JobState& job, int flat_task, uint64_t excluding) {
-  for (const auto& [attempt, running] : job.running) {
-    if (running.flat_task == flat_task && attempt != excluding) {
+bool ClusterSimulator::HasRunningCopy(const JobState& job, int flat_task,
+                                      uint32_t excluding_slot) const {
+  for (uint32_t slot : job.active) {
+    if (slot != excluding_slot && arena_.flat_task(slot) == flat_task) {
       return true;
     }
   }
   return false;
 }
 
-void ClusterSimulator::KillAttempt(JobState& job, uint64_t attempt, KillReason reason) {
-  auto it = job.running.find(attempt);
-  assert(it != job.running.end());
-  const RunningTask& running = it->second;
-  int flat_task = running.flat_task;
-  if (running.spare) {
+void ClusterSimulator::KillAttempt(JobState& job, AttemptArena::Handle handle,
+                                   KillReason reason) {
+  assert(arena_.Alive(handle));
+  const uint32_t slot = AttemptArena::SlotOf(handle);
+  const int flat_task = arena_.flat_task(slot);
+  if (arena_.spare(slot)) {
     --job.running_spare;
   } else {
     --job.running_guaranteed;
   }
   auto& rec = job.records[static_cast<size_t>(flat_task)];
   ++rec.failed_attempts;
-  rec.wasted_seconds += eq_.now() - running.attempt_start;
+  rec.wasted_seconds += eq_.now() - arena_.attempt_start(slot);
   if (reason == KillReason::kSpareEviction) {
     ++job.result.evictions;
   }
-  job.running.erase(it);
+  arena_.Release(handle, job.active);
   // Requeue unless another copy of the task still runs (a killed duplicate must not
   // resurrect a task its primary is already executing, and vice versa).
-  bool requeued = !HasRunningCopy(job, flat_task, /*excluding=*/0);
+  bool requeued = !HasRunningCopy(job, flat_task, kNoSlot);
   if (requeued) {
     job.pending.push_back(flat_task);
   }
@@ -413,57 +476,60 @@ void ClusterSimulator::KillAttempt(JobState& job, uint64_t attempt, KillReason r
   }
 }
 
-void ClusterSimulator::OnTaskComplete(int job_id, uint64_t attempt) {
+void ClusterSimulator::OnTaskComplete(int job_id, AttemptArena::Handle handle) {
   JobState& job = jobs_[static_cast<size_t>(job_id)];
-  auto it = job.running.find(attempt);
-  if (it == job.running.end()) {
-    return;  // stale event: killed, or the other copy won
-  }
-  RunningTask winner = it->second;
-  if (winner.spare) {
+  assert(arena_.Alive(handle));  // Dispatch dropped stale handles already
+  const uint32_t slot = AttemptArena::SlotOf(handle);
+  const int flat_task = arena_.flat_task(slot);
+  const SimTime exec_start = arena_.exec_start(slot);
+  const bool spare = arena_.spare(slot);
+  const bool speculative = arena_.speculative(slot);
+  if (spare) {
     --job.running_spare;
     ++job.spare_completions;
   } else {
     --job.running_guaranteed;
   }
-  job.running.erase(it);
-  if (winner.speculative) {
+  arena_.Release(handle, job.active);
+  if (speculative) {
     ++job.result.speculative_wins;
   }
 
   // Cancel any other copy of the task; its time is wasted work.
-  for (auto other = job.running.begin(); other != job.running.end();) {
-    if (other->second.flat_task == winner.flat_task) {
-      if (other->second.spare) {
-        --job.running_spare;
-      } else {
-        --job.running_guaranteed;
-      }
-      job.records[static_cast<size_t>(winner.flat_task)].wasted_seconds +=
-          eq_.now() - other->second.attempt_start;
-      other = job.running.erase(other);
-    } else {
-      ++other;
+  kill_scratch_.clear();
+  for (uint32_t other : job.active) {
+    if (arena_.flat_task(other) == flat_task) {
+      kill_scratch_.push_back(arena_.handle_of(other));
     }
   }
+  for (AttemptArena::Handle other : kill_scratch_) {
+    const uint32_t other_slot = AttemptArena::SlotOf(other);
+    if (arena_.spare(other_slot)) {
+      --job.running_spare;
+    } else {
+      --job.running_guaranteed;
+    }
+    job.records[static_cast<size_t>(flat_task)].wasted_seconds +=
+        eq_.now() - arena_.attempt_start(other_slot);
+    arena_.Release(other, job.active);
+  }
 
-  auto& rec = job.records[static_cast<size_t>(winner.flat_task)];
-  rec.start_time = winner.exec_start;
+  auto& rec = job.records[static_cast<size_t>(flat_task)];
+  rec.start_time = exec_start;
   rec.end_time = eq_.now();
-  int stage = job.tracker->StageOf(winner.flat_task);
-  job.stage_exec_stats[static_cast<size_t>(stage)].Add(eq_.now() - winner.exec_start);
-  obs_.Emit(eq_.now(), TaskCompleteEvent{job.id, stage, winner.flat_task, winner.spare,
-                                         winner.speculative});
+  int stage = job.tracker->StageOf(flat_task);
+  job.stage_exec_stats[static_cast<size_t>(stage)].Add(eq_.now() - exec_start);
+  obs_.Emit(eq_.now(), TaskCompleteEvent{job.id, stage, flat_task, spare, speculative});
   ++tallies_.completions;
-  if (winner.speculative) {
+  if (speculative) {
     ++tallies_.speculative_wins;
   }
   if (exec_seconds_hist_ != nullptr) {
-    exec_seconds_hist_->Observe(eq_.now() - winner.exec_start);
+    exec_seconds_hist_->Observe(eq_.now() - exec_start);
   }
 
   ++job.completions;
-  job.dag->MarkDone(winner.flat_task);
+  job.dag->MarkDone(flat_task);
   DrainReady(job);
   if (job.dag->AllDone()) {
     FinishJob(job_id);
@@ -512,33 +578,31 @@ void ClusterSimulator::Reschedule() {
     }
     // Demote newest guaranteed tasks to spare if the guarantee shrank below usage.
     while (job.running_guaranteed > job.guaranteed_tokens) {
-      RunningTask* newest = nullptr;
-      for (auto& [attempt, running] : job.running) {
-        if (!running.spare &&
-            (newest == nullptr || running.attempt_start > newest->attempt_start)) {
-          newest = &running;
+      uint32_t newest = kNoSlot;
+      for (uint32_t slot : job.active) {
+        if (!arena_.spare(slot) && (newest == kNoSlot || arena_.StartedAfter(slot, newest))) {
+          newest = slot;
         }
       }
-      if (newest == nullptr) {
+      if (newest == kNoSlot) {
         break;
       }
-      newest->spare = true;
+      arena_.set_spare(newest, true);
       --job.running_guaranteed;
       ++job.running_spare;
     }
     // Promote spare tasks up to the guarantee (oldest first: most progress saved).
     while (job.running_guaranteed < job.guaranteed_tokens && job.running_spare > 0) {
-      RunningTask* oldest = nullptr;
-      for (auto& [attempt, running] : job.running) {
-        if (running.spare &&
-            (oldest == nullptr || running.attempt_start < oldest->attempt_start)) {
-          oldest = &running;
+      uint32_t oldest = kNoSlot;
+      for (uint32_t slot : job.active) {
+        if (arena_.spare(slot) && (oldest == kNoSlot || arena_.StartedBefore(slot, oldest))) {
+          oldest = slot;
         }
       }
-      if (oldest == nullptr) {
+      if (oldest == kNoSlot) {
         break;
       }
-      oldest->spare = false;
+      arena_.set_spare(oldest, false);
       ++job.running_guaranteed;
       --job.running_spare;
     }
@@ -572,21 +636,20 @@ void ClusterSimulator::Reschedule() {
   }
   while (spare_total > std::max(0, spare_budget)) {
     JobState* victim_job = nullptr;
-    uint64_t victim_attempt = 0;
-    SimTime victim_start = -1.0;
+    uint32_t victim_slot = kNoSlot;
     for (auto& job : jobs_) {
-      for (auto& [attempt, running] : job.running) {
-        if (running.spare && running.attempt_start > victim_start) {
-          victim_start = running.attempt_start;
+      for (uint32_t slot : job.active) {
+        if (arena_.spare(slot) &&
+            (victim_slot == kNoSlot || arena_.StartedAfter(slot, victim_slot))) {
+          victim_slot = slot;
           victim_job = &job;
-          victim_attempt = attempt;
         }
       }
     }
     if (victim_job == nullptr) {
       break;
     }
-    KillAttempt(*victim_job, victim_attempt, KillReason::kSpareEviction);
+    KillAttempt(*victim_job, arena_.handle_of(victim_slot), KillReason::kSpareEviction);
     --spare_total;
   }
 
@@ -629,31 +692,32 @@ void ClusterSimulator::SpeculationTick() {
     }
     int spare_headroom = up - guaranteed_total - background_slots_ -
                          (running_total - guaranteed_total);
-    // Collect straggler candidates first; launching mutates job.running.
-    std::vector<int> stragglers;
-    for (const auto& [attempt, running] : job.running) {
-      if (running.speculative) {
+    // Collect straggler candidates first; launching mutates job.active.
+    straggler_scratch_.clear();
+    for (uint32_t slot : job.active) {
+      if (arena_.speculative(slot)) {
         continue;
       }
+      const int flat_task = arena_.flat_task(slot);
       const RunningStats& baseline =
-          job.stage_exec_stats[static_cast<size_t>(job.tracker->StageOf(running.flat_task))];
+          job.stage_exec_stats[static_cast<size_t>(job.tracker->StageOf(flat_task))];
       if (static_cast<int>(baseline.count()) < config_.speculation_min_samples) {
         continue;
       }
-      double elapsed = eq_.now() - running.exec_start;
+      double elapsed = eq_.now() - arena_.exec_start(slot);
       if (elapsed < config_.speculation_slowdown * baseline.mean()) {
         continue;
       }
-      if (HasRunningCopy(job, running.flat_task, attempt)) {
+      if (HasRunningCopy(job, flat_task, slot)) {
         continue;  // already has a duplicate
       }
-      if (job.speculation_budget_used[static_cast<size_t>(running.flat_task)] >=
+      if (job.speculation_budget_used[static_cast<size_t>(flat_task)] >=
           config_.speculation_max_per_task) {
         continue;  // duplicate budget exhausted for this task
       }
-      stragglers.push_back(running.flat_task);
+      straggler_scratch_.push_back(flat_task);
     }
-    for (int task : stragglers) {
+    for (int task : straggler_scratch_) {
       if (running_total >= up || spare_headroom <= 0) {
         break;  // no free headroom; launching would only trigger an eviction
       }
@@ -666,7 +730,9 @@ void ClusterSimulator::SpeculationTick() {
       --spare_headroom;
     }
   }
-  eq_.ScheduleAfter(config_.speculation_check_period_seconds, [this]() { SpeculationTick(); });
+  SimEvent next;
+  next.kind = SimEvent::Kind::kSpeculationTick;
+  eq_.ScheduleAfter(config_.speculation_check_period_seconds, next);
 }
 
 bool ClusterSimulator::FailMachine(int machine, int* killed) {
@@ -680,16 +746,16 @@ bool ClusterSimulator::FailMachine(int machine, int* killed) {
     if (!job.started || job.finished) {
       continue;
     }
-    std::vector<uint64_t> victims;
-    for (const auto& [attempt, running] : job.running) {
-      if (running.machine == machine) {
-        victims.push_back(attempt);
+    kill_scratch_.clear();
+    for (uint32_t slot : job.active) {
+      if (arena_.machine(slot) == machine) {
+        kill_scratch_.push_back(arena_.handle_of(slot));
       }
     }
-    for (uint64_t attempt : victims) {
+    for (AttemptArena::Handle victim : kill_scratch_) {
       ++job.result.machine_failure_kills;
       ++total_killed;
-      KillAttempt(job, attempt, KillReason::kMachineFailure);
+      KillAttempt(job, victim, KillReason::kMachineFailure);
     }
   }
   obs_.Emit(eq_.now(), MachineFailureEvent{machine, total_killed});
@@ -714,56 +780,41 @@ void ClusterSimulator::ScheduleMachineFailure() {
     return;
   }
   double mean_gap = 3600.0 / (config_.machine_failure_rate_per_hour * config_.num_machines);
-  eq_.ScheduleAfter(rng_.Exponential(mean_gap), [this]() {
-    if (unfinished_jobs_ == 0) {
-      return;
-    }
-    int machine = static_cast<int>(rng_.UniformInt(0, config_.num_machines - 1));
-    if (FailMachine(machine, nullptr)) {
-      eq_.ScheduleAfter(config_.machine_recovery_seconds, [this, machine]() {
-        RecoverMachine(machine);
-        if (unfinished_jobs_ > 0) {
-          Reschedule();
-        }
-      });
-      Reschedule();
-    }
-    ScheduleMachineFailure();
-  });
+  SimEvent ev;
+  ev.kind = SimEvent::Kind::kMachineFailureTick;
+  eq_.ScheduleAfter(rng_.Exponential(mean_gap), ev);
+}
+
+void ClusterSimulator::MachineFailureTick() {
+  if (unfinished_jobs_ == 0) {
+    return;  // no reschedule: the Poisson chain dies with the last job
+  }
+  int machine = static_cast<int>(rng_.UniformInt(0, config_.num_machines - 1));
+  if (FailMachine(machine, nullptr)) {
+    SimEvent recover;
+    recover.kind = SimEvent::Kind::kMachineRecover;
+    recover.a = machine;
+    eq_.ScheduleAfter(config_.machine_recovery_seconds, recover);
+    Reschedule();
+  }
+  ScheduleMachineFailure();
 }
 
 void ClusterSimulator::ScheduleMachineBursts() {
   for (const FaultWindow* w : fault_injector_->WindowsOfKind(FaultKind::kMachineBurst)) {
     const int first = std::min(w->first_machine, config_.num_machines);
     const int last = std::min(w->first_machine + w->machine_count, config_.num_machines);
-    eq_.ScheduleAt(w->start_seconds, [this, w, first, last]() {
-      if (unfinished_jobs_ == 0) {
-        return;
-      }
-      int killed = 0;
-      int downed = 0;
-      for (int machine = first; machine < last; ++machine) {
-        if (FailMachine(machine, &killed)) {
-          ++downed;
-        }
-      }
-      if (downed > 0) {
-        obs_.Emit(eq_.now(),
-                  FaultInjectedEvent{w->kind, fault_injector_->IndexOf(*w), -1, 0.0,
-                                     static_cast<double>(downed),
-                                     static_cast<double>(killed)});
-        ++tallies_.fault_machine_bursts;
-        Reschedule();
-      }
-    });
-    eq_.ScheduleAt(w->end_seconds, [this, first, last]() {
-      for (int machine = first; machine < last; ++machine) {
-        RecoverMachine(machine);
-      }
-      if (unfinished_jobs_ > 0) {
-        Reschedule();
-      }
-    });
+    SimEvent start;
+    start.kind = SimEvent::Kind::kBurstStart;
+    start.a = first;
+    start.b = last;
+    start.handle = static_cast<uint64_t>(fault_injector_->IndexOf(*w));
+    eq_.ScheduleAt(w->start_seconds, start);
+    SimEvent end;
+    end.kind = SimEvent::Kind::kBurstEnd;
+    end.a = first;
+    end.b = last;
+    eq_.ScheduleAt(w->end_seconds, end);
   }
 }
 
@@ -774,7 +825,9 @@ void ClusterSimulator::ClusterTick() {
     return;
   }
   Reschedule();
-  eq_.ScheduleAfter(config_.background.update_period_seconds, [this]() { ClusterTick(); });
+  SimEvent next;
+  next.kind = SimEvent::Kind::kClusterTick;
+  eq_.ScheduleAfter(config_.background.update_period_seconds, next);
 }
 
 void ClusterSimulator::Run(double max_seconds) {
@@ -782,13 +835,19 @@ void ClusterSimulator::Run(double max_seconds) {
   if (fault_injector_ != nullptr) {
     ScheduleMachineBursts();
   }
-  eq_.ScheduleAfter(config_.background.update_period_seconds, [this]() { ClusterTick(); });
+  SimEvent tick;
+  tick.kind = SimEvent::Kind::kClusterTick;
+  eq_.ScheduleAfter(config_.background.update_period_seconds, tick);
   if (config_.enable_speculation) {
-    eq_.ScheduleAfter(config_.speculation_check_period_seconds, [this]() { SpeculationTick(); });
+    SimEvent spec;
+    spec.kind = SimEvent::Kind::kSpeculationTick;
+    eq_.ScheduleAfter(config_.speculation_check_period_seconds, spec);
   }
 
+  SimEvent ev;
   while (unfinished_jobs_ > 0 && !eq_.empty() && eq_.now() < max_seconds) {
-    eq_.Step();
+    eq_.PopNext(ev);
+    Dispatch(ev);
   }
   FlushTallies();
 }

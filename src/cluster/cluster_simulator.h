@@ -15,20 +15,30 @@
 // SLO jobs attach a JobController, which the simulator ticks once per control period;
 // the controller's only actuator is the job's guaranteed-token count — exactly
 // Jockey's mechanism (Section 2.6).
+//
+// Engine: the event loop runs on a typed SimEventQueue (calendar queue by default,
+// selectable via ClusterConfig::event_engine) dispatching small POD event records —
+// no per-event allocation, no type-erased calls. Attempt state lives in a
+// struct-of-arrays arena (attempt_arena.h) keyed by generation-checked handles;
+// stale timer events (the attempt completed or was killed first) fail the
+// generation check and drop. Equal-time events fire in insertion order on either
+// engine, so a seeded run is bit-identical across engines (verified by the
+// engine-differential test).
 
 #ifndef SRC_CLUSTER_CLUSTER_SIMULATOR_H_
 #define SRC_CLUSTER_CLUSTER_SIMULATOR_H_
 
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "src/cluster/attempt_arena.h"
 #include "src/cluster/cluster_config.h"
 #include "src/cluster/controller.h"
 #include "src/dag/dependency_tracker.h"
 #include "src/obs/observer.h"
 #include "src/dag/trace.h"
+#include "src/util/calendar_queue.h"
 #include "src/util/event_queue.h"
 #include "src/util/rng.h"
 #include "src/util/stats.h"
@@ -130,16 +140,38 @@ class ClusterSimulator {
   SimTime now() const { return eq_.now(); }
   int TotalUpSlots() const;
 
+  // Which event engine this run is on, and how many events it has fired — the
+  // numerator of BENCH_sim.json's events/s.
+  EventEngine event_engine() const { return eq_.engine(); }
+  uint64_t events_processed() const { return eq_.popped(); }
+
  private:
-  struct RunningTask {
-    int flat_task = -1;
-    int machine = -1;
-    SimTime attempt_start = 0.0;   // when the token was granted
-    SimTime exec_start = 0.0;      // after the dispatch delay
-    SimTime exec_end = 0.0;        // scheduled finish (if not killed)
-    bool spare = false;
-    bool speculative = false;      // a duplicate copy of a still-running task
-    uint64_t attempt = 0;
+  // One queued occurrence: a 24-byte POD record the event loop switches on.
+  // Field use by kind —
+  //   kStartJob / kControlTick : a = job id
+  //   kTaskEnd                 : a = job id, handle = attempt handle, fails = the
+  //                              attempt fails partway instead of completing
+  //   kMachineRecover          : a = machine
+  //   kBurstStart / kBurstEnd  : a = first machine, b = one past last,
+  //                              handle = index into the fault plan's windows()
+  //   kMachineFailureTick / kClusterTick / kSpeculationTick : no payload
+  struct SimEvent {
+    enum class Kind : uint8_t {
+      kStartJob,
+      kControlTick,
+      kTaskEnd,
+      kMachineFailureTick,
+      kMachineRecover,
+      kBurstStart,
+      kBurstEnd,
+      kClusterTick,
+      kSpeculationTick,
+    };
+    Kind kind = Kind::kClusterTick;
+    bool fails = false;
+    int32_t a = 0;
+    int32_t b = 0;
+    uint64_t handle = 0;
   };
 
   // A truthful progress observation, retained only while report faults are
@@ -160,9 +192,10 @@ class ClusterSimulator {
     // Pending = ready but not running. FIFO with head index.
     std::vector<int> pending;
     size_t pending_head = 0;
-    // Running attempts keyed by attempt id; a task may have two attempts running at
-    // once when speculation launched a duplicate.
-    std::unordered_map<uint64_t, RunningTask> running;
+    // Arena slots of this job's running attempts; a task may have two attempts
+    // running at once when speculation launched a duplicate. Unordered — removal
+    // is swap-remove; every selection over it uses explicit deterministic keys.
+    std::vector<uint32_t> active;
     // Mean observed execution time per stage (speculation baseline).
     std::vector<RunningStats> stage_exec_stats;
     // Speculative launches already spent per task (caps duplicate churn).
@@ -170,7 +203,6 @@ class ClusterSimulator {
     int running_guaranteed = 0;
     int running_spare = 0;
     int guaranteed_tokens = 0;
-    uint64_t next_attempt = 1;
     // Per-task records, indexed by flat task id.
     std::vector<TaskRecord> records;
     std::vector<bool> ever_ready;
@@ -190,17 +222,21 @@ class ClusterSimulator {
     bool up = true;
   };
 
+  static constexpr uint32_t kNoSlot = 0xffffffffu;
+
+  void Dispatch(const SimEvent& ev);
   void StartJob(int job_id);
   void ControlTick(int job_id);
   void Reschedule();
   void StartTask(JobState& job, int job_id, int flat_task, bool spare, bool speculative);
-  void OnTaskComplete(int job_id, uint64_t attempt);
+  void OnTaskComplete(int job_id, AttemptArena::Handle handle);
   // Kills a running attempt (spare eviction, task failure, or machine failure);
   // requeues the task unless another copy of it is still running. Invalidates the
-  // iterator.
-  void KillAttempt(JobState& job, uint64_t attempt, KillReason reason);
-  // True if some running attempt of `job` executes `flat_task`.
-  static bool HasRunningCopy(const JobState& job, int flat_task, uint64_t excluding);
+  // handle.
+  void KillAttempt(JobState& job, AttemptArena::Handle handle, KillReason reason);
+  // True if some running attempt of `job` other than `excluding_slot` executes
+  // `flat_task` (pass kNoSlot to consider them all).
+  bool HasRunningCopy(const JobState& job, int flat_task, uint32_t excluding_slot) const;
   void SpeculationTick();
   void FinishJob(int job_id);
   void AccumulateGuaranteedSeconds(JobState& job);
@@ -211,7 +247,9 @@ class ClusterSimulator {
   // the machine was already down; adds the kill count to *killed when given.
   bool FailMachine(int machine, int* killed);
   void RecoverMachine(int machine);
+  // Draws the next Poisson arrival and queues a kMachineFailureTick for it.
   void ScheduleMachineFailure();
+  void MachineFailureTick();
   // Registers the plan's machine_burst windows with the event queue (rack-style
   // correlated outages layered on the Poisson model above).
   void ScheduleMachineBursts();
@@ -251,11 +289,17 @@ class ClusterSimulator {
   // Pre-resolved histogram slots (one name lookup at attach, none per event).
   Histogram* exec_seconds_hist_ = nullptr;
   Histogram* completion_seconds_hist_ = nullptr;
-  EventQueue eq_;
+  SimEventQueue<SimEvent> eq_;
   Rng rng_;
   BackgroundLoad background_;
+  AttemptArena arena_;
   std::vector<Machine> machines_;
   std::vector<JobState> jobs_;
+  // Reused scratch; keeps DrainReady / machine kills / straggler scans off the
+  // allocator inside the event loop.
+  std::vector<int> ready_scratch_;
+  std::vector<AttemptArena::Handle> kill_scratch_;
+  std::vector<int> straggler_scratch_;
   int unfinished_jobs_ = 0;
   int background_slots_ = 0;   // background demand currently granted
   int background_demand_ = 0;  // background demand requested (may exceed capacity)

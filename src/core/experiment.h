@@ -108,6 +108,9 @@ struct ExperimentOptions {
   // whatever `observer` sink is attached) — the input the postmortem analyzer
   // (obs/analysis/postmortem.h) wants without forcing callers to round-trip JSONL.
   std::vector<TraceEvent>* capture_events = nullptr;
+  // Event-queue engine for the experiment cluster. The engine-differential test
+  // runs the same seeded experiment on both and asserts byte-identical traces.
+  EventEngine event_engine = EventEngine::kCalendar;
 };
 
 struct ExperimentResult {

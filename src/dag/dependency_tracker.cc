@@ -86,6 +86,11 @@ std::vector<int> DependencyTracker::State::TakeNewlyReady() {
   return out;
 }
 
+void DependencyTracker::State::TakeNewlyReadyInto(std::vector<int>& out) {
+  out.insert(out.end(), newly_ready_.begin(), newly_ready_.end());
+  newly_ready_.clear();
+}
+
 double DependencyTracker::State::FracComplete(int stage) const {
   return static_cast<double>(stage_done_[static_cast<size_t>(stage)]) /
          static_cast<double>(tracker_->StageTotal(stage));

@@ -45,6 +45,10 @@ class DependencyTracker {
     // initially ready source tasks on the first call).
     std::vector<int> TakeNewlyReady();
 
+    // Allocation-free variant: appends the drained tasks to `out` (not cleared).
+    // The cluster simulator's event loop calls this with a reused scratch vector.
+    void TakeNewlyReadyInto(std::vector<int>& out);
+
     bool AllDone() const { return done_total_ == tracker_->total_tasks(); }
     int done_total() const { return done_total_; }
     int StageDone(int stage) const { return stage_done_[static_cast<size_t>(stage)]; }

@@ -5,6 +5,12 @@
 
 namespace jockey {
 
+namespace {
+// Event payload for the typed queue: a flat task id, or kSampleEvent for the
+// periodic progress sample.
+constexpr int32_t kSampleEvent = -1;
+}  // namespace
+
 JobSimulator::JobSimulator(const JobGraph& graph, const JobProfile& profile,
                            JobSimulatorConfig config)
     : graph_(&graph), profile_(&profile), config_(config), tracker_(graph) {
@@ -16,7 +22,7 @@ SimRunResult JobSimulator::Run(int allocation, Rng& rng,
   assert(allocation >= 1);
   int s_count = graph_->num_stages();
 
-  EventQueue eq;
+  SimEventQueue<int32_t> eq(config_.event_engine);
   DependencyTracker::State state(tracker_);
   int free_slots = allocation;
   double finish_time = 0.0;
@@ -29,8 +35,6 @@ SimRunResult JobSimulator::Run(int allocation, Rng& rng,
   std::vector<int> ready;
   ready.reserve(static_cast<size_t>(tracker_.total_tasks()));
   size_t ready_head = 0;
-
-  std::function<void(int)> on_task_done;
 
   auto start_task = [&](int task) {
     int s = tracker_.StageOf(task);
@@ -51,13 +55,11 @@ SimRunResult JobSimulator::Run(int allocation, Rng& rng,
     if (result.stage_first_start[static_cast<size_t>(s)] < 0.0) {
       result.stage_first_start[static_cast<size_t>(s)] = eq.now();
     }
-    eq.ScheduleAfter(total, [&, task]() { on_task_done(task); });
+    eq.ScheduleAfter(total, static_cast<int32_t>(task));
   };
 
   auto drain_ready = [&]() {
-    for (int t : state.TakeNewlyReady()) {
-      ready.push_back(t);
-    }
+    state.TakeNewlyReadyInto(ready);
     while (free_slots > 0 && ready_head < ready.size()) {
       int task = ready[ready_head++];
       --free_slots;
@@ -65,7 +67,7 @@ SimRunResult JobSimulator::Run(int allocation, Rng& rng,
     }
   };
 
-  on_task_done = [&](int task) {
+  auto on_task_done = [&](int task) {
     int s = tracker_.StageOf(task);
     ++free_slots;
     result.stage_last_end[static_cast<size_t>(s)] = eq.now();
@@ -76,19 +78,26 @@ SimRunResult JobSimulator::Run(int allocation, Rng& rng,
     drain_ready();
   };
 
-  std::function<void()> sampler = [&]() {
+  auto sample = [&]() {
     if (state.AllDone()) {
       return;
     }
     on_progress(eq.now(), state.FracCompleteAll());
-    eq.ScheduleAfter(config_.sample_period_seconds, sampler);
+    eq.ScheduleAfter(config_.sample_period_seconds, kSampleEvent);
   };
   if (on_progress) {
-    sampler();
+    sample();
   }
 
   drain_ready();
-  eq.RunAll();
+  int32_t ev = 0;
+  while (eq.PopNext(ev)) {
+    if (ev == kSampleEvent) {
+      sample();
+    } else {
+      on_task_done(ev);
+    }
+  }
   assert(state.AllDone() && "simulation ended with unfinished tasks");
   // eq.now() may sit past completion if a progress sample fired last; use the time the
   // final task finished.

@@ -1,5 +1,6 @@
 #include "src/util/event_queue.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -7,17 +8,19 @@ namespace jockey {
 
 void EventQueue::ScheduleAt(SimTime when, Callback cb) {
   assert(when >= now_ && "cannot schedule events in the past");
-  heap_.push(Event{when, next_seq_++, std::move(cb)});
+  heap_.push_back(Event{when, next_seq_++, std::move(cb)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 bool EventQueue::Step() {
   if (heap_.empty()) {
     return false;
   }
-  // priority_queue::top() is const; move out via const_cast is UB-adjacent, so copy
-  // the callback handle instead (std::function copy is cheap relative to sim work).
-  Event ev = heap_.top();
-  heap_.pop();
+  // An explicit vector heap (rather than std::priority_queue, whose const top()
+  // forced a callback copy here) lets the event move out cleanly.
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
   now_ = ev.when;
   ev.cb();
   return true;
@@ -25,7 +28,7 @@ bool EventQueue::Step() {
 
 size_t EventQueue::RunUntil(SimTime until) {
   size_t executed = 0;
-  while (!heap_.empty() && heap_.top().when <= until) {
+  while (!heap_.empty() && heap_.front().when <= until) {
     Step();
     ++executed;
   }

@@ -1,16 +1,19 @@
-// Discrete-event simulation core.
+// The legacy closure-based discrete-event queue, and the SimTime alias shared by
+// every simulation layer.
 //
-// Both simulators in this reproduction — the cluster simulator that plays the role of
-// the production Cosmos cluster (src/cluster/) and Jockey's offline job simulator
-// (src/sim/) — are built on this queue. Events at equal timestamps fire in insertion
-// order, which keeps runs deterministic for a fixed seed.
+// Both simulators in this reproduction historically ran on this queue; they now run
+// on the typed engines in calendar_queue.h (no per-event allocation, no type-erased
+// dispatch). EventQueue remains as the generic utility for callers that genuinely
+// want arbitrary closures — and as the "legacy" baseline that BENCH_sim.json
+// measures the calendar queue's speedup against. Events at equal timestamps fire in
+// insertion order, which keeps runs deterministic for a fixed seed; the typed
+// engines implement the identical total order.
 
 #ifndef SRC_UTIL_EVENT_QUEUE_H_
 #define SRC_UTIL_EVENT_QUEUE_H_
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 namespace jockey {
@@ -58,9 +61,11 @@ class EventQueue {
     }
   };
 
+  // Explicit vector heap via std::push_heap/pop_heap: priority_queue's const
+  // top() would force a copy of the callback on every Step().
   SimTime now_ = 0.0;
   uint64_t next_seq_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::vector<Event> heap_;
 };
 
 }  // namespace jockey

@@ -1,0 +1,149 @@
+// Engine-differential determinism tests: the same seeded simulation must produce
+// byte-identical JSONL traces and metrics JSON on the calendar-queue engine and
+// the legacy heap engine. This is the check that lets the calendar queue replace
+// the heap without any golden-file churn — the two engines implement the same
+// (when, insertion-seq) total order, so every scheduler decision, RNG draw, and
+// emitted event lands identically.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "src/cluster/cluster_simulator.h"
+#include "src/core/experiment.h"
+#include "src/fault/fault_injector.h"
+#include "src/fault/fault_plan.h"
+#include "src/obs/jsonl.h"
+#include "src/obs/metrics.h"
+#include "src/workload/job_generator.h"
+
+namespace jockey {
+namespace {
+
+JobTemplate DiffJob(const char* name, uint64_t seed) {
+  JobShapeSpec spec;
+  spec.name = name;
+  spec.num_stages = 5;
+  spec.num_barriers = 1;
+  spec.num_vertices = 220;
+  spec.job_median_seconds = 6.0;
+  spec.job_p90_seconds = 18.0;
+  spec.fastest_stage_p90 = 3.0;
+  spec.slowest_stage_p90 = 30.0;
+  spec.seed = seed;
+  return GenerateJob(spec);
+}
+
+struct CapturedRun {
+  std::string trace;
+  std::string metrics;
+  double completion_a = 0.0;
+  double completion_b = 0.0;
+  uint64_t events = 0;
+};
+
+// A busy shared cluster: three staggered jobs, Poisson machine failures,
+// speculation on, a fault plan with report faults and a machine burst — every
+// event kind the simulator schedules is on the floor.
+CapturedRun RunClusterOn(EventEngine engine) {
+  ClusterConfig config;
+  config.num_machines = 30;
+  config.slots_per_machine = 4;
+  config.seed = 71;
+  config.machine_failure_rate_per_hour = 0.3;
+  config.machine_recovery_seconds = 120.0;
+  config.enable_speculation = true;
+  config.background.mean_utilization = 0.75;
+  config.event_engine = engine;
+
+  FaultPlan plan(9);
+  plan.Add(FaultPlan::ReportDropout(60.0, 180.0))
+      .Add(FaultPlan::GrantShortfall(200.0, 320.0, 0.5))
+      .Add(FaultPlan::MachineBurst(90.0, 210.0, 4, 6));
+  FaultInjector injector(plan);
+
+  JobTemplate job_a = DiffJob("diffA", 11);
+  JobTemplate job_b = DiffJob("diffB", 23);
+
+  std::ostringstream trace_os;
+  JsonlSink sink(trace_os);
+  MetricsRegistry metrics;
+
+  ClusterSimulator cluster(config);
+  cluster.set_observer(Observer(&sink, &metrics));
+  cluster.set_fault_injector(&injector);
+
+  JobSubmission first;
+  first.guaranteed_tokens = 25;
+  first.seed = 901;
+  int id_a = cluster.SubmitJob(job_a, first);
+  JobSubmission second;
+  second.submit_time = 45.0;
+  second.guaranteed_tokens = 15;
+  second.seed = 902;
+  int id_b = cluster.SubmitJob(job_b, second);
+
+  EXPECT_EQ(cluster.event_engine(), engine);
+  cluster.Run();
+
+  CapturedRun out;
+  out.trace = trace_os.str();
+  std::ostringstream metrics_os;
+  metrics.WriteJson(metrics_os);
+  out.metrics = metrics_os.str();
+  out.completion_a = cluster.result(id_a).CompletionSeconds();
+  out.completion_b = cluster.result(id_b).CompletionSeconds();
+  out.events = cluster.events_processed();
+  return out;
+}
+
+TEST(EngineDifferentialTest, ClusterRunIsByteIdenticalAcrossEngines) {
+  CapturedRun calendar = RunClusterOn(EventEngine::kCalendar);
+  CapturedRun heap = RunClusterOn(EventEngine::kLegacyHeap);
+
+  ASSERT_FALSE(calendar.trace.empty());
+  EXPECT_NE(calendar.trace.find("\"kind\":\"task_dispatch\""), std::string::npos);
+  EXPECT_EQ(calendar.trace, heap.trace);
+  EXPECT_EQ(calendar.metrics, heap.metrics);
+  EXPECT_EQ(calendar.completion_a, heap.completion_a);
+  EXPECT_EQ(calendar.completion_b, heap.completion_b);
+  EXPECT_EQ(calendar.events, heap.events);
+  EXPECT_GT(calendar.events, 0u);
+}
+
+// Full experiment path: trained model, adaptive controller, cluster weather, fault
+// plan — the engine flows in through ExperimentOptions::event_engine.
+TEST(EngineDifferentialTest, ExperimentIsByteIdenticalAcrossEngines) {
+  TrainedJob trained = TrainJob(DiffJob("diffC", 37));
+  FaultPlan plan(5);
+  plan.Add(FaultPlan::ReportDropout(120.0, 300.0))
+      .Add(FaultPlan::ControlBlackout(400.0, 520.0));
+
+  auto run = [&](EventEngine engine) {
+    std::ostringstream trace_os;
+    JsonlSink sink(trace_os);
+    MetricsRegistry metrics;
+    ExperimentOptions options;
+    options.deadline_seconds = SuggestDeadlineSeconds(trained, /*tight=*/false);
+    options.seed = 17;
+    options.observer = Observer(&sink, &metrics);
+    options.fault_plan = &plan;
+    options.event_engine = engine;
+    ExperimentResult result = RunExperiment(trained, options);
+    std::ostringstream metrics_os;
+    metrics.WriteJson(metrics_os);
+    return std::make_tuple(trace_os.str(), metrics_os.str(), result.completion_seconds);
+  };
+
+  auto [cal_trace, cal_metrics, cal_completion] = run(EventEngine::kCalendar);
+  auto [heap_trace, heap_metrics, heap_completion] = run(EventEngine::kLegacyHeap);
+
+  ASSERT_FALSE(cal_trace.empty());
+  EXPECT_EQ(cal_trace, heap_trace);
+  EXPECT_EQ(cal_metrics, heap_metrics);
+  EXPECT_EQ(cal_completion, heap_completion);
+}
+
+}  // namespace
+}  // namespace jockey

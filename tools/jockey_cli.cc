@@ -67,6 +67,7 @@
 #include "src/core/experiment.h"
 #include "src/fault/fault_injector.h"
 #include "src/obs/analysis/postmortem.h"
+#include "src/obs/async_jsonl.h"
 #include "src/obs/jsonl.h"
 #include "src/obs/metrics.h"
 #include "src/obs/observer.h"
@@ -113,7 +114,9 @@ class CliObservability {
     if (!options_.trace_out.empty()) {
       trace_stream_ = std::make_unique<std::ofstream>(options_.trace_out);
       if (*trace_stream_) {
-        sink_ = std::make_unique<JsonlSink>(*trace_stream_);
+        // Async: formatting and file I/O run on the sink's writer thread, off the
+        // simulation hot loop. Byte-identical to the synchronous JsonlSink.
+        sink_ = std::make_unique<AsyncJsonlSink>(*trace_stream_);
       } else {
         std::fprintf(stderr, "cannot write %s\n", options_.trace_out.c_str());
         failed_ = true;
@@ -139,6 +142,9 @@ class CliObservability {
       metrics_->WriteJson(out);
     }
     if (trace_stream_ != nullptr) {
+      if (sink_ != nullptr) {
+        sink_->Flush();  // drain the writer thread before checking stream health
+      }
       trace_stream_->flush();
       if (!*trace_stream_) {
         std::fprintf(stderr, "error writing %s\n", options_.trace_out.c_str());
@@ -151,7 +157,7 @@ class CliObservability {
  private:
   GlobalOptions options_;
   std::unique_ptr<std::ofstream> trace_stream_;
-  std::unique_ptr<JsonlSink> sink_;
+  std::unique_ptr<AsyncJsonlSink> sink_;
   std::unique_ptr<MetricsRegistry> metrics_;
   bool failed_ = false;
 };
