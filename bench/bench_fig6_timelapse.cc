@@ -55,9 +55,7 @@ int main() {
     options.seed = 3;
     options.jitter_input = false;
     options.input_scale = 1.8;
-    options.overload.start_seconds = 0.0;
-    options.overload.duration_seconds = 6.0 * 3600.0;
-    options.overload.utilization = 1.25;
+    options.overload = OverloadEpisode(0.0, 6.0 * 3600.0, 1.25);
     PrintTimeline("(a) job F, overloaded cluster, ~2x training work:",
                   RunExperiment(job_f.trained, options));
   }

@@ -52,8 +52,7 @@ int main() {
       double base = job.deadline_long;
       ExperimentOptions options;
       options.deadline_seconds = base;
-      options.deadline_change.at_seconds = 600.0;
-      options.deadline_change.new_deadline_seconds = base * change.factor;
+      options.deadline_change = DeadlineChange(600.0, base * change.factor);
       options.policy = PolicyKind::kJockey;
       options.jitter_input = false;
       options.seed = 17 + job.spec.seed;

@@ -49,8 +49,7 @@ int main() {
   {
     ExperimentOptions options;
     options.deadline_seconds = base;
-    options.deadline_change.at_seconds = 600.0;
-    options.deadline_change.new_deadline_seconds = base / 2.0;
+    options.deadline_change = DeadlineChange(600.0, base / 2.0);
     options.policy = PolicyKind::kJockey;
     options.jitter_input = false;
     options.seed = 21;
@@ -59,8 +58,7 @@ int main() {
   {
     ExperimentOptions options;
     options.deadline_seconds = base;
-    options.deadline_change.at_seconds = 600.0;
-    options.deadline_change.new_deadline_seconds = base * 3.0;
+    options.deadline_change = DeadlineChange(600.0, base * 3.0);
     options.policy = PolicyKind::kJockey;
     options.jitter_input = false;
     options.seed = 22;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 #include "src/fault/fault_injector.h"
 
@@ -22,6 +23,56 @@ const char* PolicyName(PolicyKind policy) {
       return "fixed";
   }
   return "unknown";
+}
+
+const char* PolicyId(PolicyKind policy) {
+  switch (policy) {
+    case PolicyKind::kJockey:
+      return "jockey";
+    case PolicyKind::kJockeyNoAdapt:
+      return "jockey_no_adapt";
+    case PolicyKind::kJockeyNoSim:
+      return "jockey_no_sim";
+    case PolicyKind::kMaxAllocation:
+      return "max_allocation";
+    case PolicyKind::kFixed:
+      return "fixed";
+  }
+  return "unknown";
+}
+
+std::optional<PolicyKind> ParsePolicyKind(const std::string& token) {
+  for (PolicyKind policy : {PolicyKind::kJockey, PolicyKind::kJockeyNoAdapt,
+                            PolicyKind::kJockeyNoSim, PolicyKind::kMaxAllocation,
+                            PolicyKind::kFixed}) {
+    if (token == PolicyId(policy)) {
+      return policy;
+    }
+  }
+  return std::nullopt;
+}
+
+DeadlineChange::DeadlineChange(double at, double new_deadline)
+    : at_seconds(at), new_deadline_seconds(new_deadline) {
+  if (at_seconds < 0.0) {
+    throw std::invalid_argument("DeadlineChange: at_seconds must be >= 0");
+  }
+  if (new_deadline_seconds <= 0.0) {
+    throw std::invalid_argument("DeadlineChange: new_deadline_seconds must be > 0");
+  }
+}
+
+OverloadEpisode::OverloadEpisode(double start, double duration, double util)
+    : start_seconds(start), duration_seconds(duration), utilization(util) {
+  if (start_seconds < 0.0) {
+    throw std::invalid_argument("OverloadEpisode: start_seconds must be >= 0");
+  }
+  if (duration_seconds <= 0.0) {
+    throw std::invalid_argument("OverloadEpisode: duration_seconds must be > 0");
+  }
+  if (utilization <= 0.0) {
+    throw std::invalid_argument("OverloadEpisode: utilization must be > 0");
+  }
 }
 
 ClusterConfig DefaultExperimentCluster(uint64_t seed) {
@@ -75,7 +126,10 @@ TrainedJob TrainJob(JobTemplate tmpl, const TrainingOptions& options) {
 
 ExperimentResult RunExperiment(const TrainedJob& job, const ExperimentOptions& options) {
   ClusterConfig cluster_config = DefaultExperimentCluster(options.seed * 2654435761ULL + 17);
-  {
+  if (options.background_utilization.has_value()) {
+    // A scenario phase pinned the mean background demand (ramp/burst/diurnal shape).
+    cluster_config.background.mean_utilization = *options.background_utilization;
+  } else {
     // Cluster "weather": the mean background demand the run experiences differs from
     // the training day's. Hot days thin out spare capacity and add contention for the
     // whole run — the changing cluster conditions of Section 5.2.
@@ -84,10 +138,10 @@ ExperimentResult RunExperiment(const TrainedJob& job, const ExperimentOptions& o
   }
   cluster_config.event_engine = options.event_engine;
   ClusterSimulator cluster(cluster_config);
-  if (options.overload.start_seconds >= 0.0) {
-    cluster.background().AddEpisode(options.overload.start_seconds,
-                                    options.overload.duration_seconds,
-                                    options.overload.utilization);
+  if (options.overload.has_value()) {
+    cluster.background().AddEpisode(options.overload->start_seconds,
+                                    options.overload->duration_seconds,
+                                    options.overload->utilization);
   }
 
   const Jockey& jockey = *job.jockey;
@@ -122,10 +176,10 @@ ExperimentResult RunExperiment(const TrainedJob& job, const ExperimentOptions& o
       controller = fixed.get();
       break;
   }
-  if (adaptive != nullptr && options.deadline_change.at_seconds >= 0.0) {
+  if (adaptive != nullptr && options.deadline_change.has_value()) {
     adaptive->ScheduleUtilityChange(
-        options.deadline_change.at_seconds,
-        DeadlineUtility(options.deadline_change.new_deadline_seconds));
+        options.deadline_change->at_seconds,
+        DeadlineUtility(options.deadline_change->new_deadline_seconds));
   }
 
   double input_scale = options.input_scale;
@@ -154,7 +208,7 @@ ExperimentResult RunExperiment(const TrainedJob& job, const ExperimentOptions& o
   VectorSink capture_sink;
   TeeSink tee(options.observer.sink(), &capture_sink);
   Observer observer = options.observer;
-  if (options.capture_events != nullptr) {
+  if (options.capture_events) {
     observer = Observer(&tee, options.observer.metrics());
   }
   cluster.set_observer(observer);
@@ -178,8 +232,8 @@ ExperimentResult RunExperiment(const TrainedJob& job, const ExperimentOptions& o
   result.policy = options.policy;
   // The effective deadline accounts for a mid-run change (the new SLO is the one the
   // run is judged against).
-  result.deadline_seconds = options.deadline_change.at_seconds >= 0.0
-                                ? options.deadline_change.new_deadline_seconds
+  result.deadline_seconds = options.deadline_change.has_value()
+                                ? options.deadline_change->new_deadline_seconds
                                 : options.deadline_seconds;
   result.completion_seconds = run.CompletionSeconds();
   result.met_deadline = run.finished && result.completion_seconds <= result.deadline_seconds;
@@ -198,10 +252,8 @@ ExperimentResult RunExperiment(const TrainedJob& job, const ExperimentOptions& o
   if (adaptive != nullptr) {
     result.control_log = adaptive->log();
   }
-  if (options.capture_events != nullptr) {
-    options.capture_events->insert(options.capture_events->end(),
-                                   capture_sink.events().begin(),
-                                   capture_sink.events().end());
+  if (options.capture_events) {
+    result.events = std::move(capture_sink).TakeEvents();
   }
   return result;
 }

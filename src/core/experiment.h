@@ -32,7 +32,13 @@ enum class PolicyKind {
   kFixed,           // caller-specified fixed tokens (used by Fig 8's measurement runs)
 };
 
+// Human-readable name, as printed in the paper's tables ("Jockey w/o simulator").
 const char* PolicyName(PolicyKind policy);
+// Stable wire token ("jockey_no_sim") — what scenario files, CLI flags and JSON
+// output use. ParsePolicyKind is its inverse and accepts only wire tokens, so the
+// spelling cannot drift between the parsers that share it.
+const char* PolicyId(PolicyKind policy);
+std::optional<PolicyKind> ParsePolicyKind(const std::string& token);
 
 // Cluster configuration used by the evaluation experiments: ~80% average
 // utilization, spare-token redistribution, occasional machine failures.
@@ -60,18 +66,25 @@ struct TrainedJob {
 TrainedJob TrainJob(JobTemplate tmpl, const TrainingOptions& options = TrainingOptions());
 
 // Mid-run SLO change (Fig 7): at `at_seconds` of elapsed time the deadline becomes
-// `new_deadline_seconds`.
+// `new_deadline_seconds`. Constructed values are always valid — the constructor
+// throws std::invalid_argument on a negative change time or non-positive deadline,
+// the same fail-at-construction convention ClusterSimulator and ControlLoop use.
+// "No change" is spelled std::nullopt at the use site, not a sentinel.
 struct DeadlineChange {
-  double at_seconds = -1.0;  // < 0 disables
-  double new_deadline_seconds = 0.0;
+  DeadlineChange(double at_seconds, double new_deadline_seconds);
+
+  double at_seconds;
+  double new_deadline_seconds;
 };
 
 // Injected cluster overload (Fig 6(a)): background demand forced to `utilization`
-// during [start, start + duration).
+// during [start, start + duration). Validated at construction like DeadlineChange.
 struct OverloadEpisode {
-  double start_seconds = -1.0;  // < 0 disables
-  double duration_seconds = 0.0;
-  double utilization = 1.15;
+  OverloadEpisode(double start_seconds, double duration_seconds, double utilization);
+
+  double start_seconds;
+  double duration_seconds;
+  double utilization;
 };
 
 struct ExperimentOptions {
@@ -89,8 +102,12 @@ struct ExperimentOptions {
   int max_tokens = 100;
   int fixed_tokens = 10;  // used only by PolicyKind::kFixed
   bool use_spare_tokens = true;
-  DeadlineChange deadline_change;
-  OverloadEpisode overload;
+  std::optional<DeadlineChange> deadline_change;
+  std::optional<OverloadEpisode> overload;
+  // Pins the run's mean background demand instead of drawing the per-seed cluster
+  // "weather". Scenario phases use this to shape load (ramp/burst/diurnal); unset
+  // keeps the historical weather draw, bit-for-bit.
+  std::optional<double> background_utilization;
   // Overrides the trained control config (sensitivity experiments). The completion
   // table is unaffected — it depends only on the indicator and the model config.
   std::optional<ControlLoopConfig> control_override;
@@ -99,15 +116,17 @@ struct ExperimentOptions {
   // default, so instrumented code costs one branch per emission site.
   Observer observer;
   // Fault schedule (fault_plan.h): when set and non-empty, an injector built from it
-  // is attached to the cluster and, for adaptive policies, the controller. The plan
-  // must outlive the call. Whether the controller *reacts* is governed separately by
+  // is attached to the cluster and, for adaptive policies, the controller. Shared
+  // ownership — the options struct (and anything compiled from it) keeps the plan
+  // alive, so data-driven callers can build options and let their plan go out of
+  // scope. Whether the controller *reacts* is governed separately by
   // ControlLoopConfig::enable_degraded_mode (via control_override) — the chaos sweep
   // runs the same plan against both settings.
-  const FaultPlan* fault_plan = nullptr;
-  // When set, every trace event of the run is appended here (in addition to
-  // whatever `observer` sink is attached) — the input the postmortem analyzer
-  // (obs/analysis/postmortem.h) wants without forcing callers to round-trip JSONL.
-  std::vector<TraceEvent>* capture_events = nullptr;
+  std::shared_ptr<const FaultPlan> fault_plan;
+  // When true, every trace event of the run is returned in ExperimentResult::events
+  // (in addition to whatever `observer` sink is attached) — the input the postmortem
+  // analyzer (obs/analysis/postmortem.h) wants without round-tripping JSONL.
+  bool capture_events = false;
   // Event-queue engine for the experiment cluster. The engine-differential test
   // runs the same seeded experiment on both and asserts byte-identical traces.
   EventEngine event_engine = EventEngine::kCalendar;
@@ -131,6 +150,9 @@ struct ExperimentResult {
   ClusterRunResult run;
   // Jockey-family policies: the per-tick control log (progress, T_t, allocations).
   std::vector<ControlTickLog> control_log;
+  // The run's full trace, filled when ExperimentOptions::capture_events is true
+  // (empty otherwise).
+  std::vector<TraceEvent> events;
 };
 
 ExperimentResult RunExperiment(const TrainedJob& job, const ExperimentOptions& options);

@@ -1,0 +1,47 @@
+#include "src/fault/chaos_matrix.h"
+
+#include <algorithm>
+
+namespace jockey {
+
+std::vector<ChaosClass> BuildChaosMatrix(double deadline_seconds, int num_machines) {
+  const double d = deadline_seconds;
+  std::vector<ChaosClass> matrix;
+  matrix.push_back({"report_dropout",
+                    FaultPlan().Add(FaultPlan::ReportDropout(0.25 * d, 0.95 * d))});
+  matrix.push_back({"report_stale",
+                    FaultPlan().Add(FaultPlan::ReportStale(0.25 * d, 0.95 * d, 0.3 * d))});
+  matrix.push_back({"report_noise",
+                    FaultPlan().Add(FaultPlan::ReportNoise(0.15 * d, 0.95 * d, 0.35))});
+  matrix.push_back({"control_blackout",
+                    FaultPlan().Add(FaultPlan::ControlBlackout(0.3 * d, 0.9 * d))});
+  matrix.push_back({"grant_shortfall",
+                    FaultPlan().Add(FaultPlan::GrantShortfall(0.15 * d, 0.95 * d, 0.45))});
+  matrix.push_back({"table_fault",
+                    FaultPlan().Add(FaultPlan::TableFault(0.1 * d, 0.9 * d, 0.15))});
+  matrix.push_back({"machine_burst",
+                    FaultPlan().Add(FaultPlan::MachineBurst(
+                        0.3 * d, 0.8 * d, 0, std::max(1, num_machines * 3 / 10)))});
+  return matrix;
+}
+
+std::vector<std::string> ChaosClassNames() {
+  std::vector<std::string> names;
+  // Scale does not matter for the names; 1.0/1 keeps the build cheap.
+  for (const ChaosClass& entry : BuildChaosMatrix(1.0, 1)) {
+    names.push_back(entry.name);
+  }
+  return names;
+}
+
+std::optional<FaultPlan> BuildChaosClassPlan(const std::string& name, double deadline_seconds,
+                                             int num_machines) {
+  for (ChaosClass& entry : BuildChaosMatrix(deadline_seconds, num_machines)) {
+    if (entry.name == name) {
+      return std::move(entry.plan);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace jockey

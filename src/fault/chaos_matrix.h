@@ -1,0 +1,48 @@
+// The named fault-class registry behind `jockey_cli chaos` and scenario files.
+//
+// Each class is one canonical FaultPlan exercising a single control-plane or
+// cluster fault, with windows scaled to the run's deadline so every window
+// actually overlaps the job. The registry is the only place the class names and
+// window shapes live: the chaos subcommand, the scenario parser (`faults:
+// {class: ...}`) and the differential tests all resolve names here, so a
+// scenario arm and a chaos arm built from the same name are the same plan.
+
+#ifndef SRC_FAULT_CHAOS_MATRIX_H_
+#define SRC_FAULT_CHAOS_MATRIX_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/fault/fault_plan.h"
+
+namespace jockey {
+
+// One row of the chaos matrix: a fault class name plus the plan that exercises it.
+struct ChaosClass {
+  std::string name;
+  FaultPlan plan;
+};
+
+// The full matrix, one class per FaultKind, scaled to `deadline_seconds`.
+// `num_machines` sizes the machine-burst class (30% of the fleet).
+std::vector<ChaosClass> BuildChaosMatrix(double deadline_seconds, int num_machines);
+
+// The registry's names, in matrix order (what `--classes` and `faults.class`
+// accept).
+std::vector<std::string> ChaosClassNames();
+
+// The named class's plan scaled to `deadline_seconds`, or nullopt for an unknown
+// name.
+std::optional<FaultPlan> BuildChaosClassPlan(const std::string& name, double deadline_seconds,
+                                             int num_machines);
+
+// Per-run fault-plan seed derivation. Shared by the chaos sweep and the scenario
+// compiler so a scenario episode re-runs a chaos arm bit-for-bit: the window
+// schedule is the class's, the noise stream is this function of the run seed.
+inline uint64_t ChaosPlanSeed(uint64_t run_seed) { return run_seed * 1000003 + 97; }
+
+}  // namespace jockey
+
+#endif  // SRC_FAULT_CHAOS_MATRIX_H_

@@ -23,17 +23,15 @@ FaultWindow MakeWindow(FaultKind kind, double start, double end, int job,
   return w;
 }
 
-// The reverse of FaultKindName — bounded by the last enum value so a new kind
-// that misses its name shows up as a load failure, not a silent default.
+// The shared fault-kind registry (trace_event.h) in the bool-out shape the loader
+// uses; a new kind missing its name shows up as a load failure, not a silent default.
 bool FaultKindFromName(const std::string& name, FaultKind* out) {
-  for (int i = 0; i <= static_cast<int>(FaultKind::kMachineBurst); ++i) {
-    const FaultKind kind = static_cast<FaultKind>(i);
-    if (name == FaultKindName(kind)) {
-      *out = kind;
-      return true;
-    }
+  std::optional<FaultKind> kind = ParseFaultKind(name);
+  if (!kind.has_value()) {
+    return false;
   }
-  return false;
+  *out = *kind;
+  return true;
 }
 
 bool ParseDoubleField(const FlatJsonFields& fields, const char* key, double* out) {

@@ -45,6 +45,9 @@ class VectorSink final : public ObserverSink {
  public:
   void OnEvent(const TraceEvent& event) override { events_.push_back(event); }
   const std::vector<TraceEvent>& events() const { return events_; }
+  // Moves the buffer out of an expiring sink (how RunExperiment hands a captured
+  // trace to ExperimentResult::events without copying it).
+  std::vector<TraceEvent> TakeEvents() && { return std::move(events_); }
   void clear() { events_.clear(); }
 
  private:

@@ -52,6 +52,18 @@ const char* FaultKindName(FaultKind kind) {
   return "unknown";
 }
 
+std::optional<FaultKind> ParseFaultKind(const std::string& token) {
+  for (FaultKind kind :
+       {FaultKind::kReportDropout, FaultKind::kReportStale, FaultKind::kReportNoise,
+        FaultKind::kControlBlackout, FaultKind::kGrantShortfall, FaultKind::kTableFault,
+        FaultKind::kMachineBurst}) {
+    if (token == FaultKindName(kind)) {
+      return kind;
+    }
+  }
+  return std::nullopt;
+}
+
 const char* DegradeModeName(DegradeMode mode) {
   switch (mode) {
     case DegradeMode::kStaleHold:

@@ -22,6 +22,8 @@
 #define SRC_OBS_TRACE_EVENT_H_
 
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <utility>
 #include <variant>
 
@@ -173,6 +175,9 @@ enum class FaultKind : int {
 };
 
 const char* FaultKindName(FaultKind kind);
+// Inverse of FaultKindName — fault-plan JSONL, scenario files and the chaos CLI all
+// resolve names through this one function. Returns nullopt for unknown tokens.
+std::optional<FaultKind> ParseFaultKind(const std::string& token);
 
 // Which degraded-mode action the hardened controller took (control_loop.h).
 enum class DegradeMode : int {

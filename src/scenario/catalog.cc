@@ -1,0 +1,72 @@
+#include "src/scenario/catalog.h"
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "src/util/rng.h"
+#include "src/workload/job_generator.h"
+
+namespace jockey {
+
+JobCatalog::JobCatalog(JobCatalogOptions options) : options_(std::move(options)) {}
+
+const CatalogJob& JobCatalog::Resolve(const JobSelector& selector) {
+  if (!selector.letter.empty()) {
+    return Letter(selector.letter[0]);
+  }
+  return Random(*selector.random);
+}
+
+const CatalogJob& JobCatalog::Letter(char letter) {
+  if (letter < 'A' || letter > 'G') {
+    throw std::invalid_argument(std::string("unknown catalog job '") + letter + "'");
+  }
+  std::string key(1, letter);
+  auto it = jobs_.find(key);
+  if (it != jobs_.end()) {
+    return it->second;
+  }
+  JobShapeSpec spec = EvaluationJobSpecs()[static_cast<size_t>(letter - 'A')];
+  CatalogJob job = Train(GenerateJob(spec), spec.seed);
+  return jobs_.emplace(std::move(key), std::move(job)).first->second;
+}
+
+const CatalogJob& JobCatalog::Random(const RandomJobSpec& spec) {
+  // Identity is the full shape envelope plus seed and name: two entries that agree
+  // on all of it share one training.
+  std::ostringstream key;
+  key << "random|" << spec.name << "|" << spec.seed << "|" << spec.params.min_stages << "|"
+      << spec.params.max_stages << "|" << spec.params.min_vertices << "|"
+      << spec.params.max_vertices << "|" << spec.params.min_median_seconds << "|"
+      << spec.params.max_median_seconds;
+  auto it = jobs_.find(key.str());
+  if (it != jobs_.end()) {
+    return it->second;
+  }
+  Rng rng(spec.seed);
+  CatalogJob job = Train(MakeRandomJob(spec.name, rng, spec.params), spec.seed);
+  return jobs_.emplace(key.str(), std::move(job)).first->second;
+}
+
+CatalogJob JobCatalog::Train(JobTemplate tmpl, uint64_t shape_seed) {
+  // Mirror bench_common.h's TrainEvaluationJobs exactly: training seed is the
+  // shape seed + 500 and the indicator is baked into the model. The cache/thread
+  // wiring below does not perturb results (the build is bit-identical either way).
+  TrainingOptions options;
+  options.seed = shape_seed + 500;
+  options.jockey.indicator = options_.indicator;
+  options.jockey.model.threads = options_.threads;
+  if (!options_.cache_dir.empty()) {
+    options.jockey.model.cache_dir = options_.cache_dir;
+    options.jockey.model.cache_max_bytes = options_.cache_max_bytes;
+  }
+  CatalogJob job;
+  job.name = tmpl.name();
+  job.trained = std::make_shared<const TrainedJob>(TrainJob(std::move(tmpl), options));
+  job.deadline_short_seconds = SuggestDeadlineSeconds(*job.trained, /*tight=*/true);
+  job.deadline_long_seconds = SuggestDeadlineSeconds(*job.trained, /*tight=*/false);
+  return job;
+}
+
+}  // namespace jockey

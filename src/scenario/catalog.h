@@ -1,0 +1,64 @@
+// The scenario harness's job catalog: lazily trained, shareable TrainedJobs.
+//
+// Scenario files name jobs either by Table 2 letter ("A".."G") or as
+// generator-randomized shapes; every episode referencing the same job must share one
+// trained model (training is the expensive step — one cluster run plus the C(p, a)
+// table build). The catalog trains on first use and caches by identity.
+//
+// Letter jobs are trained EXACTLY as the benches train them (bench_common.h's
+// TrainEvaluationJobs): training seed = shape seed + 500, the spec's indicator baked
+// into the Jockey model, default cluster. That equality is what makes a scenario
+// file byte-identical to its C++ bench counterpart — the differential tests pin it.
+
+#ifndef SRC_SCENARIO_CATALOG_H_
+#define SRC_SCENARIO_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/core/experiment.h"
+#include "src/scenario/spec.h"
+
+namespace jockey {
+
+// A trained catalog job with its suggested deadlines (what `deadline: tight|long`
+// resolve to).
+struct CatalogJob {
+  std::string name;
+  std::shared_ptr<const TrainedJob> trained;
+  double deadline_short_seconds = 0.0;
+  double deadline_long_seconds = 0.0;
+};
+
+struct JobCatalogOptions {
+  // Baked into every trained model, like TrainEvaluationJobs' parameter.
+  IndicatorKind indicator = IndicatorKind::kTotalWorkWithQ;
+  // C(p, a) build wiring (jockey_cli's --threads / --cache-dir). Neither changes
+  // model results — the table build is bit-identical across thread counts — so
+  // catalog output is independent of them.
+  int threads = 1;
+  std::string cache_dir;  // empty disables the on-disk table cache
+  uint64_t cache_max_bytes = 0;
+};
+
+class JobCatalog {
+ public:
+  explicit JobCatalog(JobCatalogOptions options = JobCatalogOptions());
+
+  // The trained job a workload entry selects; trains and caches on first use.
+  // Throws std::invalid_argument for an unknown letter.
+  const CatalogJob& Resolve(const JobSelector& selector);
+
+ private:
+  const CatalogJob& Letter(char letter);
+  const CatalogJob& Random(const RandomJobSpec& spec);
+  CatalogJob Train(JobTemplate tmpl, uint64_t shape_seed);
+
+  JobCatalogOptions options_;
+  std::map<std::string, CatalogJob> jobs_;
+};
+
+}  // namespace jockey
+
+#endif  // SRC_SCENARIO_CATALOG_H_

@@ -1,0 +1,89 @@
+// Lowering scenarios onto the experiment harness: the validated
+// ExperimentSpec -> CompiledExperiment boundary.
+//
+// An ExperimentSpec is one fully-resolved episode — label, scheduling metadata, and
+// the complete ExperimentOptions (deadlines resolved against the trained job, fault
+// classes expanded into seeded plans, controller overrides built from the trained
+// control config). CompiledExperiment pairs it with the shared TrainedJob and
+// validates at construction (the ClusterConfig/ControlLoopConfig throwing
+// convention): a CompiledExperiment that exists can run. CompileScenario turns a
+// parsed ScenarioSpec into the episode sequence — list style (entries x repeats) or
+// phased (arrivals scheduled over the phase timeline) — and is the single lowering
+// path the CLI scenario runner and the differential tests share, so "the scenario
+// file says X" and "the C++ bench does X" cannot drift apart.
+//
+// Seed discipline (what makes scenario runs byte-identical to their C++
+// counterparts):
+//   * list style: episode seed = base seed + repeat index, the chaos sweep's
+//     first_seed + i rule; each entry restarts at its base seed like each chaos
+//     class does.
+//   * fault classes: plan seed = ChaosPlanSeed(episode seed), windows scaled to the
+//     episode's deadline — exactly the chaos arm construction.
+//   * phased style: episode seed = scenario seed + global episode index; Poisson
+//     arrival gaps draw from Rng(CounterSeed(scenario seed, phase index)).
+
+#ifndef SRC_SCENARIO_COMPILER_H_
+#define SRC_SCENARIO_COMPILER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/experiment.h"
+#include "src/scenario/catalog.h"
+#include "src/scenario/spec.h"
+
+namespace jockey {
+
+// One fully-resolved episode. Everything RunExperiment needs is in `options`;
+// the rest is scheduling and reporting metadata.
+struct ExperimentSpec {
+  std::string label;       // "w0.F#2" (list) or "storm.F#5" (phased)
+  std::string job_name;
+  std::string phase;       // empty when list-style
+  double arrival_seconds = 0.0;  // scheduled arrival on the scenario timeline
+  ExperimentOptions options;
+};
+
+// A runnable episode: spec + the trained job it runs. The constructor validates
+// (deadline, tokens, fault plan, control override) and throws std::invalid_argument
+// on the first problem, so an instance that exists is executable.
+class CompiledExperiment {
+ public:
+  CompiledExperiment(ExperimentSpec spec, std::shared_ptr<const TrainedJob> job);
+
+  const ExperimentSpec& spec() const { return spec_; }
+  const TrainedJob& job() const { return *job_; }
+
+  ExperimentResult Run() const { return RunExperiment(*job_, spec_.options); }
+
+ private:
+  ExperimentSpec spec_;
+  std::shared_ptr<const TrainedJob> job_;
+};
+
+struct CompiledScenario {
+  ScenarioSpec spec;
+  std::vector<CompiledExperiment> episodes;
+};
+
+struct ScenarioCompileOptions {
+  // Directory for resolving relative `faults: {plan: ...}` paths (the scenario
+  // file's own directory, typically). Empty resolves against the working directory.
+  std::string base_dir;
+  // Attached to every episode's ExperimentOptions (jockey_cli --trace-out).
+  Observer observer;
+  // Sets capture_events on every episode (the differential tests and --trace-out
+  // concatenation want the full event streams).
+  bool capture_events = false;
+};
+
+// Lowers `spec` to its episode sequence, training jobs through `catalog` on demand.
+// Throws std::invalid_argument on semantic errors the parser cannot see (an
+// unreadable fault-plan file, a fault plan that fails validation).
+CompiledScenario CompileScenario(const ScenarioSpec& spec, JobCatalog& catalog,
+                                 const ScenarioCompileOptions& options = ScenarioCompileOptions());
+
+}  // namespace jockey
+
+#endif  // SRC_SCENARIO_COMPILER_H_

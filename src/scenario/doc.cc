@@ -1,0 +1,562 @@
+#include "src/scenario/doc.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <utility>
+
+namespace jockey {
+namespace {
+
+bool IsSpace(char c) { return c == ' ' || c == '\t' || c == '\r' || c == '\n'; }
+
+std::string RTrim(std::string s) {
+  while (!s.empty() && IsSpace(s.back())) {
+    s.pop_back();
+  }
+  return s;
+}
+
+// One content-bearing source line after comment stripping.
+struct Line {
+  int number = 0;  // 1-based
+  int indent = 0;  // leading spaces
+  std::string content;
+};
+
+bool Fail(DocParseIssue* issue, int line, std::string message) {
+  if (issue != nullptr) {
+    issue->line = line;
+    issue->message = std::move(message);
+  }
+  return false;
+}
+
+// Decodes the body of a double-quoted scalar (JSON escapes). `text` excludes the
+// surrounding quotes.
+bool Unquote(const std::string& text, int line, std::string* out, DocParseIssue* issue) {
+  out->clear();
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c != '\\') {
+      out->push_back(c);
+      continue;
+    }
+    if (++i >= text.size()) {
+      return Fail(issue, line, "dangling backslash in quoted string");
+    }
+    switch (text[i]) {
+      case '"': out->push_back('"'); break;
+      case '\\': out->push_back('\\'); break;
+      case '/': out->push_back('/'); break;
+      case 'b': out->push_back('\b'); break;
+      case 'f': out->push_back('\f'); break;
+      case 'n': out->push_back('\n'); break;
+      case 'r': out->push_back('\r'); break;
+      case 't': out->push_back('\t'); break;
+      case 'u': {
+        if (i + 4 >= text.size()) {
+          return Fail(issue, line, "truncated \\u escape");
+        }
+        unsigned code = 0;
+        for (int k = 0; k < 4; ++k) {
+          char h = text[++i];
+          code <<= 4;
+          if (h >= '0' && h <= '9') {
+            code |= static_cast<unsigned>(h - '0');
+          } else if (h >= 'a' && h <= 'f') {
+            code |= static_cast<unsigned>(h - 'a' + 10);
+          } else if (h >= 'A' && h <= 'F') {
+            code |= static_cast<unsigned>(h - 'A' + 10);
+          } else {
+            return Fail(issue, line, "bad hex digit in \\u escape");
+          }
+        }
+        if (code >= 0xd800 && code <= 0xdfff) {
+          return Fail(issue, line, "surrogate \\u escapes are not supported");
+        }
+        if (code < 0x80) {
+          out->push_back(static_cast<char>(code));
+        } else if (code < 0x800) {
+          out->push_back(static_cast<char>(0xc0 | (code >> 6)));
+          out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+        } else {
+          out->push_back(static_cast<char>(0xe0 | (code >> 12)));
+          out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+          out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+        }
+        break;
+      }
+      default:
+        return Fail(issue, line, std::string("unknown escape \\") + text[i]);
+    }
+  }
+  return true;
+}
+
+DocNode Scalar(int line, std::string text, bool quoted) {
+  DocNode node;
+  node.kind = DocNode::Kind::kScalar;
+  node.line = line;
+  node.scalar = std::move(text);
+  node.was_quoted = quoted;
+  return node;
+}
+
+// ---------------------------------------------------------------------------
+// Flow (JSON-ish) parser: tracks the position in the full text so multi-line
+// JSON documents get correct per-node line numbers.
+
+class FlowParser {
+ public:
+  FlowParser(const std::string& text, size_t pos, int line, DocParseIssue* issue)
+      : text_(text), pos_(pos), line_(line), issue_(issue) {}
+
+  std::optional<DocNode> ParseValue() {
+    SkipWs();
+    if (pos_ >= text_.size()) {
+      Fail(issue_, line_, "unexpected end of document");
+      return std::nullopt;
+    }
+    char c = text_[pos_];
+    if (c == '{') {
+      return ParseMap();
+    }
+    if (c == '[') {
+      return ParseList();
+    }
+    if (c == '"') {
+      std::string value;
+      if (!ParseQuoted(&value)) {
+        return std::nullopt;
+      }
+      return Scalar(line_, std::move(value), /*quoted=*/true);
+    }
+    return ParseBare();
+  }
+
+  // True when only whitespace remains.
+  bool AtEnd() {
+    SkipWs();
+    return pos_ >= text_.size();
+  }
+
+  int line() const { return line_; }
+  size_t pos() const { return pos_; }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() && IsSpace(text_[pos_])) {
+      if (text_[pos_] == '\n') {
+        ++line_;
+      }
+      ++pos_;
+    }
+  }
+
+  bool Expect(char c, const char* what) {
+    SkipWs();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      return Fail(issue_, line_, std::string("expected ") + what);
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool ParseQuoted(std::string* out) {
+    int start_line = line_;
+    ++pos_;  // opening quote
+    size_t begin = pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        ++pos_;
+      }
+      if (pos_ < text_.size() && text_[pos_] == '\n') {
+        return Fail(issue_, start_line, "unterminated string");
+      }
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) {
+      return Fail(issue_, start_line, "unterminated string");
+    }
+    std::string body = text_.substr(begin, pos_ - begin);
+    ++pos_;  // closing quote
+    return Unquote(body, start_line, out, issue_);
+  }
+
+  std::optional<DocNode> ParseBare() {
+    int start_line = line_;
+    size_t begin = pos_;
+    while (pos_ < text_.size() && text_[pos_] != ',' && text_[pos_] != '}' &&
+           text_[pos_] != ']' && text_[pos_] != ':' && text_[pos_] != '\n') {
+      ++pos_;
+    }
+    std::string value = RTrim(text_.substr(begin, pos_ - begin));
+    if (value.empty()) {
+      Fail(issue_, start_line, "expected a value");
+      return std::nullopt;
+    }
+    return Scalar(start_line, std::move(value), /*quoted=*/false);
+  }
+
+  std::optional<DocNode> ParseMap() {
+    DocNode node;
+    node.kind = DocNode::Kind::kMap;
+    node.line = line_;
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return node;
+    }
+    while (true) {
+      SkipWs();
+      int key_line = line_;
+      std::string key;
+      if (pos_ < text_.size() && text_[pos_] == '"') {
+        if (!ParseQuoted(&key)) {
+          return std::nullopt;
+        }
+      } else {
+        size_t begin = pos_;
+        while (pos_ < text_.size() && text_[pos_] != ':' && !IsSpace(text_[pos_]) &&
+               text_[pos_] != ',' && text_[pos_] != '}') {
+          ++pos_;
+        }
+        key = text_.substr(begin, pos_ - begin);
+      }
+      if (key.empty()) {
+        Fail(issue_, key_line, "expected a key");
+        return std::nullopt;
+      }
+      if (node.Find(key) != nullptr) {
+        Fail(issue_, key_line, "duplicate key \"" + key + "\"");
+        return std::nullopt;
+      }
+      if (!Expect(':', "':' after key")) {
+        return std::nullopt;
+      }
+      auto value = ParseValue();
+      if (!value.has_value()) {
+        return std::nullopt;
+      }
+      DocEntry entry;
+      entry.key = std::move(key);
+      entry.line = key_line;
+      entry.value.push_back(std::move(*value));
+      node.entries.push_back(std::move(entry));
+      SkipWs();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (!Expect('}', "',' or '}'")) {
+        return std::nullopt;
+      }
+      return node;
+    }
+  }
+
+  std::optional<DocNode> ParseList() {
+    DocNode node;
+    node.kind = DocNode::Kind::kList;
+    node.line = line_;
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return node;
+    }
+    while (true) {
+      auto value = ParseValue();
+      if (!value.has_value()) {
+        return std::nullopt;
+      }
+      node.items.push_back(std::move(*value));
+      SkipWs();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (!Expect(']', "',' or ']'")) {
+        return std::nullopt;
+      }
+      return node;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_;
+  int line_;
+  DocParseIssue* issue_;
+};
+
+// ---------------------------------------------------------------------------
+// Block (YAML subset) parser.
+
+// Strips a trailing ` # comment` (or a whole-line comment) outside quotes.
+std::string StripComment(const std::string& raw) {
+  bool in_quote = false;
+  for (size_t i = 0; i < raw.size(); ++i) {
+    char c = raw[i];
+    if (c == '"' ) {
+      in_quote = !in_quote;
+    } else if (c == '\\' && in_quote) {
+      ++i;
+    } else if (c == '#' && !in_quote && (i == 0 || raw[i - 1] == ' ')) {
+      return raw.substr(0, i);
+    }
+  }
+  return raw;
+}
+
+class BlockParser {
+ public:
+  BlockParser(std::vector<Line> lines, DocParseIssue* issue)
+      : lines_(std::move(lines)), issue_(issue) {}
+
+  std::optional<DocNode> Parse() {
+    if (lines_.empty()) {
+      Fail(issue_, 1, "empty document");
+      return std::nullopt;
+    }
+    auto root = ParseBlock(lines_.front().indent);
+    if (!root.has_value()) {
+      return std::nullopt;
+    }
+    if (pos_ < lines_.size()) {
+      Fail(issue_, lines_[pos_].number, "bad indentation");
+      return std::nullopt;
+    }
+    return root;
+  }
+
+ private:
+  static bool IsListItem(const std::string& content) {
+    return content == "-" || (content.size() >= 2 && content[0] == '-' && content[1] == ' ');
+  }
+
+  std::optional<DocNode> ParseBlock(int indent) {
+    if (IsListItem(lines_[pos_].content)) {
+      return ParseListBlock(indent);
+    }
+    return ParseMapBlock(indent);
+  }
+
+  std::optional<DocNode> ParseMapBlock(int indent) {
+    DocNode node;
+    node.kind = DocNode::Kind::kMap;
+    node.line = lines_[pos_].number;
+    while (pos_ < lines_.size() && lines_[pos_].indent == indent &&
+           !IsListItem(lines_[pos_].content)) {
+      const Line line = lines_[pos_];
+      size_t colon = FindKeyColon(line.content);
+      if (colon == std::string::npos) {
+        Fail(issue_, line.number, "expected \"key: value\"");
+        return std::nullopt;
+      }
+      std::string key = RTrim(line.content.substr(0, colon));
+      if (key.size() >= 2 && key.front() == '"' && key.back() == '"') {
+        std::string unquoted;
+        if (!Unquote(key.substr(1, key.size() - 2), line.number, &unquoted, issue_)) {
+          return std::nullopt;
+        }
+        key = std::move(unquoted);
+      }
+      if (key.empty()) {
+        Fail(issue_, line.number, "empty key");
+        return std::nullopt;
+      }
+      if (node.Find(key) != nullptr) {
+        Fail(issue_, line.number, "duplicate key \"" + key + "\"");
+        return std::nullopt;
+      }
+      std::string rest = line.content.substr(colon + 1);
+      size_t first = rest.find_first_not_of(' ');
+      rest = first == std::string::npos ? std::string() : rest.substr(first);
+      ++pos_;
+      std::optional<DocNode> value;
+      if (rest.empty()) {
+        if (pos_ >= lines_.size() || lines_[pos_].indent <= indent) {
+          Fail(issue_, line.number, "key \"" + key + "\" has no value");
+          return std::nullopt;
+        }
+        value = ParseBlock(lines_[pos_].indent);
+      } else {
+        value = ParseInlineValue(line.number, rest);
+      }
+      if (!value.has_value()) {
+        return std::nullopt;
+      }
+      DocEntry entry;
+      entry.key = std::move(key);
+      entry.line = line.number;
+      entry.value.push_back(std::move(*value));
+      node.entries.push_back(std::move(entry));
+    }
+    return node;
+  }
+
+  std::optional<DocNode> ParseListBlock(int indent) {
+    DocNode node;
+    node.kind = DocNode::Kind::kList;
+    node.line = lines_[pos_].number;
+    while (pos_ < lines_.size() && lines_[pos_].indent == indent &&
+           IsListItem(lines_[pos_].content)) {
+      const Line line = lines_[pos_];
+      if (line.content == "-") {
+        ++pos_;
+        if (pos_ >= lines_.size() || lines_[pos_].indent <= indent) {
+          Fail(issue_, line.number, "empty list item");
+          return std::nullopt;
+        }
+        auto item = ParseBlock(lines_[pos_].indent);
+        if (!item.has_value()) {
+          return std::nullopt;
+        }
+        node.items.push_back(std::move(*item));
+        continue;
+      }
+      size_t offset = line.content.find_first_not_of(' ', 2);
+      if (offset == std::string::npos) {
+        Fail(issue_, line.number, "empty list item");
+        return std::nullopt;
+      }
+      std::string rest = line.content.substr(offset);
+      char first = rest[0];
+      bool is_map_item =
+          first != '{' && first != '[' && first != '"' && FindKeyColon(rest) != std::string::npos;
+      if (is_map_item) {
+        // `- key: value`: the item is a map whose keys align at the column after
+        // the dash. Rewrite the line in place and parse it as a block.
+        lines_[pos_].indent = indent + static_cast<int>(offset);
+        lines_[pos_].content = std::move(rest);
+        auto item = ParseMapBlock(lines_[pos_].indent);
+        if (!item.has_value()) {
+          return std::nullopt;
+        }
+        node.items.push_back(std::move(*item));
+        continue;
+      }
+      ++pos_;
+      auto item = ParseInlineValue(line.number, rest);
+      if (!item.has_value()) {
+        return std::nullopt;
+      }
+      node.items.push_back(std::move(*item));
+    }
+    return node;
+  }
+
+  // A scalar, quoted scalar, or single-line flow value on the right of a key/dash.
+  std::optional<DocNode> ParseInlineValue(int line, const std::string& text) {
+    if (text[0] == '{' || text[0] == '[') {
+      FlowParser flow(text, 0, line, issue_);
+      auto value = flow.ParseValue();
+      if (value.has_value() && !flow.AtEnd()) {
+        Fail(issue_, line, "trailing content after flow value");
+        return std::nullopt;
+      }
+      return value;
+    }
+    if (text.size() >= 2 && text.front() == '"' && text.back() == '"') {
+      std::string unquoted;
+      if (!Unquote(text.substr(1, text.size() - 2), line, &unquoted, issue_)) {
+        return std::nullopt;
+      }
+      return Scalar(line, std::move(unquoted), /*quoted=*/true);
+    }
+    return Scalar(line, text, /*quoted=*/false);
+  }
+
+  // The colon that separates a key from its value: followed by a space or at
+  // end-of-line. Quoted keys are scanned over.
+  static size_t FindKeyColon(const std::string& content) {
+    bool in_quote = false;
+    for (size_t i = 0; i < content.size(); ++i) {
+      char c = content[i];
+      if (c == '"') {
+        in_quote = !in_quote;
+      } else if (c == '\\' && in_quote) {
+        ++i;
+      } else if (c == ':' && !in_quote &&
+                 (i + 1 == content.size() || content[i + 1] == ' ')) {
+        return i;
+      }
+    }
+    return std::string::npos;
+  }
+
+  std::vector<Line> lines_;
+  size_t pos_ = 0;
+  DocParseIssue* issue_;
+};
+
+}  // namespace
+
+const DocNode* DocNode::Find(const std::string& key) const {
+  for (const DocEntry& entry : entries) {
+    if (entry.key == key) {
+      return &entry.node();
+    }
+  }
+  return nullptr;
+}
+
+std::optional<DocNode> ParseDoc(const std::string& text, DocParseIssue* issue) {
+  // Split into content lines, stripping comments and rejecting tab indentation.
+  std::vector<Line> lines;
+  int number = 0;
+  size_t start = 0;
+  bool flow_document = false;
+  size_t flow_pos = 0;
+  int flow_line = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) {
+      end = text.size();
+    }
+    ++number;
+    std::string raw = text.substr(start, end - start);
+    size_t indent = 0;
+    while (indent < raw.size() && (raw[indent] == ' ' || raw[indent] == '\t')) {
+      if (raw[indent] == '\t') {
+        if (issue != nullptr) {
+          issue->line = number;
+          issue->message = "tab in indentation (use spaces)";
+        }
+        return std::nullopt;
+      }
+      ++indent;
+    }
+    std::string content = RTrim(StripComment(raw.substr(indent)));
+    if (!content.empty()) {
+      if (lines.empty() && (content[0] == '{' || content[0] == '[')) {
+        flow_document = true;
+        flow_pos = start + indent;
+        flow_line = number;
+        break;
+      }
+      lines.push_back({number, static_cast<int>(indent), std::move(content)});
+    }
+    if (end == text.size()) {
+      break;
+    }
+    start = end + 1;
+  }
+
+  if (flow_document) {
+    FlowParser flow(text, flow_pos, flow_line, issue);
+    auto root = flow.ParseValue();
+    if (root.has_value() && !flow.AtEnd()) {
+      if (issue != nullptr) {
+        issue->line = flow.line();
+        issue->message = "trailing content after document";
+      }
+      return std::nullopt;
+    }
+    return root;
+  }
+  return BlockParser(std::move(lines), issue).Parse();
+}
+
+}  // namespace jockey

@@ -1,0 +1,73 @@
+// The scenario harness's document model: one small tree shared by the YAML-subset
+// block parser and the JSON/flow parser.
+//
+// A scenario file is data — maps, lists and scalars — and the spec layer (spec.h)
+// wants exactly one thing from the syntax layer: a tree of those three node kinds in
+// which every node remembers the source line it came from, so "unknown key
+// `deadlline`" can point at scenarios/foo.yaml:12 the way trace parsing points at
+// trace.jsonl:47 (TraceParseIssue). Supporting both syntaxes behind one tree is what
+// makes spec round-tripping honest: the canonical JSON that WriteScenarioJson emits
+// parses back through this same parser, so YAML -> spec -> JSON -> spec is tested as
+// an identity, not assumed.
+//
+// The YAML subset (deliberately small, rejected loudly outside it):
+//   * indentation with spaces only — a tab anywhere in leading whitespace is an error
+//   * `key: value` scalars, `key:` + indented block, `- ` list items (including
+//     `- key: value` map items with continuation keys aligned after the dash)
+//   * `# comment` lines and trailing ` # comment` outside quotes
+//   * double-quoted scalars with JSON escapes; everything else is a bare scalar
+//   * flow values `{a: 1, b: [2, 3]}` — JSON syntax with optionally-unquoted keys
+//     and bare scalars, so a whole-JSON document (first byte `{` or `[`) parses too
+// No anchors, no multi-document streams, no block scalars, no type tags.
+
+#ifndef SRC_SCENARIO_DOC_H_
+#define SRC_SCENARIO_DOC_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace jockey {
+
+struct DocNode;
+
+// One key of a map node. The key's own line is recorded separately from the value's
+// (for `key:` + block, they differ).
+struct DocEntry {
+  std::string key;
+  int line = 0;
+  // Indirect to keep DocNode a complete type inside its own entry list.
+  std::vector<DocNode> value;  // always exactly one element
+
+  const DocNode& node() const { return value.front(); }
+};
+
+// A parsed scalar / map / list with its 1-based source line.
+struct DocNode {
+  enum class Kind { kScalar, kMap, kList };
+
+  Kind kind = Kind::kScalar;
+  int line = 0;
+  std::string scalar;       // kScalar: the (unquoted) text
+  bool was_quoted = false;  // kScalar: written with quotes (forces string-ness)
+  std::vector<DocEntry> entries;  // kMap, in source order
+  std::vector<DocNode> items;     // kList
+
+  // kMap: the value under `key`, or nullptr.
+  const DocNode* Find(const std::string& key) const;
+};
+
+// Where and why a parse failed; `line` is 1-based in the input text.
+struct DocParseIssue {
+  int line = 0;
+  std::string message;
+};
+
+// Parses a scenario document. Auto-detects the syntax: a document whose first
+// non-comment byte is '{' or '[' is parsed as JSON/flow, anything else as the YAML
+// subset. Returns nullopt and fills *issue (when given) on the first error.
+std::optional<DocNode> ParseDoc(const std::string& text, DocParseIssue* issue = nullptr);
+
+}  // namespace jockey
+
+#endif  // SRC_SCENARIO_DOC_H_

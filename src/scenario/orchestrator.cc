@@ -1,0 +1,150 @@
+#include "src/scenario/orchestrator.h"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "src/obs/json_format.h"
+
+namespace jockey {
+
+int ScenarioOutcome::Misses() const {
+  int misses = 0;
+  for (const EpisodeOutcome& episode : episodes) {
+    misses += episode.result.met_deadline ? 0 : 1;
+  }
+  return misses;
+}
+
+double ScenarioOutcome::MaxLatencyRatio() const {
+  double max_ratio = 0.0;
+  for (const EpisodeOutcome& episode : episodes) {
+    max_ratio = std::max(max_ratio, episode.result.latency_ratio);
+  }
+  return max_ratio;
+}
+
+double ScenarioOutcome::MeanLatencyRatio() const {
+  if (episodes.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (const EpisodeOutcome& episode : episodes) {
+    sum += episode.result.latency_ratio;
+  }
+  return sum / static_cast<double>(episodes.size());
+}
+
+ScenarioOutcome RunScenario(const CompiledScenario& scenario, std::FILE* progress) {
+  ScenarioOutcome outcome;
+  outcome.name = scenario.spec.name;
+  outcome.episodes.reserve(scenario.episodes.size());
+  for (const CompiledExperiment& episode : scenario.episodes) {
+    EpisodeOutcome record;
+    record.label = episode.spec().label;
+    record.job_name = episode.spec().job_name;
+    record.phase = episode.spec().phase;
+    record.arrival_seconds = episode.spec().arrival_seconds;
+    record.seed = episode.spec().options.seed;
+    record.policy = episode.spec().options.policy;
+    record.result = episode.Run();
+    if (progress != nullptr) {
+      std::fprintf(progress, "  %-24s %8.1f min vs %6.0f min  %s\n", record.label.c_str(),
+                   record.result.completion_seconds / 60.0,
+                   record.result.deadline_seconds / 60.0,
+                   record.result.met_deadline ? "met" : "MISSED");
+    }
+    outcome.episodes.push_back(std::move(record));
+  }
+  return outcome;
+}
+
+std::string WriteEpisodeJsonl(const EpisodeOutcome& episode) {
+  std::ostringstream os;
+  os << "{\"kind\":\"episode\",\"episode\":" << JsonString(episode.label)
+     << ",\"job\":" << JsonString(episode.job_name);
+  if (!episode.phase.empty()) {
+    os << ",\"phase\":" << JsonString(episode.phase);
+  }
+  os << ",\"arrival\":" << JsonNumber(episode.arrival_seconds) << ",\"seed\":" << episode.seed
+     << ",\"policy\":" << JsonString(PolicyId(episode.policy))
+     << ",\"deadline\":" << JsonNumber(episode.result.deadline_seconds)
+     << ",\"completion\":" << JsonNumber(episode.result.completion_seconds)
+     << ",\"met\":" << (episode.result.met_deadline ? "true" : "false")
+     << ",\"latency_ratio\":" << JsonNumber(episode.result.latency_ratio)
+     << ",\"total_work\":" << JsonNumber(episode.result.total_work_seconds)
+     << ",\"oracle_tokens\":" << episode.result.oracle_tokens
+     << ",\"requested_token_seconds\":" << JsonNumber(episode.result.requested_token_seconds)
+     << ",\"frac_above_oracle\":" << JsonNumber(episode.result.frac_above_oracle) << "}";
+  return os.str();
+}
+
+void WriteScenarioSummaryJson(std::ostream& os, const ScenarioOutcome& outcome) {
+  os << "{\n  \"scenario\": " << JsonString(outcome.name)
+     << ",\n  \"episodes\": " << outcome.episodes.size()
+     << ",\n  \"misses\": " << outcome.Misses() << ",\n  \"miss_fraction\": "
+     << JsonNumber(outcome.episodes.empty()
+                       ? 0.0
+                       : static_cast<double>(outcome.Misses()) /
+                             static_cast<double>(outcome.episodes.size()))
+     << ",\n  \"mean_latency_ratio\": " << JsonNumber(outcome.MeanLatencyRatio())
+     << ",\n  \"max_latency_ratio\": " << JsonNumber(outcome.MaxLatencyRatio());
+
+  // Per-phase rollups, in first-appearance order (empty-phase episodes roll up
+  // under "" only when the scenario is phased — list scenarios skip the block).
+  std::vector<std::string> phase_order;
+  std::map<std::string, std::pair<int, int>> by_phase;  // phase -> {episodes, misses}
+  for (const EpisodeOutcome& episode : outcome.episodes) {
+    if (episode.phase.empty()) {
+      continue;
+    }
+    auto it = by_phase.find(episode.phase);
+    if (it == by_phase.end()) {
+      phase_order.push_back(episode.phase);
+      it = by_phase.emplace(episode.phase, std::make_pair(0, 0)).first;
+    }
+    ++it->second.first;
+    it->second.second += episode.result.met_deadline ? 0 : 1;
+  }
+  if (!phase_order.empty()) {
+    os << ",\n  \"phases\": [";
+    for (size_t i = 0; i < phase_order.size(); ++i) {
+      const std::pair<int, int>& counts = by_phase[phase_order[i]];
+      os << (i > 0 ? ", " : "") << "{\"name\": " << JsonString(phase_order[i])
+         << ", \"episodes\": " << counts.first << ", \"misses\": " << counts.second << "}";
+    }
+    os << "]";
+  }
+
+  os << ",\n  \"records\": [\n";
+  for (size_t i = 0; i < outcome.episodes.size(); ++i) {
+    os << "    " << WriteEpisodeJsonl(outcome.episodes[i])
+       << (i + 1 < outcome.episodes.size() ? ",\n" : "\n");
+  }
+  os << "  ]\n}\n";
+}
+
+void PrintScenarioSummary(std::FILE* out, const ScenarioOutcome& outcome) {
+  std::fprintf(out, "scenario %s: %d episode%s, %d miss%s", outcome.name.c_str(),
+               static_cast<int>(outcome.episodes.size()),
+               outcome.episodes.size() == 1 ? "" : "s", outcome.Misses(),
+               outcome.Misses() == 1 ? "" : "es");
+  if (!outcome.episodes.empty()) {
+    std::fprintf(out, ", latency ratio mean %.3f max %.3f", outcome.MeanLatencyRatio(),
+                 outcome.MaxLatencyRatio());
+  }
+  std::fprintf(out, "\n");
+  std::fprintf(out, "%-24s %-8s %10s %9s %9s %7s\n", "episode", "phase", "arrive[m]",
+               "dl[min]", "done[min]", "slo");
+  for (const EpisodeOutcome& episode : outcome.episodes) {
+    std::fprintf(out, "%-24s %-8s %10.1f %9.0f %9.1f %7s\n", episode.label.c_str(),
+                 episode.phase.empty() ? "-" : episode.phase.c_str(),
+                 episode.arrival_seconds / 60.0, episode.result.deadline_seconds / 60.0,
+                 episode.result.completion_seconds / 60.0,
+                 episode.result.met_deadline ? "met" : "MISSED");
+  }
+}
+
+}  // namespace jockey

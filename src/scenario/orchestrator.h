@@ -1,0 +1,63 @@
+// The scenario orchestrator: runs a compiled scenario's episodes in order over
+// simulated time and reports deterministically.
+//
+// Episodes execute sequentially (each RunExperiment is its own seeded cluster; the
+// scenario timeline says *when* each job arrived and under what phase load, which
+// the compiler already folded into the episode options). Output comes in three
+// forms, all byte-deterministic for a fixed scenario file:
+//   * a human summary table (stdout),
+//   * one JSON document aggregating the run (per-episode records, per-phase and
+//     scenario totals) via WriteScenarioSummaryJson,
+//   * one JSONL line per episode via WriteEpisodeJsonl (streamable form).
+// All numbers go through JsonNumber, so "same scenario, same bytes" holds the same
+// way it does for traces and metrics.
+
+#ifndef SRC_SCENARIO_ORCHESTRATOR_H_
+#define SRC_SCENARIO_ORCHESTRATOR_H_
+
+#include <cstdio>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/scenario/compiler.h"
+
+namespace jockey {
+
+// One episode's outcome plus the scheduling metadata it ran under.
+struct EpisodeOutcome {
+  std::string label;
+  std::string job_name;
+  std::string phase;  // empty when list-style
+  double arrival_seconds = 0.0;
+  uint64_t seed = 0;
+  PolicyKind policy = PolicyKind::kJockey;
+  ExperimentResult result;
+};
+
+struct ScenarioOutcome {
+  std::string name;
+  std::vector<EpisodeOutcome> episodes;
+
+  int Misses() const;
+  double MaxLatencyRatio() const;
+  double MeanLatencyRatio() const;
+};
+
+// Runs every episode in order. `progress` (optional) receives one line per episode
+// as it finishes — the CLI's live feedback channel.
+ScenarioOutcome RunScenario(const CompiledScenario& scenario, std::FILE* progress = nullptr);
+
+// The aggregate JSON document: scenario identity, per-episode records, per-phase
+// rollups, totals. Deterministic bytes.
+void WriteScenarioSummaryJson(std::ostream& os, const ScenarioOutcome& outcome);
+
+// One flat JSONL record for `episode`.
+std::string WriteEpisodeJsonl(const EpisodeOutcome& episode);
+
+// The human-facing summary table.
+void PrintScenarioSummary(std::FILE* out, const ScenarioOutcome& outcome);
+
+}  // namespace jockey
+
+#endif  // SRC_SCENARIO_ORCHESTRATOR_H_

@@ -34,6 +34,8 @@
 #include <cassert>
 #include <cmath>
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -56,6 +58,17 @@ inline const char* EventEngineName(EventEngine engine) {
       return "legacy_heap";
   }
   return "unknown";
+}
+
+// Inverse of EventEngineName — the one registry scenario files, CLI flags and
+// JSON output share. Returns nullopt for an unknown token.
+inline std::optional<EventEngine> ParseEventEngine(const std::string& token) {
+  for (EventEngine engine : {EventEngine::kCalendar, EventEngine::kLegacyHeap}) {
+    if (token == EventEngineName(engine)) {
+      return engine;
+    }
+  }
+  return std::nullopt;
 }
 
 namespace internal {

@@ -128,7 +128,7 @@ TEST(EngineDifferentialTest, ExperimentIsByteIdenticalAcrossEngines) {
     options.deadline_seconds = SuggestDeadlineSeconds(trained, /*tight=*/false);
     options.seed = 17;
     options.observer = Observer(&sink, &metrics);
-    options.fault_plan = &plan;
+    options.fault_plan = std::make_shared<const FaultPlan>(plan);
     options.event_engine = engine;
     ExperimentResult result = RunExperiment(trained, options);
     std::ostringstream metrics_os;

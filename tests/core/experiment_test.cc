@@ -83,8 +83,7 @@ TEST_F(ExperimentTest, DeadlineChangeIsJudgedAgainstNewDeadline) {
   ExperimentOptions options;
   double base = SuggestDeadlineSeconds(*trained_, true);
   options.deadline_seconds = base;
-  options.deadline_change.at_seconds = 120.0;
-  options.deadline_change.new_deadline_seconds = 2.0 * base;
+  options.deadline_change = DeadlineChange(120.0, 2.0 * base);
   options.seed = 6;
   ExperimentResult r = RunExperiment(*trained_, options);
   EXPECT_DOUBLE_EQ(r.deadline_seconds, 2.0 * base);
@@ -131,9 +130,7 @@ TEST_F(ExperimentTest, OverloadEpisodeSlowsTheRun) {
   options.jitter_input = false;
   options.seed = 8;
   ExperimentResult calm = RunExperiment(*trained_, options);
-  options.overload.start_seconds = 0.0;
-  options.overload.duration_seconds = 4.0 * 3600.0;
-  options.overload.utilization = 1.4;
+  options.overload = OverloadEpisode(0.0, 4.0 * 3600.0, 1.4);
   ExperimentResult stormy = RunExperiment(*trained_, options);
   EXPECT_GT(stormy.completion_seconds, calm.completion_seconds);
 }

@@ -273,7 +273,7 @@ TEST(DegradationTest, HardenedControllerBeatsVanillaUnderChaos) {
     double deadline;
     double input_scale;
     int max_tokens;
-    DeadlineChange deadline_change;
+    std::optional<DeadlineChange> deadline_change;
   };
   std::vector<Class> classes;
   // Each class pins the experiment shape that makes its fault decisive.
@@ -312,7 +312,7 @@ TEST(DegradationTest, HardenedControllerBeatsVanillaUnderChaos) {
       options.input_scale = cls.input_scale;
       options.max_tokens = cls.max_tokens;
       options.use_spare_tokens = false;
-      options.fault_plan = &cls.plan;
+      options.fault_plan = std::make_shared<const FaultPlan>(cls.plan);
       options.deadline_change = cls.deadline_change;
       options.control_override = base_control;
       ExperimentResult vanilla = RunExperiment(trained, options);

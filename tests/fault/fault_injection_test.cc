@@ -298,7 +298,7 @@ TEST(FaultInjectionTest, ExperimentHarnessWiresThePlanThrough) {
   options.jitter_input = false;
 
   ExperimentResult clean = RunExperiment(trained, options);
-  options.fault_plan = &plan;
+  options.fault_plan = std::make_shared<const FaultPlan>(plan);
   ExperimentResult faulted = RunExperiment(trained, options);
   ExperimentResult faulted_again = RunExperiment(trained, options);
 

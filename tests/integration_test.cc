@@ -79,8 +79,7 @@ TEST_F(IntegrationTest, JockeyAdaptsToHalvedDeadline) {
   double deadline = SuggestDeadlineSeconds(*trained_, /*tight=*/false);
   ExperimentOptions options;
   options.deadline_seconds = deadline;
-  options.deadline_change.at_seconds = 600.0;
-  options.deadline_change.new_deadline_seconds = deadline / 2.0;
+  options.deadline_change = DeadlineChange(600.0, deadline / 2.0);
   options.policy = PolicyKind::kJockey;
   options.seed = 11;
   options.jitter_input = false;
@@ -93,8 +92,7 @@ TEST_F(IntegrationTest, JockeyReleasesTokensOnTripledDeadline) {
   double deadline = SuggestDeadlineSeconds(*trained_, true);
   ExperimentOptions options;
   options.deadline_seconds = deadline;
-  options.deadline_change.at_seconds = 600.0;
-  options.deadline_change.new_deadline_seconds = 3.0 * deadline;
+  options.deadline_change = DeadlineChange(600.0, 3.0 * deadline);
   options.policy = PolicyKind::kJockey;
   options.seed = 12;
   options.jitter_input = false;

@@ -197,17 +197,19 @@ JobTemplate SmallJob(uint64_t seed = 61) {
 std::vector<TraceEvent> CaptureRun(const TrainedJob& trained, uint64_t seed,
                                    const FaultPlan* plan,
                                    ExperimentResult* result_out = nullptr) {
-  std::vector<TraceEvent> events;
   ExperimentOptions options;
   options.deadline_seconds = 1800.0;
   options.policy = PolicyKind::kJockey;
   options.seed = seed;
   options.jitter_input = false;
-  options.fault_plan = plan;
-  options.capture_events = &events;
+  if (plan != nullptr) {
+    options.fault_plan = std::make_shared<const FaultPlan>(*plan);
+  }
+  options.capture_events = true;
   ExperimentResult result = RunExperiment(trained, options);
+  std::vector<TraceEvent> events = std::move(result.events);
   if (result_out != nullptr) {
-    *result_out = result;
+    *result_out = std::move(result);
   }
   return events;
 }

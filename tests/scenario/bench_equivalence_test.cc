@@ -1,0 +1,124 @@
+// Differential tests pinning "the scenario file says X" to "the C++ bench does X":
+// the checked-in scenarios must reproduce their C++ counterparts byte-identically —
+// same scalar results, same full event streams (compared as ToJsonLine bytes).
+//
+// JOCKEY_SCENARIO_DIR points at the checked-in scenarios/ directory (set by the
+// build), so these tests break if either the compiler's lowering or the scenario
+// files drift from the bench constructions.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/fault/chaos_matrix.h"
+#include "src/obs/jsonl.h"
+#include "src/scenario/catalog.h"
+#include "src/scenario/compiler.h"
+#include "src/scenario/spec.h"
+
+#ifndef JOCKEY_SCENARIO_DIR
+#error "build must define JOCKEY_SCENARIO_DIR"
+#endif
+
+namespace jockey {
+namespace {
+
+ScenarioSpec LoadScenario(const std::string& filename) {
+  std::string path = std::string(JOCKEY_SCENARIO_DIR) + "/" + filename;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  ScenarioParseResult result = ParseScenarioText(buffer.str());
+  EXPECT_TRUE(result.spec.has_value())
+      << (result.issue.has_value() ? FormatScenarioIssue(path, *result.issue) : "");
+  return *result.spec;
+}
+
+// Trains job F the way every bench does (bench_common.h), once for the suite.
+const BenchJob& BenchJobF() {
+  static std::vector<BenchJob>* jobs = new std::vector<BenchJob>(TrainEvaluationJobs());
+  return (*jobs)[5];
+}
+
+void ExpectSameRun(const ExperimentResult& scenario, const ExperimentResult& bench) {
+  // Scalars first (cheap failure messages), then the full event streams as bytes.
+  EXPECT_EQ(scenario.deadline_seconds, bench.deadline_seconds);
+  EXPECT_EQ(scenario.completion_seconds, bench.completion_seconds);
+  EXPECT_EQ(scenario.met_deadline, bench.met_deadline);
+  EXPECT_EQ(scenario.latency_ratio, bench.latency_ratio);
+  EXPECT_EQ(scenario.total_work_seconds, bench.total_work_seconds);
+  EXPECT_EQ(scenario.oracle_tokens, bench.oracle_tokens);
+  EXPECT_EQ(scenario.requested_token_seconds, bench.requested_token_seconds);
+  ASSERT_EQ(scenario.events.size(), bench.events.size());
+  for (size_t i = 0; i < scenario.events.size(); ++i) {
+    ASSERT_EQ(ToJsonLine(scenario.events[i]), ToJsonLine(bench.events[i]))
+        << "event streams diverge at index " << i;
+  }
+}
+
+TEST(BenchEquivalenceTest, Fig6OverloadScenarioMatchesBenchCaseA) {
+  ScenarioSpec spec = LoadScenario("fig6_overload.yaml");
+  JobCatalog catalog;
+  ScenarioCompileOptions compile_options;
+  compile_options.capture_events = true;
+  CompiledScenario compiled = CompileScenario(spec, catalog, compile_options);
+  ASSERT_EQ(compiled.episodes.size(), 1u);
+  ExperimentResult from_scenario = compiled.episodes[0].Run();
+
+  // bench_fig6_timelapse.cc case (a), verbatim.
+  const BenchJob& job_f = BenchJobF();
+  ExperimentOptions options;
+  options.deadline_seconds = job_f.deadline_short;
+  options.policy = PolicyKind::kJockey;
+  options.seed = 3;
+  options.jitter_input = false;
+  options.input_scale = 1.8;
+  options.overload = OverloadEpisode(0.0, 6.0 * 3600.0, 1.25);
+  options.capture_events = true;
+  ExperimentResult from_bench = RunExperiment(job_f.trained, options);
+
+  ExpectSameRun(from_scenario, from_bench);
+}
+
+TEST(BenchEquivalenceTest, ChaosDropoutScenarioMatchesChaosVanillaArm) {
+  ScenarioSpec spec = LoadScenario("chaos_dropout.yaml");
+  JobCatalog catalog;
+  ScenarioCompileOptions compile_options;
+  compile_options.capture_events = true;
+  CompiledScenario compiled = CompileScenario(spec, catalog, compile_options);
+  ASSERT_EQ(compiled.episodes.size(), 5u);
+
+  // The `jockey_cli chaos` vanilla arm, verbatim: per-seed plan copies of the
+  // deadline-scaled class schedule, reseeded ChaosPlanSeed(first_seed + i).
+  const BenchJob& job_f = BenchJobF();
+  const double deadline = job_f.deadline_short;
+  ClusterConfig reference = DefaultExperimentCluster(0);
+  std::optional<FaultPlan> cls =
+      BuildChaosClassPlan("report_dropout", deadline, reference.num_machines);
+  ASSERT_TRUE(cls.has_value());
+  const uint64_t first_seed = 1;
+  for (int i = 0; i < 5; ++i) {
+    uint64_t run_seed = first_seed + static_cast<uint64_t>(i);
+    FaultPlan run_plan = *cls;
+    run_plan.set_seed(ChaosPlanSeed(run_seed));
+    ExperimentOptions options;
+    options.deadline_seconds = deadline;
+    options.policy = PolicyKind::kJockey;
+    options.seed = run_seed;
+    options.jitter_input = false;
+    options.fault_plan = std::make_shared<const FaultPlan>(std::move(run_plan));
+    options.capture_events = true;
+    ExperimentResult from_bench = RunExperiment(job_f.trained, options);
+
+    ExperimentResult from_scenario = compiled.episodes[i].Run();
+    ExpectSameRun(from_scenario, from_bench);
+  }
+}
+
+}  // namespace
+}  // namespace jockey

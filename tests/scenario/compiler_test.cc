@@ -1,0 +1,246 @@
+// Compiler contract: lowering resolves seeds/deadlines/overrides exactly as the
+// benches do, and CompiledExperiment's throwing constructor rejects unrunnable
+// episodes.
+
+#include "src/scenario/compiler.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/fault/chaos_matrix.h"
+#include "src/scenario/spec.h"
+
+namespace jockey {
+namespace {
+
+ScenarioSpec Parse(const std::string& text) {
+  ScenarioParseResult result = ParseScenarioText(text);
+  EXPECT_TRUE(result.spec.has_value())
+      << (result.issue.has_value() ? FormatScenarioIssue("<test>", *result.issue) : "");
+  return *result.spec;
+}
+
+// One catalog per suite: jobs train once and every test shares the models.
+JobCatalog& SharedCatalog() {
+  static JobCatalog* catalog = new JobCatalog();
+  return *catalog;
+}
+
+TEST(ScenarioCompilerTest, ListStyleSeedsFollowChaosDiscipline) {
+  ScenarioSpec spec = Parse(
+      "name: seeds\n"
+      "seed: 10\n"
+      "repeats: 3\n"
+      "workload:\n"
+      "  - job: A\n"
+      "    deadline: tight\n"
+      "  - job: A\n"
+      "    deadline: tight\n"
+      "    seed: 50\n"
+      "    repeats: 2\n");
+  CompiledScenario compiled = CompileScenario(spec, SharedCatalog());
+  ASSERT_EQ(compiled.episodes.size(), 5u);
+  // Entry 0: scenario seed + repeat index; entry 1 restarts at its own base seed.
+  EXPECT_EQ(compiled.episodes[0].spec().options.seed, 10u);
+  EXPECT_EQ(compiled.episodes[1].spec().options.seed, 11u);
+  EXPECT_EQ(compiled.episodes[2].spec().options.seed, 12u);
+  EXPECT_EQ(compiled.episodes[3].spec().options.seed, 50u);
+  EXPECT_EQ(compiled.episodes[4].spec().options.seed, 51u);
+  EXPECT_EQ(compiled.episodes[0].spec().label, "w0.jobA#0");
+  EXPECT_EQ(compiled.episodes[3].spec().label, "w1.jobA#0");
+}
+
+TEST(ScenarioCompilerTest, DeadlinesResolveAgainstTrainedJob) {
+  ScenarioSpec spec = Parse(
+      "name: deadlines\n"
+      "workload:\n"
+      "  - job: A\n"
+      "    deadline: tight\n"
+      "  - job: A\n"
+      "    deadline: long\n"
+      "  - job: A\n"
+      "    deadline: {minutes: 33}\n");
+  CompiledScenario compiled = CompileScenario(spec, SharedCatalog());
+  ASSERT_EQ(compiled.episodes.size(), 3u);
+  double tight = compiled.episodes[0].spec().options.deadline_seconds;
+  double slack = compiled.episodes[1].spec().options.deadline_seconds;
+  EXPECT_GT(tight, 0.0);
+  EXPECT_GT(slack, tight);
+  EXPECT_DOUBLE_EQ(compiled.episodes[2].spec().options.deadline_seconds, 33.0 * 60.0);
+}
+
+TEST(ScenarioCompilerTest, FaultClassExpandsToSeededChaosPlan) {
+  ScenarioSpec spec = Parse(
+      "name: chaos\n"
+      "seed: 21\n"
+      "jitter_input: false\n"
+      "faults:\n"
+      "  class: report_dropout\n"
+      "workload:\n"
+      "  - job: A\n"
+      "    deadline: tight\n");
+  CompiledScenario compiled = CompileScenario(spec, SharedCatalog());
+  ASSERT_EQ(compiled.episodes.size(), 1u);
+  const ExperimentOptions& options = compiled.episodes[0].spec().options;
+  ASSERT_NE(options.fault_plan, nullptr);
+  EXPECT_EQ(options.fault_plan->seed(), ChaosPlanSeed(21));
+  EXPECT_FALSE(options.fault_plan->windows().empty());
+}
+
+TEST(ScenarioCompilerTest, HardenedCompilesDegradedModeOverride) {
+  ScenarioSpec spec = Parse(
+      "name: hardened\n"
+      "hardened: true\n"
+      "workload:\n"
+      "  - job: A\n"
+      "    deadline: tight\n");
+  CompiledScenario compiled = CompileScenario(spec, SharedCatalog());
+  const ExperimentOptions& options = compiled.episodes[0].spec().options;
+  ASSERT_TRUE(options.control_override.has_value());
+  EXPECT_TRUE(options.control_override->enable_degraded_mode);
+}
+
+TEST(ScenarioCompilerTest, PlainEpisodesCompileNoControlOverride) {
+  ScenarioSpec spec = Parse(
+      "name: plain\n"
+      "workload:\n"
+      "  - job: A\n"
+      "    deadline: tight\n");
+  CompiledScenario compiled = CompileScenario(spec, SharedCatalog());
+  const ExperimentOptions& options = compiled.episodes[0].spec().options;
+  // The unset path must stay bit-identical to plain experiments: no override, no
+  // fault plan, no overload.
+  EXPECT_FALSE(options.control_override.has_value());
+  EXPECT_EQ(options.fault_plan, nullptr);
+  EXPECT_FALSE(options.overload.has_value());
+  EXPECT_TRUE(options.jitter_input);
+}
+
+TEST(ScenarioCompilerTest, PhasedStyleSchedulesArrivalsAndUtilization) {
+  ScenarioSpec spec = Parse(
+      "name: phased\n"
+      "seed: 5\n"
+      "workload:\n"
+      "  - job: A\n"
+      "    deadline: tight\n"
+      "  - job: B\n"
+      "    deadline: long\n"
+      "phases:\n"
+      "  - name: calm\n"
+      "    duration: 1800\n"
+      "    utilization: 0.5\n"
+      "    arrivals:\n"
+      "      period: 600\n"
+      "  - name: storm\n"
+      "    duration: 1200\n"
+      "    utilization: 1.2\n"
+      "    arrivals:\n"
+      "      period: 600\n");
+  CompiledScenario compiled = CompileScenario(spec, SharedCatalog());
+  // calm covers [0, 1800): arrivals at 0, 600, 1200; storm [1800, 3000): 1800, 2400.
+  ASSERT_EQ(compiled.episodes.size(), 5u);
+  EXPECT_EQ(compiled.episodes[0].spec().phase, "calm");
+  EXPECT_DOUBLE_EQ(compiled.episodes[0].spec().arrival_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(compiled.episodes[2].spec().arrival_seconds, 1200.0);
+  EXPECT_EQ(compiled.episodes[3].spec().phase, "storm");
+  EXPECT_DOUBLE_EQ(compiled.episodes[3].spec().arrival_seconds, 1800.0);
+  // Mix cycles A, B, A, B, ...; episode seeds are scenario seed + global index.
+  EXPECT_EQ(compiled.episodes[0].spec().job_name, compiled.episodes[2].spec().job_name);
+  EXPECT_NE(compiled.episodes[0].spec().job_name, compiled.episodes[1].spec().job_name);
+  EXPECT_EQ(compiled.episodes[4].spec().options.seed, 9u);
+  // Phase utilization pins the background load.
+  EXPECT_DOUBLE_EQ(compiled.episodes[0].spec().options.background_utilization.value(), 0.5);
+  EXPECT_DOUBLE_EQ(compiled.episodes[3].spec().options.background_utilization.value(), 1.2);
+}
+
+TEST(ScenarioCompilerTest, PhasedPoissonArrivalsAreDeterministic) {
+  const char* text =
+      "name: poisson\n"
+      "seed: 8\n"
+      "workload:\n"
+      "  - job: A\n"
+      "    deadline: tight\n"
+      "phases:\n"
+      "  - name: p\n"
+      "    duration: 3600\n"
+      "    arrivals:\n"
+      "      poisson: 600\n";
+  CompiledScenario a = CompileScenario(Parse(text), SharedCatalog());
+  CompiledScenario b = CompileScenario(Parse(text), SharedCatalog());
+  ASSERT_EQ(a.episodes.size(), b.episodes.size());
+  ASSERT_GE(a.episodes.size(), 2u);
+  for (size_t i = 0; i < a.episodes.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.episodes[i].spec().arrival_seconds, b.episodes[i].spec().arrival_seconds);
+  }
+  // Poisson gaps vary (not the fixed period).
+  double gap0 = a.episodes[1].spec().arrival_seconds - a.episodes[0].spec().arrival_seconds;
+  EXPECT_NE(gap0, 600.0);
+}
+
+TEST(ScenarioCompilerTest, UnreadableFaultPlanFileThrows) {
+  ScenarioSpec spec = Parse(
+      "name: badplan\n"
+      "faults:\n"
+      "  plan: does_not_exist.jsonl\n"
+      "workload:\n"
+      "  - job: A\n"
+      "    deadline: tight\n");
+  EXPECT_THROW(CompileScenario(spec, SharedCatalog()), std::invalid_argument);
+}
+
+TEST(ScenarioCompilerTest, CompiledExperimentValidatesOptions) {
+  ScenarioSpec spec = Parse(
+      "name: one\n"
+      "workload:\n"
+      "  - job: A\n"
+      "    deadline: tight\n");
+  CompiledScenario compiled = CompileScenario(spec, SharedCatalog());
+  ExperimentSpec episode = compiled.episodes[0].spec();
+  auto trained = std::make_shared<const TrainedJob>(compiled.episodes[0].job());
+
+  EXPECT_THROW(CompiledExperiment(episode, nullptr), std::invalid_argument);
+
+  ExperimentSpec bad_deadline = episode;
+  bad_deadline.options.deadline_seconds = 0.0;
+  EXPECT_THROW(CompiledExperiment(bad_deadline, trained), std::invalid_argument);
+
+  ExperimentSpec bad_tokens = episode;
+  bad_tokens.options.max_tokens = 0;
+  EXPECT_THROW(CompiledExperiment(bad_tokens, trained), std::invalid_argument);
+
+  ExperimentSpec bad_fixed = episode;
+  bad_fixed.options.policy = PolicyKind::kFixed;
+  bad_fixed.options.fixed_tokens = 0;
+  EXPECT_THROW(CompiledExperiment(bad_fixed, trained), std::invalid_argument);
+
+  ExperimentSpec bad_control = episode;
+  ControlLoopConfig control;
+  control.slack = -1.0;
+  bad_control.options.control_override = control;
+  EXPECT_THROW(CompiledExperiment(bad_control, trained), std::invalid_argument);
+
+  // The episode as compiled is constructible.
+  EXPECT_NO_THROW(CompiledExperiment(episode, trained));
+}
+
+TEST(ScenarioCompilerTest, UnknownRandomJobBoundsStillCompile) {
+  // Random jobs resolve through the generator; same spec twice shares the model.
+  ScenarioSpec spec = Parse(
+      "name: random\n"
+      "workload:\n"
+      "  - random:\n"
+      "      name: r1\n"
+      "      seed: 3\n"
+      "    deadline: {minutes: 60}\n"
+      "  - random:\n"
+      "      name: r1\n"
+      "      seed: 3\n"
+      "    deadline: {minutes: 60}\n");
+  CompiledScenario compiled = CompileScenario(spec, SharedCatalog());
+  ASSERT_EQ(compiled.episodes.size(), 2u);
+  EXPECT_EQ(&compiled.episodes[0].job(), &compiled.episodes[1].job());
+}
+
+}  // namespace
+}  // namespace jockey

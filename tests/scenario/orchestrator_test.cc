@@ -1,0 +1,114 @@
+// Orchestrator contract: deterministic output bytes and faithful aggregation.
+
+#include "src/scenario/orchestrator.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "src/scenario/catalog.h"
+#include "src/scenario/compiler.h"
+#include "src/scenario/spec.h"
+
+namespace jockey {
+namespace {
+
+ScenarioSpec Parse(const std::string& text) {
+  ScenarioParseResult result = ParseScenarioText(text);
+  EXPECT_TRUE(result.spec.has_value())
+      << (result.issue.has_value() ? FormatScenarioIssue("<test>", *result.issue) : "");
+  return *result.spec;
+}
+
+std::string SummaryJson(const ScenarioOutcome& outcome) {
+  std::ostringstream os;
+  WriteScenarioSummaryJson(os, outcome);
+  return os.str();
+}
+
+TEST(ScenarioOrchestratorTest, SameScenarioSameBytes) {
+  const char* text =
+      "name: repeatable\n"
+      "seed: 4\n"
+      "repeats: 2\n"
+      "workload:\n"
+      "  - job: A\n"
+      "    deadline: tight\n"
+      "  - job: A\n"
+      "    deadline: long\n";
+  JobCatalog catalog;
+  ScenarioOutcome first = RunScenario(CompileScenario(Parse(text), catalog));
+  ScenarioOutcome second = RunScenario(CompileScenario(Parse(text), catalog));
+  EXPECT_EQ(SummaryJson(first), SummaryJson(second));
+  ASSERT_EQ(first.episodes.size(), second.episodes.size());
+  for (size_t i = 0; i < first.episodes.size(); ++i) {
+    EXPECT_EQ(WriteEpisodeJsonl(first.episodes[i]), WriteEpisodeJsonl(second.episodes[i]));
+  }
+}
+
+TEST(ScenarioOrchestratorTest, AggregatesMatchEpisodes) {
+  const char* text =
+      "name: aggregate\n"
+      "seed: 2\n"
+      "repeats: 3\n"
+      "workload:\n"
+      "  - job: A\n"
+      "    deadline: tight\n";
+  JobCatalog catalog;
+  ScenarioOutcome outcome = RunScenario(CompileScenario(Parse(text), catalog));
+  ASSERT_EQ(outcome.episodes.size(), 3u);
+  int misses = 0;
+  double sum = 0.0;
+  double max = 0.0;
+  for (const EpisodeOutcome& episode : outcome.episodes) {
+    misses += episode.result.met_deadline ? 0 : 1;
+    sum += episode.result.latency_ratio;
+    max = std::max(max, episode.result.latency_ratio);
+  }
+  EXPECT_EQ(outcome.Misses(), misses);
+  EXPECT_DOUBLE_EQ(outcome.MeanLatencyRatio(), sum / 3.0);
+  EXPECT_DOUBLE_EQ(outcome.MaxLatencyRatio(), max);
+}
+
+TEST(ScenarioOrchestratorTest, EpisodeJsonlCarriesSchedulingMetadata) {
+  const char* text =
+      "name: meta\n"
+      "seed: 6\n"
+      "workload:\n"
+      "  - job: A\n"
+      "    deadline: tight\n"
+      "phases:\n"
+      "  - name: only\n"
+      "    duration: 1200\n"
+      "    utilization: 0.7\n"
+      "    arrivals:\n"
+      "      period: 600\n";
+  JobCatalog catalog;
+  ScenarioOutcome outcome = RunScenario(CompileScenario(Parse(text), catalog));
+  ASSERT_EQ(outcome.episodes.size(), 2u);
+  std::string line = WriteEpisodeJsonl(outcome.episodes[1]);
+  EXPECT_NE(line.find("\"kind\":\"episode\""), std::string::npos);
+  EXPECT_NE(line.find("\"phase\":\"only\""), std::string::npos);
+  EXPECT_NE(line.find("\"arrival\":600"), std::string::npos);
+  EXPECT_NE(line.find("\"seed\":7"), std::string::npos);
+  EXPECT_NE(line.find("\"policy\":\"jockey\""), std::string::npos);
+
+  std::string summary = SummaryJson(outcome);
+  EXPECT_NE(summary.find("\"phases\": [{\"name\": \"only\", \"episodes\": 2"),
+            std::string::npos);
+}
+
+TEST(ScenarioOrchestratorTest, ListStyleSummaryOmitsPhaseBlock) {
+  const char* text =
+      "name: flat\n"
+      "workload:\n"
+      "  - job: A\n"
+      "    deadline: tight\n";
+  JobCatalog catalog;
+  ScenarioOutcome outcome = RunScenario(CompileScenario(Parse(text), catalog));
+  EXPECT_EQ(SummaryJson(outcome).find("\"phases\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jockey

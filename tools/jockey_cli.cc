@@ -65,12 +65,17 @@
 
 #include "src/cluster/cluster_simulator.h"
 #include "src/core/experiment.h"
+#include "src/fault/chaos_matrix.h"
 #include "src/fault/fault_injector.h"
 #include "src/obs/analysis/postmortem.h"
 #include "src/obs/async_jsonl.h"
 #include "src/obs/jsonl.h"
 #include "src/obs/metrics.h"
 #include "src/obs/observer.h"
+#include "src/scenario/catalog.h"
+#include "src/scenario/compiler.h"
+#include "src/scenario/orchestrator.h"
+#include "src/scenario/spec.h"
 #include "src/scope/planner.h"
 #include "tools/cli_options.h"
 
@@ -85,6 +90,7 @@ int Usage() {
                "  jockey_cli train <job.scope> --trace <out.txt> [--tokens N] [--seed S]\n"
                "  jockey_cli predict <job.scope> <trace.txt> [--deadline MIN]\n"
                "  jockey_cli run <job.scope> <trace.txt> --deadline MIN [--seed S]\n"
+               "  jockey_cli run <scenario.yaml|.json> [--json FILE] [--episodes-out FILE]\n"
                "  jockey_cli chaos <job.scope> <trace.txt> --deadline MIN [--seeds N]\n"
                "                   [--classes LIST] [--fault-plan FILE] [--seed S]\n"
                "  jockey_cli report <trace.jsonl> [--chrome-out FILE] [--jsonl-out FILE]\n"
@@ -352,6 +358,94 @@ int CmdPredict(int argc, char** argv, const std::string& path, const std::string
   return obs.Finish();
 }
 
+// True for the declarative-scenario form of `run` (workloads as data, spec.h).
+bool IsScenarioPath(const std::string& path) {
+  for (const char* suffix : {".yaml", ".yml", ".json"}) {
+    std::string ext(suffix);
+    if (path.size() > ext.size() && path.compare(path.size() - ext.size(), ext.size(), ext) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int CmdRunScenario(int argc, char** argv, const std::string& path) {
+  std::string json_out;
+  std::string episodes_out;
+  GlobalOptions global;
+  OptionsParser parser("jockey_cli run <scenario.yaml|.json> [flags]");
+  parser.AddString("--json", "FILE", "write the scenario summary JSON here", &json_out);
+  parser.AddString("--episodes-out", "FILE", "write one JSONL record per episode here",
+                   &episodes_out);
+  global.Register(parser);
+  if (!parser.Parse(argc, argv, 3)) {
+    return 2;
+  }
+  if (parser.help_requested()) {
+    return 0;
+  }
+  auto text = ReadFile(path);
+  if (!text.has_value()) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 1;
+  }
+  ScenarioParseResult parsed = ParseScenarioText(*text);
+  if (!parsed.spec.has_value()) {
+    std::fprintf(stderr, "%s\n", FormatScenarioIssue(path, *parsed.issue).c_str());
+    return 1;
+  }
+  CliObservability obs(global);
+  if (!obs.ok()) {
+    return 1;
+  }
+  JobCatalogOptions catalog_options;
+  catalog_options.threads = global.threads;
+  if (global.use_cache) {
+    catalog_options.cache_dir = global.cache_dir;
+    catalog_options.cache_max_bytes = global.cache_max_bytes;
+  }
+  JobCatalog catalog(catalog_options);
+  ScenarioCompileOptions compile_options;
+  size_t slash = path.find_last_of('/');
+  if (slash != std::string::npos) {
+    compile_options.base_dir = path.substr(0, slash);
+  }
+  compile_options.observer = obs.observer();
+  ScenarioOutcome outcome;
+  try {
+    CompiledScenario compiled = CompileScenario(*parsed.spec, catalog, compile_options);
+    std::printf("scenario %s: %d episode%s\n", parsed.spec->name.c_str(),
+                static_cast<int>(compiled.episodes.size()),
+                compiled.episodes.size() == 1 ? "" : "s");
+    outcome = RunScenario(compiled);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), e.what());
+    return 1;
+  }
+  PrintScenarioSummary(stdout, outcome);
+  if (!json_out.empty()) {
+    std::ofstream out(json_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_out.c_str());
+      return 1;
+    }
+    WriteScenarioSummaryJson(out, outcome);
+  }
+  if (!episodes_out.empty()) {
+    std::ofstream out(episodes_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", episodes_out.c_str());
+      return 1;
+    }
+    for (const EpisodeOutcome& episode : outcome.episodes) {
+      out << WriteEpisodeJsonl(episode) << '\n';
+    }
+  }
+  // SLO misses are the scenario's *data*, not a tool failure: exit 0 so sweeps over
+  // scenario directories (CI smoke included) distinguish broken runs from bad SLOs.
+  return obs.Finish();
+}
+
 int CmdRun(int argc, char** argv, const std::string& path, const std::string& trace_path) {
   double deadline_minutes = -1.0;
   uint64_t seed = 1;
@@ -411,34 +505,6 @@ int CmdRun(int argc, char** argv, const std::string& path, const std::string& tr
     return 1;
   }
   return met ? 0 : 1;
-}
-
-// One row of the chaos matrix: a fault class name plus the plan that exercises it,
-// scaled to the run's deadline so every window actually overlaps the job.
-struct ChaosClass {
-  std::string name;
-  FaultPlan plan;
-};
-
-std::vector<ChaosClass> BuildChaosMatrix(double deadline_seconds, int num_machines) {
-  const double d = deadline_seconds;
-  std::vector<ChaosClass> matrix;
-  matrix.push_back({"report_dropout",
-                    FaultPlan().Add(FaultPlan::ReportDropout(0.25 * d, 0.95 * d))});
-  matrix.push_back({"report_stale",
-                    FaultPlan().Add(FaultPlan::ReportStale(0.25 * d, 0.95 * d, 0.3 * d))});
-  matrix.push_back({"report_noise",
-                    FaultPlan().Add(FaultPlan::ReportNoise(0.15 * d, 0.95 * d, 0.35))});
-  matrix.push_back({"control_blackout",
-                    FaultPlan().Add(FaultPlan::ControlBlackout(0.3 * d, 0.9 * d))});
-  matrix.push_back({"grant_shortfall",
-                    FaultPlan().Add(FaultPlan::GrantShortfall(0.15 * d, 0.95 * d, 0.45))});
-  matrix.push_back({"table_fault",
-                    FaultPlan().Add(FaultPlan::TableFault(0.1 * d, 0.9 * d, 0.15))});
-  matrix.push_back({"machine_burst",
-                    FaultPlan().Add(FaultPlan::MachineBurst(
-                        0.3 * d, 0.8 * d, 0, std::max(1, num_machines * 3 / 10)))});
-  return matrix;
 }
 
 // Allocation churn from the trace: how many times the granted-token level changed
@@ -627,29 +693,29 @@ int CmdChaos(int argc, char** argv, const std::string& path, const std::string& 
       uint64_t run_seed = first_seed + static_cast<uint64_t>(i);
       FaultPlan run_plan = cls.plan;
       // Per-seed noise stream; the window schedule itself is shared by both arms.
-      run_plan.set_seed(run_seed * 1000003 + 97);
+      run_plan.set_seed(ChaosPlanSeed(run_seed));
+      auto shared_plan = std::make_shared<const FaultPlan>(std::move(run_plan));
       for (int arm = 0; arm < 2; ++arm) {
-        std::vector<TraceEvent> run_events;
         ExperimentOptions options;
         options.deadline_seconds = deadline;
         options.policy = PolicyKind::kJockey;
         options.seed = run_seed;
         options.jitter_input = false;
-        options.fault_plan = &run_plan;
+        options.fault_plan = shared_plan;
         options.observer = obs.observer();
-        options.capture_events = &run_events;
+        options.capture_events = true;
         if (arm == 1) {
           options.control_override = hardened_control;
         }
         ExperimentResult result = RunExperiment(trained, options);
-        ChurnStats churn = AllocationChurn(run_events);
+        ChurnStats churn = AllocationChurn(result.events);
         churn_sum[arm] += churn.changes;
         moved_sum[arm] += churn.moved_tokens;
         if (!result.met_deadline) {
           ++miss_count[arm];
           misses.push_back({cls.name, arm == 1, run_seed, result.completion_seconds,
                             attributor.DominantWindow(0.0, result.completion_seconds),
-                            MissBlame(run_events, deadline)});
+                            MissBlame(result.events, deadline)});
         }
       }
     }
@@ -928,6 +994,9 @@ int Main(int argc, char** argv) {
     return CmdPredict(argc, argv, argv[2], argc >= 4 ? argv[3] : "");
   }
   if (command == "run") {
+    if (IsScenarioPath(argv[2])) {
+      return CmdRunScenario(argc, argv, argv[2]);
+    }
     if (argc < 4 && !help_only) {
       return Usage();
     }
