@@ -417,7 +417,10 @@ void WriteFaultReport(const char* path) {
   idle_plan.Add(FaultPlan::ControlBlackout(1e8, 1e9))
       .Add(FaultPlan::GrantShortfall(1e8, 1e9, 0.5))
       .Add(FaultPlan::TableFault(1e8, 1e9, 0.5))
-      .Add(FaultPlan::ReportDropout(1e8, 1e9));
+      .Add(FaultPlan::ReportDropout(1e8, 1e9))
+      .Add(FaultPlan::MachineSlowdown(1e8, 1e9, 2.0, 0, 10))
+      .Add(FaultPlan::ProfileSkew(1e8, 1e9, 0.5))
+      .Add(FaultPlan::AdversarialSpike(1e8, 1e9, 0.5, 60.0));
   FaultInjector idle_injector(idle_plan);
 
   auto tick_rep_ns = [&](const FaultInjector* injector) {

@@ -177,6 +177,27 @@ void ClusterSimulator::Dispatch(const SimEvent& ev) {
         Reschedule();
       }
       break;
+    case SimEvent::Kind::kFaultMark: {
+      if (unfinished_jobs_ == 0) {
+        break;
+      }
+      // Gray windows change no machine state; the mark makes their onset visible
+      // in the trace (magnitude + fault-domain / period details).
+      const FaultWindow& w =
+          fault_injector_->plan().windows()[static_cast<size_t>(ev.handle)];
+      const bool spike = w.kind == FaultKind::kAdversarialSpike;
+      obs_.Emit(eq_.now(),
+                FaultInjectedEvent{w.kind, static_cast<int>(ev.handle), -1, w.magnitude,
+                                   spike ? w.period_seconds
+                                         : static_cast<double>(w.first_machine),
+                                   spike ? 0.0 : static_cast<double>(w.machine_count)});
+      if (spike) {
+        // The on-phase may already cover the window start; re-evaluate demand now
+        // rather than waiting for the next cluster tick.
+        Reschedule();
+      }
+      break;
+    }
     case SimEvent::Kind::kClusterTick:
       ClusterTick();
       break;
@@ -395,6 +416,23 @@ void ClusterSimulator::StartTask(JobState& job, int job_id, int flat_task, bool 
   double contention = 1.0 + config_.contention_slope * contention_excess;
   double exec = model.SampleSeconds(job.rng) * job.opts.input_scale *
                 machines_[static_cast<size_t>(machine)].speed * contention;
+  if (fault_injector_ != nullptr) {
+    // Gray failure: a slow-but-alive machine stretches the attempt's service time
+    // without tripping any failure path — the runtime model still believes the
+    // healthy speed.
+    const double slowdown = fault_injector_->SlowdownFactor(eq_.now(), machine);
+    if (slowdown != 1.0) {
+      exec *= slowdown;
+      ++tallies_.fault_machine_slowdowns;
+    }
+    // An adversarial spike oversubscribes the cluster: beyond squeezing spare
+    // capacity (Reschedule below), tasks dispatched while the spike is on run
+    // co-located with the surge and their service time stretches with it.
+    const double spike = fault_injector_->SpikeBoost(eq_.now());
+    if (spike > 0.0) {
+      exec *= 1.0 + spike;
+    }
+  }
   bool fails = job.rng.Bernoulli(model.failure_prob);
   double lifetime = fails ? dispatch + exec * job.rng.Uniform() : dispatch + exec;
 
@@ -565,8 +603,18 @@ void ClusterSimulator::Reschedule() {
   int up = UpSlots();
   // Background demand is sized against nominal capacity (background work does not
   // vanish when machines fail), granted against what is left after guarantees.
-  int demanded = static_cast<int>(
-      std::lround(background_.UtilizationAt(eq_.now()) * config_.TotalSlots()));
+  double utilization = background_.UtilizationAt(eq_.now());
+  if (fault_injector_ != nullptr) {
+    // Adversarial spike: extra demand during the on-phase of each period. Because
+    // the period is tuned to the control period, the controller keeps sampling the
+    // same phase — it either never sees the spike or never sees the calm.
+    const double boost = fault_injector_->SpikeBoost(eq_.now());
+    if (boost > 0.0) {
+      utilization += boost;
+      ++tallies_.fault_adversarial_spikes;
+    }
+  }
+  int demanded = static_cast<int>(std::lround(utilization * config_.TotalSlots()));
   background_demand_ = demanded;
 
   // Phase 1: guaranteed tokens. Promote already-running spare tasks first (they keep
@@ -800,7 +848,7 @@ void ClusterSimulator::MachineFailureTick() {
   ScheduleMachineFailure();
 }
 
-void ClusterSimulator::ScheduleMachineBursts() {
+void ClusterSimulator::ScheduleFaultWindows() {
   for (const FaultWindow* w : fault_injector_->WindowsOfKind(FaultKind::kMachineBurst)) {
     const int first = std::min(w->first_machine, config_.num_machines);
     const int last = std::min(w->first_machine + w->machine_count, config_.num_machines);
@@ -815,6 +863,14 @@ void ClusterSimulator::ScheduleMachineBursts() {
     end.a = first;
     end.b = last;
     eq_.ScheduleAt(w->end_seconds, end);
+  }
+  for (FaultKind kind : {FaultKind::kMachineSlowdown, FaultKind::kAdversarialSpike}) {
+    for (const FaultWindow* w : fault_injector_->WindowsOfKind(kind)) {
+      SimEvent mark;
+      mark.kind = SimEvent::Kind::kFaultMark;
+      mark.handle = static_cast<uint64_t>(fault_injector_->IndexOf(*w));
+      eq_.ScheduleAt(w->start_seconds, mark);
+    }
   }
 }
 
@@ -833,7 +889,7 @@ void ClusterSimulator::ClusterTick() {
 void ClusterSimulator::Run(double max_seconds) {
   ScheduleMachineFailure();
   if (fault_injector_ != nullptr) {
-    ScheduleMachineBursts();
+    ScheduleFaultWindows();
   }
   SimEvent tick;
   tick.kind = SimEvent::Kind::kClusterTick;
@@ -887,6 +943,8 @@ void ClusterSimulator::FlushTallies() {
       obs_.Count("fault.blackouts", tallies_.fault_blackouts);
       obs_.Count("fault.grant_shortfalls", tallies_.fault_grant_shortfalls);
       obs_.Count("fault.machine_bursts", tallies_.fault_machine_bursts);
+      obs_.Count("fault.machine_slowdowns", tallies_.fault_machine_slowdowns);
+      obs_.Count("fault.adversarial_spikes", tallies_.fault_adversarial_spikes);
     }
   }
   tallies_ = ObsTallies{};

@@ -154,6 +154,8 @@ class ClusterSimulator {
   //   kMachineRecover          : a = machine
   //   kBurstStart / kBurstEnd  : a = first machine, b = one past last,
   //                              handle = index into the fault plan's windows()
+  //   kFaultMark               : handle = index into the fault plan's windows()
+  //                              (gray windows: emits the fault_injected marker)
   //   kMachineFailureTick / kClusterTick / kSpeculationTick : no payload
   struct SimEvent {
     enum class Kind : uint8_t {
@@ -166,6 +168,7 @@ class ClusterSimulator {
       kBurstEnd,
       kClusterTick,
       kSpeculationTick,
+      kFaultMark,
     };
     Kind kind = Kind::kClusterTick;
     bool fails = false;
@@ -251,8 +254,10 @@ class ClusterSimulator {
   void ScheduleMachineFailure();
   void MachineFailureTick();
   // Registers the plan's machine_burst windows with the event queue (rack-style
-  // correlated outages layered on the Poisson model above).
-  void ScheduleMachineBursts();
+  // correlated outages layered on the Poisson model above), plus one kFaultMark
+  // per gray window (machine_slowdown / adversarial_spike) at its start so the
+  // window's onset is visible in the trace.
+  void ScheduleFaultWindows();
   void ClusterTick();
   void DrainReady(JobState& job);
   int UpSlots() const;
@@ -280,6 +285,8 @@ class ClusterSimulator {
     int64_t fault_blackouts = 0;
     int64_t fault_grant_shortfalls = 0;
     int64_t fault_machine_bursts = 0;
+    int64_t fault_machine_slowdowns = 0;    // task starts whose exec was stretched
+    int64_t fault_adversarial_spikes = 0;   // reschedules that saw an on-phase boost
   };
 
   ClusterConfig config_;

@@ -36,6 +36,10 @@ std::string ValidateControlLoopConfig(const ControlLoopConfig& config) {
   if (config.grant_ratio_ewma <= 0.0 || config.grant_ratio_ewma > 1.0) {
     return "grant_ratio_ewma must be in (0, 1]";
   }
+  if (config.straggler_rate_ratio <= 0.0 || config.straggler_rate_ratio > 1.0) {
+    return "straggler_rate_ratio must be in (0, 1]";
+  }
+  if (config.straggler_min_ticks < 1) return "straggler_min_ticks must be >= 1";
   return std::string();
 }
 
@@ -114,6 +118,12 @@ double JockeyController::PredictRemaining(double progress,
     // deliberately pessimistic — it exists so decisions never divide by silence.
     raw = worst_case_total_ * std::max(0.0, 1.0 - progress);
   }
+  if (skew_window_ != nullptr && fault_injector_ != nullptr) {
+    // A corrupted offline profile skews every rung of the model chain — there is
+    // no healthy lookup to detect or fall back to; only the straggler detector
+    // (OnTick) can notice that reality disagrees with these predictions.
+    raw = fault_injector_->SkewPrediction(*skew_window_, progress, raw);
+  }
   if (config_.enable_model_correction && ticks_seen_ >= config_.correction_warmup_ticks) {
     // speed < 1 means model time passes slower than wall clock; inflate accordingly.
     raw /= speed_estimate_;
@@ -186,6 +196,8 @@ ControlDecision JockeyController::OnTick(const JobRuntimeStatus& status) {
   tick_now_ = status.now;
   table_fault_active_ =
       fault_injector_ != nullptr && fault_injector_->TableFaultActive(status.now);
+  skew_window_ =
+      fault_injector_ != nullptr ? fault_injector_->ProfileSkewWindow(status.now) : nullptr;
   const bool degraded = config_.enable_degraded_mode;
   bool have_mode = false;
   DegradeMode mode = DegradeMode::kStaleHold;
@@ -282,6 +294,34 @@ ControlDecision JockeyController::OnTick(const JobRuntimeStatus& status) {
         mode_value = raw;
       }
     }
+
+    if (degraded && status.report_fresh && straggler_prev_predicted_ > 1e-9 &&
+        status.elapsed_seconds > straggler_prev_elapsed_ + 1e-9) {
+      // Straggler detection: the previous tick's prediction implied a progress
+      // rate; gray failures (slow-but-alive machines, a skewed offline profile,
+      // adversarial load) show up as reality persistently lagging it. Predictions
+      // are worst-case-quantile pessimistic, so a healthy run clears this bar with
+      // margin — only a model that turned *optimistic* about the actual cluster
+      // trips it.
+      const double implied_rate =
+          std::max(0.0, 1.0 - straggler_prev_progress_) / straggler_prev_predicted_;
+      const double realized_rate = (progress - straggler_prev_progress_) /
+                                   (status.elapsed_seconds - straggler_prev_elapsed_);
+      if (implied_rate > 0.0 &&
+          realized_rate < config_.straggler_rate_ratio * implied_rate) {
+        ++straggler_ticks_;
+      } else {
+        straggler_ticks_ = 0;
+      }
+      if (straggler_ticks_ >= config_.straggler_min_ticks && !have_mode) {
+        // The model cannot be trusted to ask for enough; walk toward the maximum
+        // like the blind path does, re-checked every tick the lag persists.
+        smoothed_ += config_.blind_escalation_rate * (config_.max_tokens - smoothed_);
+        have_mode = true;
+        mode = DegradeMode::kStragglerEscalation;
+        mode_value = realized_rate / implied_rate;
+      }
+    }
   }
   // Exponential smoothing approaches the raw value asymptotically; snap the final
   // half-token so a steady raw target is actually reached.
@@ -313,6 +353,17 @@ ControlDecision JockeyController::OnTick(const JobRuntimeStatus& status) {
   tick.progress = progress;
   double predicted_remaining = PredictRemaining(progress, status.frac_complete, granted);
   tick.estimated_completion_seconds = status.elapsed_seconds + predicted_remaining;
+  if (degraded) {
+    if (status.report_fresh) {
+      straggler_prev_elapsed_ = status.elapsed_seconds;
+      straggler_prev_progress_ = progress;
+      straggler_prev_predicted_ = predicted_remaining;
+    } else {
+      // Blind ticks serve frozen progress; comparing across them would read the
+      // freeze itself as a straggler. Re-arm on the next fresh observation.
+      straggler_prev_predicted_ = -1.0;
+    }
+  }
   tick.raw_allocation = raw;
   tick.smoothed_allocation = smoothed_;
   log_.push_back(tick);
@@ -343,6 +394,17 @@ ControlDecision JockeyController::OnTick(const JobRuntimeStatus& status) {
       event.granted_tokens = granted;
       event.model_speed = speed_estimate_;
       observer_.Emit(TraceEvent(status.now, event));
+      if (skew_window_ != nullptr) {
+        // The skew bit on this tick's predictions, for postmortem attribution:
+        // detail is the multiplier applied at the current progress decile.
+        observer_.Emit(status.now,
+                       FaultInjectedEvent{FaultKind::kProfileSkew,
+                                          fault_injector_->IndexOf(*skew_window_),
+                                          job_label_, skew_window_->magnitude,
+                                          fault_injector_->SkewPrediction(
+                                              *skew_window_, progress, 1.0),
+                                          0.0});
+      }
     }
     if (have_mode) {
       if (observer_.tracing()) {

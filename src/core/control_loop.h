@@ -35,6 +35,7 @@
 namespace jockey {
 
 class FaultInjector;
+struct FaultWindow;
 
 struct ControlLoopConfig {
   // Multiplies every latency prediction: compensates model under-estimation.
@@ -86,6 +87,21 @@ struct ControlLoopConfig {
   double blackout_gap_factor = 1.75;
   // EWMA smoothing of the observed granted/requested ratio (grant compensation).
   double grant_ratio_ewma = 0.5;
+  // Straggler-aware detection (gray failures: slow-but-alive machines, skewed
+  // offline profiles, adversarial load). Each fresh-report tick compares the
+  // realized progress rate against the rate the previous tick's prediction
+  // implied; realized below this fraction of implied counts as a straggler tick.
+  // 0.7 leaves a wide safety margin for healthy runs: predictions use the
+  // worst-case quantile, so the implied rate is itself conservative and a
+  // healthy job realizes *faster* than implied (ratio > 1). Only a model that
+  // has turned optimistic — exactly the gray failures — drops below it.
+  double straggler_rate_ratio = 0.7;
+  // Consecutive straggler ticks before the controller escalates toward max_tokens
+  // (at blind_escalation_rate) — the same pessimism chain the blind path uses.
+  // Two periods, not one: a single slow tick is routinely just a barrier stage
+  // draining, but two in a row at worst-case-quantile predictions means the
+  // model itself has turned optimistic.
+  int straggler_min_ticks = 2;
 };
 
 // Empty string when the config is sane; otherwise the first problem found.
@@ -211,6 +227,17 @@ class JockeyController : public JobController {
   const FaultInjector* fault_injector_ = nullptr;
   double tick_now_ = 0.0;            // simulated time of the tick being decided
   bool table_fault_active_ = false;  // table-fault window covers tick_now_
+  // profile_skew window covering tick_now_ (nullptr otherwise). Unlike table
+  // faults there is no clean path to fall back to — the offline data itself is
+  // wrong — so the skew applies to every model rung and hardening relies on the
+  // straggler detector below instead.
+  const FaultWindow* skew_window_ = nullptr;
+  // Straggler-detection state: the last fresh observation and the prediction it
+  // came with (reset while reports are blind), plus the consecutive-lag count.
+  double straggler_prev_elapsed_ = -1.0;
+  double straggler_prev_progress_ = 0.0;
+  double straggler_prev_predicted_ = -1.0;
+  int straggler_ticks_ = 0;
   // Worst-case total runtime (prediction at min_tokens from a fresh job), the last
   // rung of the fallback chain.
   double worst_case_total_ = 0.0;

@@ -22,6 +22,17 @@ std::vector<ChaosClass> BuildChaosMatrix(double deadline_seconds, int num_machin
   matrix.push_back({"machine_burst",
                     FaultPlan().Add(FaultPlan::MachineBurst(
                         0.3 * d, 0.8 * d, 0, std::max(1, num_machines * 3 / 10)))});
+  // Gray failures (appended to keep the matrix order stable): partial degradation
+  // rather than crash-style breakage. Slow-but-alive machines from early on; an
+  // offline profile that is wrong for the whole run; load spikes phase-locked to
+  // the default 60 s control period.
+  matrix.push_back({"machine_slowdown",
+                    FaultPlan().Add(FaultPlan::MachineSlowdown(
+                        0.1 * d, d, 3.0, 0, std::max(1, num_machines * 4 / 10)))});
+  matrix.push_back({"profile_skew",
+                    FaultPlan().Add(FaultPlan::ProfileSkew(0.0, 2.0 * d, 0.6))});
+  matrix.push_back({"adversarial_spike",
+                    FaultPlan().Add(FaultPlan::AdversarialSpike(0.05 * d, d, 0.5, 60.0))});
   return matrix;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace jockey {
@@ -12,11 +13,47 @@ FaultInjector::FaultInjector(FaultPlan plan)
   if (!problem.empty()) {
     throw std::invalid_argument("FaultPlan: " + problem);
   }
+  constexpr double kNever = std::numeric_limits<double>::infinity();
+  slowdown_start_ = skew_start_ = spike_start_ = kNever;
   for (const FaultWindow& w : plan_.windows()) {
-    if (w.kind == FaultKind::kReportDropout || w.kind == FaultKind::kReportStale ||
-        w.kind == FaultKind::kReportNoise) {
-      has_report_faults_ = true;
-      break;
+    switch (w.kind) {
+      case FaultKind::kReportDropout:
+      case FaultKind::kReportStale:
+      case FaultKind::kReportNoise:
+        has_report_faults_ = true;
+        break;
+      case FaultKind::kMachineSlowdown:
+        slowdown_start_ = std::min(slowdown_start_, w.start_seconds);
+        break;
+      case FaultKind::kProfileSkew:
+        has_profile_skew_ = true;
+        skew_start_ = std::min(skew_start_, w.start_seconds);
+        break;
+      case FaultKind::kAdversarialSpike:
+        has_spikes_ = true;
+        spike_start_ = std::min(spike_start_, w.start_seconds);
+        break;
+      default:
+        break;
+    }
+  }
+  // Gray-failure randomness is frozen here, on streams forked off the plan seed —
+  // never drawn at injection time — so two injectors built from the same plan are
+  // interchangeable and lookups stay pure (the bit-identical-rerun contract).
+  if (has_profile_skew_) {
+    Rng shape_rng(plan_.seed() * 0x9E3779B97F4A7C15ULL + 0x5F);
+    for (double& s : skew_shape_) {
+      s = 0.25 + 0.75 * shape_rng.Uniform();
+    }
+  }
+  if (has_spikes_) {
+    Rng phase_rng(plan_.seed() * 0xBF58476D1CE4E5B9ULL + 0xAD);
+    spike_phase_.assign(plan_.windows().size(), 0.0);
+    for (size_t i = 0; i < plan_.windows().size(); ++i) {
+      const FaultWindow& w = plan_.windows()[i];
+      if (w.kind == FaultKind::kAdversarialSpike) {
+        spike_phase_[i] = phase_rng.Uniform() * w.period_seconds;
+      }
     }
   }
 }
@@ -51,6 +88,51 @@ bool FaultInjector::TableFaultActive(double now) const {
 double FaultInjector::CorruptPrediction(double now, double healthy) const {
   const FaultWindow* w = Active(FaultKind::kTableFault, now);
   return w != nullptr ? healthy * w->magnitude : healthy;
+}
+
+double FaultInjector::SlowdownFactor(double now, int machine) const {
+  if (now < slowdown_start_) {
+    return 1.0;
+  }
+  double factor = 1.0;
+  for (const FaultWindow& w : plan_.windows()) {
+    if (w.kind == FaultKind::kMachineSlowdown && w.Contains(now) &&
+        w.CoversMachine(machine)) {
+      factor *= w.magnitude;
+    }
+  }
+  return factor;
+}
+
+const FaultWindow* FaultInjector::ProfileSkewWindow(double now) const {
+  if (now < skew_start_) {
+    return nullptr;
+  }
+  return Active(FaultKind::kProfileSkew, now);
+}
+
+double FaultInjector::SkewPrediction(const FaultWindow& window, double progress,
+                                     double healthy) const {
+  const int decile = std::clamp(static_cast<int>(progress * 10.0), 0, 9);
+  return healthy * (1.0 - window.magnitude * skew_shape_[static_cast<size_t>(decile)]);
+}
+
+double FaultInjector::SpikeBoost(double now) const {
+  if (now < spike_start_) {
+    return 0.0;
+  }
+  double boost = 0.0;
+  for (size_t i = 0; i < plan_.windows().size(); ++i) {
+    const FaultWindow& w = plan_.windows()[i];
+    if (w.kind != FaultKind::kAdversarialSpike || !w.Contains(now)) {
+      continue;
+    }
+    const double t = now - w.start_seconds + spike_phase_[i];
+    if (std::fmod(t, w.period_seconds) < 0.5 * w.period_seconds) {
+      boost += w.magnitude;
+    }
+  }
+  return boost;
 }
 
 std::vector<const FaultWindow*> FaultInjector::WindowsOfKind(FaultKind kind) const {

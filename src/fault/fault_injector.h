@@ -10,6 +10,7 @@
 #ifndef SRC_FAULT_FAULT_INJECTOR_H_
 #define SRC_FAULT_FAULT_INJECTOR_H_
 
+#include <array>
 #include <vector>
 
 #include "src/fault/fault_plan.h"
@@ -50,6 +51,30 @@ class FaultInjector {
   // otherwise. This is what a *non-hardened* consumer silently reads.
   double CorruptPrediction(double now, double healthy) const;
 
+  // Gray failures. Each helper front-loads a precomputed per-kind earliest start
+  // time, so an injector whose plan carries none of that kind — or only windows
+  // that have not begun yet — costs one load + compare per call. These helpers
+  // sit on the cluster's per-dispatch hot path, inside the BENCH_fault budget.
+  //
+  // Product of the slowdown factors of every machine_slowdown window covering
+  // (`now`, `machine`); 1.0 when none do. Applied to attempt service times.
+  double SlowdownFactor(double now, int machine) const;
+
+  // profile_skew: the offline training traces were corrupted, so the C(p, a) table
+  // itself is biased — *every* consumer reads skewed predictions (unlike
+  // table_fault, there is no healthy lookup path to fall back to). The per-decile
+  // skew shape is seeded and frozen at construction; a window's magnitude scales
+  // it. Skew is optimistic (predictions shrink), the direction that costs
+  // deadlines.
+  const FaultWindow* ProfileSkewWindow(double now) const;
+  // healthy * (1 - magnitude * shape[decile(progress)]) for the given window.
+  double SkewPrediction(const FaultWindow& window, double progress, double healthy) const;
+
+  // Sum of the boosts of every adversarial_spike window covering `now` that is in
+  // its on-phase (the first half of each period, shifted by a per-window seeded
+  // phase offset); 0.0 otherwise. Added to background utilization.
+  double SpikeBoost(double now) const;
+
   std::vector<const FaultWindow*> WindowsOfKind(FaultKind kind) const;
 
   // The window with the largest overlap of [start, end), any kind — used by the
@@ -60,6 +85,20 @@ class FaultInjector {
   FaultPlan plan_;
   Rng noise_rng_;
   bool has_report_faults_ = false;
+  // Earliest start among windows of each gray kind; +inf when the plan has none.
+  // A lookup at now < start can return the detached answer immediately.
+  double slowdown_start_ = 0.0;
+  double skew_start_ = 0.0;
+  double spike_start_ = 0.0;
+  bool has_profile_skew_ = false;
+  bool has_spikes_ = false;
+  // Unit skew shape per progress decile, drawn once from the plan seed; each
+  // profile_skew window scales it by its magnitude. In [0.25, 1] so every decile
+  // is meaningfully skewed and the bias never vanishes.
+  std::array<double, 10> skew_shape_{};
+  // Per-window spike phase offsets (0 for non-spike windows), drawn once from the
+  // plan seed in window order.
+  std::vector<double> spike_phase_;
 };
 
 }  // namespace jockey

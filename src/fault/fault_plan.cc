@@ -97,6 +97,25 @@ FaultWindow FaultPlan::MachineBurst(double start, double end, int first_machine,
   return w;
 }
 
+FaultWindow FaultPlan::MachineSlowdown(double start, double end, double factor,
+                                       int first_machine, int machine_count) {
+  FaultWindow w = MakeWindow(FaultKind::kMachineSlowdown, start, end, -1, factor);
+  w.first_machine = first_machine;
+  w.machine_count = machine_count;
+  return w;
+}
+
+FaultWindow FaultPlan::ProfileSkew(double start, double end, double skew) {
+  return MakeWindow(FaultKind::kProfileSkew, start, end, -1, skew);
+}
+
+FaultWindow FaultPlan::AdversarialSpike(double start, double end, double boost,
+                                        double period_seconds) {
+  FaultWindow w = MakeWindow(FaultKind::kAdversarialSpike, start, end, -1, boost);
+  w.period_seconds = period_seconds;
+  return w;
+}
+
 std::string FaultPlan::Validate() const {
   for (size_t i = 0; i < windows_.size(); ++i) {
     const FaultWindow& w = windows_[i];
@@ -127,6 +146,27 @@ std::string FaultPlan::Validate() const {
           return prefix.str() + "machine range must be non-negative and non-empty";
         }
         break;
+      case FaultKind::kMachineSlowdown:
+        if (w.magnitude <= 1.0) {
+          return prefix.str() + "slowdown factor must be > 1";
+        }
+        if (w.first_machine < 0 || w.machine_count <= 0) {
+          return prefix.str() + "machine range must be non-negative and non-empty";
+        }
+        break;
+      case FaultKind::kProfileSkew:
+        if (w.magnitude <= 0.0 || w.magnitude >= 1.0) {
+          return prefix.str() + "skew strength must be in (0, 1)";
+        }
+        break;
+      case FaultKind::kAdversarialSpike:
+        if (w.magnitude <= 0.0) {
+          return prefix.str() + "utilization boost must be > 0";
+        }
+        if (w.period_seconds <= 0.0) {
+          return prefix.str() + "spike period must be > 0";
+        }
+        break;
       case FaultKind::kReportDropout:
       case FaultKind::kControlBlackout:
         break;
@@ -143,7 +183,8 @@ void FaultPlan::Save(std::ostream& os) const {
        << ",\"end\":" << JsonNumber(w.end_seconds) << ",\"job\":" << w.job
        << ",\"magnitude\":" << JsonNumber(w.magnitude)
        << ",\"first_machine\":" << w.first_machine
-       << ",\"machine_count\":" << w.machine_count << "}\n";
+       << ",\"machine_count\":" << w.machine_count
+       << ",\"period\":" << JsonNumber(w.period_seconds) << "}\n";
   }
 }
 
@@ -186,6 +227,7 @@ std::optional<FaultPlan> FaultPlan::Load(std::istream& is, std::string* error) {
     ParseDoubleField(fields, "magnitude", &w.magnitude);
     ParseIntField(fields, "first_machine", &w.first_machine);
     ParseIntField(fields, "machine_count", &w.machine_count);
+    ParseDoubleField(fields, "period", &w.period_seconds);
     plan.windows_.push_back(w);
   }
   if (!saw_header && plan.windows_.empty()) {

@@ -35,11 +35,20 @@
 namespace jockey {
 
 // One typed fault window. The meaning of `magnitude` depends on the kind:
-//   report_stale     staleness lag in seconds (reports arrive this late)
-//   report_noise     sigma of the multiplicative per-stage fraction noise
-//   grant_shortfall  grant factor in [0, 1]: granted = floor(requested * factor)
-//   table_fault      prediction corruption factor (> 0); what a non-hardened
-//                    consumer silently reads is healthy_prediction * factor
+//   report_stale      staleness lag in seconds (reports arrive this late)
+//   report_noise      sigma of the multiplicative per-stage fraction noise
+//   grant_shortfall   grant factor in [0, 1]: granted = floor(requested * factor)
+//   table_fault       prediction corruption factor (> 0); what a non-hardened
+//                     consumer silently reads is healthy_prediction * factor
+//   machine_slowdown  slowdown factor (> 1): service times of attempts started on
+//                     affected machines are stretched by this much
+//   profile_skew      skew strength in (0, 1): predictions shrink by up to this
+//                     fraction, varying by progress decile (seeded, frozen at
+//                     injector construction — the offline table itself is wrong)
+//   adversarial_spike background-utilization boost (> 0) applied during the
+//                     on-phase of each period (see period_seconds); the surge
+//                     also oversubscribes machines, so attempts dispatched while
+//                     it is on run (1 + boost)x slower
 // and is unused for report_dropout, control_blackout and machine_burst.
 struct FaultWindow {
   FaultKind kind = FaultKind::kReportDropout;
@@ -49,14 +58,22 @@ struct FaultWindow {
   // machine_burst, which are cluster-wide by nature.
   int job = -1;
   double magnitude = 0.0;
-  // machine_burst only: machines [first_machine, first_machine + machine_count) go
-  // down together at start and recover together at end — a rack-style outage
-  // layered on the per-machine Poisson failure model.
+  // machine_burst / machine_slowdown: machines [first_machine, first_machine +
+  // machine_count) are hit together — a rack-style fault domain layered on the
+  // per-machine Poisson failure model.
   int first_machine = 0;
   int machine_count = 0;
+  // adversarial_spike only: the spike repeats every period (tuned to the control
+  // period, so the controller keeps sampling the same phase); the boost is on for
+  // the first half of each period, shifted by a seeded phase offset.
+  double period_seconds = 0.0;
 
   bool Contains(double t) const { return t >= start_seconds && t < end_seconds; }
   bool AppliesTo(int job_id) const { return job < 0 || job == job_id; }
+  // machine_burst / machine_slowdown: does the fault domain cover `machine`?
+  bool CoversMachine(int machine) const {
+    return machine >= first_machine && machine < first_machine + machine_count;
+  }
 };
 
 // A seeded schedule of fault windows. Compose with Add() + the static builders, or
@@ -77,6 +94,11 @@ class FaultPlan {
   static FaultWindow TableFault(double start, double end, double corruption_factor);
   static FaultWindow MachineBurst(double start, double end, int first_machine,
                                   int machine_count);
+  static FaultWindow MachineSlowdown(double start, double end, double factor,
+                                     int first_machine, int machine_count);
+  static FaultWindow ProfileSkew(double start, double end, double skew);
+  static FaultWindow AdversarialSpike(double start, double end, double boost,
+                                      double period_seconds);
 
   uint64_t seed() const { return seed_; }
   void set_seed(uint64_t seed) { seed_ = seed; }

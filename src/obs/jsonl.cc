@@ -352,7 +352,7 @@ bool GetFaultKind(const FieldMap& m, const char* key, FaultKind& out, FieldFail&
   if (v == nullptr) {
     return fail.Miss(key);
   }
-  for (int k = 0; k <= static_cast<int>(FaultKind::kMachineBurst); ++k) {
+  for (int k = 0; k <= static_cast<int>(FaultKind::kAdversarialSpike); ++k) {
     if (*v == FaultKindName(static_cast<FaultKind>(k))) {
       out = static_cast<FaultKind>(k);
       return true;
@@ -366,7 +366,7 @@ bool GetDegradeMode(const FieldMap& m, const char* key, DegradeMode& out, FieldF
   if (v == nullptr) {
     return fail.Miss(key);
   }
-  for (int d = 0; d <= static_cast<int>(DegradeMode::kModelLossEscalation); ++d) {
+  for (int d = 0; d <= static_cast<int>(DegradeMode::kStragglerEscalation); ++d) {
     if (*v == DegradeModeName(static_cast<DegradeMode>(d))) {
       out = static_cast<DegradeMode>(d);
       return true;

@@ -48,6 +48,12 @@ const char* FaultKindName(FaultKind kind) {
       return "table_fault";
     case FaultKind::kMachineBurst:
       return "machine_burst";
+    case FaultKind::kMachineSlowdown:
+      return "machine_slowdown";
+    case FaultKind::kProfileSkew:
+      return "profile_skew";
+    case FaultKind::kAdversarialSpike:
+      return "adversarial_spike";
   }
   return "unknown";
 }
@@ -56,7 +62,8 @@ std::optional<FaultKind> ParseFaultKind(const std::string& token) {
   for (FaultKind kind :
        {FaultKind::kReportDropout, FaultKind::kReportStale, FaultKind::kReportNoise,
         FaultKind::kControlBlackout, FaultKind::kGrantShortfall, FaultKind::kTableFault,
-        FaultKind::kMachineBurst}) {
+        FaultKind::kMachineBurst, FaultKind::kMachineSlowdown, FaultKind::kProfileSkew,
+        FaultKind::kAdversarialSpike}) {
     if (token == FaultKindName(kind)) {
       return kind;
     }
@@ -78,6 +85,8 @@ const char* DegradeModeName(DegradeMode mode) {
       return "fallback_model";
     case DegradeMode::kModelLossEscalation:
       return "model_loss_escalation";
+    case DegradeMode::kStragglerEscalation:
+      return "straggler_escalation";
   }
   return "unknown";
 }

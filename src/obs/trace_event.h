@@ -172,6 +172,11 @@ enum class FaultKind : int {
   kGrantShortfall = 4,   // the scheduler grants only `magnitude` x requested tokens
   kTableFault = 5,       // C(p,a) lookups fail / return corrupted predictions
   kMachineBurst = 6,     // correlated machine failures (rack-style outage)
+  // Gray failures: the component stays alive but degrades, appended after the
+  // crash-style kinds to keep earlier wire tags stable.
+  kMachineSlowdown = 7,   // slow-but-alive machines: service times stretched
+  kProfileSkew = 8,       // offline profile corrupted: C(p,a) is biased optimistic
+  kAdversarialSpike = 9,  // background spikes phase-locked to the control period
 };
 
 const char* FaultKindName(FaultKind kind);
@@ -187,6 +192,7 @@ enum class DegradeMode : int {
   kGrantCompensation = 3,      // inflate the request to offset observed shortfall
   kFallbackModel = 4,          // table lookups failing: fall back to the Amdahl model
   kModelLossEscalation = 5,    // no fallback model left: worst-case escalation
+  kStragglerEscalation = 6,    // realized progress rate lags the model's: escalate
 };
 
 const char* DegradeModeName(DegradeMode mode);

@@ -93,7 +93,11 @@ ExperimentOptions BuildOptions(const ScenarioSpec& spec, const WorkloadEntrySpec
   bool tunes_control =
       spec.control.has_value() &&
       (spec.control->slack.has_value() || spec.control->hysteresis_alpha.has_value() ||
-       spec.control->dead_zone_seconds.has_value());
+       spec.control->dead_zone_seconds.has_value() ||
+       spec.control->stale_hold_seconds.has_value() ||
+       spec.control->blind_escalation_rate.has_value() ||
+       spec.control->blackout_gap_factor.has_value() ||
+       spec.control->grant_ratio_ewma.has_value());
   if (hardened || tunes_control) {
     ControlLoopConfig control = job.trained->jockey->config().control;
     if (tunes_control) {
@@ -105,6 +109,18 @@ ExperimentOptions BuildOptions(const ScenarioSpec& spec, const WorkloadEntrySpec
       }
       if (spec.control->dead_zone_seconds.has_value()) {
         control.dead_zone_seconds = *spec.control->dead_zone_seconds;
+      }
+      if (spec.control->stale_hold_seconds.has_value()) {
+        control.stale_hold_seconds = *spec.control->stale_hold_seconds;
+      }
+      if (spec.control->blind_escalation_rate.has_value()) {
+        control.blind_escalation_rate = *spec.control->blind_escalation_rate;
+      }
+      if (spec.control->blackout_gap_factor.has_value()) {
+        control.blackout_gap_factor = *spec.control->blackout_gap_factor;
+      }
+      if (spec.control->grant_ratio_ewma.has_value()) {
+        control.grant_ratio_ewma = *spec.control->grant_ratio_ewma;
       }
     }
     control.enable_degraded_mode = hardened;

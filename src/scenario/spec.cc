@@ -304,6 +304,11 @@ bool ParseFaultWindow(const DocNode& node, const std::string& path, FaultWindow*
       return false;
     }
   }
+  if (const DocNode* period = map.Get("period")) {
+    if (!ReadDouble(*period, map.Sub("period"), &out->period_seconds, issue)) {
+      return false;
+    }
+  }
   return map.Finish();
 }
 
@@ -432,6 +437,50 @@ bool ParseControl(const DocNode& node, const std::string& path, ControlSpec* out
                   "dead_zone_seconds must be >= 0");
     }
     out->dead_zone_seconds = value;
+  }
+  if (const DocNode* hold = map.Get("stale_hold_seconds")) {
+    double value = 0.0;
+    if (!ReadDouble(*hold, map.Sub("stale_hold_seconds"), &value, issue)) {
+      return false;
+    }
+    if (value < 0.0) {
+      return Fail(issue, hold->line, map.Sub("stale_hold_seconds"),
+                  "stale_hold_seconds must be >= 0");
+    }
+    out->stale_hold_seconds = value;
+  }
+  if (const DocNode* rate = map.Get("blind_escalation_rate")) {
+    double value = 0.0;
+    if (!ReadDouble(*rate, map.Sub("blind_escalation_rate"), &value, issue)) {
+      return false;
+    }
+    if (value <= 0.0 || value > 1.0) {
+      return Fail(issue, rate->line, map.Sub("blind_escalation_rate"),
+                  "blind_escalation_rate must be in (0, 1]");
+    }
+    out->blind_escalation_rate = value;
+  }
+  if (const DocNode* gap = map.Get("blackout_gap_factor")) {
+    double value = 0.0;
+    if (!ReadDouble(*gap, map.Sub("blackout_gap_factor"), &value, issue)) {
+      return false;
+    }
+    if (value <= 1.0) {
+      return Fail(issue, gap->line, map.Sub("blackout_gap_factor"),
+                  "blackout_gap_factor must be > 1");
+    }
+    out->blackout_gap_factor = value;
+  }
+  if (const DocNode* ewma = map.Get("grant_ratio_ewma")) {
+    double value = 0.0;
+    if (!ReadDouble(*ewma, map.Sub("grant_ratio_ewma"), &value, issue)) {
+      return false;
+    }
+    if (value <= 0.0 || value > 1.0) {
+      return Fail(issue, ewma->line, map.Sub("grant_ratio_ewma"),
+                  "grant_ratio_ewma must be in (0, 1]");
+    }
+    out->grant_ratio_ewma = value;
   }
   return map.Finish();
 }
@@ -869,7 +918,8 @@ void WriteFaults(std::ostringstream& os, const FaultSpec& faults) {
        << ",\"end\":" << JsonNumber(window.end_seconds)
        << ",\"magnitude\":" << JsonNumber(window.magnitude) << ",\"job\":" << window.job
        << ",\"first_machine\":" << window.first_machine
-       << ",\"machines\":" << window.machine_count << "}";
+       << ",\"machines\":" << window.machine_count
+       << ",\"period\":" << JsonNumber(window.period_seconds) << "}";
   }
   os << "]}";
 }
@@ -912,6 +962,18 @@ void WriteControl(std::ostringstream& os, const ControlSpec& control) {
   }
   if (control.dead_zone_seconds.has_value()) {
     field("dead_zone_seconds", JsonNumber(*control.dead_zone_seconds));
+  }
+  if (control.stale_hold_seconds.has_value()) {
+    field("stale_hold_seconds", JsonNumber(*control.stale_hold_seconds));
+  }
+  if (control.blind_escalation_rate.has_value()) {
+    field("blind_escalation_rate", JsonNumber(*control.blind_escalation_rate));
+  }
+  if (control.blackout_gap_factor.has_value()) {
+    field("blackout_gap_factor", JsonNumber(*control.blackout_gap_factor));
+  }
+  if (control.grant_ratio_ewma.has_value()) {
+    field("grant_ratio_ewma", JsonNumber(*control.grant_ratio_ewma));
   }
   os << "}";
 }

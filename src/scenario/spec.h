@@ -88,6 +88,12 @@ struct ControlSpec {
   std::optional<double> slack;
   std::optional<double> hysteresis_alpha;
   std::optional<double> dead_zone_seconds;
+  // Degraded-mode knobs (effective with `hardened: true`); the four dials the
+  // `tune` command sweeps. Ranges mirror ValidateControlLoopConfig.
+  std::optional<double> stale_hold_seconds;
+  std::optional<double> blind_escalation_rate;
+  std::optional<double> blackout_gap_factor;
+  std::optional<double> grant_ratio_ewma;
 };
 
 // One line of the workload mix. Per-entry fields override the scenario-level

@@ -27,6 +27,17 @@ endif()
 if(NOT first_out STREQUAL second_out)
   message(FATAL_ERROR "chaos sweep is not deterministic:\n--- first ---\n${first_out}\n--- second ---\n${second_out}")
 endif()
+# --list-classes prints the matrix order, one class per line, gray kinds included.
+execute_process(COMMAND ${CLI} chaos --list-classes
+                RESULT_VARIABLE rc OUTPUT_VARIABLE classes_out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "chaos --list-classes failed: ${rc}")
+endif()
+foreach(cls report_dropout machine_slowdown profile_skew adversarial_spike)
+  if(NOT classes_out MATCHES "${cls}")
+    message(FATAL_ERROR "chaos --list-classes missing ${cls}:\n${classes_out}")
+  endif()
+endforeach()
 # An unknown class must be rejected, not silently skipped.
 execute_process(COMMAND ${CLI} chaos ${SCRIPT} ${TRACE} --deadline 5 --classes disk_melt
                         --no-cache

@@ -274,6 +274,7 @@ TEST(DegradationTest, HardenedControllerBeatsVanillaUnderChaos) {
     double input_scale;
     int max_tokens;
     std::optional<DeadlineChange> deadline_change;
+    bool use_spare = false;
   };
   std::vector<Class> classes;
   // Each class pins the experiment shape that makes its fault decisive.
@@ -300,6 +301,34 @@ TEST(DegradationTest, HardenedControllerBeatsVanillaUnderChaos) {
   classes.push_back({"shortfall",
                      FaultPlan(1).Add(FaultPlan::GrantShortfall(0.0, 2.0 * d, 0.62)),
                      1.0 * d, 1.5, 100});
+  // Gray failures: the component stays alive but degrades, so nothing crashes and
+  // no report goes missing — only the realized progress *rate* betrays the fault.
+  //
+  // 40% of the machines turn slow-but-alive (3x service time) just after the run
+  // starts while the model still trusts its healthy training profile. Realized
+  // progress lags what each tick's prediction implied; the hardened controller's
+  // straggler detector escalates within two ticks, the vanilla one waits out the
+  // dead zone and then crawls up through hysteresis.
+  classes.push_back({"slowdown",
+                     FaultPlan(1).Add(
+                         FaultPlan::MachineSlowdown(0.05 * d, 2.0 * d, 3.0, 0, 60)),
+                     1.1 * d, 1.0, 100});
+  // The offline profile itself is corrupted: every prediction shrinks to 35-84% of
+  // the truth, so the model is *optimistic* and the vanilla controller under-
+  // allocates from the first tick — there is no healthy table to fall back to.
+  // Only comparing realized against implied progress rates exposes the skew.
+  classes.push_back({"skew",
+                     FaultPlan(1).Add(FaultPlan::ProfileSkew(0.0, 2.0 * d, 0.65)),
+                     1.0 * d, 1.5, 100});
+  // Background-demand spikes phase-locked to the 60s control period: for half of
+  // every period spare-token backfill evaporates and co-located attempts run
+  // 2.5x slower. Because the spike repeats at exactly the control frequency, every
+  // tick samples the same on/off mix — the oscillation is invisible, only the
+  // persistently lagging progress rate gives it away.
+  classes.push_back({"spike",
+                     FaultPlan(1).Add(
+                         FaultPlan::AdversarialSpike(0.05 * d, 2.0 * d, 1.5, 60.0)),
+                     1.6 * d, 1.5, 100, std::nullopt, /*use_spare=*/true});
   for (Class& cls : classes) {
     int vanilla_misses = 0;
     int hardened_misses = 0;
@@ -308,10 +337,11 @@ TEST(DegradationTest, HardenedControllerBeatsVanillaUnderChaos) {
       options.deadline_seconds = cls.deadline;
       options.seed = seed;
       options.jitter_input = false;
-      // No spare-token backfill: the guaranteed allocation decides the outcome.
+      // No spare-token backfill (unless the class is *about* spare capacity): the
+      // guaranteed allocation decides the outcome.
       options.input_scale = cls.input_scale;
       options.max_tokens = cls.max_tokens;
-      options.use_spare_tokens = false;
+      options.use_spare_tokens = cls.use_spare;
       options.fault_plan = std::make_shared<const FaultPlan>(cls.plan);
       options.deadline_change = cls.deadline_change;
       options.control_override = base_control;

@@ -100,6 +100,73 @@ TEST(FaultInjectorTest, DominantWindowPicksLargestOverlap) {
   EXPECT_EQ(injector.DominantWindow(200.0, 300.0), nullptr);
 }
 
+TEST(FaultInjectorTest, SlowdownFactorScopesByTimeAndMachine) {
+  FaultPlan plan(5);
+  plan.Add(FaultPlan::MachineSlowdown(100.0, 200.0, 3.0, 0, 10))
+      .Add(FaultPlan::MachineSlowdown(150.0, 250.0, 2.0, 5, 10));
+  FaultInjector injector(plan);
+
+  EXPECT_DOUBLE_EQ(injector.SlowdownFactor(50.0, 3), 1.0);  // before earliest start
+  EXPECT_DOUBLE_EQ(injector.SlowdownFactor(120.0, 3), 3.0);
+  EXPECT_DOUBLE_EQ(injector.SlowdownFactor(120.0, 12), 1.0);  // outside machine range
+  // Overlapping windows compound on the shared machines.
+  EXPECT_DOUBLE_EQ(injector.SlowdownFactor(160.0, 7), 6.0);
+  EXPECT_DOUBLE_EQ(injector.SlowdownFactor(160.0, 12), 2.0);
+  EXPECT_DOUBLE_EQ(injector.SlowdownFactor(300.0, 7), 1.0);  // all windows closed
+}
+
+TEST(FaultInjectorTest, SkewPredictionsAreOptimisticAndSeedStable) {
+  FaultPlan plan(21);
+  plan.Add(FaultPlan::ProfileSkew(0.0, 100.0, 0.6));
+  FaultInjector injector(plan);
+
+  EXPECT_EQ(injector.ProfileSkewWindow(200.0), nullptr);
+  const FaultWindow* w = injector.ProfileSkewWindow(50.0);
+  ASSERT_NE(w, nullptr);
+  for (int decile = 0; decile < 10; ++decile) {
+    const double skewed = injector.SkewPrediction(*w, decile / 10.0, 400.0);
+    // Always optimistic (shrinks the prediction), never below the strength floor.
+    EXPECT_LT(skewed, 400.0);
+    EXPECT_GE(skewed, 400.0 * (1.0 - w->magnitude));
+    // The shape is frozen at construction from the plan seed: a second injector
+    // built from the same plan reads the identical corruption.
+    FaultInjector twin(plan);
+    EXPECT_DOUBLE_EQ(twin.SkewPrediction(*twin.ProfileSkewWindow(50.0), decile / 10.0,
+                                         400.0),
+                     skewed);
+  }
+}
+
+TEST(FaultInjectorTest, SpikeBoostIsPhaseLockedAndHalfDuty) {
+  FaultPlan plan(33);
+  plan.Add(FaultPlan::AdversarialSpike(100.0, 700.0, 0.5, 60.0));
+  FaultInjector injector(plan);
+
+  EXPECT_DOUBLE_EQ(injector.SpikeBoost(50.0), 0.0);  // before the window
+  EXPECT_DOUBLE_EQ(injector.SpikeBoost(800.0), 0.0);  // after it
+
+  // Over any whole period the on-phase covers exactly half the time, wherever the
+  // seeded phase offset lands it.
+  int on = 0;
+  const int kSamples = 6000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double t = 100.0 + 60.0 * i / kSamples;
+    const double boost = injector.SpikeBoost(t);
+    if (boost > 0.0) {
+      EXPECT_DOUBLE_EQ(boost, 0.5);
+      ++on;
+    }
+  }
+  EXPECT_NEAR(on, kSamples / 2, 2);
+
+  // The phase is frozen at construction: a twin injector agrees everywhere.
+  FaultInjector twin(plan);
+  for (int i = 0; i < 100; ++i) {
+    const double t = 100.0 + 6.0 * i;
+    EXPECT_DOUBLE_EQ(twin.SpikeBoost(t), injector.SpikeBoost(t));
+  }
+}
+
 TEST(FaultInjectorTest, RejectsInvalidPlan) {
   FaultPlan bad(1);
   bad.Add(FaultPlan::ReportStale(0.0, 10.0, -5.0));
@@ -240,6 +307,76 @@ TEST(FaultInjectionTest, MachineBurstKillsAndRecovers) {
   EXPECT_GT(r.machine_failure_kills, 0);
   EXPECT_NE(buffer.str().find("\"machine_burst\""), std::string::npos);
   EXPECT_NE(buffer.str().find("\"machine_recover\""), std::string::npos);
+}
+
+TEST(FaultInjectionTest, SlowdownStretchesCompletions) {
+  JobTemplate job = SmallJob();
+  FaultPlan plan(1);
+  // Every machine runs 3x slow for the whole run.
+  plan.Add(FaultPlan::MachineSlowdown(0.0, 1e9, 3.0, 0, 40));
+  FaultInjector injector(plan);
+
+  auto run = [&](FaultInjector* attach) {
+    ClusterSimulator cluster(QuietCluster(9));
+    if (attach != nullptr) {
+      cluster.set_fault_injector(attach);
+    }
+    JobSubmission submission;
+    submission.guaranteed_tokens = 30;
+    submission.seed = 17;
+    int id = cluster.SubmitJob(job, submission);
+    cluster.Run();
+    EXPECT_TRUE(cluster.result(id).finished);
+    return cluster.result(id).CompletionSeconds();
+  };
+
+  const double clean = run(nullptr);
+  const double slowed = run(&injector);
+  // Dispatch order shifts under the stretch, so it is not exactly 3x — but a
+  // uniform fleet-wide 3x slowdown must cost well over half the clean runtime.
+  EXPECT_GT(slowed, 1.5 * clean);
+}
+
+TEST(FaultInjectionTest, EachGrayKindRerunsBitIdenticalAndBites) {
+  JobShapeSpec spec;
+  spec.name = "gray";
+  spec.num_stages = 5;
+  spec.num_barriers = 1;
+  spec.num_vertices = 250;
+  spec.job_median_seconds = 4.0;
+  spec.job_p90_seconds = 12.0;
+  spec.fastest_stage_p90 = 2.0;
+  spec.slowest_stage_p90 = 25.0;
+  spec.seed = 31;
+  TrainedJob trained = TrainJob(GenerateJob(spec));
+  double deadline = SuggestDeadlineSeconds(trained, /*tight=*/false);
+
+  ExperimentOptions options;
+  options.deadline_seconds = deadline;
+  options.seed = 2;
+  options.jitter_input = false;
+  ExperimentResult clean = RunExperiment(trained, options);
+
+  std::vector<FaultPlan> plans;
+  plans.push_back(
+      FaultPlan(11).Add(FaultPlan::MachineSlowdown(0.0, deadline, 2.5, 0, 150)));
+  plans.push_back(FaultPlan(11).Add(FaultPlan::ProfileSkew(0.0, deadline, 0.6)));
+  plans.push_back(
+      FaultPlan(11).Add(FaultPlan::AdversarialSpike(0.0, deadline, 1.5, 60.0)));
+
+  for (const FaultPlan& plan : plans) {
+    SCOPED_TRACE(FaultKindName(plan.windows()[0].kind));
+    options.fault_plan = std::make_shared<const FaultPlan>(plan);
+    ExperimentResult faulted = RunExperiment(trained, options);
+    ExperimentResult again = RunExperiment(trained, options);
+    // Seeded gray randomness (skew shape, spike phase) is frozen at injector
+    // construction, so the whole run replays bit-identically.
+    EXPECT_DOUBLE_EQ(faulted.completion_seconds, again.completion_seconds);
+    EXPECT_DOUBLE_EQ(faulted.requested_token_seconds, again.requested_token_seconds);
+    // And the fault is not cosmetic: some observable moved off the clean run.
+    EXPECT_TRUE(faulted.completion_seconds != clean.completion_seconds ||
+                faulted.requested_token_seconds != clean.requested_token_seconds);
+  }
 }
 
 TEST(FaultInjectionTest, DropoutMarksReportsStale) {

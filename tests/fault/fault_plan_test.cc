@@ -30,6 +30,26 @@ TEST(FaultPlanTest, BuildersFillKindAndMagnitude) {
   EXPECT_EQ(burst.machine_count, 5);
 }
 
+TEST(FaultPlanTest, GrayBuildersFillKindSpecificFields) {
+  FaultWindow slow = FaultPlan::MachineSlowdown(10.0, 50.0, 3.0, 8, 4);
+  EXPECT_EQ(slow.kind, FaultKind::kMachineSlowdown);
+  EXPECT_DOUBLE_EQ(slow.magnitude, 3.0);
+  EXPECT_TRUE(slow.CoversMachine(8));
+  EXPECT_TRUE(slow.CoversMachine(11));
+  EXPECT_FALSE(slow.CoversMachine(12));  // half-open machine range
+  EXPECT_FALSE(slow.CoversMachine(7));
+
+  FaultWindow skew = FaultPlan::ProfileSkew(0.0, 100.0, 0.6);
+  EXPECT_EQ(skew.kind, FaultKind::kProfileSkew);
+  EXPECT_DOUBLE_EQ(skew.magnitude, 0.6);
+  EXPECT_TRUE(skew.AppliesTo(3));  // not job-scoped
+
+  FaultWindow spike = FaultPlan::AdversarialSpike(5.0, 305.0, 0.5, 60.0);
+  EXPECT_EQ(spike.kind, FaultKind::kAdversarialSpike);
+  EXPECT_DOUBLE_EQ(spike.magnitude, 0.5);
+  EXPECT_DOUBLE_EQ(spike.period_seconds, 60.0);
+}
+
 TEST(FaultPlanTest, ValidateAcceptsWellFormedPlan) {
   FaultPlan plan(42);
   plan.Add(FaultPlan::ReportDropout(0.0, 10.0))
@@ -38,7 +58,10 @@ TEST(FaultPlanTest, ValidateAcceptsWellFormedPlan) {
       .Add(FaultPlan::ControlBlackout(20.0, 40.0))
       .Add(FaultPlan::GrantShortfall(0.0, 50.0, 0.5))
       .Add(FaultPlan::TableFault(0.0, 1.0, 0.25))
-      .Add(FaultPlan::MachineBurst(10.0, 20.0, 0, 8));
+      .Add(FaultPlan::MachineBurst(10.0, 20.0, 0, 8))
+      .Add(FaultPlan::MachineSlowdown(0.0, 30.0, 2.5, 0, 16))
+      .Add(FaultPlan::ProfileSkew(0.0, 60.0, 0.4))
+      .Add(FaultPlan::AdversarialSpike(0.0, 600.0, 0.8, 60.0));
   EXPECT_EQ(plan.Validate(), "");
 }
 
@@ -55,11 +78,35 @@ TEST(FaultPlanTest, ValidateRejectsMalformedWindows) {
   EXPECT_NE(FaultPlan().Add(FaultPlan::MachineBurst(0.0, 1.0, 0, 0)).Validate(), "");
 }
 
+TEST(FaultPlanTest, ValidateRejectsMalformedGrayWindows) {
+  // A slowdown factor of 1 is a no-op; below 1 would be a speedup.
+  std::string err =
+      FaultPlan().Add(FaultPlan::MachineSlowdown(0.0, 1.0, 1.0, 0, 4)).Validate();
+  EXPECT_NE(err.find("slowdown factor must be > 1"), std::string::npos) << err;
+  EXPECT_NE(FaultPlan().Add(FaultPlan::MachineSlowdown(0.0, 1.0, 2.0, -1, 4)).Validate(),
+            "");
+  EXPECT_NE(FaultPlan().Add(FaultPlan::MachineSlowdown(0.0, 1.0, 2.0, 0, 0)).Validate(),
+            "");
+
+  // Skew strength is an open interval: 1.0 would zero out predictions entirely.
+  err = FaultPlan().Add(FaultPlan::ProfileSkew(0.0, 1.0, 1.0)).Validate();
+  EXPECT_NE(err.find("skew strength must be in (0, 1)"), std::string::npos) << err;
+  EXPECT_NE(FaultPlan().Add(FaultPlan::ProfileSkew(0.0, 1.0, 0.0)).Validate(), "");
+
+  EXPECT_NE(FaultPlan().Add(FaultPlan::AdversarialSpike(0.0, 1.0, 0.0, 60.0)).Validate(),
+            "");
+  err = FaultPlan().Add(FaultPlan::AdversarialSpike(0.0, 1.0, 0.5, 0.0)).Validate();
+  EXPECT_NE(err.find("spike period must be > 0"), std::string::npos) << err;
+}
+
 TEST(FaultPlanTest, SaveLoadRoundTrip) {
   FaultPlan plan(99);
   plan.Add(FaultPlan::ReportDropout(10.5, 20.25, 2))
       .Add(FaultPlan::GrantShortfall(30.0, 60.0, 0.4))
-      .Add(FaultPlan::MachineBurst(100.0, 200.0, 12, 6));
+      .Add(FaultPlan::MachineBurst(100.0, 200.0, 12, 6))
+      .Add(FaultPlan::MachineSlowdown(50.0, 150.0, 2.75, 4, 9))
+      .Add(FaultPlan::ProfileSkew(0.0, 300.0, 0.55))
+      .Add(FaultPlan::AdversarialSpike(25.0, 625.0, 0.9, 45.0));
 
   std::ostringstream saved;
   plan.Save(saved);
@@ -68,7 +115,7 @@ TEST(FaultPlanTest, SaveLoadRoundTrip) {
   std::optional<FaultPlan> loaded = FaultPlan::Load(in, &error);
   ASSERT_TRUE(loaded.has_value()) << error;
   EXPECT_EQ(loaded->seed(), 99u);
-  ASSERT_EQ(loaded->windows().size(), 3u);
+  ASSERT_EQ(loaded->windows().size(), 6u);
   const FaultWindow& w0 = loaded->windows()[0];
   EXPECT_EQ(w0.kind, FaultKind::kReportDropout);
   EXPECT_DOUBLE_EQ(w0.start_seconds, 10.5);
@@ -77,6 +124,16 @@ TEST(FaultPlanTest, SaveLoadRoundTrip) {
   const FaultWindow& w2 = loaded->windows()[2];
   EXPECT_EQ(w2.first_machine, 12);
   EXPECT_EQ(w2.machine_count, 6);
+  const FaultWindow& slow = loaded->windows()[3];
+  EXPECT_EQ(slow.kind, FaultKind::kMachineSlowdown);
+  EXPECT_DOUBLE_EQ(slow.magnitude, 2.75);
+  EXPECT_EQ(slow.first_machine, 4);
+  EXPECT_EQ(slow.machine_count, 9);
+  EXPECT_EQ(loaded->windows()[4].kind, FaultKind::kProfileSkew);
+  const FaultWindow& spike = loaded->windows()[5];
+  EXPECT_EQ(spike.kind, FaultKind::kAdversarialSpike);
+  EXPECT_DOUBLE_EQ(spike.magnitude, 0.9);
+  EXPECT_DOUBLE_EQ(spike.period_seconds, 45.0);
 
   // A second Save of the loaded plan is byte-identical (the JSONL form is canonical).
   std::ostringstream resaved;

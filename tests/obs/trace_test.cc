@@ -63,6 +63,28 @@ TEST(TraceJsonlTest, EveryKindRoundTrips) {
   }
 }
 
+// The one-sample-per-payload test above exercises a single enum value per event;
+// the parser's name loops must also cover every enumerator (the gray fault kinds
+// and straggler escalation were once silently unparseable).
+TEST(TraceJsonlTest, EveryFaultKindAndDegradeModeRoundTrips) {
+  for (int k = 0; k <= static_cast<int>(FaultKind::kAdversarialSpike); ++k) {
+    TraceEvent event(
+        1.0, FaultInjectedEvent{static_cast<FaultKind>(k), 0, -1, 2.0, 0.5, 0.0});
+    std::string line = ToJsonLine(event);
+    std::optional<TraceEvent> parsed = ParseTraceLine(line);
+    ASSERT_TRUE(parsed.has_value()) << line;
+    EXPECT_EQ(ToJsonLine(*parsed), line);
+  }
+  for (int d = 0; d <= static_cast<int>(DegradeMode::kStragglerEscalation); ++d) {
+    TraceEvent event(
+        1.0, DegradedDecisionEvent{0, static_cast<DegradeMode>(d), 60.0, 30.0, 10, 5.0});
+    std::string line = ToJsonLine(event);
+    std::optional<TraceEvent> parsed = ParseTraceLine(line);
+    ASSERT_TRUE(parsed.has_value()) << line;
+    EXPECT_EQ(ToJsonLine(*parsed), line);
+  }
+}
+
 TEST(TraceJsonlTest, KindCoversAllVariantAlternatives) {
   std::vector<TraceEvent> events = AllKindsSample();
   for (size_t i = 0; i < events.size(); ++i) {

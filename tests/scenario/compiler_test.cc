@@ -101,6 +101,28 @@ TEST(ScenarioCompilerTest, HardenedCompilesDegradedModeOverride) {
   EXPECT_TRUE(options.control_override->enable_degraded_mode);
 }
 
+TEST(ScenarioCompilerTest, DegradedModeKnobsReachTheCompiledConfig) {
+  ScenarioSpec spec = Parse(
+      "name: knobs\n"
+      "hardened: true\n"
+      "control:\n"
+      "  stale_hold_seconds: 120\n"
+      "  blind_escalation_rate: 0.5\n"
+      "  blackout_gap_factor: 1.75\n"
+      "  grant_ratio_ewma: 0.75\n"
+      "workload:\n"
+      "  - job: A\n"
+      "    deadline: tight\n");
+  CompiledScenario compiled = CompileScenario(spec, SharedCatalog());
+  const ExperimentOptions& options = compiled.episodes[0].spec().options;
+  ASSERT_TRUE(options.control_override.has_value());
+  EXPECT_TRUE(options.control_override->enable_degraded_mode);
+  EXPECT_DOUBLE_EQ(options.control_override->stale_hold_seconds, 120.0);
+  EXPECT_DOUBLE_EQ(options.control_override->blind_escalation_rate, 0.5);
+  EXPECT_DOUBLE_EQ(options.control_override->blackout_gap_factor, 1.75);
+  EXPECT_DOUBLE_EQ(options.control_override->grant_ratio_ewma, 0.75);
+}
+
 TEST(ScenarioCompilerTest, PlainEpisodesCompileNoControlOverride) {
   ScenarioSpec spec = Parse(
       "name: plain\n"

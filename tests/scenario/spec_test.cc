@@ -262,6 +262,71 @@ TEST(ScenarioSpecTest, InlineFaultWindowsRoundTrip) {
   EXPECT_EQ(WriteScenarioJson(*reparsed.spec), json);
 }
 
+TEST(ScenarioSpecTest, DegradedModeKnobsParseAndRoundTrip) {
+  ScenarioSpec spec = MustParse(
+      "name: x\n"
+      "hardened: true\n"
+      "control:\n"
+      "  stale_hold_seconds: 120\n"
+      "  blind_escalation_rate: 0.5\n"
+      "  blackout_gap_factor: 1.75\n"
+      "  grant_ratio_ewma: 0.75\n"
+      "workload:\n"
+      "  - job: A\n"
+      "    deadline: tight\n");
+  ASSERT_TRUE(spec.control.has_value());
+  EXPECT_DOUBLE_EQ(spec.control->stale_hold_seconds.value(), 120.0);
+  EXPECT_DOUBLE_EQ(spec.control->blind_escalation_rate.value(), 0.5);
+  EXPECT_DOUBLE_EQ(spec.control->blackout_gap_factor.value(), 1.75);
+  EXPECT_DOUBLE_EQ(spec.control->grant_ratio_ewma.value(), 0.75);
+
+  std::string json = WriteScenarioJson(spec);
+  ScenarioParseResult reparsed = ParseScenarioText(json);
+  ASSERT_TRUE(reparsed.spec.has_value());
+  EXPECT_EQ(WriteScenarioJson(*reparsed.spec), json);
+}
+
+TEST(ScenarioSpecTest, DegradedModeKnobRangesRejected) {
+  // A gap factor of 1 would flag every tick as a blackout.
+  ScenarioParseIssue issue = MustFail(
+      "name: x\n"
+      "control:\n"
+      "  blackout_gap_factor: 1.0\n"
+      "workload:\n"
+      "  - job: A\n"
+      "    deadline: tight\n");
+  EXPECT_EQ(issue.line, 3);
+  EXPECT_EQ(issue.field, "control.blackout_gap_factor");
+  EXPECT_NE(issue.message.find("must be > 1"), std::string::npos);
+
+  issue = MustFail(
+      "name: x\n"
+      "control:\n"
+      "  blind_escalation_rate: 0\n"
+      "workload:\n"
+      "  - job: A\n"
+      "    deadline: tight\n");
+  EXPECT_EQ(issue.field, "control.blind_escalation_rate");
+
+  issue = MustFail(
+      "name: x\n"
+      "control:\n"
+      "  stale_hold_seconds: -5\n"
+      "workload:\n"
+      "  - job: A\n"
+      "    deadline: tight\n");
+  EXPECT_EQ(issue.field, "control.stale_hold_seconds");
+
+  issue = MustFail(
+      "name: x\n"
+      "control:\n"
+      "  grant_ratio_ewma: 1.5\n"
+      "workload:\n"
+      "  - job: A\n"
+      "    deadline: tight\n");
+  EXPECT_EQ(issue.field, "control.grant_ratio_ewma");
+}
+
 TEST(ScenarioSpecTest, CommentsAndBlankLinesIgnored) {
   ScenarioSpec spec = MustParse(
       "# header comment\n"

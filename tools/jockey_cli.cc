@@ -44,6 +44,15 @@
 //       the miss/meet verdict and a top-3 blame ranking; --json writes the
 //       byte-deterministic machine-readable form.
 //
+//   jockey_cli tune job.scope trace.txt --deadline MIN [--seeds N] [--knob-points K]
+//       Sweep the hardened controller's four degraded-mode knobs (stale-hold,
+//       blind-escalation rate, blackout gap factor, grant-ratio EWMA) across the
+//       chaos matrix, one knob varied at a time against the defaults. Candidates
+//       are ranked by (deadline misses, non-exec postmortem attribution, churn);
+//       a candidate is feasible only if it misses no more than the defaults on
+//       *every* class, so the selected setting never trades one fault class for
+//       another. --bench-out writes the machine-readable BENCH_tune.json.
+//
 //   jockey_cli dot job.scope
 //       Print the plan as Graphviz.
 //
@@ -93,6 +102,9 @@ int Usage() {
                "  jockey_cli run <scenario.yaml|.json> [--json FILE] [--episodes-out FILE]\n"
                "  jockey_cli chaos <job.scope> <trace.txt> --deadline MIN [--seeds N]\n"
                "                   [--classes LIST] [--fault-plan FILE] [--seed S]\n"
+               "  jockey_cli chaos --list-classes\n"
+               "  jockey_cli tune <job.scope> <trace.txt> --deadline MIN [--seeds N]\n"
+               "                   [--classes LIST] [--knob-points K] [--bench-out FILE]\n"
                "  jockey_cli report <trace.jsonl> [--chrome-out FILE] [--jsonl-out FILE]\n"
                "  jockey_cli postmortem <trace.jsonl> [--deadline MIN] [--json FILE]\n"
                "                   [--strict]\n"
@@ -558,12 +570,33 @@ std::string MissBlame(const std::vector<TraceEvent>& events, double deadline) {
   return buf;
 }
 
+// Prints the chaos-matrix class names, one per line, in matrix order (the order
+// `chaos` sweeps them). Shared by `chaos --list-classes` and the help texts.
+void PrintChaosClasses(std::FILE* out) {
+  for (const std::string& name : ChaosClassNames()) {
+    std::fprintf(out, "%s\n", name.c_str());
+  }
+}
+
+// One "a, b, c" line of every chaos class, for --help footers.
+std::string ChaosClassListLine() {
+  std::string line;
+  for (const std::string& name : ChaosClassNames()) {
+    if (!line.empty()) {
+      line += ", ";
+    }
+    line += name;
+  }
+  return line;
+}
+
 int CmdChaos(int argc, char** argv, const std::string& path, const std::string& trace_path) {
   double deadline_minutes = -1.0;
   uint64_t first_seed = 1;
   int seeds = 5;
   std::string classes = "all";
   std::string fault_plan_path;
+  bool list_classes = false;
   GlobalOptions global;
   OptionsParser parser("jockey_cli chaos <job.scope> <trace.txt> --deadline MIN [flags]");
   parser.AddDouble("--deadline", "MIN", "deadline in minutes (required)", &deadline_minutes);
@@ -574,15 +607,27 @@ int CmdChaos(int argc, char** argv, const std::string& path, const std::string& 
   parser.AddString("--fault-plan", "FILE",
                    "sweep one custom JSONL fault schedule instead of the built-in matrix",
                    &fault_plan_path);
+  parser.AddFlag("--list-classes", "print the fault classes in matrix order and exit",
+                 &list_classes);
   global.Register(parser);
+  if (path == "--list-classes") {
+    PrintChaosClasses(stdout);
+    return 0;
+  }
   if (path == "--help" || path == "-h") {
     parser.PrintHelp(stdout);
+    std::printf("fault classes (matrix order): %s\n", ChaosClassListLine().c_str());
     return 0;
   }
   if (!parser.Parse(argc, argv, 4)) {
     return 2;
   }
   if (parser.help_requested()) {
+    std::printf("fault classes (matrix order): %s\n", ChaosClassListLine().c_str());
+    return 0;
+  }
+  if (list_classes) {
+    PrintChaosClasses(stdout);
     return 0;
   }
   if (deadline_minutes <= 0.0) {
@@ -763,6 +808,312 @@ int CmdChaos(int argc, char** argv, const std::string& path, const std::string& 
               thrash_ok ? "ok on every class" : "VIOLATED");
   int finish = obs.Finish();
   return thrash_ok ? finish : (finish != 0 ? finish : 1);
+}
+
+// Sum of the non-exec postmortem budget components of a captured run: seconds the
+// job spent queued, lagging the controller, degraded or redoing work rather than
+// executing. The tune objective minimizes this after the miss count — between two
+// settings that miss equally, prefer the one that wastes less of the latency budget.
+double AttributedNonExecSeconds(const std::vector<TraceEvent>& events) {
+  PostmortemReport report = BuildPostmortem(events);
+  double total = 0.0;
+  for (const JobPostmortem& job : report.jobs) {
+    if (!job.finished) {
+      continue;
+    }
+    for (const BudgetComponent& c : BudgetComponents(job.budget)) {
+      if (std::string(c.name) != "exec") {
+        total += c.seconds;
+      }
+    }
+  }
+  return total;
+}
+
+// %.6g with a deterministic "never locale-dependent" guarantee, for BENCH JSON.
+std::string TuneNumber(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+int CmdTune(int argc, char** argv, const std::string& path, const std::string& trace_path) {
+  double deadline_minutes = -1.0;
+  uint64_t first_seed = 1;
+  int seeds = 3;
+  int knob_points = 3;
+  double input_scale = 1.0;
+  std::string classes = "all";
+  std::string bench_out;
+  GlobalOptions global;
+  OptionsParser parser("jockey_cli tune <job.scope> <trace.txt> --deadline MIN [flags]");
+  parser.AddDouble("--deadline", "MIN", "deadline in minutes (required)", &deadline_minutes);
+  parser.AddInt("--seeds", "N", "runs per fault class and candidate", &seeds);
+  parser.AddUint64("--seed", "S", "first seed of the sweep", &first_seed);
+  parser.AddString("--classes", "LIST",
+                   "comma-separated fault classes to tune against (default: all)", &classes);
+  parser.AddInt("--knob-points", "K",
+                "values tried per knob, default included (1 = defaults only)", &knob_points);
+  parser.AddDouble("--input-scale", "X",
+                   "scale task durations vs training (longer jobs span more ticks)",
+                   &input_scale);
+  parser.AddString("--bench-out", "FILE",
+                   "write the machine-readable ranking here (BENCH_tune.json)", &bench_out);
+  global.Register(parser);
+  if (path == "--help" || path == "-h") {
+    parser.PrintHelp(stdout);
+    std::printf("fault classes (matrix order): %s\n", ChaosClassListLine().c_str());
+    return 0;
+  }
+  if (!parser.Parse(argc, argv, 4)) {
+    return 2;
+  }
+  if (parser.help_requested()) {
+    std::printf("fault classes (matrix order): %s\n", ChaosClassListLine().c_str());
+    return 0;
+  }
+  if (deadline_minutes <= 0.0) {
+    std::fprintf(stderr, "tune requires --deadline <minutes>\n");
+    return 2;
+  }
+  if (seeds < 1) {
+    std::fprintf(stderr, "--seeds must be >= 1\n");
+    return 2;
+  }
+  if (knob_points < 1 || knob_points > 5) {
+    std::fprintf(stderr, "--knob-points must be in [1, 5]\n");
+    return 2;
+  }
+  if (input_scale <= 0.0) {
+    std::fprintf(stderr, "--input-scale must be > 0\n");
+    return 2;
+  }
+  auto plan = CompileFile(path);
+  if (!plan.has_value()) {
+    return 1;
+  }
+  CliObservability obs(global);
+  if (!obs.ok()) {
+    return 1;
+  }
+  auto model = BuildModel(*plan, trace_path, global, obs.observer());
+  if (!model.has_value()) {
+    return 1;
+  }
+  const double deadline = deadline_minutes * 60.0;
+
+  ClusterConfig reference = DefaultExperimentCluster(0);
+  std::vector<ChaosClass> all = BuildChaosMatrix(deadline, reference.num_machines);
+  std::vector<ChaosClass> matrix;
+  if (classes == "all" || classes.empty()) {
+    matrix = std::move(all);
+  } else {
+    std::stringstream list(classes);
+    std::string token;
+    while (std::getline(list, token, ',')) {
+      bool known = false;
+      for (const ChaosClass& entry : all) {
+        if (entry.name == token) {
+          matrix.push_back(entry);
+          known = true;
+          break;
+        }
+      }
+      if (!known) {
+        std::fprintf(stderr, "unknown fault class '%s' (see --help)\n", token.c_str());
+        return 2;
+      }
+    }
+  }
+  if (matrix.empty()) {
+    std::fprintf(stderr, "no fault classes selected\n");
+    return 2;
+  }
+
+  TrainedJob trained;
+  trained.tmpl = std::make_shared<const JobTemplate>(plan->job);
+  trained.jockey = std::shared_ptr<const Jockey>(std::shared_ptr<const Jockey>(), &*model);
+
+  ControlLoopConfig defaults = model->config().control;
+  defaults.enable_degraded_mode = true;
+
+  // One knob varied at a time against the hand-tuned defaults: a Fig 12/13-style
+  // sensitivity sweep rather than a full grid, so the run count stays linear in
+  // knob-points and the ranking stays attributable to a single dial. Ladders
+  // alternate below/above the default; --knob-points K takes the first K-1.
+  struct Candidate {
+    std::string label;
+    ControlLoopConfig config;
+    std::vector<int> class_misses;
+    int misses_total = 0;
+    double attributed_seconds = 0.0;
+    double churn_changes = 0.0;
+    double churn_moved = 0.0;
+    bool feasible = true;
+  };
+  std::vector<Candidate> candidates;
+  candidates.push_back({"defaults", defaults, {}, 0, 0.0, 0.0, 0.0, true});
+  const double stale_hold_ladder[] = {60.0, 300.0, 90.0, 240.0};
+  const double blind_rate_ladder[] = {0.25, 0.75, 0.35, 1.0};
+  const double gap_factor_ladder[] = {1.25, 2.5, 1.5, 3.0};
+  const double grant_ewma_ladder[] = {0.25, 0.75, 0.35, 1.0};
+  auto add = [&](const char* knob, double value, ControlLoopConfig config) {
+    char label[64];
+    std::snprintf(label, sizeof(label), "%s=%.6g", knob, value);
+    candidates.push_back({label, config, {}, 0, 0.0, 0.0, 0.0, true});
+  };
+  for (int k = 0; k + 1 < knob_points; ++k) {
+    ControlLoopConfig c = defaults;
+    c.stale_hold_seconds = stale_hold_ladder[k];
+    add("stale_hold_seconds", stale_hold_ladder[k], c);
+    c = defaults;
+    c.blind_escalation_rate = blind_rate_ladder[k];
+    add("blind_escalation_rate", blind_rate_ladder[k], c);
+    c = defaults;
+    c.blackout_gap_factor = gap_factor_ladder[k];
+    add("blackout_gap_factor", gap_factor_ladder[k], c);
+    c = defaults;
+    c.grant_ratio_ewma = grant_ewma_ladder[k];
+    add("grant_ratio_ewma", grant_ewma_ladder[k], c);
+  }
+
+  std::printf("tune sweep: %d candidate%s x %d fault class%s x %d seed%s, deadline %.0f min "
+              "(hardened controller)\n",
+              static_cast<int>(candidates.size()), candidates.size() == 1 ? "" : "s",
+              static_cast<int>(matrix.size()), matrix.size() == 1 ? "" : "es", seeds,
+              seeds == 1 ? "" : "s", deadline_minutes);
+  std::printf("objective: (deadline misses, non-exec postmortem seconds, churn), "
+              "feasible = no class worse than defaults\n\n");
+
+  for (Candidate& candidate : candidates) {
+    candidate.class_misses.assign(matrix.size(), 0);
+    for (size_t c = 0; c < matrix.size(); ++c) {
+      for (int i = 0; i < seeds; ++i) {
+        uint64_t run_seed = first_seed + static_cast<uint64_t>(i);
+        FaultPlan run_plan = matrix[c].plan;
+        // The same per-seed noise stream the chaos sweep uses, so tune-selected
+        // knobs are judged on exactly the faults chaos reports.
+        run_plan.set_seed(ChaosPlanSeed(run_seed));
+        ExperimentOptions options;
+        options.deadline_seconds = deadline;
+        options.policy = PolicyKind::kJockey;
+        options.seed = run_seed;
+        options.jitter_input = false;
+        options.input_scale = input_scale;
+        options.fault_plan = std::make_shared<const FaultPlan>(std::move(run_plan));
+        options.observer = obs.observer();
+        options.capture_events = true;
+        options.control_override = candidate.config;
+        ExperimentResult result = RunExperiment(trained, options);
+        if (!result.met_deadline) {
+          ++candidate.class_misses[c];
+          ++candidate.misses_total;
+        }
+        candidate.attributed_seconds += AttributedNonExecSeconds(result.events);
+        ChurnStats churn = AllocationChurn(result.events);
+        candidate.churn_changes += churn.changes;
+        candidate.churn_moved += churn.moved_tokens;
+      }
+    }
+  }
+
+  // Feasibility: no fault class may get *worse* than the defaults — a knob that
+  // fixes adversarial spikes by breaking blackout recovery is not an improvement.
+  const Candidate& baseline = candidates.front();
+  for (Candidate& candidate : candidates) {
+    for (size_t c = 0; c < matrix.size(); ++c) {
+      if (candidate.class_misses[c] > baseline.class_misses[c]) {
+        candidate.feasible = false;
+        break;
+      }
+    }
+  }
+
+  // Rank: feasible first, then lexicographic on the objective. The sort is stable
+  // and defaults are listed first, so a candidate must strictly improve something
+  // to displace the hand-tuned defaults.
+  std::vector<const Candidate*> ranked;
+  for (const Candidate& candidate : candidates) {
+    ranked.push_back(&candidate);
+  }
+  std::stable_sort(ranked.begin(), ranked.end(), [](const Candidate* a, const Candidate* b) {
+    if (a->feasible != b->feasible) {
+      return a->feasible;
+    }
+    if (a->misses_total != b->misses_total) {
+      return a->misses_total < b->misses_total;
+    }
+    if (a->attributed_seconds != b->attributed_seconds) {
+      return a->attributed_seconds < b->attributed_seconds;
+    }
+    return a->churn_moved < b->churn_moved;
+  });
+
+  std::printf("%4s  %-28s %7s %11s %10s %10s  %s\n", "rank", "candidate", "misses",
+              "attrib[s]", "churn", "|dtok|", "feasible");
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    const Candidate& candidate = *ranked[i];
+    std::printf("%4d  %-28s %7d %11.1f %10.1f %10.1f  %s\n", static_cast<int>(i + 1),
+                candidate.label.c_str(), candidate.misses_total, candidate.attributed_seconds,
+                candidate.churn_changes, candidate.churn_moved,
+                candidate.feasible ? "yes" : "NO");
+  }
+
+  const Candidate& selected = *ranked.front();
+  int classes_improved = 0;
+  for (size_t c = 0; c < matrix.size(); ++c) {
+    if (selected.class_misses[c] < baseline.class_misses[c]) {
+      ++classes_improved;
+    }
+  }
+  std::printf("\nselected: %s (stale_hold=%.6g, blind_rate=%.6g, gap_factor=%.6g, "
+              "grant_ewma=%.6g)\n",
+              selected.label.c_str(), selected.config.stale_hold_seconds,
+              selected.config.blind_escalation_rate, selected.config.blackout_gap_factor,
+              selected.config.grant_ratio_ewma);
+  std::printf("vs defaults: strictly better on %d, no worse on all %d class%s\n",
+              classes_improved, static_cast<int>(matrix.size()),
+              matrix.size() == 1 ? "" : "es");
+
+  if (!bench_out.empty()) {
+    std::ofstream out(bench_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", bench_out.c_str());
+      return 1;
+    }
+    out << "{\"bench\":\"tune\",\"deadline_minutes\":" << TuneNumber(deadline_minutes)
+        << ",\"seeds\":" << seeds << ",\"knob_points\":" << knob_points << ",\"classes\":[";
+    for (size_t c = 0; c < matrix.size(); ++c) {
+      out << (c == 0 ? "" : ",") << "\"" << matrix[c].name << "\"";
+    }
+    out << "],\"candidates\":[";
+    for (size_t i = 0; i < ranked.size(); ++i) {
+      const Candidate& candidate = *ranked[i];
+      out << (i == 0 ? "" : ",") << "{\"rank\":" << (i + 1) << ",\"label\":\""
+          << candidate.label << "\",\"stale_hold_seconds\":"
+          << TuneNumber(candidate.config.stale_hold_seconds) << ",\"blind_escalation_rate\":"
+          << TuneNumber(candidate.config.blind_escalation_rate) << ",\"blackout_gap_factor\":"
+          << TuneNumber(candidate.config.blackout_gap_factor) << ",\"grant_ratio_ewma\":"
+          << TuneNumber(candidate.config.grant_ratio_ewma) << ",\"misses\":"
+          << candidate.misses_total << ",\"attributed_seconds\":"
+          << TuneNumber(candidate.attributed_seconds) << ",\"churn_changes\":"
+          << TuneNumber(candidate.churn_changes) << ",\"churn_moved_tokens\":"
+          << TuneNumber(candidate.churn_moved) << ",\"feasible\":"
+          << (candidate.feasible ? "true" : "false") << ",\"class_misses\":[";
+      for (size_t c = 0; c < candidate.class_misses.size(); ++c) {
+        out << (c == 0 ? "" : ",") << candidate.class_misses[c];
+      }
+      out << "]}";
+    }
+    out << "],\"selected\":\"" << selected.label
+        << "\",\"classes_improved\":" << classes_improved << "}\n";
+    if (!out) {
+      std::fprintf(stderr, "error writing %s\n", bench_out.c_str());
+      return 1;
+    }
+    std::printf("ranking written to %s\n", bench_out.c_str());
+  }
+  return obs.Finish();
 }
 
 int CmdReport(int argc, char** argv, const std::string& trace_path) {
@@ -1003,10 +1354,17 @@ int Main(int argc, char** argv) {
     return CmdRun(argc, argv, argv[2], argc >= 4 ? argv[3] : "");
   }
   if (command == "chaos") {
-    if (argc < 4 && !help_only) {
+    bool list_only = std::string(argv[2]) == "--list-classes";
+    if (argc < 4 && !help_only && !list_only) {
       return Usage();
     }
     return CmdChaos(argc, argv, argv[2], argc >= 4 ? argv[3] : "");
+  }
+  if (command == "tune") {
+    if (argc < 4 && !help_only) {
+      return Usage();
+    }
+    return CmdTune(argc, argv, argv[2], argc >= 4 ? argv[3] : "");
   }
   if (command == "report") {
     return CmdReport(argc, argv, argv[2]);
