@@ -6,6 +6,8 @@
 #include <stdexcept>
 
 #include "src/fault/fault_injector.h"
+#include "src/obs/prof/profiler.h"
+#include "src/obs/timeseries/timeseries.h"
 
 namespace jockey {
 
@@ -116,6 +118,9 @@ int ClusterSimulator::SubmitJob(const JobTemplate& job, const JobSubmission& opt
 }
 
 void ClusterSimulator::Dispatch(const SimEvent& ev) {
+  // One profiler region per dispatched event; disabled cost is a relaxed load and
+  // a branch, the same budget the detached observer meets (BENCH_profile.json).
+  prof::Scope dispatch_scope("sim_dispatch");
   switch (ev.kind) {
     case SimEvent::Kind::kStartJob:
       StartJob(ev.a);
@@ -366,6 +371,21 @@ void ClusterSimulator::ControlTick(int job_id) {
   job.guaranteed_tokens = new_g;
   job.result.timeline.push_back(AllocationSample{eq_.now(), new_g, decision.raw_allocation,
                                                  status.running_tasks, job.running_spare});
+  if (timeseries_ != nullptr) {
+    // Policies without a completion model leave progress unset; fall back to the
+    // task-count fraction so the timeline still shows movement. A negative
+    // predicted-remaining stays negative: the recorder reads it as "no prediction"
+    // and tracks deadline slack from elapsed time alone.
+    const double ts_progress =
+        decision.progress >= 0.0
+            ? decision.progress
+            : (status.total_tasks > 0
+                   ? static_cast<double>(status.completed_tasks) /
+                         static_cast<double>(status.total_tasks)
+                   : 0.0);
+    timeseries_->OnControlSample(job_id, eq_.now(), status.elapsed_seconds, ts_progress,
+                                 decision.predicted_remaining_seconds, new_g);
+  }
   Reschedule();
   eq_.ScheduleAfter(job.opts.control_period_seconds, next);
 }
@@ -590,6 +610,9 @@ void ClusterSimulator::FinishJob(int job_id) {
           : 0.0;
   job.result.timeline.push_back(AllocationSample{eq_.now(), job.guaranteed_tokens, 0.0, 0, 0});
   obs_.Emit(eq_.now(), JobFinishEvent{job.id, eq_.now() - job.result.trace.submit_time});
+  if (timeseries_ != nullptr) {
+    timeseries_->OnJobFinish(job.id, eq_.now(), eq_.now() - job.result.trace.submit_time);
+  }
   ++tallies_.jobs_finished;
   if (completion_seconds_hist_ != nullptr) {
     completion_seconds_hist_->Observe(eq_.now() - job.result.trace.submit_time);
@@ -717,6 +740,14 @@ void ClusterSimulator::Reschedule() {
         assigned = true;
       }
     }
+  }
+
+  if (timeseries_ != nullptr) {
+    // spare_budget is the pool handed out at spare priority this round — the
+    // "spare tokens" series of the utilization timeline. The recorder throttles to
+    // its sampling period, so per-reschedule calls stay cheap.
+    timeseries_->OnClusterSample(eq_.now(), CurrentUtilization(), up, background_slots_,
+                                 std::max(0, spare_budget));
   }
 }
 

@@ -48,6 +48,7 @@
 namespace jockey {
 
 class FaultInjector;
+class TimeSeriesRecorder;
 
 // Token priority class of a job's guarantee (Section 3.1). Normal guaranteed tokens
 // serve after SuperHigh ones; SuperHigh tasks also intensify local contention for
@@ -136,6 +137,13 @@ class ClusterSimulator {
   // outlive the simulator; non-const because report-noise faults advance the
   // injector's seeded noise stream.
   void set_fault_injector(FaultInjector* injector) { fault_injector_ = injector; }
+
+  // Attaches a time-series recorder (timeseries.h). Same contract as the fault
+  // injector: call before Run(), nullptr (the default) detaches, and the detached
+  // path is one branch per sampling site — attaching changes no simulation result.
+  // Sampling sites: every control tick (per-job allocation / prediction / slack),
+  // every reschedule (cluster utilization and spare pool), and job finish.
+  void set_timeseries_recorder(TimeSeriesRecorder* recorder) { timeseries_ = recorder; }
 
   SimTime now() const { return eq_.now(); }
   int TotalUpSlots() const;
@@ -292,6 +300,7 @@ class ClusterSimulator {
   ClusterConfig config_;
   Observer obs_;
   FaultInjector* fault_injector_ = nullptr;
+  TimeSeriesRecorder* timeseries_ = nullptr;
   ObsTallies tallies_;
   // Pre-resolved histogram slots (one name lookup at attach, none per event).
   Histogram* exec_seconds_hist_ = nullptr;

@@ -39,6 +39,11 @@ struct ControlDecision {
   // The raw (pre-hysteresis, pre-dead-zone) desired allocation, recorded in the
   // allocation timeline; Fig 6 plots it alongside the smoothed allocation.
   double raw_allocation = 0.0;
+  // Optional model telemetry for the time-series recorder. Negative means "no
+  // prediction": baselines without a completion model leave both defaulted, and
+  // the recorder then tracks deadline slack from elapsed time alone.
+  double progress = -1.0;
+  double predicted_remaining_seconds = -1.0;
 };
 
 // Interface implemented by every allocation policy (Jockey and the baselines).

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <utility>
 
+#include "src/obs/prof/profiler.h"
 #include "src/sim/table_cache.h"
 #include "src/util/thread_pool.h"
 
@@ -36,6 +37,10 @@ CompletionTable BuildCompletionTable(const JobGraph& graph, const JobProfile& pr
                                      const ProgressIndicator& indicator,
                                      const CompletionModelConfig& config,
                                      CompletionModelBuildStats* stats) {
+  // Profiled on the calling thread only (table_build/{simulate,merge_freeze}):
+  // scoping inside the worker lambda would split the key by which pool thread ran
+  // an iteration, making per-path counts depend on scheduling.
+  prof::Scope build_scope("table_build");
   CompletionModelBuildStats local_stats;
   if (stats == nullptr) {
     stats = &local_stats;
@@ -77,6 +82,7 @@ CompletionTable BuildCompletionTable(const JobGraph& graph, const JobProfile& pr
   const size_t total = config.allocation_grid.size() * runs;
   std::vector<RunSamples> results(total);
   int threads = config.threads <= 0 ? ThreadPool::DefaultThreadCount() : config.threads;
+  prof::Scope simulate_scope("simulate");
   ParallelFor(threads, total, [&](size_t idx) {
     size_t ai = idx / runs;
     size_t run = idx % runs;
@@ -91,9 +97,11 @@ CompletionTable BuildCompletionTable(const JobGraph& graph, const JobProfile& pr
                 });
     out.completion_seconds = result.completion_seconds;
   });
+  simulate_scope.Close();
 
   // Merge in (allocation, run) order — deterministic regardless of which worker ran
   // what. Remaining time is only known once a run completes, hence the two passes.
+  prof::Scope merge_scope("merge_freeze");
   for (size_t idx = 0; idx < total; ++idx) {
     int ai = static_cast<int>(idx / runs);
     const RunSamples& out = results[idx];
@@ -106,6 +114,7 @@ CompletionTable BuildCompletionTable(const JobGraph& graph, const JobProfile& pr
     table.AddSample(1.0, ai, 0.0);
   }
   table.Freeze();
+  merge_scope.Close();
 
   stats->threads_used = threads;
   stats->simulated_runs = static_cast<int>(total);

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "src/fault/fault_injector.h"
+#include "src/obs/prof/profiler.h"
 
 namespace jockey {
 
@@ -187,6 +188,9 @@ int JockeyController::RawAllocation(double elapsed, double progress,
 }
 
 ControlDecision JockeyController::OnTick(const JobRuntimeStatus& status) {
+  // Sub-phases profile as control_tick/{policy_eval{,/predict},realloc}; every
+  // guard is a no-op branch while the profiler is disabled (BENCH_profile.json).
+  prof::Scope tick_scope("control_tick");
   if (pending_change_at_ >= 0.0 && status.elapsed_seconds >= pending_change_at_) {
     SetUtility(pending_utility_);
     pending_change_at_ = -1.0;
@@ -212,6 +216,7 @@ ControlDecision JockeyController::OnTick(const JobRuntimeStatus& status) {
   bool deadzone_checked = false;
   bool scanned = false;
 
+  prof::Scope policy_scope("policy_eval");
   const bool blind = degraded && !status.report_fresh;
   const bool model_lost = degraded && table_fault_active_ && table_ != nullptr;
   if (blind && status.report_age_seconds <= config_.stale_hold_seconds &&
@@ -246,7 +251,10 @@ ControlDecision JockeyController::OnTick(const JobRuntimeStatus& status) {
       have_mode = true;
       mode = DegradeMode::kFallbackModel;
     }
-    raw = RawAllocation(status.elapsed_seconds, progress, status.frac_complete, shifted);
+    {
+      prof::Scope predict_scope("predict");
+      raw = RawAllocation(status.elapsed_seconds, progress, status.frac_complete, shifted);
+    }
     scanned = true;
 
     if (smoothed_ < 0.0) {
@@ -323,6 +331,8 @@ ControlDecision JockeyController::OnTick(const JobRuntimeStatus& status) {
       }
     }
   }
+  policy_scope.Close();
+  prof::Scope realloc_scope("realloc");
   // Exponential smoothing approaches the raw value asymptotically; snap the final
   // half-token so a steady raw target is actually reached.
   if (std::abs(smoothed_ - raw) < 0.5) {
@@ -420,6 +430,7 @@ ControlDecision JockeyController::OnTick(const JobRuntimeStatus& status) {
       }
     }
   }
+  realloc_scope.Close();
 
   if (config_.enable_model_correction) {
     // Record the uncorrected remaining estimate at the allocation we are about to
@@ -432,7 +443,12 @@ ControlDecision JockeyController::OnTick(const JobRuntimeStatus& status) {
             : amdahl_->PredictRemaining(status.frac_complete, granted);
   }
 
-  return ControlDecision{granted, static_cast<double>(raw)};
+  ControlDecision decision;
+  decision.guaranteed_tokens = granted;
+  decision.raw_allocation = static_cast<double>(raw);
+  decision.progress = progress;
+  decision.predicted_remaining_seconds = predicted_remaining;
+  return decision;
 }
 
 int JockeyController::InitialAllocation() const {

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "src/fault/fault_injector.h"
+#include "src/obs/timeseries/timeseries.h"
 
 namespace jockey {
 
@@ -222,6 +223,17 @@ ExperimentResult RunExperiment(const TrainedJob& job, const ExperimentOptions& o
     if (injector.has_value()) {
       adaptive->set_fault_injector(&*injector);
     }
+  }
+  if (options.timeseries != nullptr) {
+    // Each experiment is one run on the recorder. The SLO health machine judges
+    // against the *effective* deadline (a mid-run change replaces it), the same bar
+    // met_deadline below and the postmortem verdict use — so the recorder's final
+    // state agrees with both by construction.
+    options.timeseries->set_observer(observer);
+    options.timeseries->BeginRun(options.deadline_change.has_value()
+                                     ? options.deadline_change->new_deadline_seconds
+                                     : options.deadline_seconds);
+    cluster.set_timeseries_recorder(options.timeseries);
   }
   int job_id = cluster.SubmitJob(*job.tmpl, submission);
   cluster.Run();

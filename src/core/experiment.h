@@ -123,6 +123,12 @@ struct ExperimentOptions {
   // ControlLoopConfig::enable_degraded_mode (via control_override) — the chaos sweep
   // runs the same plan against both settings.
   std::shared_ptr<const FaultPlan> fault_plan;
+  // Time-series recorder (obs/timeseries/timeseries.h): when set, RunExperiment
+  // opens a new run on it (BeginRun with this run's effective deadline) and attaches
+  // it to the cluster, which then feeds it per-control-tick job samples, cluster
+  // utilization samples and the job-finish mark. Non-owning; nullptr (the default)
+  // records nothing and changes no simulation result.
+  TimeSeriesRecorder* timeseries = nullptr;
   // When true, every trace event of the run is returned in ExperimentResult::events
   // (in addition to whatever `observer` sink is attached) — the input the postmortem
   // analyzer (obs/analysis/postmortem.h) wants without round-tripping JSONL.

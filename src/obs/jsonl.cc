@@ -152,6 +152,13 @@ struct LineWriter {
     AppendInt(*out, "task", e.task);
     AppendBool(*out, "requeued", e.requeued);
   }
+  void operator()(const SloStateChangeEvent& e) const {
+    AppendInt(*out, "job", e.job);
+    AppendStr(*out, "from", SloStateName(e.from));
+    AppendStr(*out, "to", SloStateName(e.to));
+    AppendNum(*out, "elapsed", e.elapsed_seconds);
+    AppendNum(*out, "slack", e.slack_seconds);
+  }
 };
 
 // --- Reader: a minimal parser for the flat one-level objects the writer emits. ---
@@ -361,6 +368,20 @@ bool GetFaultKind(const FieldMap& m, const char* key, FaultKind& out, FieldFail&
   return fail.Miss(key);
 }
 
+bool GetSloState(const FieldMap& m, const char* key, SloState& out, FieldFail& fail) {
+  const std::string* v = m.Find(key);
+  if (v == nullptr) {
+    return fail.Miss(key);
+  }
+  for (int s = 0; s <= static_cast<int>(SloState::kMissed); ++s) {
+    if (*v == SloStateName(static_cast<SloState>(s))) {
+      out = static_cast<SloState>(s);
+      return true;
+    }
+  }
+  return fail.Miss(key);
+}
+
 bool GetDegradeMode(const FieldMap& m, const char* key, DegradeMode& out, FieldFail& fail) {
   const std::string* v = m.Find(key);
   if (v == nullptr) {
@@ -464,6 +485,13 @@ std::optional<TraceEventPayload> ParsePayload(const std::string& kind, const Fie
     TaskReadyEvent e;
     if (GetInt(m, "job", e.job, fail) && GetInt(m, "stage", e.stage, fail) &&
         GetInt(m, "task", e.task, fail) && GetBool(m, "requeued", e.requeued, fail)) {
+      return e;
+    }
+  } else if (kind == "slo_state_change") {
+    SloStateChangeEvent e;
+    if (GetInt(m, "job", e.job, fail) && GetSloState(m, "from", e.from, fail) &&
+        GetSloState(m, "to", e.to, fail) && GetNum(m, "elapsed", e.elapsed_seconds, fail) &&
+        GetNum(m, "slack", e.slack_seconds, fail)) {
       return e;
     }
   } else if (kind == "speculative_launch") {

@@ -200,7 +200,8 @@ void MetricsRegistry::WriteJson(std::ostream& os) const {
        << ", \"sum\": " << JsonNumber(histogram.sum())
        << ", \"p50\": " << JsonNumber(histogram.Quantile(0.5))
        << ", \"p90\": " << JsonNumber(histogram.Quantile(0.9))
-       << ", \"p99\": " << JsonNumber(histogram.Quantile(0.99)) << "}";
+       << ", \"p99\": " << JsonNumber(histogram.Quantile(0.99))
+       << ", \"p999\": " << JsonNumber(histogram.Quantile(0.999)) << "}";
     sep = ",";
   }
   os << (histograms_.empty() ? "" : "\n  ") << "}\n}\n";

@@ -10,7 +10,7 @@
 //     two runs of the same binary always bucket identically (the stability the trace
 //     tests assert). Values land in the first bucket whose upper edge is >= value;
 //     values above the last edge land in the overflow bucket. Raw samples are also
-//     retained, so Quantile() and the JSON export quote exact p50/p90/p99 rather
+//     retained, so Quantile() and the JSON export quote exact p50/p90/p99/p99.9 rather
 //     than bucket edges (registry histograms hold at most tens of thousands of
 //     observations per run, so retention is cheap).
 //

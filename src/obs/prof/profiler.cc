@@ -1,0 +1,208 @@
+#include "src/obs/prof/profiler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <utility>
+
+namespace jockey {
+namespace prof {
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// One thread's private call tree. Node 0 is the implicit root; children are
+// keyed by the name pointer (scope names are string literals, so a call site
+// always reuses its node), and paths with equal text merge at snapshot time.
+struct ThreadTable {
+  struct Node {
+    const char* name = nullptr;
+    int parent = 0;
+    int64_t count = 0;
+    int64_t total_ns = 0;
+    int64_t max_ns = 0;
+    std::vector<std::pair<const char*, int>> children;
+  };
+
+  std::vector<Node> nodes{1};  // [0] = root
+  std::vector<int> stack;      // open scopes, node ids
+  std::vector<int64_t> entry_ns;
+  // Serializes this table against cross-thread Snapshot()/Reset(); uncontended
+  // on the hot path (only the owning thread takes it during a run).
+  std::mutex mu;
+
+  ThreadTable();
+  ~ThreadTable();
+
+  int EnterChild(const char* name) {
+    int top = stack.empty() ? 0 : stack.back();
+    for (const auto& [child_name, child_id] : nodes[top].children) {
+      if (child_name == name) {
+        return child_id;
+      }
+    }
+    int id = static_cast<int>(nodes.size());
+    Node node;
+    node.name = name;
+    node.parent = top;
+    nodes.push_back(std::move(node));
+    nodes[top].children.emplace_back(name, id);
+    return id;
+  }
+
+  std::string PathOf(int id) const {
+    if (nodes[id].parent == 0) {
+      return nodes[id].name;
+    }
+    return PathOf(nodes[id].parent) + "/" + nodes[id].name;
+  }
+};
+
+struct Aggregate {
+  int64_t count = 0;
+  int64_t total_ns = 0;
+  int64_t max_ns = 0;
+};
+
+// Registry of live thread tables plus the merged residue of exited threads.
+struct Registry {
+  std::mutex mu;
+  std::vector<ThreadTable*> tables;
+  std::map<std::string, Aggregate> retired;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();  // leaked: outlives exiting threads
+  return *registry;
+}
+
+void MergeTableLocked(ThreadTable& table, std::map<std::string, Aggregate>& into) {
+  for (size_t i = 1; i < table.nodes.size(); ++i) {
+    const ThreadTable::Node& node = table.nodes[i];
+    if (node.count == 0) {
+      continue;
+    }
+    Aggregate& agg = into[table.PathOf(static_cast<int>(i))];
+    agg.count += node.count;
+    agg.total_ns += node.total_ns;
+    agg.max_ns = std::max(agg.max_ns, node.max_ns);
+  }
+}
+
+ThreadTable::ThreadTable() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.tables.push_back(this);
+}
+
+ThreadTable::~ThreadTable() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  {
+    std::lock_guard<std::mutex> table_lock(mu);
+    MergeTableLocked(*this, registry.retired);
+  }
+  registry.tables.erase(std::remove(registry.tables.begin(), registry.tables.end(), this),
+                        registry.tables.end());
+}
+
+ThreadTable& GetThreadTable() {
+  thread_local ThreadTable table;
+  return table;
+}
+
+}  // namespace
+
+void SetEnabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void Reset() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.retired.clear();
+  for (ThreadTable* table : registry.tables) {
+    std::lock_guard<std::mutex> table_lock(table->mu);
+    table->nodes.assign(1, ThreadTable::Node{});
+    table->stack.clear();
+    table->entry_ns.clear();
+  }
+}
+
+std::vector<ScopeStat> Snapshot() {
+  Registry& registry = GetRegistry();
+  std::map<std::string, Aggregate> merged;
+  {
+    std::lock_guard<std::mutex> lock(registry.mu);
+    merged = registry.retired;
+    for (ThreadTable* table : registry.tables) {
+      std::lock_guard<std::mutex> table_lock(table->mu);
+      MergeTableLocked(*table, merged);
+    }
+  }
+  std::vector<ScopeStat> stats;
+  stats.reserve(merged.size());
+  for (const auto& [path, agg] : merged) {
+    ScopeStat stat;
+    stat.path = path;
+    stat.count = agg.count;
+    stat.total_ns = agg.total_ns;
+    stat.max_ns = agg.max_ns;
+    stats.push_back(std::move(stat));
+  }
+  return stats;  // std::map iteration is already path-sorted
+}
+
+void WriteProfileJson(std::ostream& os) {
+  std::vector<ScopeStat> stats = Snapshot();
+  os << "{\n  \"scopes\": [";
+  bool first = true;
+  for (const ScopeStat& stat : stats) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "    {\"path\": \"" << stat.path << "\", \"count\": " << stat.count
+       << ", \"total_ns\": " << stat.total_ns << ", \"max_ns\": " << stat.max_ns << "}";
+  }
+  os << (first ? "]\n" : "\n  ]\n") << "}\n";
+}
+
+Scope::Scope(const char* name) : active_(g_enabled.load(std::memory_order_relaxed)) {
+  if (!active_) {
+    return;
+  }
+  ThreadTable& table = GetThreadTable();
+  std::lock_guard<std::mutex> lock(table.mu);
+  table.stack.push_back(table.EnterChild(name));
+  table.entry_ns.push_back(NowNs());
+}
+
+void Scope::Close() {
+  if (!active_) {
+    return;
+  }
+  active_ = false;
+  ThreadTable& table = GetThreadTable();
+  std::lock_guard<std::mutex> lock(table.mu);
+  if (table.stack.empty()) {
+    return;  // Reset() ran inside the scope; nothing sane to record
+  }
+  int64_t elapsed = NowNs() - table.entry_ns.back();
+  ThreadTable::Node& node = table.nodes[table.stack.back()];
+  node.count += 1;
+  node.total_ns += elapsed;
+  node.max_ns = std::max(node.max_ns, elapsed);
+  table.stack.pop_back();
+  table.entry_ns.pop_back();
+}
+
+}  // namespace prof
+}  // namespace jockey

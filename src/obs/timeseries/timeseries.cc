@@ -1,0 +1,582 @@
+#include "src/obs/timeseries/timeseries.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+#include "src/obs/json_format.h"
+#include "src/obs/jsonl.h"
+
+namespace jockey {
+namespace {
+
+// Throttle comparisons tolerate FP accumulation on the sample clock.
+constexpr double kEps = 1e-9;
+
+// Unrolls a ring (newest `ring.size()` of `pushed` samples) chronologically.
+template <typename T>
+std::vector<T> Unroll(const std::vector<T>& ring, int64_t pushed, int capacity) {
+  if (pushed <= static_cast<int64_t>(ring.size())) {
+    return ring;
+  }
+  std::vector<T> out;
+  out.reserve(ring.size());
+  size_t start = static_cast<size_t>(pushed % capacity);
+  out.insert(out.end(), ring.begin() + start, ring.end());
+  out.insert(out.end(), ring.begin(), ring.begin() + start);
+  return out;
+}
+
+template <typename T>
+void RingPush(std::vector<T>& ring, int64_t& pushed, int capacity, const T& value) {
+  if (static_cast<int64_t>(ring.size()) < capacity) {
+    ring.push_back(value);
+  } else {
+    ring[static_cast<size_t>(pushed % capacity)] = value;
+  }
+  ++pushed;
+}
+
+int64_t Dropped(int64_t pushed, int capacity) {
+  return pushed > capacity ? pushed - capacity : 0;
+}
+
+}  // namespace
+
+void ValidateTimeSeriesConfig(const TimeSeriesConfig& config) {
+  if (!(config.sample_period_seconds > 0.0)) {
+    throw std::invalid_argument("TimeSeriesConfig.sample_period_seconds must be > 0");
+  }
+  if (config.capacity < 1) {
+    throw std::invalid_argument("TimeSeriesConfig.capacity must be >= 1");
+  }
+  if (config.recover_slack_seconds < config.at_risk_slack_seconds) {
+    throw std::invalid_argument(
+        "TimeSeriesConfig.recover_slack_seconds must be >= at_risk_slack_seconds");
+  }
+}
+
+TimeSeriesRecorder::TimeSeriesRecorder(TimeSeriesConfig config) : config_(config) {
+  ValidateTimeSeriesConfig(config_);
+}
+
+void TimeSeriesRecorder::BeginRun(double deadline_seconds) {
+  RunTrack run;
+  run.deadline_seconds = deadline_seconds;
+  runs_.push_back(std::move(run));
+}
+
+TimeSeriesRecorder::JobTrack& TimeSeriesRecorder::Track(int job) {
+  if (runs_.empty()) {
+    BeginRun(-1.0);  // sampling without BeginRun: an anonymous no-SLO run
+  }
+  RunTrack& run = runs_.back();
+  auto [it, inserted] = run.jobs.try_emplace(job);
+  if (inserted) {
+    it->second.meta.job = job;
+    it->second.meta.deadline_seconds = run.deadline_seconds;
+  }
+  return it->second;
+}
+
+void TimeSeriesRecorder::Transition(int job, JobTrack& track, SloState to, double now,
+                                    double elapsed, double slack) {
+  SloTransition transition;
+  transition.t = now;
+  transition.from = track.state;
+  transition.to = to;
+  transition.elapsed_seconds = elapsed;
+  transition.slack_seconds = slack;
+  track.meta.transitions.push_back(transition);
+  observer_.Emit(now, SloStateChangeEvent{job, track.state, to, elapsed, slack});
+  track.state = to;
+}
+
+void TimeSeriesRecorder::OnControlSample(int job, double now, double elapsed_seconds,
+                                         double progress, double predicted_remaining_seconds,
+                                         int granted_tokens) {
+  JobTrack& track = Track(job);
+  double deadline = track.meta.deadline_seconds;
+  // predicted < 0 = "no prediction" (baselines without a completion model):
+  // slack then tracks elapsed time alone rather than absorbing the sentinel.
+  double slack = deadline >= 0.0
+                     ? deadline - (elapsed_seconds + std::max(0.0, predicted_remaining_seconds))
+                     : 0.0;
+  // Health first: evaluated every tick, regardless of the ring throttle.
+  if (deadline >= 0.0 && !track.meta.finished && track.state != SloState::kMissed) {
+    if (elapsed_seconds > deadline) {
+      Transition(job, track, SloState::kMissed, now, elapsed_seconds, slack);
+    } else if (track.state == SloState::kOnTrack && slack < config_.at_risk_slack_seconds) {
+      Transition(job, track, SloState::kAtRisk, now, elapsed_seconds, slack);
+    } else if (track.state == SloState::kAtRisk && slack >= config_.recover_slack_seconds) {
+      Transition(job, track, SloState::kOnTrack, now, elapsed_seconds, slack);
+    }
+  }
+  if (now + kEps < track.next_sample) {
+    return;
+  }
+  track.next_sample = now + config_.sample_period_seconds;
+  JobSample sample;
+  sample.t = now;
+  sample.elapsed_seconds = elapsed_seconds;
+  sample.progress = progress;
+  sample.allocated_tokens = granted_tokens;
+  sample.predicted_remaining_seconds = predicted_remaining_seconds;
+  sample.slack_seconds = slack;
+  RingPush(track.ring, track.pushed, config_.capacity, sample);
+}
+
+void TimeSeriesRecorder::OnClusterSample(double now, double utilization, int up_slots,
+                                         int background_slots, int spare_tokens) {
+  if (runs_.empty()) {
+    BeginRun(-1.0);
+  }
+  RunTrack& run = runs_.back();
+  if (now + kEps < run.next_cluster_sample) {
+    return;
+  }
+  run.next_cluster_sample = now + config_.sample_period_seconds;
+  ClusterSample sample;
+  sample.t = now;
+  sample.utilization = utilization;
+  sample.up_slots = up_slots;
+  sample.background_slots = background_slots;
+  sample.spare_tokens = spare_tokens;
+  RingPush(run.cluster_ring, run.cluster_pushed, config_.capacity, sample);
+}
+
+void TimeSeriesRecorder::OnJobFinish(int job, double now, double completion_seconds) {
+  JobTrack& track = Track(job);
+  track.meta.finished = true;
+  track.meta.completion_seconds = completion_seconds;
+  double deadline = track.meta.deadline_seconds;
+  if (deadline < 0.0) {
+    return;
+  }
+  double slack = deadline - completion_seconds;
+  if (completion_seconds > deadline) {
+    if (track.state != SloState::kMissed) {
+      Transition(job, track, SloState::kMissed, now, completion_seconds, slack);
+    }
+  } else if (track.state == SloState::kAtRisk) {
+    // Finished inside the deadline: the risk never realized, so the final state
+    // recovers — which is what makes final health ≡ the postmortem verdict.
+    Transition(job, track, SloState::kOnTrack, now, completion_seconds, slack);
+  }
+}
+
+TimeSeries TimeSeriesRecorder::Snapshot() const {
+  TimeSeries series;
+  series.sample_period_seconds = config_.sample_period_seconds;
+  series.runs.reserve(runs_.size());
+  for (size_t i = 0; i < runs_.size(); ++i) {
+    const RunTrack& track = runs_[i];
+    RunTimeline run;
+    run.run = static_cast<int>(i);
+    run.cluster = Unroll(track.cluster_ring, track.cluster_pushed, config_.capacity);
+    run.dropped_cluster_samples = Dropped(track.cluster_pushed, config_.capacity);
+    for (const auto& [job, job_track] : track.jobs) {
+      JobTimeline timeline = job_track.meta;
+      timeline.final_state = job_track.state;
+      timeline.samples = Unroll(job_track.ring, job_track.pushed, config_.capacity);
+      timeline.dropped_samples = Dropped(job_track.pushed, config_.capacity);
+      run.jobs.push_back(std::move(timeline));
+    }
+    series.runs.push_back(std::move(run));
+  }
+  return series;
+}
+
+// --- JSONL interchange ---
+
+void WriteTimeSeriesJsonl(std::ostream& os, const TimeSeries& series) {
+  for (const RunTimeline& run : series.runs) {
+    // Run header carries the sampling period and the ring-drop counters: a
+    // reader can tell a short series from a truncated one.
+    double first_deadline = run.jobs.empty() ? -1.0 : run.jobs.front().deadline_seconds;
+    os << "{\"t\":0,\"kind\":\"ts_run\",\"run\":" << run.run
+       << ",\"period\":" << JsonNumber(series.sample_period_seconds)
+       << ",\"deadline\":" << JsonNumber(first_deadline)
+       << ",\"cluster_dropped\":" << run.dropped_cluster_samples << "}\n";
+    for (const ClusterSample& s : run.cluster) {
+      os << "{\"t\":" << JsonNumber(s.t) << ",\"kind\":\"ts_cluster\",\"run\":" << run.run
+         << ",\"utilization\":" << JsonNumber(s.utilization) << ",\"up\":" << s.up_slots
+         << ",\"background\":" << s.background_slots << ",\"spare\":" << s.spare_tokens
+         << "}\n";
+    }
+    for (const JobTimeline& job : run.jobs) {
+      for (const JobSample& s : job.samples) {
+        os << "{\"t\":" << JsonNumber(s.t) << ",\"kind\":\"ts_job\",\"run\":" << run.run
+           << ",\"job\":" << job.job << ",\"elapsed\":" << JsonNumber(s.elapsed_seconds)
+           << ",\"progress\":" << JsonNumber(s.progress)
+           << ",\"allocated\":" << s.allocated_tokens
+           << ",\"predicted\":" << JsonNumber(s.predicted_remaining_seconds)
+           << ",\"slack\":" << JsonNumber(s.slack_seconds) << "}\n";
+      }
+      for (const SloTransition& tr : job.transitions) {
+        os << "{\"t\":" << JsonNumber(tr.t) << ",\"kind\":\"ts_slo\",\"run\":" << run.run
+           << ",\"job\":" << job.job << ",\"from\":\"" << SloStateName(tr.from)
+           << "\",\"to\":\"" << SloStateName(tr.to)
+           << "\",\"elapsed\":" << JsonNumber(tr.elapsed_seconds)
+           << ",\"slack\":" << JsonNumber(tr.slack_seconds) << "}\n";
+      }
+      os << "{\"t\":" << JsonNumber(job.finished ? job.completion_seconds : 0.0)
+         << ",\"kind\":\"ts_job_end\",\"run\":" << run.run << ",\"job\":" << job.job
+         << ",\"deadline\":" << JsonNumber(job.deadline_seconds)
+         << ",\"finished\":" << (job.finished ? "true" : "false")
+         << ",\"completion\":" << JsonNumber(job.completion_seconds) << ",\"final\":\""
+         << SloStateName(job.final_state) << "\",\"dropped\":" << job.dropped_samples
+         << "}\n";
+    }
+  }
+}
+
+namespace {
+
+struct LineCtx {
+  const FlatJsonFields& fields;
+  std::string error;  // first missing/malformed field
+
+  bool Num(const char* key, double& out) {
+    const std::string* v = fields.Find(key);
+    if (v == nullptr) {
+      return Fail(key);
+    }
+    char* end = nullptr;
+    out = std::strtod(v->c_str(), &end);
+    if (end == v->c_str() || *end != '\0') {
+      return Fail(key);
+    }
+    return true;
+  }
+  bool Int(const char* key, int& out) {
+    double d = 0.0;
+    if (!Num(key, d)) {
+      return false;
+    }
+    out = static_cast<int>(d);
+    return true;
+  }
+  bool Int64(const char* key, int64_t& out) {
+    double d = 0.0;
+    if (!Num(key, d)) {
+      return false;
+    }
+    out = static_cast<int64_t>(d);
+    return true;
+  }
+  bool Bool(const char* key, bool& out) {
+    const std::string* v = fields.Find(key);
+    if (v == nullptr || (*v != "true" && *v != "false")) {
+      return Fail(key);
+    }
+    out = (*v == "true");
+    return true;
+  }
+  bool State(const char* key, SloState& out) {
+    const std::string* v = fields.Find(key);
+    if (v == nullptr) {
+      return Fail(key);
+    }
+    for (int s = 0; s <= static_cast<int>(SloState::kMissed); ++s) {
+      if (*v == SloStateName(static_cast<SloState>(s))) {
+        out = static_cast<SloState>(s);
+        return true;
+      }
+    }
+    return Fail(key);
+  }
+  bool Fail(const char* key) {
+    if (error.empty()) {
+      error = std::string("missing or malformed field '") + key + "'";
+    }
+    return false;
+  }
+};
+
+JobTimeline& JobIn(RunTimeline& run, int job) {
+  for (JobTimeline& existing : run.jobs) {
+    if (existing.job == job) {
+      return existing;
+    }
+  }
+  run.jobs.emplace_back();
+  run.jobs.back().job = job;
+  return run.jobs.back();
+}
+
+}  // namespace
+
+TimeSeriesReadResult ReadTimeSeriesJsonl(std::istream& is) {
+  TimeSeriesReadResult result;
+  TimeSeries series;
+  std::string line;
+  int line_number = 0;
+  auto fail = [&](const std::string& message) {
+    result.line = line_number;
+    result.message = message;
+    return result;
+  };
+  while (std::getline(is, line)) {
+    ++line_number;
+    if (line.empty()) {
+      continue;
+    }
+    FlatJsonFields fields;
+    if (!ParseFlatJsonObject(line, fields)) {
+      return fail("malformed JSON object");
+    }
+    const std::string* kind = fields.Find("kind");
+    if (kind == nullptr) {
+      return fail("missing kind");
+    }
+    LineCtx ctx{fields, {}};
+    double t = 0.0;
+    if (!ctx.Num("t", t)) {
+      return fail(ctx.error);
+    }
+    if (*kind == "ts_run") {
+      RunTimeline run;
+      double period = 0.0;
+      double deadline = 0.0;
+      if (!ctx.Int("run", run.run) || !ctx.Num("period", period) ||
+          !ctx.Num("deadline", deadline) ||
+          !ctx.Int64("cluster_dropped", run.dropped_cluster_samples)) {
+        return fail(ctx.error);
+      }
+      if (run.run != static_cast<int>(series.runs.size())) {
+        return fail("out-of-order run index");
+      }
+      if (series.runs.empty()) {
+        series.sample_period_seconds = period;
+      }
+      series.runs.push_back(std::move(run));
+      continue;
+    }
+    int run_index = 0;
+    if (!ctx.Int("run", run_index)) {
+      return fail(ctx.error);
+    }
+    if (run_index < 0 || run_index >= static_cast<int>(series.runs.size())) {
+      return fail("sample references a run with no ts_run header");
+    }
+    RunTimeline& run = series.runs[static_cast<size_t>(run_index)];
+    if (*kind == "ts_cluster") {
+      ClusterSample s;
+      s.t = t;
+      if (!ctx.Num("utilization", s.utilization) || !ctx.Int("up", s.up_slots) ||
+          !ctx.Int("background", s.background_slots) || !ctx.Int("spare", s.spare_tokens)) {
+        return fail(ctx.error);
+      }
+      run.cluster.push_back(s);
+    } else if (*kind == "ts_job") {
+      int job = 0;
+      JobSample s;
+      s.t = t;
+      if (!ctx.Int("job", job) || !ctx.Num("elapsed", s.elapsed_seconds) ||
+          !ctx.Num("progress", s.progress) || !ctx.Int("allocated", s.allocated_tokens) ||
+          !ctx.Num("predicted", s.predicted_remaining_seconds) ||
+          !ctx.Num("slack", s.slack_seconds)) {
+        return fail(ctx.error);
+      }
+      JobIn(run, job).samples.push_back(s);
+    } else if (*kind == "ts_slo") {
+      int job = 0;
+      SloTransition tr;
+      tr.t = t;
+      if (!ctx.Int("job", job) || !ctx.State("from", tr.from) || !ctx.State("to", tr.to) ||
+          !ctx.Num("elapsed", tr.elapsed_seconds) || !ctx.Num("slack", tr.slack_seconds)) {
+        return fail(ctx.error);
+      }
+      JobIn(run, job).transitions.push_back(tr);
+    } else if (*kind == "ts_job_end") {
+      int job = 0;
+      if (!ctx.Int("job", job)) {
+        return fail(ctx.error);
+      }
+      JobTimeline& timeline = JobIn(run, job);
+      if (!ctx.Num("deadline", timeline.deadline_seconds) ||
+          !ctx.Bool("finished", timeline.finished) ||
+          !ctx.Num("completion", timeline.completion_seconds) ||
+          !ctx.State("final", timeline.final_state) ||
+          !ctx.Int64("dropped", timeline.dropped_samples)) {
+        return fail(ctx.error);
+      }
+    } else {
+      return fail("unknown kind '" + *kind + "'");
+    }
+  }
+  result.series = std::move(series);
+  return result;
+}
+
+// --- Views ---
+
+TimeSeries FilterTimeSeries(const TimeSeries& series, const TimelineFilter& filter) {
+  TimeSeries out;
+  out.sample_period_seconds = series.sample_period_seconds;
+  for (const RunTimeline& run : series.runs) {
+    if (filter.run >= 0 && run.run != filter.run) {
+      continue;
+    }
+    RunTimeline kept;
+    kept.run = run.run;
+    if (!filter.jobs_only) {
+      kept.cluster = run.cluster;
+      kept.dropped_cluster_samples = run.dropped_cluster_samples;
+    }
+    if (!filter.cluster_only) {
+      for (const JobTimeline& job : run.jobs) {
+        if (filter.job >= 0 && job.job != filter.job) {
+          continue;
+        }
+        if (filter.at_risk_only && job.transitions.empty() &&
+            job.final_state == SloState::kOnTrack) {
+          continue;
+        }
+        kept.jobs.push_back(job);
+      }
+    }
+    out.runs.push_back(std::move(kept));
+  }
+  return out;
+}
+
+void WriteTimelineJson(std::ostream& os, const TimeSeries& series) {
+  os << "{\n  \"sample_period_seconds\": " << JsonNumber(series.sample_period_seconds)
+     << ",\n  \"runs\": [";
+  bool first_run = true;
+  for (const RunTimeline& run : series.runs) {
+    os << (first_run ? "\n" : ",\n");
+    first_run = false;
+    os << "    {\"run\": " << run.run << ",\n     \"cluster\": {\"dropped\": "
+       << run.dropped_cluster_samples << ", \"samples\": [";
+    bool first = true;
+    for (const ClusterSample& s : run.cluster) {
+      os << (first ? "" : ", ");
+      first = false;
+      os << "{\"t\": " << JsonNumber(s.t) << ", \"utilization\": " << JsonNumber(s.utilization)
+         << ", \"up\": " << s.up_slots << ", \"background\": " << s.background_slots
+         << ", \"spare\": " << s.spare_tokens << "}";
+    }
+    os << "]},\n     \"jobs\": [";
+    bool first_job = true;
+    for (const JobTimeline& job : run.jobs) {
+      os << (first_job ? "\n" : ",\n");
+      first_job = false;
+      os << "      {\"job\": " << job.job << ", \"deadline\": "
+         << JsonNumber(job.deadline_seconds) << ", \"finished\": "
+         << (job.finished ? "true" : "false") << ", \"completion\": "
+         << JsonNumber(job.completion_seconds) << ", \"final_state\": \""
+         << SloStateName(job.final_state) << "\", \"dropped\": " << job.dropped_samples
+         << ",\n       \"samples\": [";
+      first = true;
+      for (const JobSample& s : job.samples) {
+        os << (first ? "" : ", ");
+        first = false;
+        os << "{\"t\": " << JsonNumber(s.t) << ", \"elapsed\": "
+           << JsonNumber(s.elapsed_seconds) << ", \"progress\": " << JsonNumber(s.progress)
+           << ", \"allocated\": " << s.allocated_tokens << ", \"predicted_remaining\": "
+           << JsonNumber(s.predicted_remaining_seconds) << ", \"realized_remaining\": ";
+        if (job.finished) {
+          os << JsonNumber(job.completion_seconds - s.elapsed_seconds);
+        } else {
+          os << "null";
+        }
+        os << ", \"slack\": " << JsonNumber(s.slack_seconds) << "}";
+      }
+      os << "],\n       \"health\": [";
+      first = true;
+      for (const SloTransition& tr : job.transitions) {
+        os << (first ? "" : ", ");
+        first = false;
+        os << "{\"t\": " << JsonNumber(tr.t) << ", \"from\": \"" << SloStateName(tr.from)
+           << "\", \"to\": \"" << SloStateName(tr.to) << "\", \"elapsed\": "
+           << JsonNumber(tr.elapsed_seconds) << ", \"slack\": "
+           << JsonNumber(tr.slack_seconds) << "}";
+      }
+      os << "]}";
+    }
+    os << (first_job ? "]}" : "\n     ]}");
+  }
+  os << (first_run ? "]\n" : "\n  ]\n") << "}\n";
+}
+
+void WriteTimelineCsv(std::ostream& os, const TimeSeries& series) {
+  os << "run,series,job,t,value\n";
+  for (const RunTimeline& run : series.runs) {
+    for (const ClusterSample& s : run.cluster) {
+      os << run.run << ",cluster.utilization,," << JsonNumber(s.t) << ","
+         << JsonNumber(s.utilization) << "\n";
+      os << run.run << ",cluster.up_slots,," << JsonNumber(s.t) << "," << s.up_slots << "\n";
+      os << run.run << ",cluster.background_slots,," << JsonNumber(s.t) << ","
+         << s.background_slots << "\n";
+      os << run.run << ",cluster.spare_tokens,," << JsonNumber(s.t) << "," << s.spare_tokens
+         << "\n";
+    }
+    for (const JobTimeline& job : run.jobs) {
+      for (const JobSample& s : job.samples) {
+        os << run.run << ",job.allocated_tokens," << job.job << "," << JsonNumber(s.t) << ","
+           << s.allocated_tokens << "\n";
+        os << run.run << ",job.progress," << job.job << "," << JsonNumber(s.t) << ","
+           << JsonNumber(s.progress) << "\n";
+        os << run.run << ",job.predicted_remaining," << job.job << "," << JsonNumber(s.t)
+           << "," << JsonNumber(s.predicted_remaining_seconds) << "\n";
+        if (job.finished) {
+          os << run.run << ",job.realized_remaining," << job.job << "," << JsonNumber(s.t)
+             << "," << JsonNumber(job.completion_seconds - s.elapsed_seconds) << "\n";
+        }
+        os << run.run << ",job.slack," << job.job << "," << JsonNumber(s.t) << ","
+           << JsonNumber(s.slack_seconds) << "\n";
+      }
+      for (const SloTransition& tr : job.transitions) {
+        os << run.run << ",job.slo_state," << job.job << "," << JsonNumber(tr.t) << ","
+           << static_cast<int>(tr.to) << "\n";
+      }
+    }
+  }
+}
+
+void PrintTimeline(std::ostream& os, const TimeSeries& series) {
+  os << "timeline: " << series.runs.size() << " run(s), sample period "
+     << JsonNumber(series.sample_period_seconds) << "s\n";
+  for (const RunTimeline& run : series.runs) {
+    os << "run " << run.run << ": " << run.cluster.size() << " cluster sample(s)";
+    if (run.dropped_cluster_samples > 0) {
+      os << " (+" << run.dropped_cluster_samples << " dropped)";
+    }
+    os << "\n";
+    if (!run.cluster.empty()) {
+      double peak = 0.0;
+      int min_spare = run.cluster.front().spare_tokens;
+      for (const ClusterSample& s : run.cluster) {
+        peak = std::max(peak, s.utilization);
+        min_spare = std::min(min_spare, s.spare_tokens);
+      }
+      os << "  cluster: peak utilization " << JsonNumber(peak) << ", min spare pool "
+         << min_spare << "\n";
+    }
+    for (const JobTimeline& job : run.jobs) {
+      os << "  job " << job.job << ": " << job.samples.size() << " sample(s)";
+      if (job.dropped_samples > 0) {
+        os << " (+" << job.dropped_samples << " dropped)";
+      }
+      if (job.deadline_seconds >= 0.0) {
+        os << ", deadline " << JsonNumber(job.deadline_seconds) << "s";
+      }
+      if (job.finished) {
+        os << ", finished at " << JsonNumber(job.completion_seconds) << "s";
+      }
+      os << ", health " << SloStateName(job.final_state) << "\n";
+      for (const SloTransition& tr : job.transitions) {
+        os << "    " << JsonNumber(tr.t) << "s: " << SloStateName(tr.from) << " -> "
+           << SloStateName(tr.to) << " (slack " << JsonNumber(tr.slack_seconds) << "s)\n";
+      }
+    }
+  }
+}
+
+}  // namespace jockey

@@ -1,0 +1,222 @@
+// Time-series telemetry: live utilization / allocation timelines and per-job SLO
+// health, sampled during the run instead of reconstructed after it.
+//
+// Jockey's argument is *continuous* control — Figs 4–6 are all time series of
+// allocation, progress and deadline slack — but until this layer the repo could
+// only produce those curves by replaying a trace through `report`/`postmortem`.
+// The TimeSeriesRecorder attaches to the experiment harness like the fault
+// injector does (non-owning pointer, detached by default, one branch per site)
+// and samples on a fixed simulated-time interval:
+//
+//  * cluster-wide series — utilization, up slots, background slots, spare-token
+//    pool — taken in the scheduler pass, at most one sample per period;
+//  * per-job series — granted tokens, progress, predicted remaining time,
+//    deadline slack — taken at control ticks (the controller's own cadence);
+//    realized remaining time is derived at export once completion is known;
+//  * a per-job SLO health state machine (on_track → at_risk → missed) evaluated
+//    every control tick with a hysteresis band mirroring the controller's
+//    dead-zone: a job goes at_risk the tick its predicted completion slips past
+//    the deadline, and recovers only once slack clears `recover_slack_seconds`.
+//    Transitions emit `slo_state_change` trace events through the regular
+//    observer, so postmortems can join live health against realized verdicts.
+//
+// Series storage is a fixed-stride ring: the newest `capacity` samples per
+// series are kept and the overwritten count is reported (`dropped`), so a
+// fleet-length run has bounded memory and says so instead of silently
+// truncating. Everything is keyed by simulated time, so a seeded run's timeline
+// is byte-identical across reruns and table-build thread counts.
+//
+// Interchange is flat JSONL (`--timeseries-out`, WriteTimeSeriesJsonl /
+// ReadTimeSeriesJsonl — same one-level object dialect as traces); the
+// `jockey_cli timeline` subcommand renders that into the deterministic nested
+// JSON document (WriteTimelineJson), long-form CSV (WriteTimelineCsv) and a
+// human table (PrintTimeline).
+
+#ifndef SRC_OBS_TIMESERIES_TIMESERIES_H_
+#define SRC_OBS_TIMESERIES_TIMESERIES_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/obs/observer.h"
+#include "src/obs/trace_event.h"
+
+namespace jockey {
+
+struct TimeSeriesConfig {
+  // Sampling stride in simulated seconds. Defaults to the control period, so
+  // per-job series record every control decision.
+  double sample_period_seconds = 60.0;
+  // Ring stride: newest samples kept per series (per run). 4096 at the default
+  // period covers ~2.8 simulated days per job before anything drops.
+  int capacity = 4096;
+  // SLO health hysteresis band: enter at_risk when predicted slack falls below
+  // `at_risk_slack_seconds`, recover to on_track only once it clears
+  // `recover_slack_seconds` — mirroring the controller's 180 s dead-zone so
+  // health doesn't flap with the allocation.
+  double at_risk_slack_seconds = 0.0;
+  double recover_slack_seconds = 180.0;
+};
+
+// Throws std::invalid_argument naming the first bad field (the
+// ClusterConfig/ControlLoopConfig convention).
+void ValidateTimeSeriesConfig(const TimeSeriesConfig& config);
+
+// One control-tick sample of a job's allocation and prediction state.
+struct JobSample {
+  double t = 0.0;        // simulated time
+  double elapsed_seconds = 0.0;
+  double progress = 0.0;
+  int allocated_tokens = 0;
+  double predicted_remaining_seconds = 0.0;
+  // deadline - (elapsed + predicted remaining); 0 when the run has no deadline.
+  double slack_seconds = 0.0;
+};
+
+// One scheduler-pass sample of cluster-wide state.
+struct ClusterSample {
+  double t = 0.0;
+  double utilization = 0.0;
+  int up_slots = 0;
+  int background_slots = 0;
+  int spare_tokens = 0;
+};
+
+// One SLO health transition (the in-memory twin of SloStateChangeEvent).
+struct SloTransition {
+  double t = 0.0;
+  SloState from = SloState::kOnTrack;
+  SloState to = SloState::kOnTrack;
+  double elapsed_seconds = 0.0;
+  double slack_seconds = 0.0;
+};
+
+struct JobTimeline {
+  int job = 0;
+  double deadline_seconds = -1.0;  // < 0: no SLO, health machine inert
+  bool finished = false;
+  double completion_seconds = 0.0;  // valid when finished
+  SloState final_state = SloState::kOnTrack;
+  int64_t dropped_samples = 0;  // ring overwrites
+  std::vector<JobSample> samples;  // chronological
+  std::vector<SloTransition> transitions;
+};
+
+// One experiment run (one episode). Multi-run recorders (scenarios, chaos
+// sweeps) segment by run index the same way postmortem segments traces.
+struct RunTimeline {
+  int run = 0;
+  int64_t dropped_cluster_samples = 0;
+  std::vector<ClusterSample> cluster;  // chronological
+  std::vector<JobTimeline> jobs;       // ordered by job id
+};
+
+struct TimeSeries {
+  double sample_period_seconds = 60.0;
+  std::vector<RunTimeline> runs;  // ordered by run index
+};
+
+// Samples simulator/controller state into ring-buffered series. Attach with
+// ClusterSimulator::set_timeseries_recorder / ExperimentOptions::timeseries;
+// detached (the default) every hook site is one null-pointer branch.
+// Single-threaded like every sink: all hooks run on the discrete-event thread.
+class TimeSeriesRecorder {
+ public:
+  explicit TimeSeriesRecorder(TimeSeriesConfig config = TimeSeriesConfig());
+
+  const TimeSeriesConfig& config() const { return config_; }
+
+  // Where slo_state_change events go (typically the same observer the run
+  // uses, so transitions land in the trace). Default-detached.
+  void set_observer(Observer observer) { observer_ = observer; }
+
+  // Starts a new run segment; subsequent samples record under it. `deadline_seconds`
+  // < 0 means no SLO (health machine inert). RunExperiment calls this once per run.
+  void BeginRun(double deadline_seconds);
+
+  // Control-tick hook: records the job sample (throttled to the sample period)
+  // and advances the SLO health machine (every call).
+  void OnControlSample(int job, double now, double elapsed_seconds, double progress,
+                       double predicted_remaining_seconds, int granted_tokens);
+
+  // Scheduler-pass hook: cluster-wide state, at most one sample per period.
+  void OnClusterSample(double now, double utilization, int up_slots, int background_slots,
+                       int spare_tokens);
+
+  // Finalizes the job's health: missed if over deadline, recovered if it was
+  // at_risk but finished in time — so final state agrees with the postmortem
+  // deadline verdict by construction.
+  void OnJobFinish(int job, double now, double completion_seconds);
+
+  // Unrolls the rings into chronological series. Cheap enough to call once per
+  // export; the recorder keeps recording afterwards.
+  TimeSeries Snapshot() const;
+
+ private:
+  struct JobTrack {
+    JobTimeline meta;             // samples/transitions unused; rings below
+    std::vector<JobSample> ring;
+    int64_t pushed = 0;
+    double next_sample = 0.0;
+    SloState state = SloState::kOnTrack;
+  };
+  struct RunTrack {
+    double deadline_seconds = -1.0;
+    std::vector<ClusterSample> cluster_ring;
+    int64_t cluster_pushed = 0;
+    double next_cluster_sample = 0.0;
+    std::map<int, JobTrack> jobs;
+  };
+
+  JobTrack& Track(int job);
+  void Transition(int job, JobTrack& track, SloState to, double now, double elapsed,
+                  double slack);
+
+  TimeSeriesConfig config_;
+  Observer observer_;
+  std::vector<RunTrack> runs_;
+};
+
+// Flat JSONL interchange (the `--timeseries-out` format): one line per run
+// header / sample / transition / finish, same one-level dialect as traces.
+void WriteTimeSeriesJsonl(std::ostream& os, const TimeSeries& series);
+
+struct TimeSeriesReadResult {
+  std::optional<TimeSeries> series;  // unset on failure
+  int line = 0;                      // 1-based line of the first problem
+  std::string message;
+};
+
+// Inverse of WriteTimeSeriesJsonl. Strict: stops at the first malformed line.
+TimeSeriesReadResult ReadTimeSeriesJsonl(std::istream& is);
+
+// `timeline` view selection. Defaults keep everything.
+struct TimelineFilter {
+  int run = -1;              // -1: all runs
+  int job = -1;              // -1: all jobs
+  bool cluster_only = false; // drop job series
+  bool jobs_only = false;    // drop cluster series
+  // Keep only jobs whose health ever left on_track (or never finished healthy).
+  bool at_risk_only = false;
+};
+
+TimeSeries FilterTimeSeries(const TimeSeries& series, const TimelineFilter& filter);
+
+// The nested timeline document: deterministic bytes (JsonNumber, fixed key
+// order). Adds per-sample realized remaining time for finished jobs.
+void WriteTimelineJson(std::ostream& os, const TimeSeries& series);
+
+// Long form: run,series,job,t,value — one row per sample point, health
+// transitions as numeric `job.slo_state` rows. Deterministic bytes.
+void WriteTimelineCsv(std::ostream& os, const TimeSeries& series);
+
+// Human summary: per-run cluster and job tables plus health transitions.
+void PrintTimeline(std::ostream& os, const TimeSeries& series);
+
+}  // namespace jockey
+
+#endif  // SRC_OBS_TIMESERIES_TIMESERIES_H_

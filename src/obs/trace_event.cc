@@ -91,6 +91,18 @@ const char* DegradeModeName(DegradeMode mode) {
   return "unknown";
 }
 
+const char* SloStateName(SloState state) {
+  switch (state) {
+    case SloState::kOnTrack:
+      return "on_track";
+    case SloState::kAtRisk:
+      return "at_risk";
+    case SloState::kMissed:
+      return "missed";
+  }
+  return "unknown";
+}
+
 const char* EventKindName(EventKind kind) {
   switch (kind) {
     case EventKind::kControlTick:
@@ -129,6 +141,8 @@ const char* EventKindName(EventKind kind) {
       return "degraded_decision";
     case EventKind::kTaskReady:
       return "task_ready";
+    case EventKind::kSloStateChange:
+      return "slo_state_change";
   }
   return "unknown";
 }

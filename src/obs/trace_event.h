@@ -234,13 +234,35 @@ struct TaskReadyEvent {
   bool requeued = false;
 };
 
+// Per-job SLO health, as tracked online by the time-series recorder
+// (timeseries/timeseries.h). Ordered by severity; kMissed is terminal.
+enum class SloState : int {
+  kOnTrack = 0,  // predicted completion clears the deadline
+  kAtRisk = 1,   // controller predicts a miss (negative slack)
+  kMissed = 2,   // deadline passed before completion — terminal
+};
+
+const char* SloStateName(SloState state);
+
+// The per-job SLO health state machine changed state. Emitted by the
+// TimeSeriesRecorder so postmortems can join live health against realized
+// deadline verdicts. `slack_seconds` is deadline - (elapsed + predicted
+// remaining) at the transition — negative when a miss is predicted.
+struct SloStateChangeEvent {
+  int job = 0;
+  SloState from = SloState::kOnTrack;
+  SloState to = SloState::kOnTrack;
+  double elapsed_seconds = 0.0;
+  double slack_seconds = 0.0;
+};
+
 using TraceEventPayload =
     std::variant<ControlTickEvent, PredictionLookupEvent, AllocationChangeEvent,
                  UtilityChangeEvent, TableCacheLookupEvent, TableCacheStoreEvent,
                  TableCacheEvictEvent, JobSubmitEvent, JobFinishEvent, TaskDispatchEvent,
                  TaskCompleteEvent, TaskKilledEvent, SpeculativeLaunchEvent,
                  MachineFailureEvent, MachineRecoverEvent, FaultInjectedEvent,
-                 DegradedDecisionEvent, TaskReadyEvent>;
+                 DegradedDecisionEvent, TaskReadyEvent, SloStateChangeEvent>;
 
 // Stable event-kind tags; indices match TraceEventPayload alternatives.
 enum class EventKind : int {
@@ -263,6 +285,7 @@ enum class EventKind : int {
   kDegradedDecision = 16,
   // Appended after the fault-injection kinds to keep earlier wire tags stable.
   kTaskReady = 17,
+  kSloStateChange = 18,
 };
 
 // The stable wire name of each kind (the "kind" field of a JSONL line).

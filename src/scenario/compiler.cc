@@ -148,6 +148,7 @@ ExperimentOptions BuildOptions(const ScenarioSpec& spec, const WorkloadEntrySpec
   }
   options.observer = compile.observer;
   options.capture_events = compile.capture_events;
+  options.timeseries = compile.timeseries;
   return options;
 }
 

@@ -76,6 +76,10 @@ struct ScenarioCompileOptions {
   // Sets capture_events on every episode (the differential tests and --trace-out
   // concatenation want the full event streams).
   bool capture_events = false;
+  // Attached to every episode's ExperimentOptions (jockey_cli --timeseries-out).
+  // Each episode then opens its own run on the recorder, in episode order, so run
+  // indices in the timeline line up with episode indices in the summary.
+  TimeSeriesRecorder* timeseries = nullptr;
 };
 
 // Lowers `spec` to its episode sequence, training jobs through `catalog` on demand.

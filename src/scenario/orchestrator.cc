@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "src/obs/json_format.h"
+#include "src/obs/prof/profiler.h"
 
 namespace jockey {
 
@@ -49,7 +50,12 @@ ScenarioOutcome RunScenario(const CompiledScenario& scenario, std::FILE* progres
     record.arrival_seconds = episode.spec().arrival_seconds;
     record.seed = episode.spec().options.seed;
     record.policy = episode.spec().options.policy;
-    record.result = episode.Run();
+    {
+      // All episode work (RunExperiment and everything under it) lands below this
+      // region, so scenario_episode/sim_dispatch/control_tick reads as a call tree.
+      prof::Scope episode_scope("scenario_episode");
+      record.result = episode.Run();
+    }
     if (progress != nullptr) {
       std::fprintf(progress, "  %-24s %8.1f min vs %6.0f min  %s\n", record.label.c_str(),
                    record.result.completion_seconds / 60.0,

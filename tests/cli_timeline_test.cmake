@@ -1,0 +1,99 @@
+# Smoke-tests `jockey_cli timeline`: a scenario run records a time-series JSONL
+# via --timeseries-out, the timeline subcommand renders it (text/JSON/CSV) with
+# byte-identical output across reruns, filters work, and malformed input gets a
+# file:line diagnostic.
+set(SCENARIO ${SCENARIO_DIR}/fig6_overload.yaml)
+set(TS1 ${CMAKE_CURRENT_BINARY_DIR}/cli_timeline_1.jsonl)
+set(TS2 ${CMAKE_CURRENT_BINARY_DIR}/cli_timeline_2.jsonl)
+set(TLJSON1 ${CMAKE_CURRENT_BINARY_DIR}/cli_timeline_1.json)
+set(TLJSON2 ${CMAKE_CURRENT_BINARY_DIR}/cli_timeline_2.json)
+set(TLCSV ${CMAKE_CURRENT_BINARY_DIR}/cli_timeline.csv)
+
+# Two scenario runs: the recorded series itself must be deterministic.
+execute_process(COMMAND ${CLI} run ${SCENARIO} --timeseries-out ${TS1} --no-cache
+                RESULT_VARIABLE rc OUTPUT_VARIABLE run_out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "scenario run with --timeseries-out failed: ${rc}\n${run_out}")
+endif()
+execute_process(COMMAND ${CLI} run ${SCENARIO} --timeseries-out ${TS2} --no-cache
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "scenario rerun with --timeseries-out failed: ${rc}")
+endif()
+file(READ ${TS1} ts1)
+file(READ ${TS2} ts2)
+if(NOT ts1 STREQUAL ts2)
+  message(FATAL_ERROR "time-series JSONL is not deterministic across reruns")
+endif()
+if(NOT ts1 MATCHES "\"kind\":\"ts_run\"" OR NOT ts1 MATCHES "\"kind\":\"ts_slo\"")
+  message(FATAL_ERROR "time-series JSONL missing ts_run/ts_slo records:\n${ts1}")
+endif()
+
+# Timeline render: text summary on stdout plus JSON and CSV artifacts.
+execute_process(COMMAND ${CLI} timeline ${TS1} --json ${TLJSON1} --csv ${TLCSV}
+                RESULT_VARIABLE rc OUTPUT_VARIABLE first_out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "timeline failed: ${rc}\n${first_out}")
+endif()
+if(NOT first_out MATCHES "cluster" OR NOT first_out MATCHES "job 0")
+  message(FATAL_ERROR "timeline summary missing cluster/job sections:\n${first_out}")
+endif()
+file(READ ${TLJSON1} tljson1)
+if(NOT tljson1 MATCHES "\"health\"" OR NOT tljson1 MATCHES "\"final_state\"")
+  message(FATAL_ERROR "timeline JSON missing health/final_state:\n${tljson1}")
+endif()
+file(READ ${TLCSV} tlcsv)
+if(NOT tlcsv MATCHES "run,series,job,t,value")
+  message(FATAL_ERROR "timeline CSV missing the long-form header:\n${tlcsv}")
+endif()
+
+# Rerun: stdout and JSON artifact byte-identical.
+execute_process(COMMAND ${CLI} timeline ${TS1} --json ${TLJSON2}
+                RESULT_VARIABLE rc OUTPUT_VARIABLE second_out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "timeline rerun failed: ${rc}")
+endif()
+if(NOT first_out STREQUAL second_out)
+  message(FATAL_ERROR "timeline output is not deterministic:\n--- first ---\n${first_out}\n--- second ---\n${second_out}")
+endif()
+file(READ ${TLJSON2} tljson2)
+if(NOT tljson1 STREQUAL tljson2)
+  message(FATAL_ERROR "timeline JSON is not deterministic")
+endif()
+
+# Filters: --cluster-only must drop job series; conflicting filters are rejected.
+execute_process(COMMAND ${CLI} timeline ${TS1} --cluster-only
+                RESULT_VARIABLE rc OUTPUT_VARIABLE cluster_out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "timeline --cluster-only failed: ${rc}")
+endif()
+if(cluster_out MATCHES "job 0")
+  message(FATAL_ERROR "--cluster-only still prints job series:\n${cluster_out}")
+endif()
+execute_process(COMMAND ${CLI} timeline ${TS1} --cluster-only --jobs-only
+                RESULT_VARIABLE rc ERROR_VARIABLE err_out)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "conflicting filters should exit 2, got ${rc}:\n${err_out}")
+endif()
+
+# Malformed series: file:line diagnostic, exit 1.
+set(BAD ${CMAKE_CURRENT_BINARY_DIR}/cli_timeline_bad.jsonl)
+file(WRITE ${BAD} "{\"t\":0,\"kind\":\"ts_run\",\"run\":0,\"period\":60,\"deadline\":100,\"cluster_dropped\":0}\n{\"t\":0,\"kind\":\"ts_cluster\",\"run\":0,\"up\":4}\n")
+execute_process(COMMAND ${CLI} timeline ${BAD}
+                RESULT_VARIABLE rc ERROR_VARIABLE err_out)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "malformed series was accepted")
+endif()
+if(NOT err_out MATCHES "cli_timeline_bad.jsonl:2:")
+  message(FATAL_ERROR "diagnostic missing file:line:\n${err_out}")
+endif()
+
+# Output-path validation: bad parent directory rejected up front, exit 2.
+execute_process(COMMAND ${CLI} timeline ${TS1} --json /no/such/dir/tl.json
+                RESULT_VARIABLE rc ERROR_VARIABLE err_out)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "bad --json parent dir should exit 2, got ${rc}:\n${err_out}")
+endif()
+if(NOT err_out MATCHES "parent directory")
+  message(FATAL_ERROR "diagnostic missing parent-directory message:\n${err_out}")
+endif()

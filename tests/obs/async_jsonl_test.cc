@@ -95,6 +95,34 @@ TEST(AsyncJsonlSinkTest, BatchOfOneStressesHandoffAndPreservesOrder) {
   EXPECT_EQ(os.str(), expected);
 }
 
+// Destruction ordering: events enqueued immediately before teardown — with no
+// Flush and no time for the writer thread to wake — must all reach the stream,
+// byte-identical to the synchronous sink. The repeated construct/enqueue/destroy
+// cycles race the producer's final enqueues against writer startup and shutdown;
+// under the TSan CI leg this is the teardown half of the locking protocol. Batch
+// sizes bracket the handoff regimes: 1 (publish per event), 8 (partial batch left
+// at teardown), and huge (everything rides the destructor's drain).
+TEST(AsyncJsonlSinkTest, TeardownImmediatelyAfterEnqueueLosesNothing) {
+  for (size_t batch : {size_t{1}, size_t{8}, size_t{1} << 20}) {
+    for (int cycle = 0; cycle < 200; ++cycle) {
+      std::ostringstream sync_os;
+      JsonlSink sync(sync_os);
+      std::ostringstream async_os;
+      {
+        AsyncJsonlSink async(async_os, batch);
+        // A short burst, destructor runs while the writer may not have started.
+        for (int i = 0; i < 7; ++i) {
+          TraceEvent event = SampleEvent(cycle * 7 + i);
+          sync.OnEvent(event);
+          async.OnEvent(event);
+        }
+      }
+      ASSERT_EQ(async_os.str(), sync_os.str())
+          << "batch=" << batch << " cycle=" << cycle;
+    }
+  }
+}
+
 TEST(AsyncJsonlSinkTest, ClusterRunTraceMatchesSynchronousSink) {
   JobShapeSpec spec;
   spec.name = "asynctrace";

@@ -121,6 +121,23 @@ TEST(MetricsTest, QuantilesAreExactNotBucketEdges) {
   EXPECT_DOUBLE_EQ(empty.Quantile(0.5), 0.0);
 }
 
+// p99.9 is the tail the SLO postmortems quote; pin its exact interpolated value so
+// the export can never silently degrade to a bucket-edge approximation.
+TEST(MetricsTest, P999IsExactInterpolatedOrderStatistic) {
+  Histogram h(DefaultLatencySecondsEdges());
+  for (int i = 1; i <= 1000; ++i) {
+    h.Observe(static_cast<double>(i));
+  }
+  // pos = 0.999 * 999 = 998.001 -> samples 999 and 1000 interpolated at 0.001.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.999), 999.001);
+  // Fewer samples than the tail resolves: clamps to interpolation near the max,
+  // never past it.
+  Histogram small(DefaultLatencySecondsEdges());
+  small.Observe(1.0);
+  small.Observe(2.0);
+  EXPECT_DOUBLE_EQ(small.Quantile(0.999), 1.999);
+}
+
 TEST(MetricsTest, JsonExportIncludesExactQuantiles) {
   MetricsRegistry registry;
   for (int i = 1; i <= 10; ++i) {
@@ -132,6 +149,14 @@ TEST(MetricsTest, JsonExportIncludesExactQuantiles) {
   EXPECT_NE(json.find("\"p50\": 16.5"), std::string::npos) << json;
   EXPECT_NE(json.find("\"p90\": "), std::string::npos);
   EXPECT_NE(json.find("\"p99\": "), std::string::npos);
+  // p99.9 of 3,6,...,30: pos = 0.999 * 9 = 8.991 -> interpolate samples 27 and 30
+  // at frac 0.991 (~29.973). Match the export byte-for-byte against the same
+  // interpolation arithmetic so a formatting or rounding change is caught.
+  const Histogram* h = registry.FindHistogram("lat");
+  ASSERT_NE(h, nullptr);
+  double p999 = h->Quantile(0.999);
+  EXPECT_NEAR(p999, 29.973, 1e-9);
+  EXPECT_NE(json.find("\"p999\": " + JsonNumber(p999)), std::string::npos) << json;
 }
 
 TEST(MetricsTest, SnapshotListsEverything) {

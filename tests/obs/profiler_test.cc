@@ -1,0 +1,152 @@
+// The scoped hierarchical profiler: exact path-keyed counts, deterministic
+// aggregation order, the disabled no-op contract, Reset, early Close, and the
+// cross-thread table merge.
+
+#include "src/obs/prof/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace jockey {
+namespace prof {
+namespace {
+
+// Every test owns the process-wide profiler state for its duration.
+class ProfilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Reset();
+    SetEnabled(true);
+  }
+  void TearDown() override {
+    SetEnabled(false);
+    Reset();
+  }
+};
+
+const ScopeStat* Find(const std::vector<ScopeStat>& stats, const std::string& path) {
+  for (const ScopeStat& s : stats) {
+    if (s.path == path) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+TEST_F(ProfilerTest, NestingBuildsSlashJoinedPathsWithExactCounts) {
+  for (int i = 0; i < 3; ++i) {
+    Scope tick("tick");
+    {
+      Scope inner("predict");
+    }
+    {
+      Scope inner("predict");
+    }
+    Scope other("realloc");
+  }
+  std::vector<ScopeStat> stats = Snapshot();
+  ASSERT_EQ(stats.size(), 3u);
+  // Sorted by path: deterministic row order.
+  EXPECT_EQ(stats[0].path, "tick");
+  EXPECT_EQ(stats[1].path, "tick/predict");
+  EXPECT_EQ(stats[2].path, "tick/realloc");
+  EXPECT_EQ(stats[0].count, 3);
+  EXPECT_EQ(stats[1].count, 6);
+  EXPECT_EQ(stats[2].count, 3);
+  for (const ScopeStat& s : stats) {
+    EXPECT_GE(s.total_ns, 0) << s.path;
+    EXPECT_GE(s.max_ns, 0) << s.path;
+    EXPECT_LE(s.max_ns, s.total_ns) << s.path;
+  }
+}
+
+TEST_F(ProfilerTest, CloseIsIdempotentAndEndsTheRegionForSiblings) {
+  {
+    Scope outer("outer");
+    Scope a("first");
+    a.Close();
+    a.Close();  // idempotent: no double-record
+    Scope b("second");  // sibling of "first", not its child
+  }
+  std::vector<ScopeStat> stats = Snapshot();
+  EXPECT_NE(Find(stats, "outer/first"), nullptr);
+  EXPECT_NE(Find(stats, "outer/second"), nullptr);
+  EXPECT_EQ(Find(stats, "outer/first/second"), nullptr);
+  EXPECT_EQ(Find(stats, "outer/first")->count, 1);
+}
+
+TEST_F(ProfilerTest, DisabledScopesRecordNothing) {
+  SetEnabled(false);
+  {
+    Scope s("invisible");
+  }
+  EXPECT_TRUE(Snapshot().empty());
+  // Enabling mid-scope must not record the half-open region either.
+  Scope open("half");
+  SetEnabled(true);
+  open.Close();
+  EXPECT_TRUE(Snapshot().empty());
+}
+
+TEST_F(ProfilerTest, ResetDropsEverything) {
+  {
+    Scope s("gone");
+  }
+  ASSERT_FALSE(Snapshot().empty());
+  Reset();
+  EXPECT_TRUE(Snapshot().empty());
+  // Recording continues after Reset.
+  {
+    Scope s("fresh");
+  }
+  std::vector<ScopeStat> stats = Snapshot();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].path, "fresh");
+}
+
+TEST_F(ProfilerTest, ThreadTablesMergeIncludingRetiredThreads) {
+  {
+    Scope main_scope("shared");
+  }
+  std::thread worker([] {
+    for (int i = 0; i < 5; ++i) {
+      Scope s("shared");
+      Scope inner("worker_only");
+    }
+  });
+  worker.join();  // thread retires; its table must survive into Snapshot
+  std::vector<ScopeStat> stats = Snapshot();
+  const ScopeStat* shared = Find(stats, "shared");
+  ASSERT_NE(shared, nullptr);
+  EXPECT_EQ(shared->count, 6);  // 1 from this thread + 5 from the retired worker
+  const ScopeStat* inner = Find(stats, "shared/worker_only");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->count, 5);
+}
+
+TEST_F(ProfilerTest, WriteProfileJsonEmitsSortedRows) {
+  {
+    Scope b("beta");
+  }
+  {
+    Scope a("alpha");
+  }
+  std::ostringstream os;
+  WriteProfileJson(os);
+  std::string json = os.str();
+  size_t alpha = json.find("\"path\": \"alpha\"");
+  size_t beta = json.find("\"path\": \"beta\"");
+  ASSERT_NE(alpha, std::string::npos) << json;
+  ASSERT_NE(beta, std::string::npos) << json;
+  EXPECT_LT(alpha, beta) << json;
+  EXPECT_NE(json.find("\"scopes\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace prof
+}  // namespace jockey

@@ -9,6 +9,7 @@
 #include <filesystem>
 #include <sstream>
 #include <string>
+#include <variant>
 #include <vector>
 
 #include "src/cluster/cluster_simulator.h"
@@ -45,6 +46,8 @@ std::vector<TraceEvent> AllKindsSample() {
       120.0,
       DegradedDecisionEvent{1, DegradeMode::kPessimisticEscalation, 120.0, 90.0, 100, 87.5});
   events.emplace_back(4.5, TaskReadyEvent{2, 3, 17, true});
+  events.emplace_back(
+      2460.0, SloStateChangeEvent{1, SloState::kOnTrack, SloState::kAtRisk, 2460.0, -11.8125});
   return events;
 }
 
@@ -87,6 +90,9 @@ TEST(TraceJsonlTest, EveryFaultKindAndDegradeModeRoundTrips) {
 
 TEST(TraceJsonlTest, KindCoversAllVariantAlternatives) {
   std::vector<TraceEvent> events = AllKindsSample();
+  // The sample must keep up with the payload variant: a new alternative without a
+  // sample here would silently skip the round-trip test above.
+  EXPECT_EQ(events.size(), std::variant_size_v<TraceEventPayload>);
   for (size_t i = 0; i < events.size(); ++i) {
     EXPECT_EQ(static_cast<size_t>(events[i].kind()), i);
     EXPECT_NE(std::string(EventKindName(events[i].kind())), "");

@@ -1,0 +1,101 @@
+// Live SLO health vs realized outcome, on every checked-in scenario: the
+// recorder's final health state must equal the deadline verdict — both the
+// harness's met_deadline flag and the postmortem verdict recomputed from the
+// captured event stream. This is the contract that makes the at_risk signal
+// trustworthy: a job's timeline can flap mid-run, but it can never end the run
+// disagreeing with the postmortem about whether the SLO was met.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/obs/analysis/postmortem.h"
+#include "src/obs/timeseries/timeseries.h"
+#include "src/scenario/catalog.h"
+#include "src/scenario/compiler.h"
+#include "src/scenario/orchestrator.h"
+#include "src/scenario/spec.h"
+
+#ifndef JOCKEY_SCENARIO_DIR
+#error "build must define JOCKEY_SCENARIO_DIR"
+#endif
+
+namespace jockey {
+namespace {
+
+ScenarioSpec LoadScenario(const std::string& filename) {
+  std::string path = std::string(JOCKEY_SCENARIO_DIR) + "/" + filename;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  ScenarioParseResult result = ParseScenarioText(buffer.str());
+  EXPECT_TRUE(result.spec.has_value())
+      << (result.issue.has_value() ? FormatScenarioIssue(path, *result.issue) : "");
+  return *result.spec;
+}
+
+// Every scenario checked into scenarios/. A new file must be added here (and to
+// the CI smoke loop); the test failing on an unknown name is the reminder.
+const char* kScenarioFiles[] = {
+    "burst_faults.yaml", "chaos_dropout.yaml", "diurnal_mix.yaml",  "fig6_overload.yaml",
+    "gray_failure.yaml", "policy_matrix.yaml", "random_fleet.yaml",
+};
+
+TEST(SloHealthTest, FinalHealthMatchesDeadlineVerdictOnEveryScenario) {
+  for (const char* filename : kScenarioFiles) {
+    SCOPED_TRACE(filename);
+    ScenarioSpec spec = LoadScenario(filename);
+    JobCatalog catalog;
+    TimeSeriesRecorder recorder;
+    ScenarioCompileOptions compile_options;
+    compile_options.base_dir = JOCKEY_SCENARIO_DIR;
+    compile_options.capture_events = true;
+    compile_options.timeseries = &recorder;
+    CompiledScenario compiled = CompileScenario(spec, catalog, compile_options);
+    ScenarioOutcome outcome = RunScenario(compiled, /*progress=*/nullptr);
+
+    TimeSeries series = recorder.Snapshot();
+    // One run per episode, in episode order.
+    ASSERT_EQ(series.runs.size(), outcome.episodes.size());
+    for (size_t i = 0; i < outcome.episodes.size(); ++i) {
+      SCOPED_TRACE("episode " + outcome.episodes[i].label);
+      const EpisodeOutcome& episode = outcome.episodes[i];
+      const RunTimeline& run = series.runs[i];
+      ASSERT_EQ(run.jobs.size(), 1u);
+      const JobTimeline& job = run.jobs[0];
+      EXPECT_TRUE(job.finished);
+      EXPECT_DOUBLE_EQ(job.deadline_seconds, episode.result.deadline_seconds);
+
+      // Live health ≡ the harness verdict.
+      EXPECT_EQ(job.final_state == SloState::kMissed, !episode.result.met_deadline);
+
+      // Live health ≡ the postmortem verdict recomputed from the trace.
+      PostmortemOptions postmortem_options;
+      postmortem_options.deadline_seconds = episode.result.deadline_seconds;
+      PostmortemReport report = BuildPostmortem(episode.result.events, postmortem_options);
+      ASSERT_EQ(report.jobs.size(), 1u);
+      EXPECT_TRUE(report.jobs[0].finished);
+      const bool postmortem_missed =
+          report.jobs[0].completion_seconds > postmortem_options.deadline_seconds;
+      EXPECT_EQ(job.final_state == SloState::kMissed, postmortem_missed);
+
+      // The transition chain is well-formed: starts on_track, each transition
+      // continues from the previous state, and the last one lands on the final
+      // health — so the state machine's history explains its verdict.
+      SloState state = SloState::kOnTrack;
+      for (const SloTransition& transition : job.transitions) {
+        EXPECT_EQ(transition.from, state);
+        EXPECT_NE(transition.to, state);
+        state = transition.to;
+      }
+      EXPECT_EQ(state, job.final_state);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace jockey

@@ -1,5 +1,7 @@
 #include "tools/cli_options.h"
 
+#include <sys/stat.h>
+
 #include <cstdlib>
 #include <cstring>
 
@@ -63,6 +65,10 @@ void OptionsParser::AddFlag(const char* name, const char* help, bool* out, bool 
   });
 }
 
+void OptionsParser::AddCheck(std::function<std::string()> check) {
+  checks_.push_back(std::move(check));
+}
+
 bool OptionsParser::Parse(int argc, char** argv, int first) {
   for (int i = first; i < argc; ++i) {
     const char* arg = argv[i];
@@ -96,6 +102,13 @@ bool OptionsParser::Parse(int argc, char** argv, int first) {
       return false;
     }
   }
+  for (const auto& check : checks_) {
+    std::string problem = check();
+    if (!problem.empty()) {
+      std::fprintf(stderr, "%s\n", problem.c_str());
+      return false;
+    }
+  }
   return true;
 }
 
@@ -114,11 +127,66 @@ void OptionsParser::PrintHelp(std::FILE* out) const {
   }
 }
 
+namespace {
+
+// "" for a bare filename (the working directory always exists), else everything
+// before the last '/'.
+std::string ParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) {
+    return std::string();
+  }
+  return slash == 0 ? "/" : path.substr(0, slash);
+}
+
+bool IsDirectory(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+}  // namespace
+
+std::string ValidateOutputPath(const char* flag, const std::string& path) {
+  if (path.empty()) {
+    return std::string();
+  }
+  std::string parent = ParentDir(path);
+  if (!parent.empty() && !IsDirectory(parent)) {
+    return std::string(flag) + " " + path + ": parent directory '" + parent +
+           "' does not exist";
+  }
+  return std::string();
+}
+
+std::string GlobalOptions::ValidateOutputPaths() const {
+  const struct {
+    const char* flag;
+    const std::string* path;
+  } outputs[] = {{"--trace-out", &trace_out},
+                 {"--metrics-out", &metrics_out},
+                 {"--timeseries-out", &timeseries_out},
+                 {"--profile", &profile_out}};
+  for (const auto& output : outputs) {
+    std::string issue = ValidateOutputPath(output.flag, *output.path);
+    if (!issue.empty()) {
+      return issue;
+    }
+  }
+  return std::string();
+}
+
 void GlobalOptions::Register(OptionsParser& parser) {
   parser.AddString("--trace-out", "FILE", "write every trace event to FILE as JSONL",
                    &trace_out);
   parser.AddString("--metrics-out", "FILE", "write the metrics snapshot to FILE as JSON",
                    &metrics_out);
+  parser.AddString("--timeseries-out", "FILE",
+                   "sample utilization/allocation/SLO-health timelines to FILE as JSONL "
+                   "(read back with 'jockey_cli timeline')",
+                   &timeseries_out);
+  parser.AddString("--profile", "FILE",
+                   "enable the control-plane profiler; write call-path stats to FILE as JSON",
+                   &profile_out);
   parser.AddInt("--threads", "N", "model-build worker threads (0 = hardware concurrency)",
                 &threads);
   parser.AddString("--cache-dir", "DIR", "C(p,a) table cache directory", &cache_dir);
@@ -127,6 +195,7 @@ void GlobalOptions::Register(OptionsParser& parser) {
                    "prune the table cache to N bytes, evicting least-recently-used entries "
                    "(0 = unbounded)",
                    &cache_max_bytes);
+  parser.AddCheck([this] { return ValidateOutputPaths(); });
 }
 
 }  // namespace jockey

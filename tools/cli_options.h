@@ -33,9 +33,17 @@ class OptionsParser {
   // Valueless flag; stores `store` (true by default, false for --no-xxx switches).
   void AddFlag(const char* name, const char* help, bool* out, bool store = true);
 
-  // Parses argv[first..argc). Returns false on an unknown flag or a missing value
-  // (an error is printed to stderr). `--help` prints the help text and sets
-  // help_requested(); the caller should then exit 0 without running the command.
+  // Post-parse check, run by Parse() after every flag is consumed, in
+  // registration order. Returns the empty string when satisfied; otherwise the
+  // diagnostic to print. Lets flag owners validate cross-flag state (output-path
+  // parent directories, say) up front — before a command spends minutes building
+  // models only to fail at the final write.
+  void AddCheck(std::function<std::string()> check);
+
+  // Parses argv[first..argc). Returns false on an unknown flag, a missing value,
+  // or the first failing registered check (an error is printed to stderr).
+  // `--help` prints the help text and sets help_requested(); the caller should
+  // then exit 0 without running the command.
   bool Parse(int argc, char** argv, int first);
 
   bool help_requested() const { return help_requested_; }
@@ -54,6 +62,7 @@ class OptionsParser {
 
   std::string usage_;
   std::vector<Flag> flags_;
+  std::vector<std::function<std::string()>> checks_;
   bool help_requested_ = false;
 };
 
@@ -63,6 +72,13 @@ struct GlobalOptions {
   // registry to FILE as JSON when the command finishes. Empty = detached.
   std::string trace_out;
   std::string metrics_out;
+  // Time-series telemetry: sample utilization/allocation/SLO-health timelines
+  // during the run and write them to FILE as JSONL (`jockey_cli timeline` reads
+  // them back). Empty = detached.
+  std::string timeseries_out;
+  // Control-plane profiler: enable the scoped profiler for the command and write
+  // the aggregated call-path stats to FILE as JSON. Empty = profiler disabled.
+  std::string profile_out;
   // C(p,a) model build: worker threads (0 = hardware concurrency) and the on-disk
   // table cache (satellite: --cache-max-bytes bounds it with LRU eviction).
   int threads = 0;
@@ -70,8 +86,22 @@ struct GlobalOptions {
   bool use_cache = true;
   uint64_t cache_max_bytes = 0;
 
+  // Registers the shared flags plus an up-front output-path check: Parse() fails
+  // with a first-bad-flag diagnostic when any --*-out file's parent directory is
+  // missing, instead of the command discovering it after the expensive work.
+  // `this` must outlive the parser.
   void Register(OptionsParser& parser);
+
+  // The check behind Register(): empty when every requested output path has an
+  // existing parent directory, else the diagnostic naming the first bad flag in
+  // registration order (--trace-out, --metrics-out, --timeseries-out, --profile).
+  std::string ValidateOutputPaths() const;
 };
+
+// Single-path form of the check above, for subcommand-local output flags
+// (e.g. `timeline --json`). Empty when `path` is empty or its parent directory
+// exists, else "<flag> <path>: parent directory '<dir>' does not exist".
+std::string ValidateOutputPath(const char* flag, const std::string& path);
 
 }  // namespace jockey
 

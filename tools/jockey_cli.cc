@@ -32,8 +32,9 @@
 //       table faults, correlated machine bursts) run the same faulted cluster twice
 //       per seed — vanilla controller vs. degraded-mode hardening — and report
 //       deadline-miss rates and allocation churn per class, attributing every miss
-//       to the fault window that dominated the run. --fault-plan loads a custom
-//       JSONL schedule instead of the built-in per-class defaults.
+//       to the fault window that dominated the run; adversarial-spike misses also
+//       report how many task dispatches landed in the spike's on-phase. --fault-plan
+//       loads a custom JSONL schedule instead of the built-in per-class defaults.
 //
 //   jockey_cli postmortem trace.jsonl [--deadline MIN] [--json FILE] [--strict]
 //       Deadline-miss postmortem of a --trace-out capture (single- or multi-run):
@@ -53,12 +54,21 @@
 //       *every* class, so the selected setting never trades one fault class for
 //       another. --bench-out writes the machine-readable BENCH_tune.json.
 //
+//   jockey_cli timeline timeseries.jsonl [--json FILE] [--csv FILE]
+//       Render a --timeseries-out capture: cluster utilization / spare-pool
+//       timelines, per-job allocation and deadline-slack series, and the SLO health
+//       transitions (on_track / at_risk / missed). --run/--job narrow the view,
+//       --at-risk-only keeps just the jobs whose health ever left on_track; --json
+//       and --csv write byte-deterministic machine-readable forms.
+//
 //   jockey_cli dot job.scope
 //       Print the plan as Graphviz.
 //
 // Every subcommand takes --help plus the shared flags (cli_options.h): --trace-out
 // streams the run's trace events as JSONL, --metrics-out dumps the counter/histogram
-// registry, and --threads/--cache-dir/--no-cache/--cache-max-bytes steer the C(p,a)
+// registry, --timeseries-out samples the utilization/SLO-health timelines for
+// `timeline`, --profile enables the control-plane profiler and writes its call-path
+// stats, and --threads/--cache-dir/--no-cache/--cache-max-bytes steer the C(p,a)
 // model build and its LRU-pruned on-disk cache.
 
 #include <algorithm>
@@ -81,6 +91,8 @@
 #include "src/obs/jsonl.h"
 #include "src/obs/metrics.h"
 #include "src/obs/observer.h"
+#include "src/obs/prof/profiler.h"
+#include "src/obs/timeseries/timeseries.h"
 #include "src/scenario/catalog.h"
 #include "src/scenario/compiler.h"
 #include "src/scenario/orchestrator.h"
@@ -108,8 +120,11 @@ int Usage() {
                "  jockey_cli report <trace.jsonl> [--chrome-out FILE] [--jsonl-out FILE]\n"
                "  jockey_cli postmortem <trace.jsonl> [--deadline MIN] [--json FILE]\n"
                "                   [--strict]\n"
+               "  jockey_cli timeline <timeseries.jsonl> [--json FILE] [--csv FILE]\n"
+               "                   [--run N] [--job N] [--at-risk-only]\n"
                "run '<command> --help' for the command's flags; all commands accept\n"
-               "--trace-out FILE, --metrics-out FILE and the model-cache flags.\n");
+               "--trace-out FILE, --metrics-out FILE, --timeseries-out FILE,\n"
+               "--profile FILE and the model-cache flags.\n");
   return 2;
 }
 
@@ -123,9 +138,11 @@ std::optional<std::string> ReadFile(const std::string& path) {
   return buffer.str();
 }
 
-// Owns the sinks selected by --trace-out/--metrics-out for one command's lifetime.
-// observer() hands out the two-pointer handle that the cluster, controller and model
-// build store; Finish() flushes the metrics snapshot and reports I/O failures.
+// Owns the sinks selected by --trace-out/--metrics-out/--timeseries-out/--profile
+// for one command's lifetime. observer() hands out the two-pointer handle that the
+// cluster, controller and model build store; timeseries() the recorder that
+// RunExperiment / the cluster attach; Finish() flushes every snapshot and reports
+// I/O failures.
 class CliObservability {
  public:
   explicit CliObservability(const GlobalOptions& options) : options_(options) {
@@ -143,11 +160,25 @@ class CliObservability {
     if (!options_.metrics_out.empty()) {
       metrics_ = std::make_unique<MetricsRegistry>();
     }
+    if (!options_.timeseries_out.empty()) {
+      timeseries_ = std::make_unique<TimeSeriesRecorder>();
+    }
+    if (!options_.profile_out.empty()) {
+      prof::Reset();
+      prof::SetEnabled(true);
+    }
+  }
+
+  ~CliObservability() {
+    if (!options_.profile_out.empty()) {
+      prof::SetEnabled(false);
+    }
   }
 
   bool ok() const { return !failed_; }
 
   Observer observer() const { return Observer(sink_.get(), metrics_.get()); }
+  TimeSeriesRecorder* timeseries() const { return timeseries_.get(); }
 
   // Returns 0 on success, 1 if any output file could not be written.
   int Finish() {
@@ -158,6 +189,27 @@ class CliObservability {
         return 1;
       }
       metrics_->WriteJson(out);
+    }
+    if (timeseries_ != nullptr) {
+      std::ofstream out(options_.timeseries_out);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", options_.timeseries_out.c_str());
+        return 1;
+      }
+      WriteTimeSeriesJsonl(out, timeseries_->Snapshot());
+      if (!out) {
+        std::fprintf(stderr, "error writing %s\n", options_.timeseries_out.c_str());
+        return 1;
+      }
+    }
+    if (!options_.profile_out.empty()) {
+      prof::SetEnabled(false);
+      std::ofstream out(options_.profile_out);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", options_.profile_out.c_str());
+        return 1;
+      }
+      prof::WriteProfileJson(out);
     }
     if (trace_stream_ != nullptr) {
       if (sink_ != nullptr) {
@@ -177,6 +229,7 @@ class CliObservability {
   std::unique_ptr<std::ofstream> trace_stream_;
   std::unique_ptr<AsyncJsonlSink> sink_;
   std::unique_ptr<MetricsRegistry> metrics_;
+  std::unique_ptr<TimeSeriesRecorder> timeseries_;
   bool failed_ = false;
 };
 
@@ -267,6 +320,13 @@ int CmdTrain(int argc, char** argv, const std::string& path) {
   config.background.overload_rate_per_hour = 0.0;
   ClusterSimulator cluster(config);
   cluster.set_observer(obs.observer());
+  if (obs.timeseries() != nullptr) {
+    // Training runs have no SLO; the health machine stays inert but the
+    // utilization/allocation series still record.
+    obs.timeseries()->set_observer(obs.observer());
+    obs.timeseries()->BeginRun(/*deadline_seconds=*/-1.0);
+    cluster.set_timeseries_recorder(obs.timeseries());
+  }
   JobSubmission submission;
   submission.guaranteed_tokens = tokens;
   submission.seed = seed * 7919 + 13;
@@ -423,6 +483,7 @@ int CmdRunScenario(int argc, char** argv, const std::string& path) {
     compile_options.base_dir = path.substr(0, slash);
   }
   compile_options.observer = obs.observer();
+  compile_options.timeseries = obs.timeseries();
   ScenarioOutcome outcome;
   try {
     CompiledScenario compiled = CompileScenario(*parsed.spec, catalog, compile_options);
@@ -498,6 +559,11 @@ int CmdRun(int argc, char** argv, const std::string& path, const std::string& tr
   ClusterConfig config = DefaultExperimentCluster(seed * 2654435761ULL + 17);
   ClusterSimulator cluster(config);
   cluster.set_observer(obs.observer());
+  if (obs.timeseries() != nullptr) {
+    obs.timeseries()->set_observer(obs.observer());
+    obs.timeseries()->BeginRun(deadline);
+    cluster.set_timeseries_recorder(obs.timeseries());
+  }
   JobSubmission submission;
   submission.controller = controller.get();
   submission.seed = seed * 104729 + 71;
@@ -568,6 +634,56 @@ std::string MissBlame(const std::vector<TraceEvent>& events, double deadline) {
   char buf[96];
   std::snprintf(buf, sizeof(buf), "%s %.1fs", top->name, top->seconds);
   return buf;
+}
+
+// Join of the adversarial spike's on-phase windows against per-attempt dispatch
+// times: of the dispatches inside spike windows that actually bit (appear as
+// fault_injected events in the trace), how many landed in the on-phase — the half
+// of each period where dispatched work runs slow. A share far above the 50% duty
+// cycle is the phase-locked-sampling pathology made visible: the controller keeps
+// reacting to the same phase it samples, so its dispatch bursts line up with the
+// spike. `injector` must be built from the run's own (per-seed) plan — the phase
+// offsets are a pure function of the plan seed, so a fresh injector reproduces the
+// run's exact on-phase windows.
+struct SpikeDispatchJoin {
+  int in_window = 0;  // dispatches inside any spike window that bit
+  int on_phase = 0;   // of those, dispatches during the spike's on-phase
+};
+SpikeDispatchJoin JoinSpikeDispatches(const std::vector<TraceEvent>& events,
+                                      const FaultInjector& injector) {
+  std::vector<const FaultWindow*> windows;
+  for (const TraceEvent& event : events) {
+    if (const auto* fault = std::get_if<FaultInjectedEvent>(&event.payload)) {
+      if (fault->fault == FaultKind::kAdversarialSpike) {
+        windows.push_back(
+            &injector.plan().windows()[static_cast<size_t>(fault->window)]);
+      }
+    }
+  }
+  SpikeDispatchJoin join;
+  if (windows.empty()) {
+    return join;
+  }
+  for (const TraceEvent& event : events) {
+    if (std::get_if<TaskDispatchEvent>(&event.payload) == nullptr) {
+      continue;
+    }
+    bool covered = false;
+    for (const FaultWindow* w : windows) {
+      if (w->Contains(event.time_seconds)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) {
+      continue;
+    }
+    ++join.in_window;
+    if (injector.SpikeBoost(event.time_seconds) > 0.0) {
+      ++join.on_phase;
+    }
+  }
+  return join;
 }
 
 // Prints the chaos-matrix class names, one per line, in matrix order (the order
@@ -711,6 +827,8 @@ int CmdChaos(int argc, char** argv, const std::string& path, const std::string& 
     double completion_seconds = 0.0;
     const FaultWindow* window = nullptr;
     std::string blame;  // top postmortem budget component
+    // Spike-vs-dispatch join; in_window stays 0 for classes without spikes.
+    SpikeDispatchJoin spikes;
   };
   std::vector<Miss> misses;
   // Attribution injectors must outlive the Miss::window pointers into their plans.
@@ -749,6 +867,7 @@ int CmdChaos(int argc, char** argv, const std::string& path, const std::string& 
         options.fault_plan = shared_plan;
         options.observer = obs.observer();
         options.capture_events = true;
+        options.timeseries = obs.timeseries();
         if (arm == 1) {
           options.control_override = hardened_control;
         }
@@ -758,9 +877,14 @@ int CmdChaos(int argc, char** argv, const std::string& path, const std::string& 
         moved_sum[arm] += churn.moved_tokens;
         if (!result.met_deadline) {
           ++miss_count[arm];
+          // The join needs this run's phase offsets, which follow the per-seed
+          // plan — the shared attributor carries the class seed and would place
+          // the on-phases wrong.
+          FaultInjector run_injector(*shared_plan);
           misses.push_back({cls.name, arm == 1, run_seed, result.completion_seconds,
                             attributor.DominantWindow(0.0, result.completion_seconds),
-                            MissBlame(result.events, deadline)});
+                            MissBlame(result.events, deadline),
+                            JoinSpikeDispatches(result.events, run_injector)});
         }
       }
     }
@@ -795,7 +919,13 @@ int CmdChaos(int argc, char** argv, const std::string& path, const std::string& 
       } else {
         std::printf("  <- no fault window overlapped the run");
       }
-      std::printf("  (blame: %s)\n", miss.blame.c_str());
+      std::printf("  (blame: %s)", miss.blame.c_str());
+      if (miss.spikes.in_window > 0) {
+        std::printf("  [%d/%d dispatches in spike on-phase, %.0f%% vs 50%% duty]",
+                    miss.spikes.on_phase, miss.spikes.in_window,
+                    100.0 * miss.spikes.on_phase / miss.spikes.in_window);
+      }
+      std::printf("\n");
     }
   } else {
     std::printf("\nno deadline misses under any fault class\n");
@@ -1003,6 +1133,7 @@ int CmdTune(int argc, char** argv, const std::string& path, const std::string& t
         options.fault_plan = std::make_shared<const FaultPlan>(std::move(run_plan));
         options.observer = obs.observer();
         options.capture_events = true;
+        options.timeseries = obs.timeseries();
         options.control_override = candidate.config;
         ExperimentResult result = RunExperiment(trained, options);
         if (!result.met_deadline) {
@@ -1218,9 +1349,9 @@ int CmdReport(int argc, char** argv, const std::string& trace_path) {
       }
     }
     if (durations.total_count() > 0) {
-      std::printf("task attempts: %lld, duration p50 %.2fs  p90 %.2fs  p99 %.2fs\n",
+      std::printf("task attempts: %lld, duration p50 %.2fs  p90 %.2fs  p99 %.2fs  p99.9 %.2fs\n",
                   static_cast<long long>(durations.total_count()), durations.Quantile(0.5),
-                  durations.Quantile(0.9), durations.Quantile(0.99));
+                  durations.Quantile(0.9), durations.Quantile(0.99), durations.Quantile(0.999));
     }
   }
 
@@ -1259,6 +1390,83 @@ int CmdReport(int argc, char** argv, const std::string& trace_path) {
       out << ToJsonLine(event) << '\n';
     }
     std::printf("trace re-emitted to %s\n", jsonl_out.c_str());
+  }
+  return 0;
+}
+
+int CmdTimeline(int argc, char** argv, const std::string& series_path) {
+  std::string json_out;
+  std::string csv_out;
+  int run = -1;
+  int job = -1;
+  bool cluster_only = false;
+  bool jobs_only = false;
+  bool at_risk_only = false;
+  OptionsParser parser("jockey_cli timeline <timeseries.jsonl> [flags]");
+  parser.AddString("--json", "FILE", "write the nested timeline document here (deterministic)",
+                   &json_out);
+  parser.AddString("--csv", "FILE", "write the long-form run,series,job,t,value CSV here",
+                   &csv_out);
+  parser.AddInt("--run", "N", "only this run index (multi-episode captures)", &run);
+  parser.AddInt("--job", "N", "only this job id", &job);
+  parser.AddFlag("--cluster-only", "only the cluster-wide series", &cluster_only);
+  parser.AddFlag("--jobs-only", "only the per-job series", &jobs_only);
+  parser.AddFlag("--at-risk-only",
+                 "only jobs whose SLO health ever left on_track", &at_risk_only);
+  parser.AddCheck([&json_out] { return ValidateOutputPath("--json", json_out); });
+  parser.AddCheck([&csv_out] { return ValidateOutputPath("--csv", csv_out); });
+  if (series_path == "--help" || series_path == "-h") {
+    parser.PrintHelp(stdout);
+    return 0;
+  }
+  if (!parser.Parse(argc, argv, 3)) {
+    return 2;
+  }
+  if (parser.help_requested()) {
+    return 0;
+  }
+  if (cluster_only && jobs_only) {
+    std::fprintf(stderr, "--cluster-only and --jobs-only exclude each other\n");
+    return 2;
+  }
+  std::ifstream in(series_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", series_path.c_str());
+    return 1;
+  }
+  TimeSeriesReadResult read = ReadTimeSeriesJsonl(in);
+  if (!read.series.has_value()) {
+    std::fprintf(stderr, "%s:%d: %s\n", series_path.c_str(), read.line, read.message.c_str());
+    return 1;
+  }
+  TimelineFilter filter;
+  filter.run = run;
+  filter.job = job;
+  filter.cluster_only = cluster_only;
+  filter.jobs_only = jobs_only;
+  filter.at_risk_only = at_risk_only;
+  TimeSeries view = FilterTimeSeries(*read.series, filter);
+  std::ostringstream text;
+  PrintTimeline(text, view);
+  std::fputs(text.str().c_str(), stdout);
+  if (!json_out.empty()) {
+    std::ofstream out(json_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_out.c_str());
+      return 1;
+    }
+    WriteTimelineJson(out, view);
+    // stderr, like postmortem --json: stdout stays byte-identical either way.
+    std::fprintf(stderr, "timeline JSON written to %s\n", json_out.c_str());
+  }
+  if (!csv_out.empty()) {
+    std::ofstream out(csv_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", csv_out.c_str());
+      return 1;
+    }
+    WriteTimelineCsv(out, view);
+    std::fprintf(stderr, "timeline CSV written to %s\n", csv_out.c_str());
   }
   return 0;
 }
@@ -1371,6 +1579,9 @@ int Main(int argc, char** argv) {
   }
   if (command == "postmortem") {
     return CmdPostmortem(argc, argv, argv[2]);
+  }
+  if (command == "timeline") {
+    return CmdTimeline(argc, argv, argv[2]);
   }
   return Usage();
 }
