@@ -1079,6 +1079,118 @@ void WriteSimReport(const char* path) {
               async_cluster_overhead_pct);
 }
 
+// Wall-clock report for the control-plane decision cache (BENCH_control.json): a
+// fleet of controllers ticked through a full run, cached vs uncached. Two bars from
+// the decision-cache contract (decision_cache.h): every cached decision must equal
+// the uncached controller's (the cache may only skip work, never change a decision
+// — "decisions_identical" below), and the cached median tick must not be slower.
+// Hit rates are reported so a plateau regression (cache keyed but never serving)
+// is visible even while correctness holds.
+void WriteControlReport(const char* path) {
+  SimFixture& f = Fixture();
+  auto indicator = std::shared_ptr<const ProgressIndicator>(
+      MakeIndicator(IndicatorKind::kTotalWorkWithQ, f.tmpl.graph, f.profile));
+  auto table = std::make_shared<CompletionTable>(BuildCompletionTable(
+      f.tmpl.graph, f.profile, *indicator, CompletionModelConfig()));
+  constexpr int kControllers = 64;
+  constexpr int kTicks = 200;
+  const size_t stages = static_cast<size_t>(f.tmpl.graph.num_stages());
+
+  // Every controller sees the same deterministic tick schedule in both variants;
+  // deadlines and progress ramps are staggered across the fleet so the run covers
+  // many progress buckets and utility shapes, not one hot key.
+  auto run_fleet = [&](bool cached, std::vector<double>* tick_ns,
+                       std::vector<int>* decisions, DecisionCacheStats* stats) {
+    for (int c = 0; c < kControllers; ++c) {
+      ControlLoopConfig config;
+      config.enable_decision_cache = cached;
+      JockeyController controller(indicator, table,
+                                  DeadlineUtility(3600.0 + 120.0 * (c % 8)), config);
+      JobRuntimeStatus status;
+      const double ramp_ticks = static_cast<double>(kTicks + 20 * (c % 5));
+      for (int t = 0; t < kTicks; ++t) {
+        status.elapsed_seconds = 60.0 * (t + 1);
+        status.frac_complete.assign(stages,
+                                    std::min(1.0, static_cast<double>(t + 1) / ramp_ticks));
+        auto start = std::chrono::steady_clock::now();
+        int granted = controller.OnTick(status).guaranteed_tokens;
+        tick_ns->push_back(std::chrono::duration<double, std::nano>(
+                               std::chrono::steady_clock::now() - start)
+                               .count());
+        decisions->push_back(granted);
+      }
+      if (stats != nullptr) {
+        const DecisionCacheStats& s = controller.cache_stats();
+        stats->column_hits += s.column_hits;
+        stats->column_misses += s.column_misses;
+        stats->decision_hits += s.decision_hits;
+        stats->decision_misses += s.decision_misses;
+        stats->invalidations += s.invalidations;
+        stats->bypasses += s.bypasses;
+      }
+    }
+  };
+
+  auto median = [](std::vector<double> samples) {
+    std::sort(samples.begin(), samples.end());
+    return samples.empty() ? 0.0 : samples[samples.size() / 2];
+  };
+
+  std::vector<double> uncached_ns, cached_ns;
+  std::vector<int> uncached_decisions, cached_decisions;
+  DecisionCacheStats stats;
+  run_fleet(false, &uncached_ns, &uncached_decisions, nullptr);
+  run_fleet(true, &cached_ns, &cached_decisions, &stats);
+
+  bool identical = uncached_decisions == cached_decisions;
+  double uncached_median = median(uncached_ns);
+  double cached_median = median(cached_ns);
+  int64_t decision_lookups = stats.decision_hits + stats.decision_misses;
+  int64_t column_lookups = stats.column_hits + stats.column_misses;
+  double decision_hit_rate =
+      decision_lookups == 0 ? 0.0
+                            : static_cast<double>(stats.decision_hits) /
+                                  static_cast<double>(decision_lookups);
+  double column_hit_rate = column_lookups == 0
+                               ? 0.0
+                               : static_cast<double>(stats.column_hits) /
+                                     static_cast<double>(column_lookups);
+
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"controllers\": %d,\n"
+               "  \"ticks_per_controller\": %d,\n"
+               "  \"cache_correct\": %s,\n"
+               "  \"tick_median_ns\": {\"uncached\": %.1f, \"cached\": %.1f},\n"
+               "  \"cached_speedup\": %.3f,\n"
+               "  \"decision_hit_rate\": %.4f,\n"
+               "  \"column_hit_rate\": %.4f,\n"
+               "  \"stats\": {\"column_hits\": %lld, \"column_misses\": %lld, "
+               "\"decision_hits\": %lld, \"decision_misses\": %lld, "
+               "\"invalidations\": %lld, \"bypasses\": %lld}\n"
+               "}\n",
+               kControllers, kTicks, identical ? "true" : "false", uncached_median,
+               cached_median, cached_median > 0.0 ? uncached_median / cached_median : 0.0,
+               decision_hit_rate, column_hit_rate,
+               static_cast<long long>(stats.column_hits),
+               static_cast<long long>(stats.column_misses),
+               static_cast<long long>(stats.decision_hits),
+               static_cast<long long>(stats.decision_misses),
+               static_cast<long long>(stats.invalidations),
+               static_cast<long long>(stats.bypasses));
+  std::fclose(out);
+  std::printf("BENCH_control.json: %s, tick median %.0f ns uncached -> %.0f ns cached "
+              "(%.2fx), decision hit rate %.1f%%, column hit rate %.1f%%\n",
+              identical ? "decisions identical" : "DECISIONS DIVERGED", uncached_median,
+              cached_median, cached_median > 0.0 ? uncached_median / cached_median : 0.0,
+              100.0 * decision_hit_rate, 100.0 * column_hit_rate);
+}
+
 }  // namespace
 }  // namespace jockey
 
@@ -1093,6 +1205,7 @@ int main(int argc, char** argv) {
   jockey::WriteFaultReport("BENCH_fault.json");
   jockey::WritePostmortemReport("BENCH_postmortem.json");
   jockey::WriteSimReport("BENCH_sim.json");
+  jockey::WriteControlReport("BENCH_control.json");
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

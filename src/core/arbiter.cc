@@ -3,8 +3,86 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
+
+#include "src/sim/table_cache.h"
 
 namespace jockey {
+
+std::string ValidateArbiterConfig(const ArbiterConfig& config) {
+  if (config.total_tokens < 1) return "total_tokens must be >= 1";
+  if (config.min_tokens_per_job < 1) return "min_tokens_per_job must be >= 1";
+  if (config.min_tokens_per_job > config.total_tokens) {
+    return "min_tokens_per_job must be <= total_tokens";
+  }
+  if (config.grant_step < 1) return "grant_step must be >= 1";
+  const std::string control = ValidateControlLoopConfig(config.control);
+  if (!control.empty()) return "control." + control;
+  return std::string();
+}
+
+namespace {
+
+ArbiterConfig CheckedArbiterConfig(ArbiterConfig config) {
+  const std::string problem = ValidateArbiterConfig(config);
+  if (!problem.empty()) {
+    throw std::invalid_argument("ArbiterConfig: " + problem);
+  }
+  return config;
+}
+
+// Trims `need` tokens from `assignment` toward per-entry `floors`, proportionally
+// to each entry's headroom above its floor, using largest-remainder rounding
+// (exact integer arithmetic, ties to the lowest index) so the split is
+// deterministic. Returns the tokens still untrimmed — nonzero only when every
+// entry already sits at its floor.
+int TrimTowardFloors(const std::vector<int>& floors, std::vector<int>& assignment,
+                     int need) {
+  const size_t n = assignment.size();
+  long long total_headroom = 0;
+  std::vector<int> headroom(n, 0);
+  for (size_t k = 0; k < n; ++k) {
+    headroom[k] = std::max(0, assignment[k] - floors[k]);
+    total_headroom += headroom[k];
+  }
+  if (need <= 0 || total_headroom == 0) {
+    return need;
+  }
+  const long long trim_total = std::min<long long>(need, total_headroom);
+  std::vector<long long> share(n, 0);
+  std::vector<long long> rem(n, 0);
+  long long given = 0;
+  for (size_t k = 0; k < n; ++k) {
+    const long long scaled = trim_total * headroom[k];
+    share[k] = scaled / total_headroom;
+    rem[k] = scaled % total_headroom;
+    given += share[k];
+  }
+  // Σ rem / total_headroom is exactly the shortfall; hand out the leftover tokens
+  // by descending remainder (a remainder > 0 implies share < headroom, so every
+  // bump stays within headroom).
+  long long leftover = trim_total - given;
+  while (leftover > 0) {
+    size_t best = n;
+    for (size_t k = 0; k < n; ++k) {
+      if (rem[k] > 0 && (best == n || rem[k] > rem[best])) {
+        best = k;
+      }
+    }
+    if (best == n) {
+      break;
+    }
+    ++share[best];
+    rem[best] = 0;
+    --leftover;
+  }
+  for (size_t k = 0; k < n; ++k) {
+    assignment[k] -= static_cast<int>(share[k]);
+  }
+  return need - static_cast<int>(trim_total - leftover);
+}
+
+}  // namespace
 
 // Internal per-job state: the model, utility, the latest runtime status reported by
 // the cluster, and the smoothed assignment.
@@ -24,6 +102,8 @@ struct MultiJobArbiter::ManagedJob {
   // Tokens this job currently holds on the cluster (grants change only at the job's
   // own tick, so the arbiter must respect what others are holding right now).
   int last_granted = 0;
+  // Memoized prediction columns and satisfaction points (enable_decision_cache).
+  DecisionCache cache;
 };
 
 // The JobController the cluster ticks; it records the job's status, triggers a global
@@ -67,13 +147,24 @@ class MultiJobArbiter::Adapter : public JobController {
   int index_;
 };
 
-MultiJobArbiter::MultiJobArbiter(ArbiterConfig config) : config_(config) {}
+MultiJobArbiter::MultiJobArbiter(ArbiterConfig config)
+    : config_(CheckedArbiterConfig(config)) {}
 
 MultiJobArbiter::~MultiJobArbiter() = default;
 
 int MultiJobArbiter::AddJob(std::shared_ptr<const Jockey> model, PiecewiseLinear utility,
                             double importance) {
   assert(model != nullptr);
+  if ((static_cast<int>(jobs_.size()) + 1) * config_.min_tokens_per_job >
+      config_.total_tokens) {
+    // Over-admission: once every job runs, the per-job floors alone would exceed
+    // the budget and Rebalance's water-filling budget would go negative.
+    throw std::invalid_argument(
+        "MultiJobArbiter: admitting job " + std::to_string(jobs_.size()) +
+        " would put min_tokens_per_job * jobs above total_tokens (" +
+        std::to_string((jobs_.size() + 1) * config_.min_tokens_per_job) + " > " +
+        std::to_string(config_.total_tokens) + ")");
+  }
   int index = static_cast<int>(jobs_.size());
   auto job = std::make_unique<ManagedJob>();
   job->model = std::move(model);
@@ -81,6 +172,7 @@ int MultiJobArbiter::AddJob(std::shared_ptr<const Jockey> model, PiecewiseLinear
   job->utility = std::move(utility);
   job->importance = importance;
   job->adapter = std::make_unique<Adapter>(this, index);
+  RekeyJobCache(*job);
   jobs_.push_back(std::move(job));
   last_assignment_.push_back(0);
   return index;
@@ -94,6 +186,51 @@ void MultiJobArbiter::SetUtility(int index, PiecewiseLinear utility) {
   ManagedJob& job = *jobs_[static_cast<size_t>(index)];
   job.shifted_utility = utility.ShiftLeft(config_.control.dead_zone_seconds);
   job.utility = std::move(utility);
+  // The fingerprint folds the utility knots: the changed utility re-keys the cache
+  // and drops this job's memoized columns and satisfaction points.
+  RekeyJobCache(job);
+}
+
+void MultiJobArbiter::RekeyJobCache(ManagedJob& job) const {
+  if (!config_.control.enable_decision_cache) {
+    return;
+  }
+  uint64_t h = HashBytes(&config_.control.slack, sizeof(config_.control.slack));
+  h = HashBytes(&config_.control.prediction_quantile,
+                sizeof(config_.control.prediction_quantile), h);
+  h = HashBytes(&config_.min_tokens_per_job, sizeof(config_.min_tokens_per_job), h);
+  h = HashBytes(&config_.total_tokens, sizeof(config_.total_tokens), h);
+  h = HashBytes(&job.importance, sizeof(job.importance), h);
+  for (const auto& knot : job.shifted_utility.knots()) {
+    h = HashBytes(&knot.first, sizeof(knot.first), h);
+    h = HashBytes(&knot.second, sizeof(knot.second), h);
+  }
+  const int buckets = job.model->table().num_buckets();
+  h = HashBytes(&buckets, sizeof(buckets), h);
+  UtilityPlateau plateau = AnalyzePlateau(job.shifted_utility);
+  // The scan compares importance-scaled utilities, so the plateau ceiling scales
+  // too — and so does the rounding wobble the level-2 margins must absorb. A
+  // non-positive importance flips the maximization; don't memoize decisions there.
+  if (job.importance <= 0.0 ||
+      job.importance * plateau.max_abs_utility > kPlateauMaxMagnitude) {
+    plateau.usable = false;
+  }
+  plateau.max_utility = job.importance * plateau.max_utility;
+  job.cache.Rekey(h, buckets, plateau);
+}
+
+DecisionCacheStats MultiJobArbiter::cache_stats() const {
+  DecisionCacheStats total;
+  for (const auto& job : jobs_) {
+    const DecisionCacheStats& s = job->cache.stats();
+    total.column_hits += s.column_hits;
+    total.column_misses += s.column_misses;
+    total.decision_hits += s.decision_hits;
+    total.decision_misses += s.decision_misses;
+    total.invalidations += s.invalidations;
+    total.bypasses += s.bypasses;
+  }
+  return total;
 }
 
 double MultiJobArbiter::ExpectedUtility(const ManagedJob& job, double allocation) const {
@@ -117,34 +254,104 @@ void MultiJobArbiter::Rebalance() {
     return;
   }
 
-  // Greedy water-filling on raw allocations.
+  // Greedy water-filling on raw allocations. The budget cannot go negative with
+  // AddJob's over-admission guard; the clamp is defense in depth.
   std::vector<int> raw(active.size(), config_.min_tokens_per_job);
-  int budget = config_.total_tokens -
-               config_.min_tokens_per_job * static_cast<int>(active.size());
+  int budget = std::max(0, config_.total_tokens - config_.min_tokens_per_job *
+                                                      static_cast<int>(active.size()));
+  // Memoized prediction columns (enable_decision_cache): the scan range's raw table
+  // predictions per progress bucket, reused across ticks while the bucket repeats.
+  const bool use_cache = config_.control.enable_decision_cache;
+  const int scan_width = config_.total_tokens - config_.min_tokens_per_job + 1;
+  std::vector<const std::vector<double>*> columns(active.size(), nullptr);
+  std::vector<int> buckets(active.size(), 0);
+  if (use_cache) {
+    for (size_t k = 0; k < active.size(); ++k) {
+      ManagedJob& job = *jobs_[active[k]];
+      buckets[k] = job.model->table().BucketIndex(job.progress);
+      columns[k] = job.cache.FindColumn(buckets[k]);
+      if (columns[k] != nullptr) {
+        ++job.cache.stats().column_hits;
+      } else {
+        std::vector<double> fresh(static_cast<size_t>(scan_width));
+        for (int a = config_.min_tokens_per_job; a <= config_.total_tokens; ++a) {
+          fresh[static_cast<size_t>(a - config_.min_tokens_per_job)] =
+              job.model->table().Predict(job.progress, a,
+                                         config_.control.prediction_quantile);
+        }
+        ++job.cache.stats().column_misses;
+        columns[k] = &job.cache.StoreColumn(buckets[k], std::move(fresh));
+      }
+    }
+  }
+  // ExpectedUtility at an integer allocation in the scan range, through the cached
+  // column when present — the same arithmetic in the same order, so results are
+  // bit-identical to direct lookups.
+  auto utility_at = [&](size_t k, int a) {
+    const ManagedJob& job = *jobs_[active[k]];
+    if (columns[k] == nullptr) {
+      return ExpectedUtility(job, a);
+    }
+    const double predicted =
+        config_.control.slack *
+        (*columns[k])[static_cast<size_t>(a - config_.min_tokens_per_job)];
+    return job.importance * job.shifted_utility(job.status.elapsed_seconds + predicted);
+  };
   std::vector<double> utility_now(active.size());
   for (size_t k = 0; k < active.size(); ++k) {
-    utility_now[k] = ExpectedUtility(*jobs_[active[k]], raw[k]);
+    utility_now[k] = utility_at(k, raw[k]);
   }
   // Per-job "satisfaction point": the minimum allocation achieving the job's maximum
   // attainable utility within the whole budget. Deadline utilities are flat-then-
   // cliff (non-concave), so token-by-token water-filling would equalize lateness
   // across jobs instead of pushing individual jobs over their deadline cliff; the
-  // jump to a_star is the move that meets a deadline outright.
+  // jump to a_star is the move that meets a deadline outright. The scan's winner is
+  // memoized per progress bucket and served while provably still the answer
+  // (decision_cache.h).
   std::vector<int> a_star(active.size());
   for (size_t k = 0; k < active.size(); ++k) {
-    const ManagedJob& job = *jobs_[active[k]];
+    ManagedJob& job = *jobs_[active[k]];
+    if (use_cache) {
+      if (const DecisionCache::Decision* hit = job.cache.FindDecision(
+              buckets[k], job.status.elapsed_seconds, config_.control.slack)) {
+        ++job.cache.stats().decision_hits;
+        a_star[k] = hit->raw;
+        continue;
+      }
+      ++job.cache.stats().decision_misses;
+    }
     double best_u = 0.0;
     int best_a = config_.min_tokens_per_job;
     bool first = true;
+    double true_max = -1e300;
+    double prefix_at_winner = 0.0;
+    bool winner_had_prefix = false;
+    double winner_prediction = 0.0;
     for (int a = config_.min_tokens_per_job; a <= config_.total_tokens; ++a) {
-      double u = ExpectedUtility(job, a);
+      double u = utility_at(k, a);
       if (first || u > best_u + 1e-9) {
         best_u = u;
         best_a = a;
+        winner_had_prefix = !first;
+        prefix_at_winner = true_max;
+        if (columns[k] != nullptr) {
+          winner_prediction =
+              (*columns[k])[static_cast<size_t>(a - config_.min_tokens_per_job)];
+        }
         first = false;
       }
+      true_max = std::max(true_max, u);
     }
     a_star[k] = best_a;
+    const UtilityPlateau& plateau = job.cache.plateau();
+    if (use_cache && columns[k] != nullptr && plateau.usable &&
+        best_u > plateau.max_utility - kPlateauWinnerSlop &&
+        (!winner_had_prefix ||
+         prefix_at_winner < plateau.max_utility - kPlateauPrefixGuard)) {
+      job.cache.StoreDecision(
+          buckets[k], DecisionCache::Decision{best_a, winner_prediction,
+                                              job.status.elapsed_seconds});
+    }
   }
 
   // Greedy with multi-step lookahead. Fixed small blocks cross prediction plateaus
@@ -162,7 +369,7 @@ void MultiJobArbiter::Rebalance() {
         if (block <= 0 || block > budget) {
           continue;
         }
-        double next = ExpectedUtility(*jobs_[active[k]], raw[k] + block);
+        double next = utility_at(k, raw[k] + block);
         double rate = (next - utility_now[k]) / static_cast<double>(block);
         if (rate > best_rate) {
           best_rate = rate;
@@ -195,36 +402,35 @@ void MultiJobArbiter::Rebalance() {
   }
 
   // Smoothing can transiently overshoot the budget when one job releases and another
-  // grabs; trim the overshoot from the job most over-provisioned relative to the
-  // greedy solution (ties broken by highest current utility), so a job sitting at its
-  // computed need is never squeezed below it.
+  // grabs. Trim the overshoot proportionally to each job's surplus over its greedy
+  // solution (largest-remainder rounding, deterministic), so a job sitting at its
+  // computed need is never squeezed below it while headroom exists elsewhere; only
+  // if the surpluses alone don't cover it does a second pass squeeze toward the
+  // per-job floor. The trim deliberately leaves job.smoothed alone: the overshoot
+  // is a transient artifact of smoothing, and folding the trim back into the
+  // hysteresis state would permanently drag a job's trajectory down one token per
+  // trimmed tick even after the contention passes. It also needs no utility
+  // lookups, where the old token-by-token loop paid one table lookup per trimmed
+  // token.
   int total = 0;
   for (size_t k = 0; k < active.size(); ++k) {
     total += last_assignment_[active[k]];
   }
-  while (total > config_.total_tokens) {
-    size_t best_k = active.size();
-    double best_surplus = -1e18;
-    double best_u = -1e18;
+  if (total > config_.total_tokens) {
+    std::vector<int> assignment(active.size());
+    std::vector<int> floors(active.size());
     for (size_t k = 0; k < active.size(); ++k) {
-      if (last_assignment_[active[k]] <= config_.min_tokens_per_job) {
-        continue;
-      }
-      double surplus = static_cast<double>(last_assignment_[active[k]] - raw[k]);
-      double u = ExpectedUtility(*jobs_[active[k]], last_assignment_[active[k]]);
-      if (surplus > best_surplus + 1e-9 ||
-          (surplus > best_surplus - 1e-9 && u > best_u)) {
-        best_surplus = surplus;
-        best_u = u;
-        best_k = k;
-      }
+      assignment[k] = last_assignment_[active[k]];
+      floors[k] = std::max(raw[k], config_.min_tokens_per_job);
     }
-    if (best_k == active.size()) {
-      break;  // everyone is at the floor
+    int need = TrimTowardFloors(floors, assignment, total - config_.total_tokens);
+    if (need > 0) {
+      std::fill(floors.begin(), floors.end(), config_.min_tokens_per_job);
+      TrimTowardFloors(floors, assignment, need);
     }
-    --last_assignment_[active[best_k]];
-    jobs_[active[best_k]]->smoothed = last_assignment_[active[best_k]];
-    --total;
+    for (size_t k = 0; k < active.size(); ++k) {
+      last_assignment_[active[k]] = assignment[k];
+    }
   }
 }
 

@@ -20,9 +20,11 @@
 #define SRC_CORE_ARBITER_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/cluster/controller.h"
+#include "src/core/decision_cache.h"
 #include "src/core/jockey.h"
 #include "src/util/piecewise_linear.h"
 
@@ -36,9 +38,16 @@ struct ArbiterConfig {
   // Tokens granted per greedy step; > 1 trades optimality for speed.
   int grant_step = 1;
   // Per-job smoothing and prediction settings (slack / dead zone / quantile reused
-  // from the single-job loop).
+  // from the single-job loop; enable_decision_cache memoizes the per-job candidate
+  // scans — see decision_cache.h).
   ControlLoopConfig control;
 };
+
+// Empty string when the config is sane; otherwise the first problem found.
+// MultiJobArbiter's constructor calls this and throws std::invalid_argument —
+// without it, min_tokens_per_job * active_jobs > total_tokens silently drives the
+// water-filling budget negative and per-job floors can sum above the budget.
+std::string ValidateArbiterConfig(const ArbiterConfig& config);
 
 // The arbiter and its per-job controller adapters. Not thread-safe; the cluster
 // simulator is single-threaded.
@@ -53,7 +62,8 @@ class MultiJobArbiter {
   // Registers a job with its trained model, utility function, and importance weight
   // (utilities are multiplied by the weight before comparison, Section 2.2's "map
   // latency objectives ... onto an appropriate weight" done right). Returns the job's
-  // arbiter index.
+  // arbiter index. Throws std::invalid_argument when admitting the job would push
+  // the per-job floors above total_tokens (over-admission).
   int AddJob(std::shared_ptr<const Jockey> model, PiecewiseLinear utility,
              double importance = 1.0);
 
@@ -69,6 +79,10 @@ class MultiJobArbiter {
   // The most recent global assignment (tokens per job index); for inspection.
   const std::vector<int>& last_assignment() const { return last_assignment_; }
 
+  // Decision-cache counters summed over all managed jobs (all zero when
+  // control.enable_decision_cache is off).
+  DecisionCacheStats cache_stats() const;
+
  private:
   struct ManagedJob;
   class Adapter;
@@ -77,6 +91,9 @@ class MultiJobArbiter {
   void Rebalance();
   // Expected weighted utility of job j at allocation a, given its latest status.
   double ExpectedUtility(const ManagedJob& job, double allocation) const;
+  // Re-keys a job's decision cache from the arbiter config and the job's shifted
+  // utility / importance (no-op when caching is off).
+  void RekeyJobCache(ManagedJob& job) const;
 
   ArbiterConfig config_;
   std::vector<std::unique_ptr<ManagedJob>> jobs_;

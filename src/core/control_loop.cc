@@ -5,8 +5,11 @@
 #include <cmath>
 #include <stdexcept>
 
+#include <limits>
+
 #include "src/fault/fault_injector.h"
 #include "src/obs/prof/profiler.h"
+#include "src/sim/table_cache.h"
 
 namespace jockey {
 
@@ -41,6 +44,10 @@ std::string ValidateControlLoopConfig(const ControlLoopConfig& config) {
     return "straggler_rate_ratio must be in (0, 1]";
   }
   if (config.straggler_min_ticks < 1) return "straggler_min_ticks must be >= 1";
+  if (config.warm_start_tokens < 0) return "warm_start_tokens must be >= 0";
+  if (config.control_period_hint_seconds < 0.0) {
+    return "control_period_hint_seconds must be >= 0";
+  }
   return std::string();
 }
 
@@ -67,6 +74,8 @@ JockeyController::JockeyController(std::shared_ptr<const ProgressIndicator> indi
   assert(indicator_ != nullptr);
   assert(table_ != nullptr);
   worst_case_total_ = table_->Predict(0.0, config_.min_tokens, config_.prediction_quantile);
+  ApplyWarmStart();
+  RekeyCache();
 }
 
 JockeyController::JockeyController(std::shared_ptr<const ProgressIndicator> indicator,
@@ -80,6 +89,8 @@ JockeyController::JockeyController(std::shared_ptr<const ProgressIndicator> indi
   assert(indicator_ != nullptr);
   assert(amdahl_ != nullptr);
   worst_case_total_ = amdahl_->PredictTotal(config_.min_tokens);
+  ApplyWarmStart();
+  RekeyCache();
 }
 
 JockeyController::JockeyController(std::shared_ptr<const ProgressIndicator> indicator,
@@ -98,6 +109,42 @@ JockeyController::JockeyController(std::shared_ptr<const ProgressIndicator> indi
       table_ != nullptr
           ? table_->Predict(0.0, config_.min_tokens, config_.prediction_quantile)
           : amdahl_->PredictTotal(config_.min_tokens);
+  ApplyWarmStart();
+  RekeyCache();
+}
+
+void JockeyController::ApplyWarmStart() {
+  if (config_.warm_start_tokens <= 0) {
+    return;
+  }
+  // Seed the smoothed state so the first tick moderates against last run's realized
+  // need instead of adopting a cold scan outright.
+  smoothed_ = std::clamp(static_cast<double>(config_.warm_start_tokens),
+                         static_cast<double>(config_.min_tokens),
+                         static_cast<double>(config_.max_tokens));
+}
+
+void JockeyController::RekeyCache() {
+  if (!config_.enable_decision_cache) {
+    return;
+  }
+  uint64_t h = HashBytes(&config_.slack, sizeof(config_.slack));
+  h = HashBytes(&config_.prediction_quantile, sizeof(config_.prediction_quantile), h);
+  h = HashBytes(&config_.min_tokens, sizeof(config_.min_tokens), h);
+  h = HashBytes(&config_.max_tokens, sizeof(config_.max_tokens), h);
+  const char degrade_bits = static_cast<char>((config_.enable_degraded_mode ? 1 : 0) |
+                                              (config_.enable_model_correction ? 2 : 0));
+  h = HashBytes(&degrade_bits, sizeof(degrade_bits), h);
+  for (const auto& knot : shifted_utility_.knots()) {
+    h = HashBytes(&knot.first, sizeof(knot.first), h);
+    h = HashBytes(&knot.second, sizeof(knot.second), h);
+  }
+  const int buckets = table_ != nullptr ? table_->num_buckets() : 0;
+  h = HashBytes(&buckets, sizeof(buckets), h);
+  if (decision_cache_.Rekey(h, buckets, AnalyzePlateau(shifted_utility_)) &&
+      cache_invalidations_counter_ != nullptr) {
+    ++*cache_invalidations_counter_;
+  }
 }
 
 double JockeyController::PredictRemaining(double progress,
@@ -187,6 +234,111 @@ int JockeyController::RawAllocation(double elapsed, double progress,
   return best_allocation;
 }
 
+int JockeyController::CachedRawAllocation(double elapsed, double progress,
+                                          const std::vector<double>& frac_complete,
+                                          const PiecewiseLinear& shifted_utility) {
+  const int scan_width = config_.max_tokens - config_.min_tokens + 1;
+  if (!config_.enable_decision_cache) {
+    last_scan_lookups_ = scan_width;
+    return RawAllocation(elapsed, progress, frac_complete, shifted_utility);
+  }
+  // Cached columns hold *healthy* table lookups; fault windows (corrupted or skewed
+  // predictions, time-dependent) and the table-less fallback rungs bypass them.
+  const bool eligible =
+      table_ != nullptr && !table_fault_active_ && skew_window_ == nullptr;
+  if (eligible != cache_eligible_) {
+    // Crossing a fault-window boundary in either direction: memoized winners were
+    // stored against a different prediction regime, drop them. Columns stay — they
+    // are raw table values, untouched by the window.
+    if (decision_cache_.InvalidateDecisions() && cache_invalidations_counter_ != nullptr) {
+      ++*cache_invalidations_counter_;
+    }
+    cache_eligible_ = eligible;
+  }
+  if (!eligible) {
+    ++decision_cache_.stats().bypasses;
+    last_scan_lookups_ = scan_width;
+    return RawAllocation(elapsed, progress, frac_complete, shifted_utility);
+  }
+  const int bucket = table_->BucketIndex(progress);
+  const bool corrected =
+      config_.enable_model_correction && ticks_seen_ >= config_.correction_warmup_ticks;
+  if (!corrected) {
+    // Level 2: the memoized winner, while provably still the scan's answer. Skipped
+    // under model correction — a rising speed estimate can revive candidates that
+    // lost earlier, which breaks the plateau argument.
+    if (const DecisionCache::Decision* hit =
+            decision_cache_.FindDecision(bucket, elapsed, config_.slack)) {
+      ++decision_cache_.stats().decision_hits;
+      if (cache_hits_counter_ != nullptr) {
+        ++*cache_hits_counter_;
+      }
+      last_scan_lookups_ = 0;
+      cache_hit_tick_ = true;
+      cache_hit_signature_ = decision_cache_.SignatureFor(bucket);
+      return hit->raw;
+    }
+  }
+  ++decision_cache_.stats().decision_misses;
+  if (cache_misses_counter_ != nullptr) {
+    ++*cache_misses_counter_;
+  }
+  // Level 1: the per-bucket prediction column (Predict depends on progress only
+  // through the bucket, so reuse is exact).
+  const std::vector<double>* column = decision_cache_.FindColumn(bucket);
+  if (column != nullptr) {
+    ++decision_cache_.stats().column_hits;
+    last_scan_lookups_ = 0;
+  } else {
+    std::vector<double> fresh(static_cast<size_t>(scan_width));
+    for (int a = config_.min_tokens; a <= config_.max_tokens; ++a) {
+      fresh[static_cast<size_t>(a - config_.min_tokens)] =
+          table_->Predict(progress, a, config_.prediction_quantile);
+    }
+    ++decision_cache_.stats().column_misses;
+    last_scan_lookups_ = scan_width;
+    column = &decision_cache_.StoreColumn(bucket, std::move(fresh));
+  }
+  // The scan below repeats RawAllocation's arithmetic operation-for-operation on
+  // the column, so its result is bit-identical to an uncached tick. Alongside the
+  // epsilon-chain winner it tracks the true prefix maximum, which decides whether
+  // the winner is memoizable (see decision_cache.h).
+  double best_utility = 0.0;
+  int best_allocation = config_.max_tokens;
+  bool first = true;
+  double true_max = -std::numeric_limits<double>::infinity();
+  double prefix_at_winner = 0.0;
+  bool winner_had_prefix = false;
+  double winner_prediction = 0.0;
+  for (int a = config_.min_tokens; a <= config_.max_tokens; ++a) {
+    const double raw_prediction = (*column)[static_cast<size_t>(a - config_.min_tokens)];
+    double adjusted = raw_prediction;
+    if (corrected) {
+      adjusted /= speed_estimate_;
+    }
+    double predicted = config_.slack * adjusted;
+    double u = shifted_utility(elapsed + predicted);
+    if (first || u > best_utility + 1e-9) {
+      best_utility = u;
+      best_allocation = a;
+      winner_prediction = raw_prediction;
+      winner_had_prefix = !first;
+      prefix_at_winner = true_max;
+      first = false;
+    }
+    true_max = std::max(true_max, u);
+  }
+  const UtilityPlateau& plateau = decision_cache_.plateau();
+  if (!corrected && plateau.usable &&
+      best_utility > plateau.max_utility - kPlateauWinnerSlop &&
+      (!winner_had_prefix ||
+       prefix_at_winner < plateau.max_utility - kPlateauPrefixGuard)) {
+    decision_cache_.StoreDecision(
+        bucket, DecisionCache::Decision{best_allocation, winner_prediction, elapsed});
+  }
+  return best_allocation;
+}
+
 ControlDecision JockeyController::OnTick(const JobRuntimeStatus& status) {
   // Sub-phases profile as control_tick/{policy_eval{,/predict},realloc}; every
   // guard is a no-op branch while the profiler is disabled (BENCH_profile.json).
@@ -197,6 +349,7 @@ ControlDecision JockeyController::OnTick(const JobRuntimeStatus& status) {
     observer_.Emit(status.now, UtilityChangeEvent{job_label_, status.elapsed_seconds});
   }
 
+  cache_hit_tick_ = false;
   tick_now_ = status.now;
   table_fault_active_ =
       fault_injector_ != nullptr && fault_injector_->TableFaultActive(status.now);
@@ -253,7 +406,8 @@ ControlDecision JockeyController::OnTick(const JobRuntimeStatus& status) {
     }
     {
       prof::Scope predict_scope("predict");
-      raw = RawAllocation(status.elapsed_seconds, progress, status.frac_complete, shifted);
+      raw = CachedRawAllocation(status.elapsed_seconds, progress, status.frac_complete,
+                                shifted);
     }
     scanned = true;
 
@@ -294,7 +448,16 @@ ControlDecision JockeyController::OnTick(const JobRuntimeStatus& status) {
       if (gap > 1e-9 && (min_tick_gap_ < 0.0 || gap < min_tick_gap_)) {
         min_tick_gap_ = gap;
       }
-      if (min_tick_gap_ > 0.0 && gap > config_.blackout_gap_factor * min_tick_gap_ &&
+      // A blackout spanning the *first* gap would be learned as the baseline and
+      // mask later blackouts of similar size; the known control period, when the
+      // harness plumbs it in, caps the learned baseline from above.
+      double baseline = min_tick_gap_;
+      if (config_.control_period_hint_seconds > 0.0) {
+        baseline = baseline < 0.0
+                       ? config_.control_period_hint_seconds
+                       : std::min(baseline, config_.control_period_hint_seconds);
+      }
+      if (baseline > 0.0 && gap > config_.blackout_gap_factor * baseline &&
           raw > smoothed_) {
         smoothed_ = raw;
         have_mode = true;
@@ -383,11 +546,18 @@ ControlDecision JockeyController::OnTick(const JobRuntimeStatus& status) {
       // The candidate scan (when it ran), the dead-zone comparison (when entered)
       // and the log line above all queried the model this tick; count in one shot.
       ++*ticks_counter_;
-      *lookups_counter_ +=
-          (scanned ? config_.max_tokens - config_.min_tokens + 1 : 0) + 1 +
-          (deadzone_checked ? 2 : 0);
+      // With the decision cache on, last_scan_lookups_ is the number of table
+      // lookups the scan actually performed (0 on a column or decision hit); with
+      // it off, CachedRawAllocation sets it to the full scan width.
+      *lookups_counter_ += (scanned ? last_scan_lookups_ : 0) + 1 +
+                           (deadzone_checked ? 2 : 0);
     }
     if (observer_.tracing()) {
+      if (cache_hit_tick_) {
+        observer_.Emit(status.now,
+                       ControlDecisionCachedEvent{job_label_, status.elapsed_seconds,
+                                                  progress, raw, cache_hit_signature_});
+      }
       observer_.Emit(status.now, PredictionLookupEvent{job_label_, progress,
                                                        static_cast<double>(granted),
                                                        predicted_remaining});
@@ -452,6 +622,11 @@ ControlDecision JockeyController::OnTick(const JobRuntimeStatus& status) {
 }
 
 int JockeyController::InitialAllocation() const {
+  if (config_.warm_start_tokens > 0) {
+    // Warm start: the previous run's postmortem already told us what the critical
+    // path needed; skip the cold scan.
+    return std::clamp(config_.warm_start_tokens, config_.min_tokens, config_.max_tokens);
+  }
   std::vector<double> zeros;
   if (table_ != nullptr) {
     // The table knows progress only, not fractions; pass an empty vector for the
@@ -478,6 +653,9 @@ int JockeyController::InitialAllocation() const {
 void JockeyController::SetUtility(PiecewiseLinear utility) {
   utility_ = std::move(utility);
   shifted_utility_ = utility_.ShiftLeft(config_.dead_zone_seconds);
+  // The fingerprint folds the shifted-utility knots, so a changed utility re-keys
+  // the cache and drops every memoized column and decision.
+  RekeyCache();
 }
 
 void JockeyController::ScheduleUtilityChange(double at_elapsed_seconds, PiecewiseLinear utility) {

@@ -27,6 +27,7 @@
 
 #include "src/cluster/controller.h"
 #include "src/core/amdahl.h"
+#include "src/core/decision_cache.h"
 #include "src/core/progress.h"
 #include "src/obs/observer.h"
 #include "src/sim/completion_table.h"
@@ -102,6 +103,23 @@ struct ControlLoopConfig {
   // draining, but two in a row at worst-case-quantile predictions means the
   // model itself has turned optimistic.
   int straggler_min_ticks = 2;
+  // Memoize the candidate scan (decision_cache.h): per-progress-bucket prediction
+  // columns plus whole-decision reuse while the winner provably stays the scan's
+  // answer. Guaranteed to never change a decision — only to skip work — so event
+  // streams are byte-identical with this on or off. Off by default.
+  bool enable_decision_cache = false;
+  // When > 0, the controller starts from this allocation instead of a cold scan:
+  // smoothed state is pre-seeded and InitialAllocation() returns it (clamped to
+  // [min_tokens, max_tokens]). Recurring runs set it from the previous run's
+  // postmortem via WarmStartAllocation (decision_cache.h).
+  int warm_start_tokens = 0;
+  // The control period the harness drives ticks at, when known (0 = unknown).
+  // Blackout detection compares each observed tick gap against a baseline period;
+  // learning that baseline purely from observed gaps is vulnerable to a blackout
+  // spanning the *first* gap (the inflated gap becomes the baseline and later
+  // blackouts of similar size go undetected), so a known period caps the learned
+  // baseline from above.
+  double control_period_hint_seconds = 0.0;
 };
 
 // Empty string when the config is sane; otherwise the first problem found.
@@ -169,7 +187,22 @@ class JockeyController : public JobController {
     lookups_counter_ = observer_.metering()
                            ? observer_.metrics()->CounterSlot("control.prediction_lookups")
                            : nullptr;
+    cache_hits_counter_ =
+        observer_.metering() && config_.enable_decision_cache
+            ? observer_.metrics()->CounterSlot("control.decision_cache.hits")
+            : nullptr;
+    cache_misses_counter_ =
+        observer_.metering() && config_.enable_decision_cache
+            ? observer_.metrics()->CounterSlot("control.decision_cache.misses")
+            : nullptr;
+    cache_invalidations_counter_ =
+        observer_.metering() && config_.enable_decision_cache
+            ? observer_.metrics()->CounterSlot("control.decision_cache.invalidations")
+            : nullptr;
   }
+
+  // Decision-cache hit/miss/invalidation counts (all zero when the cache is off).
+  const DecisionCacheStats& cache_stats() const { return decision_cache_.stats(); }
 
   // Current model-speed estimate (1.0 = predictions on track, < 1 = the job runs
   // slower than the model thinks). Meaningful when model correction is enabled.
@@ -192,6 +225,19 @@ class JockeyController : public JobController {
   // The raw argmin-of-max-utility allocation.
   int RawAllocation(double elapsed, double progress, const std::vector<double>& frac_complete,
                     const PiecewiseLinear& shifted_utility) const;
+  // RawAllocation through the decision cache: serves a memoized winner when provably
+  // still valid, otherwise replays the scan arithmetic over a memoized prediction
+  // column. Bit-identical to RawAllocation; falls through to it when the cache is
+  // off or a fault window makes lookups time-dependent. Sets last_scan_lookups_ to
+  // the number of table lookups actually performed.
+  int CachedRawAllocation(double elapsed, double progress,
+                          const std::vector<double>& frac_complete,
+                          const PiecewiseLinear& shifted_utility);
+  // Recomputes the cache fingerprint (config + shifted-utility knots + degrade
+  // bits) and re-keys the cache; a mismatch drops all cached state.
+  void RekeyCache();
+  // Pre-seeds smoothed state from config_.warm_start_tokens (no-op when 0).
+  void ApplyWarmStart();
 
   // Updates the model-speed estimator from consecutive observations.
   void UpdateModelSpeed(double elapsed, double progress, const std::vector<double>& frac);
@@ -212,7 +258,16 @@ class JockeyController : public JobController {
   Observer observer_;
   int64_t* ticks_counter_ = nullptr;
   int64_t* lookups_counter_ = nullptr;
+  int64_t* cache_hits_counter_ = nullptr;
+  int64_t* cache_misses_counter_ = nullptr;
+  int64_t* cache_invalidations_counter_ = nullptr;
   int job_label_ = 0;
+  // Decision-cache state (enable_decision_cache).
+  DecisionCache decision_cache_;
+  bool cache_eligible_ = true;      // outside any fault window since the last tick
+  int last_scan_lookups_ = 0;       // table lookups the last candidate scan performed
+  bool cache_hit_tick_ = false;     // this tick's decision was served from the cache
+  uint64_t cache_hit_signature_ = 0;
   double smoothed_ = -1.0;  // < 0 until the first tick
   std::vector<ControlTickLog> log_;
   double pending_change_at_ = -1.0;

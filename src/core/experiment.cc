@@ -149,6 +149,12 @@ ExperimentResult RunExperiment(const TrainedJob& job, const ExperimentOptions& o
   ControlLoopConfig control =
       options.control_override.value_or(jockey.config().control);
   control.max_tokens = options.max_tokens;
+  // The harness drives control ticks at a known cadence; plumb it in so blackout
+  // detection has a sane baseline even when the first observed gap spans a blackout.
+  control.control_period_hint_seconds = options.control_period_seconds;
+  if (options.warm_start_tokens > 0) {
+    control.warm_start_tokens = options.warm_start_tokens;
+  }
 
   std::unique_ptr<JockeyController> adaptive;
   std::unique_ptr<FixedAllocationController> fixed;
@@ -197,7 +203,12 @@ ExperimentResult RunExperiment(const TrainedJob& job, const ExperimentOptions& o
   }
 
   JobSubmission submission;
-  submission.guaranteed_tokens = 1;  // overwritten by the first control tick
+  // Overwritten by the first control tick; a warm start seeds it with last run's
+  // realized need so the pre-tick dispatch already runs at the right width.
+  submission.guaranteed_tokens =
+      options.warm_start_tokens > 0
+          ? std::clamp(options.warm_start_tokens, 1, options.max_tokens)
+          : 1;
   submission.max_guaranteed_tokens = options.max_tokens;
   submission.input_scale = input_scale;
   submission.use_spare_tokens = options.use_spare_tokens;

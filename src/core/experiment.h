@@ -101,6 +101,11 @@ struct ExperimentOptions {
   double control_period_seconds = 60.0;
   int max_tokens = 100;
   int fixed_tokens = 10;  // used only by PolicyKind::kFixed
+  // When > 0, adaptive policies start from this allocation instead of a cold scan
+  // (ControlLoopConfig::warm_start_tokens), and the submission's initial grant is
+  // seeded with it too. Recurring runs derive it from the previous run's postmortem
+  // via WarmStartAllocation (decision_cache.h). 0 keeps the historical cold start.
+  int warm_start_tokens = 0;
   bool use_spare_tokens = true;
   std::optional<DeadlineChange> deadline_change;
   std::optional<OverloadEpisode> overload;

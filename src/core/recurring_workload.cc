@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "src/cluster/cluster_simulator.h"
+#include "src/core/decision_cache.h"
 #include "src/core/experiment.h"
+#include "src/obs/analysis/postmortem.h"
 #include "src/util/stats.h"
 #include "src/util/thread_pool.h"
 
@@ -62,6 +64,76 @@ std::vector<RecurringRun> RecurringWorkload::Execute(bool use_spare_tokens) cons
     record.spare_task_fraction = result.spare_task_fraction;
     record.max_parallelism = result.max_parallelism;
     runs[idx] = record;
+  });
+  return runs;
+}
+
+std::vector<RecurringRun> RecurringWorkload::ExecuteControlled(
+    const ControlledRecurringConfig& controlled) const {
+  const size_t total = static_cast<size_t>(config_.num_jobs) *
+                       static_cast<size_t>(config_.runs_per_job);
+  std::vector<RecurringRun> runs(total);
+  int threads = config_.threads == 0 ? ThreadPool::DefaultThreadCount() : config_.threads;
+  // Fan out over jobs, not (job, run) pairs: run r+1's warm start is derived from
+  // run r's postmortem, so the runs of one job form a serial chain.
+  ParallelFor(threads, static_cast<size_t>(config_.num_jobs), [&](size_t jz) {
+    const int j = static_cast<int>(jz);
+    TrainingOptions training;
+    training.seed = 900 + static_cast<uint64_t>(j);
+    const TrainedJob trained = TrainJob(jobs_[jz], training);
+    const double deadline = SuggestDeadlineSeconds(trained, controlled.tight_deadline);
+
+    int warm = 0;  // cold start for run 0
+    for (int run = 0; run < config_.runs_per_job; ++run) {
+      const uint64_t seed = static_cast<uint64_t>(j) * 1000 + static_cast<uint64_t>(run) +
+                            config_.seed * 7919;
+      // Same weather and input-scale draws as Execute(), so the controlled fleet
+      // faces the per-run conditions the uncontrolled one does.
+      Rng weather(seed * 7777 + 1);
+
+      ExperimentOptions options;
+      options.deadline_seconds = deadline;
+      options.policy = PolicyKind::kJockey;
+      options.seed = seed * 104729 + 5;
+      options.input_scale = InputScaleFor(seed);
+      options.jitter_input = false;  // the scale above already carries the variation
+      options.control_period_seconds = controlled.control_period_seconds;
+      options.max_tokens = controlled.max_tokens;
+      options.warm_start_tokens = controlled.warm_start ? warm : 0;
+      options.background_utilization =
+          weather.Uniform(config_.min_utilization, config_.max_utilization);
+      options.capture_events = true;  // the postmortem input
+      if (controlled.decision_cache) {
+        ControlLoopConfig control = trained.jockey->config().control;
+        control.enable_decision_cache = true;
+        options.control_override = control;
+      }
+
+      const ExperimentResult result = RunExperiment(trained, options);
+
+      PostmortemOptions postmortem_options;
+      postmortem_options.deadline_seconds = deadline;
+      const PostmortemReport postmortem = BuildPostmortem(result.events, postmortem_options);
+      // Single-job run: the report carries exactly one job entry.
+      const double critical_path_exec =
+          postmortem.jobs.empty() ? 0.0 : postmortem.jobs.front().budget.exec;
+
+      RecurringRun& record = runs[jz * static_cast<size_t>(config_.runs_per_job) +
+                                 static_cast<size_t>(run)];
+      record.job_index = j;
+      record.input_scale = options.input_scale;
+      record.completion_seconds = result.completion_seconds;
+      record.spare_task_fraction = result.run.spare_task_fraction;
+      record.max_parallelism = result.run.max_parallelism;
+      record.met_deadline = result.met_deadline;
+      record.deadline_seconds = deadline;
+      record.warm_start_tokens = options.warm_start_tokens;
+      record.critical_path_exec_seconds = critical_path_exec;
+      record.total_work_seconds = result.total_work_seconds;
+
+      warm = WarmStartAllocation(critical_path_exec, result.total_work_seconds, deadline,
+                                 1, controlled.max_tokens);
+    }
   });
   return runs;
 }

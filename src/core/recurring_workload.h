@@ -49,6 +49,31 @@ struct RecurringRun {
   double completion_seconds = 0.0;
   double spare_task_fraction = 0.0;
   int max_parallelism = 0;
+  // Filled by ExecuteControlled() only (Execute() leaves the defaults): the SLO
+  // verdict plus the postmortem quantities the next run's warm start is derived
+  // from.
+  bool met_deadline = false;
+  double deadline_seconds = 0.0;
+  // Allocation the run's controller was seeded with (0 = cold start). For run r > 0
+  // with warm starts on, this equals WarmStartAllocation() of run r-1's postmortem.
+  int warm_start_tokens = 0;
+  // Realized critical-path execution seconds (LatencyBudget::exec of the run's
+  // postmortem) and total work — the inputs to the next run's warm start.
+  double critical_path_exec_seconds = 0.0;
+  double total_work_seconds = 0.0;
+};
+
+// How ExecuteControlled() runs the fleet under the Jockey policy.
+struct ControlledRecurringConfig {
+  // Seed each run's controller from the previous run's postmortem critical path
+  // (WarmStartAllocation, decision_cache.h). The first run of each job is cold.
+  bool warm_start = true;
+  // Memoize the controller's candidate scans (ControlLoopConfig::enable_decision_cache).
+  bool decision_cache = false;
+  // Tight vs. relaxed deadline (SuggestDeadlineSeconds).
+  bool tight_deadline = true;
+  int max_tokens = 100;
+  double control_period_seconds = 60.0;
 };
 
 // The fleet and its executions.
@@ -59,6 +84,16 @@ class RecurringWorkload {
   // Executes every job `runs_per_job` times. `use_spare_tokens=false` reproduces the
   // Section 2.4 guaranteed-capacity-only contrast.
   std::vector<RecurringRun> Execute(bool use_spare_tokens = true) const;
+
+  // Executes every job under the Jockey adaptive policy with a per-job SLO deadline,
+  // chaining consecutive runs of the same job: each run's postmortem critical path
+  // seeds the next run's warm-start allocation (recurring jobs are the warm-start
+  // population — the paper's "recurring jobs account for over 40% of runs"). Runs of
+  // one job are serial (the chain is a data dependency); jobs fan out across the
+  // thread pool. Cluster weather and input scales use Execute()'s seed derivations,
+  // so the two modes see the same per-(job, run) conditions.
+  std::vector<RecurringRun> ExecuteControlled(
+      const ControlledRecurringConfig& controlled = ControlledRecurringConfig()) const;
 
   // Per-job CoV of completion time over a set of runs; one entry per job.
   static std::vector<double> CompletionCov(const std::vector<RecurringRun>& runs);

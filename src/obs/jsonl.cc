@@ -159,6 +159,13 @@ struct LineWriter {
     AppendNum(*out, "elapsed", e.elapsed_seconds);
     AppendNum(*out, "slack", e.slack_seconds);
   }
+  void operator()(const ControlDecisionCachedEvent& e) const {
+    AppendInt(*out, "job", e.job);
+    AppendNum(*out, "elapsed", e.elapsed_seconds);
+    AppendNum(*out, "progress", e.progress);
+    AppendInt(*out, "raw", e.raw_allocation);
+    AppendKey(*out, "signature", e.signature);
+  }
 };
 
 // --- Reader: a minimal parser for the flat one-level objects the writer emits. ---
@@ -492,6 +499,14 @@ std::optional<TraceEventPayload> ParsePayload(const std::string& kind, const Fie
     if (GetInt(m, "job", e.job, fail) && GetSloState(m, "from", e.from, fail) &&
         GetSloState(m, "to", e.to, fail) && GetNum(m, "elapsed", e.elapsed_seconds, fail) &&
         GetNum(m, "slack", e.slack_seconds, fail)) {
+      return e;
+    }
+  } else if (kind == "control_decision_cached") {
+    ControlDecisionCachedEvent e;
+    if (GetInt(m, "job", e.job, fail) && GetNum(m, "elapsed", e.elapsed_seconds, fail) &&
+        GetNum(m, "progress", e.progress, fail) &&
+        GetInt(m, "raw", e.raw_allocation, fail) &&
+        GetKey(m, "signature", e.signature, fail)) {
       return e;
     }
   } else if (kind == "speculative_launch") {

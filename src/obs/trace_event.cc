@@ -143,6 +143,8 @@ const char* EventKindName(EventKind kind) {
       return "task_ready";
     case EventKind::kSloStateChange:
       return "slo_state_change";
+    case EventKind::kControlDecisionCached:
+      return "control_decision_cached";
   }
   return "unknown";
 }

@@ -256,13 +256,28 @@ struct SloStateChangeEvent {
   double slack_seconds = 0.0;
 };
 
+// The control loop served an allocation decision from the decision cache instead of
+// rescanning (src/core/decision_cache.h). `signature` is the cache key that hit:
+// the config/utility fingerprint chained with the progress bucket. Marker only —
+// the decision itself is identical to what a rescan would have produced, so
+// stripping these events from a cached trace yields the uncached trace byte for
+// byte (the decision_cache differential tests rely on exactly that).
+struct ControlDecisionCachedEvent {
+  int job = 0;
+  double elapsed_seconds = 0.0;
+  double progress = 0.0;
+  int raw_allocation = 0;
+  uint64_t signature = 0;
+};
+
 using TraceEventPayload =
     std::variant<ControlTickEvent, PredictionLookupEvent, AllocationChangeEvent,
                  UtilityChangeEvent, TableCacheLookupEvent, TableCacheStoreEvent,
                  TableCacheEvictEvent, JobSubmitEvent, JobFinishEvent, TaskDispatchEvent,
                  TaskCompleteEvent, TaskKilledEvent, SpeculativeLaunchEvent,
                  MachineFailureEvent, MachineRecoverEvent, FaultInjectedEvent,
-                 DegradedDecisionEvent, TaskReadyEvent, SloStateChangeEvent>;
+                 DegradedDecisionEvent, TaskReadyEvent, SloStateChangeEvent,
+                 ControlDecisionCachedEvent>;
 
 // Stable event-kind tags; indices match TraceEventPayload alternatives.
 enum class EventKind : int {
@@ -286,6 +301,7 @@ enum class EventKind : int {
   // Appended after the fault-injection kinds to keep earlier wire tags stable.
   kTaskReady = 17,
   kSloStateChange = 18,
+  kControlDecisionCached = 19,
 };
 
 // The stable wire name of each kind (the "kind" field of a JSONL line).

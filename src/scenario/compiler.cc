@@ -97,7 +97,8 @@ ExperimentOptions BuildOptions(const ScenarioSpec& spec, const WorkloadEntrySpec
        spec.control->stale_hold_seconds.has_value() ||
        spec.control->blind_escalation_rate.has_value() ||
        spec.control->blackout_gap_factor.has_value() ||
-       spec.control->grant_ratio_ewma.has_value());
+       spec.control->grant_ratio_ewma.has_value() ||
+       spec.control->decision_cache.has_value());
   if (hardened || tunes_control) {
     ControlLoopConfig control = job.trained->jockey->config().control;
     if (tunes_control) {
@@ -121,6 +122,9 @@ ExperimentOptions BuildOptions(const ScenarioSpec& spec, const WorkloadEntrySpec
       }
       if (spec.control->grant_ratio_ewma.has_value()) {
         control.grant_ratio_ewma = *spec.control->grant_ratio_ewma;
+      }
+      if (spec.control->decision_cache.has_value()) {
+        control.enable_decision_cache = *spec.control->decision_cache;
       }
     }
     control.enable_degraded_mode = hardened;

@@ -482,6 +482,13 @@ bool ParseControl(const DocNode& node, const std::string& path, ControlSpec* out
     }
     out->grant_ratio_ewma = value;
   }
+  if (const DocNode* cache = map.Get("decision_cache")) {
+    bool value = false;
+    if (!ReadBool(*cache, map.Sub("decision_cache"), &value, issue)) {
+      return false;
+    }
+    out->decision_cache = value;
+  }
   return map.Finish();
 }
 
@@ -974,6 +981,9 @@ void WriteControl(std::ostringstream& os, const ControlSpec& control) {
   }
   if (control.grant_ratio_ewma.has_value()) {
     field("grant_ratio_ewma", JsonNumber(*control.grant_ratio_ewma));
+  }
+  if (control.decision_cache.has_value()) {
+    field("decision_cache", *control.decision_cache ? "true" : "false");
   }
   os << "}";
 }

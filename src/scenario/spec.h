@@ -94,6 +94,10 @@ struct ControlSpec {
   std::optional<double> blind_escalation_rate;
   std::optional<double> blackout_gap_factor;
   std::optional<double> grant_ratio_ewma;
+  // Memoize the controller's candidate scans (ControlLoopConfig::enable_decision_cache).
+  // The cache only skips work — the event stream must match the uncached run
+  // byte-for-byte once its marker events are stripped.
+  std::optional<bool> decision_cache;
 };
 
 // One line of the workload mix. Per-entry fields override the scenario-level

@@ -60,6 +60,12 @@ class CompletionTable {
   const std::vector<int>& allocations() const { return allocations_; }
   int num_buckets() const { return num_buckets_; }
 
+  // The progress bucket `p` falls into. Predict(p, a, q) depends on p only through
+  // this index, which is what makes per-bucket memoization of prediction columns
+  // exact (decision_cache.h): two progress values in the same bucket produce
+  // bit-identical predictions at every allocation.
+  int BucketIndex(double p) const { return BucketOf(p); }
+
   // Total samples stored (diagnostics).
   size_t TotalSamples() const;
 

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
 #include "src/cluster/cluster_simulator.h"
 #include "src/core/experiment.h"
 #include "src/workload/job_generator.h"
@@ -188,6 +192,114 @@ TEST_F(ArbiterTest, FinishedJobsReleaseTheirTokens) {
   // With A finished, B's assignment is free to use most of the budget when needed;
   // the arbiter's bookkeeping must at least not deadlock or starve B.
   EXPECT_GT(cluster.result(id_b).guaranteed_token_seconds, 0.0);
+}
+
+TEST(ArbiterConfigTest, ValidateRejectsInsaneConfigs) {
+  ArbiterConfig config;
+  EXPECT_EQ(ValidateArbiterConfig(config), "");
+  config.total_tokens = 0;
+  EXPECT_NE(ValidateArbiterConfig(config), "");
+  config = ArbiterConfig();
+  config.min_tokens_per_job = 0;
+  EXPECT_NE(ValidateArbiterConfig(config), "");
+  config = ArbiterConfig();
+  config.min_tokens_per_job = config.total_tokens + 1;
+  EXPECT_NE(ValidateArbiterConfig(config), "");
+  config = ArbiterConfig();
+  config.grant_step = 0;
+  EXPECT_NE(ValidateArbiterConfig(config), "");
+  // Nested control problems surface with the "control." prefix.
+  config = ArbiterConfig();
+  config.control.hysteresis_alpha = -1.0;
+  EXPECT_EQ(ValidateArbiterConfig(config).rfind("control.", 0), 0u);
+  // The constructor enforces the same check.
+  config = ArbiterConfig();
+  config.total_tokens = -5;
+  EXPECT_THROW(MultiJobArbiter arbiter(config), std::invalid_argument);
+}
+
+TEST_F(ArbiterTest, OverAdmissionThrowsAndBudgetHolds) {
+  ArbiterConfig config;
+  config.total_tokens = 5;
+  config.min_tokens_per_job = 2;
+  MultiJobArbiter arbiter(config);
+  double deadline = SuggestDeadlineSeconds(*job_a_, true);
+  arbiter.AddJob(job_a_->jockey, DeadlineUtility(deadline));
+  arbiter.AddJob(job_a_->jockey, DeadlineUtility(deadline));
+  // A third job's floor (3 * 2 > 5) cannot be honored: over-admission throws
+  // instead of silently driving the water-filling budget negative.
+  EXPECT_THROW(arbiter.AddJob(job_a_->jockey, DeadlineUtility(deadline)),
+               std::invalid_argument);
+  EXPECT_EQ(arbiter.num_jobs(), 2);
+
+  // Near capacity, drive both jobs directly: after every rebalance the granted
+  // totals stay within the budget.
+  const size_t stages = static_cast<size_t>(job_a_->tmpl->graph.num_stages());
+  for (int t = 0; t < 8; ++t) {
+    for (int k = 0; k < 2; ++k) {
+      JobRuntimeStatus status;
+      status.now = 60.0 * t;
+      status.elapsed_seconds = 60.0 * t;
+      status.frac_complete.assign(stages, std::min(1.0, 0.05 * t));
+      int granted = arbiter.ControllerFor(k)->OnTick(status).guaranteed_tokens;
+      EXPECT_LE(granted, config.total_tokens);
+      const std::vector<int>& assignment = arbiter.last_assignment();
+      EXPECT_LE(std::accumulate(assignment.begin(), assignment.end(), 0),
+                config.total_tokens)
+          << "tick " << t << " job " << k;
+    }
+  }
+}
+
+// Regression (hysteresis-corruption bug): the budget trim used to write the trimmed
+// value back into the job's smoothed state, so a transiently contended job's
+// trajectory was dragged to the floor one trim at a time and stayed there after the
+// contention passed. The trim must only shape the published assignment; once the
+// competing job finishes, the squeezed job's next tick returns to its pre-trim
+// allocation instead of re-climbing through hysteresis from the floor.
+TEST_F(ArbiterTest, TransientContentionDoesNotCorruptHysteresis) {
+  ArbiterConfig config;
+  // A budget well below two jobs' combined demand, so B's arrival forces a trim.
+  config.total_tokens = 12;
+  config.control.hysteresis_alpha = 0.05;  // sluggish: a corrupted trajectory would
+                                           // need many ticks to recover
+  MultiJobArbiter arbiter(config);
+  double deadline = SuggestDeadlineSeconds(*job_a_, true);
+  int ia = arbiter.AddJob(job_a_->jockey, DeadlineUtility(deadline));
+  // The competitor outweighs A ten to one, so during contention the greedy pass
+  // funds B first and A's published share must be trimmed below its smoothed level.
+  int ib = arbiter.AddJob(job_a_->jockey, DeadlineUtility(deadline), /*importance=*/10.0);
+
+  const size_t stages = static_cast<size_t>(job_a_->tmpl->graph.num_stages());
+  auto status_at = [&](double t) {
+    JobRuntimeStatus status;
+    status.now = t;
+    status.elapsed_seconds = t;
+    status.frac_complete.assign(stages, 0.05);
+    return status;
+  };
+
+  // A alone: let its assignment stabilize.
+  int stable = 0;
+  for (int t = 0; t < 10; ++t) {
+    stable = arbiter.ControllerFor(ia)->OnTick(status_at(60.0 * t)).guaranteed_tokens;
+  }
+  ASSERT_GT(stable, config.min_tokens_per_job);
+
+  // One contended tick: B arrives and adopts its own (heavily weighted) demand; the
+  // combined ask overshoots the budget and A is trimmed.
+  arbiter.ControllerFor(ib)->OnTick(status_at(660.0));
+  const std::vector<int>& assignment = arbiter.last_assignment();
+  ASSERT_LE(std::accumulate(assignment.begin(), assignment.end(), 0),
+            config.total_tokens);
+  int squeezed = assignment[static_cast<size_t>(ia)];
+  ASSERT_LT(squeezed, stable);
+
+  // Contention passes. A's very next tick must be back at its pre-trim trajectory:
+  // hysteresis state was never touched by the trim, so one tick suffices.
+  arbiter.ControllerFor(ib)->OnFinished(700.0);
+  int recovered = arbiter.ControllerFor(ia)->OnTick(status_at(720.0)).guaranteed_tokens;
+  EXPECT_GE(recovered, stable - 1);
 }
 
 }  // namespace

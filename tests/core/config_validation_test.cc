@@ -1,0 +1,101 @@
+// Construction-time config validation: a bad ClusterConfig or ControlLoopConfig
+// fails fast with std::invalid_argument naming the offending field, instead of
+// producing a silently nonsensical simulation.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/cluster/cluster_simulator.h"
+#include "src/core/control_loop.h"
+
+namespace jockey {
+namespace {
+
+TEST(ConfigValidationTest, DefaultClusterConfigIsValid) {
+  EXPECT_TRUE(ValidateClusterConfig(ClusterConfig()).empty());
+}
+
+TEST(ConfigValidationTest, ClusterConfigRejectsBadMachineCounts) {
+  ClusterConfig config;
+  config.num_machines = 0;
+  EXPECT_FALSE(ValidateClusterConfig(config).empty());
+  config.num_machines = 10;
+  config.slots_per_machine = -1;
+  EXPECT_FALSE(ValidateClusterConfig(config).empty());
+}
+
+TEST(ConfigValidationTest, ClusterConfigRejectsNegativeRates) {
+  ClusterConfig config;
+  config.machine_failure_rate_per_hour = -0.5;
+  EXPECT_FALSE(ValidateClusterConfig(config).empty());
+  config = ClusterConfig();
+  config.machine_recovery_seconds = 0.0;
+  EXPECT_FALSE(ValidateClusterConfig(config).empty());
+  config = ClusterConfig();
+  config.scheduling_delay_seconds = -1.0;
+  EXPECT_FALSE(ValidateClusterConfig(config).empty());
+}
+
+TEST(ConfigValidationTest, ClusterConfigRejectsBadBackgroundBounds) {
+  ClusterConfig config;
+  config.background.mean_utilization = 2.0;
+  EXPECT_FALSE(ValidateClusterConfig(config).empty());
+  config = ClusterConfig();
+  config.background.min_utilization = 0.9;
+  config.background.max_utilization = 0.5;
+  EXPECT_FALSE(ValidateClusterConfig(config).empty());
+  config = ClusterConfig();
+  config.background.update_period_seconds = 0.0;
+  EXPECT_FALSE(ValidateClusterConfig(config).empty());
+}
+
+TEST(ConfigValidationTest, ClusterSimulatorConstructorThrowsOnBadConfig) {
+  ClusterConfig config;
+  config.num_machines = -3;
+  EXPECT_THROW(ClusterSimulator sim(config), std::invalid_argument);
+}
+
+TEST(ConfigValidationTest, ClusterSimulatorConstructorAcceptsDefaults) {
+  EXPECT_NO_THROW(ClusterSimulator sim{ClusterConfig()});
+}
+
+TEST(ConfigValidationTest, DefaultControlLoopConfigIsValid) {
+  EXPECT_TRUE(ValidateControlLoopConfig(ControlLoopConfig()).empty());
+}
+
+TEST(ConfigValidationTest, ControlLoopConfigRejectsBadHysteresis) {
+  ControlLoopConfig config;
+  config.hysteresis_alpha = 0.0;
+  EXPECT_FALSE(ValidateControlLoopConfig(config).empty());
+  config.hysteresis_alpha = 1.5;
+  EXPECT_FALSE(ValidateControlLoopConfig(config).empty());
+}
+
+TEST(ConfigValidationTest, ControlLoopConfigRejectsBadTokenBounds) {
+  ControlLoopConfig config;
+  config.min_tokens = 0;
+  EXPECT_FALSE(ValidateControlLoopConfig(config).empty());
+  config = ControlLoopConfig();
+  config.max_tokens = 0;
+  EXPECT_FALSE(ValidateControlLoopConfig(config).empty());
+  config = ControlLoopConfig();
+  config.min_tokens = 50;
+  config.max_tokens = 10;
+  EXPECT_FALSE(ValidateControlLoopConfig(config).empty());
+}
+
+TEST(ConfigValidationTest, ControlLoopConfigRejectsBadQuantileAndSlack) {
+  ControlLoopConfig config;
+  config.prediction_quantile = 1.5;
+  EXPECT_FALSE(ValidateControlLoopConfig(config).empty());
+  config = ControlLoopConfig();
+  config.slack = 0.0;
+  EXPECT_FALSE(ValidateControlLoopConfig(config).empty());
+  config = ControlLoopConfig();
+  config.dead_zone_seconds = -1.0;
+  EXPECT_FALSE(ValidateControlLoopConfig(config).empty());
+}
+
+}  // namespace
+}  // namespace jockey

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/core/decision_cache.h"
 #include "src/util/stats.h"
 
 namespace jockey {
@@ -70,6 +71,48 @@ TEST(RecurringWorkloadTest, GuaranteedOnlyRunsNeverUseSpare) {
   RecurringWorkload fleet(config);
   for (const auto& run : fleet.Execute(/*use_spare_tokens=*/false)) {
     EXPECT_DOUBLE_EQ(run.spare_task_fraction, 0.0);
+  }
+}
+
+// Warm-start chaining: each run of a job is seeded from the previous run's
+// postmortem — run r's recorded warm start must equal WarmStartAllocation applied
+// to run r-1's recorded critical path, work, and deadline. Run 0 starts cold.
+TEST(RecurringWorkloadTest, ControlledRunsChainWarmStartsFromPostmortems) {
+  RecurringWorkloadConfig config = SmallConfig();
+  config.num_jobs = 2;
+  config.runs_per_job = 3;
+  RecurringWorkload fleet(config);
+  ControlledRecurringConfig controlled;
+  controlled.max_tokens = 60;
+  auto runs = fleet.ExecuteControlled(controlled);
+  ASSERT_EQ(runs.size(), 6u);
+  for (int j = 0; j < config.num_jobs; ++j) {
+    for (int r = 0; r < config.runs_per_job; ++r) {
+      const RecurringRun& run = runs[static_cast<size_t>(j * config.runs_per_job + r)];
+      SCOPED_TRACE("job " + std::to_string(j) + " run " + std::to_string(r));
+      EXPECT_EQ(run.job_index, j);
+      EXPECT_GT(run.completion_seconds, 0.0);
+      EXPECT_GT(run.deadline_seconds, 0.0);
+      EXPECT_GT(run.critical_path_exec_seconds, 0.0);
+      EXPECT_GT(run.total_work_seconds, run.critical_path_exec_seconds);
+      if (r == 0) {
+        EXPECT_EQ(run.warm_start_tokens, 0);
+      } else {
+        const RecurringRun& prev =
+            runs[static_cast<size_t>(j * config.runs_per_job + r - 1)];
+        EXPECT_EQ(run.warm_start_tokens,
+                  WarmStartAllocation(prev.critical_path_exec_seconds,
+                                      prev.total_work_seconds, prev.deadline_seconds, 1,
+                                      controlled.max_tokens));
+        EXPECT_GE(run.warm_start_tokens, 1);
+      }
+    }
+  }
+  // warm_start=false keeps every run cold but leaves the rest of the record intact.
+  ControlledRecurringConfig cold = controlled;
+  cold.warm_start = false;
+  for (const RecurringRun& run : fleet.ExecuteControlled(cold)) {
+    EXPECT_EQ(run.warm_start_tokens, 0);
   }
 }
 

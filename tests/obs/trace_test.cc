@@ -48,6 +48,8 @@ std::vector<TraceEvent> AllKindsSample() {
   events.emplace_back(4.5, TaskReadyEvent{2, 3, 17, true});
   events.emplace_back(
       2460.0, SloStateChangeEvent{1, SloState::kOnTrack, SloState::kAtRisk, 2460.0, -11.8125});
+  events.emplace_back(120.0, ControlDecisionCachedEvent{1, 120.0, 0.5, 27,
+                                                        0xfeedfacecafebeefULL});
   return events;
 }
 

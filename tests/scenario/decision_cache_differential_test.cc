@@ -1,0 +1,126 @@
+// The decision cache's acceptance bar (ISSUE: caching may only skip work, never
+// change a decision): every checked-in scenario, run with and without
+// control.decision_cache, must produce byte-identical event streams once the
+// cache's own control_decision_cached marker events are stripped. Any allocation
+// drift, reordered emission, or perturbed metric would surface here as a line diff.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/obs/jsonl.h"
+#include "src/obs/trace_event.h"
+#include "src/scenario/catalog.h"
+#include "src/scenario/compiler.h"
+#include "src/scenario/orchestrator.h"
+#include "src/scenario/spec.h"
+
+#ifndef JOCKEY_SCENARIO_DIR
+#error "build must define JOCKEY_SCENARIO_DIR"
+#endif
+
+namespace jockey {
+namespace {
+
+ScenarioSpec LoadScenario(const std::string& filename) {
+  std::string path = std::string(JOCKEY_SCENARIO_DIR) + "/" + filename;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  ScenarioParseResult result = ParseScenarioText(buffer.str());
+  EXPECT_TRUE(result.spec.has_value())
+      << (result.issue.has_value() ? FormatScenarioIssue(path, *result.issue) : "");
+  return *result.spec;
+}
+
+// Every scenario checked into scenarios/ (keep in sync with slo_health_test.cc).
+const char* kScenarioFiles[] = {
+    "burst_faults.yaml", "chaos_dropout.yaml", "diurnal_mix.yaml",  "fig6_overload.yaml",
+    "gray_failure.yaml", "policy_matrix.yaml", "random_fleet.yaml",
+};
+
+// The scenario's full event stream as JSONL lines, with the cache's marker events
+// stripped — everything else must match byte for byte.
+std::vector<std::string> RunToLines(const ScenarioSpec& spec) {
+  JobCatalog catalog;
+  ScenarioCompileOptions compile_options;
+  compile_options.base_dir = JOCKEY_SCENARIO_DIR;
+  compile_options.capture_events = true;
+  CompiledScenario compiled = CompileScenario(spec, catalog, compile_options);
+  ScenarioOutcome outcome = RunScenario(compiled, /*progress=*/nullptr);
+  std::vector<std::string> lines;
+  for (const EpisodeOutcome& episode : outcome.episodes) {
+    for (const TraceEvent& event : episode.result.events) {
+      if (event.kind() == EventKind::kControlDecisionCached) {
+        continue;
+      }
+      lines.push_back(ToJsonLine(event));
+    }
+  }
+  return lines;
+}
+
+TEST(DecisionCacheDifferentialTest, EveryScenarioStreamIsByteIdenticalWithCaching) {
+  for (const char* filename : kScenarioFiles) {
+    SCOPED_TRACE(filename);
+    ScenarioSpec spec = LoadScenario(filename);
+    std::vector<std::string> uncached = RunToLines(spec);
+    ASSERT_FALSE(uncached.empty());
+
+    ScenarioSpec cached_spec = spec;
+    if (!cached_spec.control.has_value()) {
+      cached_spec.control.emplace();
+    }
+    cached_spec.control->decision_cache = true;
+    std::vector<std::string> cached = RunToLines(cached_spec);
+
+    ASSERT_EQ(uncached.size(), cached.size());
+    for (size_t i = 0; i < uncached.size(); ++i) {
+      ASSERT_EQ(uncached[i], cached[i]) << "line " << i;
+    }
+  }
+}
+
+// The spec key round-trips through the writer and parser like every other control
+// knob, and an invalid value is rejected with a located issue.
+TEST(DecisionCacheDifferentialTest, SpecKeyRoundTripsAndValidates) {
+  ScenarioParseResult parsed = ParseScenarioText(
+      "name: cache\n"
+      "control:\n"
+      "  decision_cache: true\n"
+      "workload:\n"
+      "  - random:\n"
+      "      name: synth\n"
+      "      seed: 5\n"
+      "    deadline: tight\n");
+  ASSERT_TRUE(parsed.spec.has_value())
+      << (parsed.issue.has_value() ? parsed.issue->message : "");
+  ASSERT_TRUE(parsed.spec->control.has_value());
+  ASSERT_TRUE(parsed.spec->control->decision_cache.has_value());
+  EXPECT_TRUE(*parsed.spec->control->decision_cache);
+
+  std::string rewritten = WriteScenarioJson(*parsed.spec);
+  EXPECT_NE(rewritten.find("\"decision_cache\":true"), std::string::npos);
+  ScenarioParseResult reparsed = ParseScenarioText(rewritten);
+  ASSERT_TRUE(reparsed.spec.has_value());
+  ASSERT_TRUE(reparsed.spec->control.has_value());
+  EXPECT_TRUE(reparsed.spec->control->decision_cache.value_or(false));
+
+  ScenarioParseResult bad = ParseScenarioText(
+      "name: cache\n"
+      "control:\n"
+      "  decision_cache: 7\n"
+      "workload:\n"
+      "  - random:\n"
+      "      name: synth\n"
+      "      seed: 5\n"
+      "    deadline: tight\n");
+  EXPECT_FALSE(bad.spec.has_value());
+}
+
+}  // namespace
+}  // namespace jockey

@@ -444,11 +444,16 @@ bool IsScenarioPath(const std::string& path) {
 int CmdRunScenario(int argc, char** argv, const std::string& path) {
   std::string json_out;
   std::string episodes_out;
+  bool decision_cache = false;
   GlobalOptions global;
   OptionsParser parser("jockey_cli run <scenario.yaml|.json> [flags]");
   parser.AddString("--json", "FILE", "write the scenario summary JSON here", &json_out);
   parser.AddString("--episodes-out", "FILE", "write one JSONL record per episode here",
                    &episodes_out);
+  parser.AddFlag("--decision-cache",
+                 "memoize control-plane candidate scans (decisions are unchanged; the "
+                 "trace gains control_decision_cached marker events)",
+                 &decision_cache);
   global.Register(parser);
   if (!parser.Parse(argc, argv, 3)) {
     return 2;
@@ -465,6 +470,12 @@ int CmdRunScenario(int argc, char** argv, const std::string& path) {
   if (!parsed.spec.has_value()) {
     std::fprintf(stderr, "%s\n", FormatScenarioIssue(path, *parsed.issue).c_str());
     return 1;
+  }
+  if (decision_cache) {
+    if (!parsed.spec->control.has_value()) {
+      parsed.spec->control.emplace();
+    }
+    parsed.spec->control->decision_cache = true;
   }
   CliObservability obs(global);
   if (!obs.ok()) {
